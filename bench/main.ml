@@ -1,0 +1,112 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (one report per table/figure, full-size workloads), after a
+   Bechamel microbenchmark section timing the HFI primitives each
+   experiment leans on — one Bechamel Test.make per table/figure, probing
+   that experiment's hot operation in the simulator.
+
+   Output is plain text; run `dune exec bench/main.exe`. Pass experiment
+   ids (e.g. `fig3 table1`) to run a subset; pass `--quick` for reduced
+   workload sizes; `--no-micro` skips the Bechamel section. *)
+
+open Bechamel
+open Toolkit
+module Registry = Hfi_experiments.Registry
+module Report = Hfi_experiments.Report
+
+(* One microbenchmark per table/figure: the primitive operation whose
+   cost that experiment's result turns on. *)
+let micro_tests () =
+  let hfi = Hfi_core.Hfi.create () in
+  ignore
+    (Hfi_core.Hfi.exec_set_region hfi ~slot:2
+       (Hfi_isa.Hfi_iface.Implicit_data
+          { base_prefix = 0x100000; lsb_mask = 0xfffff; permission_read = true; permission_write = true }));
+  ignore
+    (Hfi_core.Hfi.exec_set_region hfi ~slot:6
+       (Hfi_isa.Hfi_iface.Explicit_data
+          { base_address = 0x2_0000_0000; bound = 1 lsl 20; permission_read = true; permission_write = true; is_large_region = true }));
+  let cache = Hfi_memory.Cache.create Hfi_memory.Cache.skylake_l1d in
+  let mem = Hfi_memory.Addr_space.create () in
+  Hfi_memory.Addr_space.mmap mem ~addr:0x10000 ~len:65536 Hfi_memory.Perm.rw;
+  let kernel = Hfi_memory.Kernel.create mem in
+  let spec = Hfi_isa.Hfi_iface.default_hybrid_spec in
+  [
+    (* fig2/fig3: the per-access checks HFI adds to loads and hmovs. *)
+    Test.make ~name:"fig2+fig3: implicit region check"
+      (Staged.stage (fun () ->
+           ignore (Hfi_core.Hfi.check_data_access hfi ~addr:0x100040 ~bytes:8 `Read)));
+    Test.make ~name:"fig2+fig3: hmov bounds check"
+      (Staged.stage (fun () ->
+           ignore
+             (Hfi_core.Hfi.check_hmov hfi ~region:0 ~index_value:128 ~scale:8 ~disp:16 ~bytes:8
+                ~write:false)));
+    (* heap-growth: one region-register update. *)
+    Test.make ~name:"heap-growth: hfi_set_region"
+      (Staged.stage (fun () ->
+           ignore
+             (Hfi_core.Hfi.exec_set_region hfi ~slot:6
+                (Hfi_isa.Hfi_iface.Explicit_data
+                   { base_address = 0x2_0000_0000; bound = 1 lsl 21; permission_read = true; permission_write = true; is_large_region = true }))));
+    (* fig4/font/table1: a sandbox transition pair. *)
+    Test.make ~name:"fig4+table1: hfi_enter/hfi_exit pair"
+      (Staged.stage (fun () ->
+           ignore (Hfi_core.Hfi.exec_enter hfi spec);
+           ignore (Hfi_core.Hfi.exec_exit hfi)));
+    (* teardown/scaling: the madvise cost path. *)
+    Test.make ~name:"teardown: madvise accounting"
+      (Staged.stage (fun () -> Hfi_memory.Kernel.sys_madvise_dontneed kernel ~addr:0x10000 ~len:65536));
+    (* syscalls/fig5: kernel dispatch. *)
+    Test.make ~name:"syscalls+fig5: kernel getpid dispatch"
+      (Staged.stage (fun () -> ignore (Hfi_memory.Kernel.sys_getpid kernel)));
+    (* fig7: the flush+reload probe primitive. *)
+    Test.make ~name:"fig7: d-cache probe"
+      (Staged.stage (fun () -> ignore (Hfi_memory.Cache.probe cache 0x4000)));
+    (* cross-cutting: one full Sightglass kernel on the fast engine. *)
+    Test.make ~name:"engine: gimli end-to-end (fast engine)"
+      (Staged.stage (fun () ->
+           let w = Hfi_workloads.Sightglass.find "gimli" in
+           let i = Hfi_wasm.Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi w in
+           ignore (Hfi_wasm.Instance.run_fast i)));
+  ]
+
+let run_micro () =
+  print_endline "== Bechamel microbenchmarks (host-time of simulator primitives) ==";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-46s %10.1f ns/op\n%!" name est
+          | _ -> Printf.printf "  %-46s (no estimate)\n%!" name)
+        results)
+    (micro_tests ());
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let no_micro = List.mem "--no-micro" args in
+  let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let ids = if ids = [] then Registry.ids () else ids in
+  if not no_micro then run_micro ();
+  print_endline "== Paper reproduction: every table and figure of the evaluation ==";
+  Printf.printf "(mode: %s)\n\n" (if quick then "quick" else "full");
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun id ->
+      match Registry.find id with
+      | None ->
+        Printf.printf "unknown experiment id %S (try: %s)\n" id
+          (String.concat " " (Registry.ids ()))
+      | Some e ->
+        let t = Unix.gettimeofday () in
+        let r = e.Registry.run ~quick () in
+        Report.print r;
+        Printf.printf "[%.1fs]\n\n%!" (Unix.gettimeofday () -. t))
+    ids;
+  Printf.printf "total: %.1fs\n" (Unix.gettimeofday () -. t0)

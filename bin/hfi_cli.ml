@@ -1,0 +1,174 @@
+(* hfi — command-line driver for the HFI reproduction.
+
+   Subcommands:
+     list                 enumerate experiments
+     run <ids..|all>      run experiments (full or --quick)
+     spectre [--kind]     run the Spectre PoCs and show the probe plots
+     hw                   print HFI's hardware budget (SS4)
+     sightglass <kernel>  run one Sightglass kernel under every strategy *)
+
+open Cmdliner
+module Registry = Hfi_experiments.Registry
+module Report = Hfi_experiments.Report
+
+let list_cmd =
+  let doc = "List the reproducible tables and figures." in
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-18s %s\n" e.Registry.id e.Registry.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run experiments by id (or 'all')." in
+  let ids = Arg.(value & pos_all string [ "all" ] & info [] ~docv:"ID") in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced workload sizes.") in
+  let run quick ids =
+    let ids = if List.mem "all" ids then Registry.ids () else ids in
+    List.iter
+      (fun id ->
+        match Registry.find id with
+        | None -> Printf.eprintf "unknown experiment %S; see `hfi list`\n" id
+        | Some e -> Report.print (e.Registry.run ~quick ()))
+      ids
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick $ ids)
+
+let spectre_cmd =
+  let doc = "Run the Spectre-PHT/BTB proofs of concept (SS5.3, Fig. 7)." in
+  let kind =
+    Arg.(value & opt (enum [ ("pht", `Pht); ("btb", `Btb); ("both", `Both) ]) `Both
+         & info [ "kind" ] ~docv:"KIND")
+  in
+  let run kind =
+    let kinds =
+      match kind with
+      | `Pht -> [ Hfi_spectre.Attack.Pht ]
+      | `Btb -> [ Hfi_spectre.Attack.Btb ]
+      | `Both -> [ Hfi_spectre.Attack.Pht; Hfi_spectre.Attack.Btb ]
+    in
+    List.iter
+      (fun k ->
+        let o = Hfi_spectre.Attack.run k in
+        let describe tag (r : Hfi_spectre.Attack.probe_result) =
+          match r.leaked_byte with
+          | Some b -> Printf.printf "%s %s: leaked byte %C\n" (Hfi_spectre.Attack.kind_name k) tag (Char.chr b)
+          | None -> Printf.printf "%s %s: no leak\n" (Hfi_spectre.Attack.kind_name k) tag
+        in
+        describe "without HFI" o.Hfi_spectre.Attack.unprotected;
+        describe "with HFI" o.Hfi_spectre.Attack.protected_)
+      kinds
+  in
+  Cmd.v (Cmd.info "spectre" ~doc) Term.(const run $ kind)
+
+let hw_cmd =
+  let doc = "Print HFI's additional-hardware budget (SS4)." in
+  let run () = Format.printf "%a" Hfi_core.Hw_budget.pp_components () in
+  Cmd.v (Cmd.info "hw" ~doc) Term.(const run $ const ())
+
+let sightglass_cmd =
+  let doc = "Run one Sightglass kernel under every isolation strategy." in
+  let kernel = Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL") in
+  let run kernel =
+    match List.assoc_opt kernel Hfi_workloads.Sightglass.all with
+    | None ->
+      Printf.eprintf "unknown kernel %S; kernels: %s\n" kernel
+        (String.concat " " (List.map fst Hfi_workloads.Sightglass.all));
+      exit 1
+    | Some w ->
+      List.iter
+        (fun s ->
+          let inst = Hfi_wasm.Instance.instantiate ~strategy:s w in
+          let cycles, status = Hfi_wasm.Instance.run_fast inst in
+          Printf.printf "%-14s cycles=%-12s result=%d status=%s\n"
+            (Hfi_sfi.Strategy.to_string s)
+            (Hfi_util.Units.pp_cycles cycles)
+            (Hfi_wasm.Instance.result_rax inst)
+            (match status with
+            | Hfi_pipeline.Machine.Halted -> "halted"
+            | Hfi_pipeline.Machine.Faulted m -> "faulted: " ^ Hfi_core.Msr.to_string m
+            | Hfi_pipeline.Machine.Running -> "running"))
+        Hfi_sfi.Strategy.all
+  in
+  Cmd.v (Cmd.info "sightglass" ~doc) Term.(const run $ kernel)
+
+let strategy_conv =
+  Arg.enum
+    (List.map (fun s -> (Hfi_sfi.Strategy.to_string s, s)) Hfi_sfi.Strategy.all)
+
+let wasm_cmd =
+  let doc = "Validate and run a textual Wasm module (see Wasm_text for the grammar)." in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.wat") in
+  let strategy =
+    Arg.(value & opt strategy_conv Hfi_sfi.Strategy.Hfi & info [ "strategy" ] ~docv:"STRATEGY")
+  in
+  let interp_only = Arg.(value & flag & info [ "interp" ] ~doc:"Reference-interpret only.") in
+  let run file strategy interp_only =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match Hfi_wasm.Wasm_text.parse src with
+    | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 1
+    | Ok m -> begin
+      match Hfi_wasm.Wasm_validate.validate m with
+      | Error e ->
+        Format.eprintf "validation error: %a@." Hfi_wasm.Wasm_validate.pp_error e;
+        exit 1
+      | Ok () ->
+        Format.printf "reference: %a@." Hfi_wasm.Wasm_interp.pp_outcome
+          (Hfi_wasm.Wasm_interp.run m);
+        if not interp_only then begin
+          let outcome, cycles = Hfi_wasm.Wasm_compile.run ~strategy m in
+          Format.printf "compiled under %s: %a (%s modeled cycles)@."
+            (Hfi_sfi.Strategy.to_string strategy)
+            Hfi_wasm.Wasm_interp.pp_outcome outcome
+            (Hfi_util.Units.pp_cycles cycles)
+        end
+    end
+  in
+  Cmd.v (Cmd.info "wasm" ~doc) Term.(const run $ file $ strategy $ interp_only)
+
+let conformance_cmd =
+  let doc = "Run the appendix-A.1 interface conformance checks (SS5.3)." in
+  let run () =
+    let results = Hfi_core.Conformance.run_all () in
+    List.iter
+      (fun (name, section, outcome) ->
+        match outcome with
+        | Ok () -> Printf.printf "  [PASS] (SS%s) %s\n" section name
+        | Error m -> Printf.printf "  [FAIL] (SS%s) %s: %s\n" section name m)
+      results;
+    let failed = List.length (Hfi_core.Conformance.failures ()) in
+    Printf.printf "%d checks, %d failures\n" (List.length results) failed;
+    if failed > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "conformance" ~doc) Term.(const run $ const ())
+
+let trace_cmd =
+  let doc = "Trace a Sightglass kernel's first N instructions, then print cycle statistics." in
+  let kernel = Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL") in
+  let limit = Arg.(value & opt int 60 & info [ "limit"; "n" ] ~docv:"N") in
+  let strategy =
+    Arg.(value & opt strategy_conv Hfi_sfi.Strategy.Hfi & info [ "strategy" ] ~docv:"STRATEGY")
+  in
+  let run kernel limit strategy =
+    match List.assoc_opt kernel Hfi_workloads.Sightglass.all with
+    | None ->
+      Printf.eprintf "unknown kernel %S\n" kernel;
+      exit 1
+    | Some w ->
+      let inst = Hfi_wasm.Instance.instantiate ~strategy w in
+      let entries = Hfi_pipeline.Tracer.trace ~limit (Hfi_wasm.Instance.machine inst) in
+      List.iter (fun e -> Format.printf "%a@." Hfi_pipeline.Tracer.pp_entry e) entries;
+      Format.printf "... (continuing to completion on the cycle engine)@.";
+      let inst2 = Hfi_wasm.Instance.instantiate ~strategy w in
+      let r = Hfi_wasm.Instance.run_cycle inst2 in
+      Format.printf "@[<v>%a@]@." Hfi_pipeline.Tracer.pp_result r
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ kernel $ limit $ strategy)
+
+let () =
+  let doc = "Hardware-assisted Fault Isolation (ASPLOS '23) — OCaml reproduction." in
+  let info = Cmd.info "hfi" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; spectre_cmd; hw_cmd; sightglass_cmd; wasm_cmd; conformance_cmd; trace_cmd ]))

@@ -1,0 +1,291 @@
+type check = {
+  name : string;
+  section : string;
+  run : unit -> (unit, string) result;
+}
+
+let ok = Ok ()
+let failf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let expect cond msg = if cond then ok else Error msg
+
+let idata ?(r = true) ?(w = true) base mask =
+  Hfi_iface.Implicit_data { base_prefix = base; lsb_mask = mask; permission_read = r; permission_write = w }
+
+let icode base mask =
+  Hfi_iface.Implicit_code { base_prefix = base; lsb_mask = mask; permission_exec = true }
+
+let edata ?(large = true) base bound =
+  Hfi_iface.Explicit_data
+    { base_address = base; bound; permission_read = true; permission_write = true; is_large_region = large }
+
+let fresh () = Hfi.create ()
+
+let hybrid = Hfi_iface.default_hybrid_spec
+let native h = { Hfi_iface.default_native_spec with exit_handler = Some h }
+
+let all =
+  [
+    {
+      name = "ten region registers: 2 code, 4 implicit data, 4 explicit";
+      section = "3.2/A.1";
+      run =
+        (fun () ->
+          expect
+            (Hfi_iface.region_count = 10
+            && List.map Hfi_iface.slot_kind [ 0; 1 ] = [ `Code; `Code ]
+            && List.for_all (fun s -> Hfi_iface.slot_kind s = `Implicit_data) [ 2; 3; 4; 5 ]
+            && List.for_all (fun s -> Hfi_iface.slot_kind s = `Explicit_data) [ 6; 7; 8; 9 ])
+            "slot layout does not match A.1");
+    };
+    {
+      name = "default deny: a sandbox with no regions can access nothing";
+      section = "3.2";
+      run =
+        (fun () ->
+          let h = fresh () in
+          ignore (Hfi.exec_enter h hybrid);
+          match (Hfi.check_data_access h ~addr:0x1000 ~bytes:8 `Read, Hfi.check_ifetch h ~addr:0x1000) with
+          | Error _, Error _ -> ok
+          | _ -> failf "regionless sandbox was granted access");
+    };
+    {
+      name = "implicit regions grant on a first-match basis";
+      section = "3.2";
+      run =
+        (fun () ->
+          let h = fresh () in
+          ignore (Hfi.exec_set_region h ~slot:2 (idata ~w:false 0x10000 0xfff));
+          ignore (Hfi.exec_set_region h ~slot:3 (idata 0x10000 0xfff));
+          ignore (Hfi.exec_enter h hybrid);
+          match Hfi.check_data_access h ~addr:0x10010 ~bytes:8 `Write with
+          | Error v when v.Msr.cause = Msr.Permission -> ok
+          | _ -> failf "second matching region overrode the first");
+    };
+    {
+      name = "implicit regions are power-of-two sized and aligned";
+      section = "3.2";
+      run =
+        (fun () ->
+          expect
+            (Region.validate ~slot:2 (idata 0x10000 0xffe) = Error Region.Mask_not_contiguous
+            && Region.validate ~slot:2 (idata 0x10008 0xfff) = Error Region.Base_not_aligned)
+            "non-power-of-two implicit region accepted");
+    };
+    {
+      name = "large regions are 64K-aligned, up to 256 TiB";
+      section = "3.2";
+      run =
+        (fun () ->
+          expect
+            (Region.validate ~slot:6 (edata 4096 65536) = Error Region.Large_not_64k_aligned
+            && Region.validate ~slot:6 (edata 0 (Region.large_max_bound + 65536))
+               = Error Region.Bound_too_large
+            && Region.validate ~slot:6 (edata 65536 65536) = Ok ())
+            "large-region constraints not enforced");
+    };
+    {
+      name = "small regions are byte-granular and may not span a 4 GiB boundary";
+      section = "3.2";
+      run =
+        (fun () ->
+          let edge = (1 lsl 32) - 50 in
+          expect
+            (Region.validate ~slot:6 (edata ~large:false 12345 677) = Ok ()
+            && Region.validate ~slot:6 (edata ~large:false edge 100)
+               = Error Region.Small_spans_4g_boundary)
+            "small-region constraints not enforced");
+    };
+    {
+      name = "hmov traps on negative index or displacement";
+      section = "3.2/4.2";
+      run =
+        (fun () ->
+          let r = { Hfi_iface.base_address = 65536; bound = 65536; permission_read = true; permission_write = true; is_large_region = true } in
+          expect
+            (Region.hmov_access r ~index_value:(-1) ~scale:1 ~disp:0 ~bytes:1 ~write:false
+             = Error Msr.Negative_offset
+            && Region.hmov_access r ~index_value:0 ~scale:1 ~disp:(-4) ~bytes:1 ~write:false
+               = Error Msr.Negative_offset)
+            "negative hmov operands did not trap");
+    };
+    {
+      name = "hmov traps when the effective-address computation overflows";
+      section = "3.2/4.2";
+      run =
+        (fun () ->
+          let r = { Hfi_iface.base_address = 65536; bound = 65536; permission_read = true; permission_write = true; is_large_region = true } in
+          expect
+            (Region.hmov_access r ~index_value:(1 lsl 60) ~scale:8 ~disp:0 ~bytes:1 ~write:false
+            = Error Msr.Address_overflow)
+            "hmov overflow did not trap");
+    };
+    {
+      name = "hmov bounds are exact at the region edge";
+      section = "4.2";
+      run =
+        (fun () ->
+          let r = { Hfi_iface.base_address = 65536; bound = 4096; permission_read = true; permission_write = true; is_large_region = false } in
+          let last_ok = Region.hmov_access r ~index_value:4088 ~scale:1 ~disp:0 ~bytes:8 ~write:false in
+          let straddle = Region.hmov_access r ~index_value:4089 ~scale:1 ~disp:0 ~bytes:8 ~write:false in
+          expect (Result.is_ok last_ok && straddle = Error Msr.Out_of_bounds)
+            "hmov edge semantics wrong");
+    };
+    {
+      name = "native sandboxes lock the region registers until exit";
+      section = "3.3.1";
+      run =
+        (fun () ->
+          let h = fresh () in
+          ignore (Hfi.exec_enter h (native 0x1000));
+          match Hfi.exec_set_region h ~slot:2 (idata 0x10000 0xfff) with
+          | Hfi.Trap Msr.Privileged_in_native -> ok
+          | _ -> failf "region registers writable inside a native sandbox");
+    };
+    {
+      name = "hybrid sandboxes may update regions (serialized)";
+      section = "3.3.1/4.3";
+      run =
+        (fun () ->
+          let h = fresh () in
+          ignore (Hfi.exec_enter h hybrid);
+          let drains0 = (Hfi.stats h).Hfi.drains in
+          match Hfi.exec_set_region h ~slot:6 (edata 65536 65536) with
+          | Hfi.Continue ->
+            expect ((Hfi.stats h).Hfi.drains > drains0) "in-sandbox region update did not serialize"
+          | _ -> failf "hybrid region update rejected");
+    };
+    {
+      name = "syscalls in a native sandbox become jumps to the exit handler";
+      section = "3.3.2/4.4";
+      run =
+        (fun () ->
+          let h = fresh () in
+          ignore (Hfi.exec_enter h (native 0xbeef));
+          match Hfi.on_syscall h ~number:5 with
+          | `Redirect 0xbeef ->
+            expect (Hfi.exit_reason h = Msr.Syscall_trap 5) "MSR does not carry the syscall number"
+          | _ -> failf "native syscall was not redirected");
+    };
+    {
+      name = "hybrid sandboxes make system calls directly";
+      section = "3.3.1";
+      run =
+        (fun () ->
+          let h = fresh () in
+          ignore (Hfi.exec_enter h hybrid);
+          expect (Hfi.on_syscall h ~number:5 = `Allow && Hfi.enabled h)
+            "hybrid syscall was interposed");
+    };
+    {
+      name = "hfi_exit records the reason and honors the exit handler";
+      section = "3.3.2";
+      run =
+        (fun () ->
+          let h = fresh () in
+          ignore (Hfi.exec_enter h (native 0x2000));
+          match Hfi.exec_exit h with
+          | Hfi.Jump 0x2000 ->
+            expect (Hfi.exit_reason h = Msr.Exit_instruction && not (Hfi.enabled h))
+              "exit state wrong"
+          | _ -> failf "exit did not transfer to the handler");
+    };
+    {
+      name = "hfi_reenter returns to the sandbox that was just exited";
+      section = "A.1";
+      run =
+        (fun () ->
+          let h = fresh () in
+          ignore (Hfi.exec_enter h (native 0x2000));
+          ignore (Hfi.on_syscall h ~number:1);
+          match Hfi.exec_reenter h with
+          | Hfi.Continue ->
+            expect (Hfi.in_native_sandbox h) "reenter did not restore the native sandbox"
+          | _ -> failf "reenter failed");
+    };
+    {
+      name = "switch-on-exit swaps banks without drains and restores on exit";
+      section = "3.4/4.5";
+      run =
+        (fun () ->
+          let h = fresh () in
+          ignore (Hfi.exec_set_region h ~slot:2 (idata 0x10000 0xfff));
+          ignore (Hfi.exec_enter h { hybrid with is_serialized = true });
+          ignore (Hfi.exec_set_region h ~slot:12 (idata 0x20000 0xfff));
+          let drains0 = (Hfi.stats h).Hfi.drains in
+          let child = { Hfi_iface.is_hybrid = true; is_serialized = false; switch_on_exit = true; exit_handler = None } in
+          ignore (Hfi.exec_enter h child);
+          let no_drain = (Hfi.stats h).Hfi.drains = drains0 in
+          let child_view = Hfi.check_data_access h ~addr:0x20010 ~bytes:8 `Read = Ok () in
+          ignore (Hfi.exec_exit h);
+          let restored = Hfi.enabled h && Hfi.check_data_access h ~addr:0x10010 ~bytes:8 `Read = Ok () in
+          expect (no_drain && child_view && restored) "switch-on-exit protocol broken");
+    };
+    {
+      name = "xrstor with HFI state traps inside a native sandbox";
+      section = "3.3.3";
+      run =
+        (fun () ->
+          let h = fresh () in
+          let saved = Hfi.xsave h in
+          ignore (Hfi.exec_enter h (native 0x1));
+          match Hfi.xrstor h saved with
+          | Hfi.Trap Msr.Privileged_in_native -> ok
+          | _ -> failf "in-sandbox xrstor did not trap");
+    };
+    {
+      name = "xsave/xrstor round-trips the full HFI state";
+      section = "3.3.3";
+      run =
+        (fun () ->
+          let h = fresh () in
+          ignore (Hfi.exec_set_region h ~slot:0 (icode 0x40_0000 0xfffff));
+          ignore (Hfi.exec_set_region h ~slot:6 (edata 65536 65536));
+          ignore (Hfi.exec_enter h hybrid);
+          let saved = Hfi.xsave h in
+          ignore (Hfi.exec_exit h);
+          ignore (Hfi.exec_clear_all h);
+          Hfi.kernel_xrstor h saved;
+          expect
+            (Hfi.enabled h && Hfi.region h 0 <> None && Hfi.region h 6 <> None)
+            "restored state incomplete");
+    };
+    {
+      name = "serialized enters/exits request pipeline drains";
+      section = "3.4";
+      run =
+        (fun () ->
+          let h = fresh () in
+          let d0 = (Hfi.stats h).Hfi.drains in
+          ignore (Hfi.exec_enter h { hybrid with is_serialized = true });
+          ignore (Hfi.exec_exit h);
+          let serialized = (Hfi.stats h).Hfi.drains - d0 in
+          let h2 = fresh () in
+          let d1 = (Hfi.stats h2).Hfi.drains in
+          ignore (Hfi.exec_enter h2 hybrid);
+          ignore (Hfi.exec_exit h2);
+          let unserialized = (Hfi.stats h2).Hfi.drains - d1 in
+          expect (serialized = 2 && unserialized = 0) "serialization flags miscounted");
+    };
+    {
+      name = "MSR encodings distinguish every exit cause";
+      section = "3.3.2";
+      run =
+        (fun () ->
+          let codes =
+            List.map Msr.encode
+              [ Msr.No_exit; Msr.Exit_instruction; Msr.Privileged_in_native;
+                Msr.Hardware_fault 7; Msr.Invalid_region_descriptor; Msr.Syscall_trap 2;
+                Msr.Bounds_violation { addr = 0; access = Msr.Read; cause = Msr.Out_of_bounds } ]
+          in
+          expect (List.length (List.sort_uniq compare codes) = List.length codes)
+            "MSR encodings collide");
+    };
+  ]
+
+let run_all () = List.map (fun c -> (c.name, c.section, c.run ())) all
+
+let failures () =
+  List.filter_map
+    (fun c -> match c.run () with Ok () -> None | Error m -> Some (c.name, m))
+    all

@@ -1,0 +1,20 @@
+(** Executable conformance checks for the HFI interface of appendix A.1
+    (Figure 6) — the model's analogue of the paper's §5.3 unit-test
+    collection on the gem5 implementation. Each check exercises one
+    specified behaviour of the extension and reports pass/fail with the
+    paper section it comes from. The CLI's [conformance] subcommand and
+    the test suite both run them. *)
+
+type check = {
+  name : string;
+  section : string;  (** paper reference, e.g. "3.2" *)
+  run : unit -> (unit, string) result;
+}
+
+val all : check list
+
+val run_all : unit -> (string * string * (unit, string) result) list
+(** [(name, section, outcome)] for every check. *)
+
+val failures : unit -> (string * string) list
+(** Names and messages of failing checks; empty on a conformant model. *)

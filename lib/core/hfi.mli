@@ -1,0 +1,131 @@
+(** Architectural state and instruction semantics of the HFI extension —
+    the per-core registers of §3.1 and the behaviours of §3.3/§4.4/§4.5.
+
+    One [t] models one core's HFI state: ten region registers (doubled
+    into an inactive bank for the switch-on-exit extension), the sandbox
+    configuration register, the exit-handler register, and the
+    exit-reason MSR. The execution engines (fast executor and cycle
+    pipeline) call [exec_*] for the HFI instructions and [check_*] for
+    every memory access and instruction fetch while HFI is enabled.
+
+    Cycle costs are charged by the engines, not here; this module exposes
+    event counters ({!stats}) the engines translate into time. *)
+
+type t
+
+type bank = Active | Inactive
+
+(** Outcome of executing an HFI instruction. *)
+type effect_ =
+  | Continue  (** fall through to the next instruction *)
+  | Jump of int  (** transfer to the given code address (exit handler) *)
+  | Trap of Msr.t
+      (** hardware trap: HFI is disabled, the cause is in the MSR, and the
+          OS delivers a signal to the enclosing runtime *)
+
+type stats = {
+  mutable enters : int;
+  mutable exits : int;
+  mutable syscall_traps : int;
+  mutable violations : int;
+  mutable region_updates : int;
+  mutable drains : int;  (** serialization events requested of the pipeline *)
+}
+
+val create : unit -> t
+
+(** {1 State inspection} *)
+
+val enabled : t -> bool
+val current_spec : t -> Hfi_iface.sandbox_spec option
+val exit_reason : t -> Msr.t
+val region : t -> ?bank:bank -> int -> Hfi_iface.region option
+val stats : t -> stats
+
+val in_native_sandbox : t -> bool
+(** Enabled with a native (untrusted-code) configuration — the state in
+    which HFI instructions and syscalls are locked/interposed. *)
+
+(** {1 Instruction semantics} *)
+
+val exec_enter : t -> Hfi_iface.sandbox_spec -> effect_
+(** [hfi_enter]. With [switch_on_exit]: saves the current (runtime) bank
+    and spec, and swaps in the inactive bank prepared for the child
+    (§4.5). Trapped if executed inside a native sandbox. *)
+
+val exec_exit : t -> effect_
+(** [hfi_exit]. In switch-on-exit mode, atomically restores the runtime
+    bank instead of disabling HFI. Jumps to the exit handler when the
+    entering spec provided one. *)
+
+val exec_reenter : t -> effect_
+(** [hfi_reenter]: re-enter the sandbox that was most recently exited
+    (e.g. after the runtime services a trapped syscall). *)
+
+val exec_set_region : t -> slot:int -> Hfi_iface.region -> effect_
+(** Slots 0–9 target the active bank; slots 10–19 target the inactive
+    bank (switch-on-exit preparation — the doubled metadata registers of
+    §4.5). Validates the descriptor per {!Region.validate}. Serializes
+    when executed inside a hybrid sandbox (§4.3). *)
+
+val exec_clear_region : t -> slot:int -> effect_
+val exec_clear_all : t -> effect_
+
+val exec_get_region : t -> slot:int -> (int, Msr.t) result
+(** Returns the region's base address (0 for an empty slot). *)
+
+(** {1 Access checks} *)
+
+val check_data_access :
+  t -> addr:int -> bytes:int -> [ `Read | `Write ] -> (unit, Msr.violation) result
+(** Implicit data-region check applied to every non-hmov load/store while
+    HFI is enabled; first matching region's permissions decide (§3.2).
+    Always [Ok] when HFI is disabled. *)
+
+val check_ifetch : t -> addr:int -> (unit, Msr.violation) result
+(** Implicit code-region check applied at decode (§4.1). *)
+
+val check_hmov :
+  t ->
+  region:int ->
+  index_value:int ->
+  scale:int ->
+  disp:int ->
+  bytes:int ->
+  write:bool ->
+  (int, Msr.violation) result
+(** [hmov{region}] bounds discipline (§4.2); on success returns the
+    effective address. Implicit regions are not consulted (§3.2). *)
+
+val record_violation : t -> Msr.violation -> effect_
+(** A failed check at commit: disable the sandbox (restoring the runtime
+    bank in switch-on-exit mode), set the MSR, deliver the trap. *)
+
+(** {1 Syscalls and faults} *)
+
+val on_syscall : t -> number:int -> [ `Allow | `Redirect of int | `Fault ]
+(** Decode-stage syscall interposition (§4.4): hybrid sandboxes (and
+    non-sandboxed code) proceed; native sandboxes exit to the handler
+    with the syscall number recorded in the MSR. [`Fault] if a native
+    sandbox has no exit handler. *)
+
+val on_hardware_fault : t -> addr:int -> unit
+(** Page fault or similar while sandboxed: disable HFI, record the cause
+    so the runtime's signal handler can disambiguate (§3.3.2). *)
+
+(** {1 OS support (§3.3.3)} *)
+
+type saved
+
+val xsave : t -> saved
+(** Snapshot the HFI registers, as xsave with the save-hfi-regs flag. *)
+
+val xrstor : t -> saved -> effect_
+(** Restore; traps ([Privileged_in_native]) if executed inside a native
+    sandbox, since it could break sandboxing. *)
+
+val kernel_xrstor : t -> saved -> unit
+(** The ring-0 restore path the OS uses on a process context switch
+    (§3.3.3). Unlike {!xrstor} — which models the *instruction* and traps
+    inside a native sandbox — the kernel's own save/restore is
+    unconditional. *)

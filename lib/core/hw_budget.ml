@@ -1,0 +1,39 @@
+(** Static hardware-cost accounting for the HFI extension (§4, "Additional
+    components"), plus the comparator ablation: what the §4.2 large/small
+    region constraints save relative to a naive arbitrary-bounds design. *)
+
+type component = { name : string; count : int; note : string }
+
+(** The component list the paper totals at the end of §4's goals. *)
+let components =
+  [
+    { name = "instructions"; count = 8; note = "hfi_enter/exit/reenter, set/get/clear(+all) region, hmov prefix" };
+    { name = "internal 64-bit registers"; count = 22; note = "10 regions x 2 + exit handler + config" };
+    {
+      name = "switch-on-exit registers";
+      count = 22;
+      note = "doubled metadata bank for the optional extension";
+    };
+    { name = "32-bit comparators"; count = 1; note = "bounded (explicit) region check" };
+    { name = "64-bit AND gates"; count = 4; note = "implicit-region masking" };
+    { name = "64-bit equality checks"; count = 4; note = "prefix compare for implicit regions" };
+    { name = "2-bit muxes"; count = 5; note = "region lookup, negative-offset checks, etc." };
+  ]
+
+let total_region_registers = 2 * Hfi_isa.Hfi_iface.region_count
+
+(** Comparator bits needed per explicit-region check under the HFI
+    discipline (single 32-bit compare plus sign/overflow bit checks). *)
+let hfi_comparator_bits = 32
+
+(** Bits a naive design would need: two full-VA-width comparisons (base
+    and bound) per access. *)
+let naive_comparator_bits = 2 * 48
+
+let comparator_savings_ratio =
+  float_of_int naive_comparator_bits /. float_of_int hfi_comparator_bits
+
+let pp_components ppf () =
+  List.iter
+    (fun c -> Format.fprintf ppf "  %-28s %3d  (%s)@." c.name c.count c.note)
+    components

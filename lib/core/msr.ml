@@ -1,0 +1,54 @@
+type access = Read | Write | Exec
+
+type violation_cause =
+  | No_matching_region
+  | Permission
+  | Region_not_configured
+  | Negative_offset
+  | Address_overflow
+  | Out_of_bounds
+
+type violation = { addr : int; access : access; cause : violation_cause }
+
+type t =
+  | No_exit
+  | Exit_instruction
+  | Syscall_trap of int
+  | Bounds_violation of violation
+  | Privileged_in_native
+  | Hardware_fault of int
+  | Invalid_region_descriptor
+
+let access_to_string = function Read -> "read" | Write -> "write" | Exec -> "exec"
+
+let cause_to_string = function
+  | No_matching_region -> "no-matching-region"
+  | Permission -> "permission"
+  | Region_not_configured -> "region-not-configured"
+  | Negative_offset -> "negative-offset"
+  | Address_overflow -> "address-overflow"
+  | Out_of_bounds -> "out-of-bounds"
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s at 0x%x (%s)" (cause_to_string v.cause) v.addr
+    (access_to_string v.access)
+
+let pp ppf = function
+  | No_exit -> Format.pp_print_string ppf "no-exit"
+  | Exit_instruction -> Format.pp_print_string ppf "hfi_exit"
+  | Syscall_trap n -> Format.fprintf ppf "syscall-trap(%d)" n
+  | Bounds_violation v -> Format.fprintf ppf "bounds-violation: %a" pp_violation v
+  | Privileged_in_native -> Format.pp_print_string ppf "privileged-in-native"
+  | Hardware_fault a -> Format.fprintf ppf "hardware-fault at 0x%x" a
+  | Invalid_region_descriptor -> Format.pp_print_string ppf "invalid-region-descriptor"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let encode = function
+  | No_exit -> 0
+  | Exit_instruction -> 1
+  | Bounds_violation _ -> 2
+  | Privileged_in_native -> 3
+  | Hardware_fault _ -> 4
+  | Invalid_region_descriptor -> 5
+  | Syscall_trap n -> 0x100 + n

@@ -1,0 +1,34 @@
+(** The model-specific register in which HFI records why a sandbox was
+    exited (§3.3.2). The runtime's exit handler and SIGSEGV handler read
+    it to disambiguate exits, trapped syscalls, and HFI bounds faults. *)
+
+type access = Read | Write | Exec
+
+type violation_cause =
+  | No_matching_region  (** no implicit region covers the address *)
+  | Permission  (** matched region lacks the required permission *)
+  | Region_not_configured  (** hmov names an empty explicit region slot *)
+  | Negative_offset  (** hmov with negative index or displacement *)
+  | Address_overflow  (** hmov effective-address computation overflowed *)
+  | Out_of_bounds  (** hmov offset beyond the region bound *)
+
+type violation = { addr : int; access : access; cause : violation_cause }
+
+type t =
+  | No_exit
+  | Exit_instruction  (** [hfi_exit] executed *)
+  | Syscall_trap of int  (** syscall number trapped in a native sandbox *)
+  | Bounds_violation of violation
+  | Privileged_in_native  (** locked HFI instruction or xrstor-with-HFI in a native sandbox *)
+  | Hardware_fault of int  (** ordinary page fault etc. at the given address *)
+  | Invalid_region_descriptor
+      (** [hfi_set_region] given a descriptor that fails validation *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val pp_violation : Format.formatter -> violation -> unit
+
+val encode : t -> int
+(** Integer encoding read by the [rdmsr] instruction: 0 no-exit, 1
+    hfi_exit, 2 bounds violation, 3 privileged-in-native, 4 hardware
+    fault, 5 invalid descriptor, [0x100 + n] for a trapped syscall [n]. *)

@@ -1,0 +1,92 @@
+let large_alignment = 1 lsl 16
+let large_max_bound = 1 lsl 48
+let small_max_bound = 1 lsl 32
+let four_gib = 1 lsl 32
+
+type error =
+  | Mask_not_contiguous
+  | Base_not_aligned
+  | Large_not_64k_aligned
+  | Bound_too_large
+  | Small_spans_4g_boundary
+  | Negative_field
+  | Wrong_kind_for_slot
+
+let error_to_string = function
+  | Mask_not_contiguous -> "lsb_mask is not of the form 2^k - 1"
+  | Base_not_aligned -> "base_prefix has bits inside the mask"
+  | Large_not_64k_aligned -> "large region base/bound not 64K-aligned"
+  | Bound_too_large -> "bound exceeds the maximum for the region size class"
+  | Small_spans_4g_boundary -> "small region spans a 4GiB-aligned boundary"
+  | Negative_field -> "negative base or bound"
+  | Wrong_kind_for_slot -> "region kind does not match the register slot"
+
+let is_low_mask m = m land (m + 1) = 0
+
+let validate_implicit ~base_prefix ~lsb_mask =
+  if base_prefix < 0 || lsb_mask < 0 then Error Negative_field
+  else if not (is_low_mask lsb_mask) then Error Mask_not_contiguous
+  else if base_prefix land lsb_mask <> 0 then Error Base_not_aligned
+  else Ok ()
+
+let validate_explicit (r : Hfi_iface.explicit_data_region) =
+  if r.base_address < 0 || r.bound < 0 then Error Negative_field
+  else if r.is_large_region then
+    if r.base_address land (large_alignment - 1) <> 0 || r.bound land (large_alignment - 1) <> 0
+    then Error Large_not_64k_aligned
+    else if r.bound > large_max_bound then Error Bound_too_large
+    else Ok ()
+  else if r.bound > small_max_bound then Error Bound_too_large
+  else if r.bound > 0 && r.base_address / four_gib <> (r.base_address + r.bound - 1) / four_gib
+  then Error Small_spans_4g_boundary
+  else Ok ()
+
+let validate ~slot region =
+  match (Hfi_iface.slot_kind slot, region) with
+  | `Code, Hfi_iface.Implicit_code r ->
+    validate_implicit ~base_prefix:r.base_prefix ~lsb_mask:r.lsb_mask
+  | `Implicit_data, Hfi_iface.Implicit_data r ->
+    validate_implicit ~base_prefix:r.base_prefix ~lsb_mask:r.lsb_mask
+  | `Explicit_data, Hfi_iface.Explicit_data r -> validate_explicit r
+  | _ -> Error Wrong_kind_for_slot
+
+let implicit_matches ~base_prefix ~lsb_mask addr = addr land lnot lsb_mask = base_prefix
+
+let implicit_data_allows (r : Hfi_iface.implicit_data_region) ~addr access =
+  if implicit_matches ~base_prefix:r.base_prefix ~lsb_mask:r.lsb_mask addr then
+    `Hit (match access with `Read -> r.permission_read | `Write -> r.permission_write)
+  else `Miss
+
+let implicit_code_allows (r : Hfi_iface.implicit_code_region) ~addr =
+  if implicit_matches ~base_prefix:r.base_prefix ~lsb_mask:r.lsb_mask addr then
+    `Hit r.permission_exec
+  else `Miss
+
+type hmov_check = { effective_address : int; comparator_bits : int }
+
+(* 2^61 stands in for 64-bit overflow: OCaml ints carry 63 bits (max is
+   2^62 - 1), and all legal modeled addresses stay below 2^48, so any
+   computation past 2^61 could only arise from an overflowing (hence
+   faulting) hmov. *)
+let overflow_limit = 1 lsl 61
+
+let hmov_access (r : Hfi_iface.explicit_data_region) ~index_value ~scale ~disp ~bytes ~write =
+  if index_value < 0 || disp < 0 then Error Msr.Negative_offset
+  else if index_value >= overflow_limit / scale then Error Msr.Address_overflow
+  else begin
+    let scaled = index_value * scale in
+    if scaled >= overflow_limit - disp then Error Msr.Address_overflow
+    else begin
+    let offset = scaled + disp in
+    if offset >= overflow_limit - r.base_address then Error Msr.Address_overflow
+    else if offset + bytes > r.bound then Error Msr.Out_of_bounds
+    else if (write && not r.permission_write) || ((not write) && not r.permission_read) then
+      Error Msr.Permission
+    else Ok { effective_address = r.base_address + offset; comparator_bits = 32 }
+    end
+  end
+
+let naive_comparator_bits (r : Hfi_iface.explicit_data_region) =
+  ignore r;
+  (* Base and bound each need a full virtual-address-width compare. *)
+  48 * 2

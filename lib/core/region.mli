@@ -1,0 +1,68 @@
+(** Region validation and matching — the heart of HFI's memory isolation
+    (§3.2, §4.1, §4.2).
+
+    Implicit regions are prefix-matched: power-of-two sized and aligned,
+    checked with an AND and an equality compare. Explicit regions are
+    (base, bound) pairs constrained so a single 32-bit comparator
+    suffices: large regions are 64 KiB-aligned with bounds up to 256 TiB;
+    small regions are byte-granular up to 4 GiB and must not span a
+    4 GiB-aligned boundary. *)
+
+val large_alignment : int
+(** 64 KiB. *)
+
+val large_max_bound : int
+(** 256 TiB = 2^48. *)
+
+val small_max_bound : int
+(** 4 GiB = 2^32. *)
+
+type error =
+  | Mask_not_contiguous  (** lsb_mask must be of the form 2^k - 1 *)
+  | Base_not_aligned  (** base_prefix overlaps the mask bits *)
+  | Large_not_64k_aligned
+  | Bound_too_large
+  | Small_spans_4g_boundary
+  | Negative_field
+  | Wrong_kind_for_slot  (** e.g. a data region in a code slot *)
+
+val error_to_string : error -> string
+
+val validate : slot:int -> Hfi_iface.region -> (unit, error) result
+(** Check that the region descriptor is well-formed and that its kind
+    matches the slot it is being loaded into; [hfi_set_region] refuses
+    invalid descriptors. *)
+
+val implicit_matches : base_prefix:int -> lsb_mask:int -> int -> bool
+(** Prefix check: [(addr land lnot lsb_mask) = base_prefix]. *)
+
+val implicit_data_allows :
+  Hfi_iface.implicit_data_region -> addr:int -> [ `Read | `Write ] -> [ `Hit of bool | `Miss ]
+(** [`Hit allowed] if the address falls in the region ([allowed] per its
+    permissions), [`Miss] if the prefix does not match. *)
+
+val implicit_code_allows : Hfi_iface.implicit_code_region -> addr:int -> [ `Hit of bool | `Miss ]
+
+type hmov_check = {
+  effective_address : int;  (** absolute address: region base + offset *)
+  comparator_bits : int;
+      (** width of the bound comparison the hardware performed — 32 for
+          both large and small regions thanks to the §4.2 constraints *)
+}
+
+val hmov_access :
+  Hfi_iface.explicit_data_region ->
+  index_value:int ->
+  scale:int ->
+  disp:int ->
+  bytes:int ->
+  write:bool ->
+  (hmov_check, Msr.violation_cause) result
+(** The [hmov] bounds discipline: the base operand is replaced by the
+    region base; the offset [index*scale + disp] must be non-negative
+    component-wise, must not overflow, and [offset + bytes] must stay
+    within the bound; the required permission must be granted. *)
+
+val naive_comparator_bits : Hfi_iface.explicit_data_region -> int
+(** Comparator width a naive (unconstrained base/bound) design would
+    need — 48+ bits, twice; used by the hardware-cost ablation. *)

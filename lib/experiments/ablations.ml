@@ -1,0 +1,249 @@
+(** Ablations for the design choices DESIGN.md calls out:
+
+    - switch-on-exit (§3.4/§4.5) vs serializing every sandbox
+      entry/exit — the drain cost the doubled metadata registers buy
+      back;
+    - the §4.2 claim that region checks run in parallel with the dTLB
+      lookup — re-timed with the checks placed after translation;
+    - the comparator budget: HFI's constrained regions vs naive 64-bit
+      base/bound comparisons (§4.2), plus the hmov encoding footprint
+      (the 445.gobmk effect). *)
+
+let code_region : Hfi_iface.region =
+  Hfi_iface.Implicit_code
+    { base_prefix = 0x40_0000; lsb_mask = 0x1f_ffff; permission_exec = true }
+
+let stack_region : Hfi_iface.region =
+  Hfi_iface.Implicit_data
+    { base_prefix = 0x1000_0000; lsb_mask = 0xf_ffff; permission_read = true; permission_write = true }
+
+let transition_program ~iterations ~use_soe =
+  let b = Program.Asm.create () in
+  let open Instr in
+  let e = Program.Asm.emit b in
+  e (Hfi_set_region (0, code_region));
+  e (Hfi_set_region (2, stack_region));
+  if use_soe then begin
+    (* Prepare the child's bank (slots +10) and put the runtime itself in
+       a serialized hybrid sandbox — the switch-on-exit protocol. *)
+    e (Hfi_set_region (10, code_region));
+    e (Hfi_set_region (12, stack_region));
+    e (Hfi_enter { Hfi_iface.default_hybrid_spec with is_serialized = true })
+  end;
+  e (Mov (Reg.RCX, Imm 0));
+  Program.Asm.label b "loop";
+  (if use_soe then
+     e
+       (Hfi_enter
+          { Hfi_iface.is_hybrid = true; is_serialized = false; switch_on_exit = true; exit_handler = None })
+   else e (Hfi_enter { Hfi_iface.default_hybrid_spec with is_serialized = true }));
+  for k = 0 to 19 do
+    e (Alu ((if k mod 2 = 0 then Add else Xor), Reg.RAX, Imm (k + 1)))
+  done;
+  e Hfi_exit;
+  e (Alu (Add, Reg.RCX, Imm 1));
+  e (Cmp (Reg.RCX, Imm iterations));
+  Program.Asm.jcc b Lt "loop";
+  if use_soe then e Hfi_exit;
+  e Halt;
+  Program.Asm.assemble b
+
+let run_transition_loop ~iterations ~use_soe =
+  let mem = Addr_space.create () in
+  let kernel = Kernel.create mem in
+  let hfi = Hfi.create () in
+  Addr_space.mmap mem ~addr:0x40_0000 ~len:0x20_0000 Perm.rx;
+  Addr_space.mmap mem ~addr:0x1000_0000 ~len:0x10_0000 Perm.rw;
+  let m =
+    Machine.create ~prog:(transition_program ~iterations ~use_soe) ~code_base:0x40_0000 ~mem
+      ~kernel ~hfi ~entry:0 ()
+  in
+  Machine.set_reg m Reg.RSP (0x1000_0000 + 0xff000);
+  let e = Cycle_engine.create m in
+  (match Cycle_engine.run e with
+  | Machine.Halted -> ()
+  | Machine.Faulted r -> failwith ("soe ablation faulted: " ^ Msr.to_string r)
+  | Machine.Running -> failwith "soe ablation did not halt");
+  (Cycle_engine.cycles e, (Cycle_engine.result e).Cycle_engine.drains)
+
+let run_switch_on_exit ?(quick = false) () =
+  let iterations = if quick then 500 else 10_000 in
+  let ser_cycles, ser_drains = run_transition_loop ~iterations ~use_soe:false in
+  let soe_cycles, soe_drains = run_transition_loop ~iterations ~use_soe:true in
+  let per x = x /. float_of_int iterations in
+  let table =
+    Hfi_util.Table.render
+      ~header:[ "entry/exit protocol"; "cycles per transition pair"; "drains" ]
+      [
+        [ "serialized enter+exit"; Printf.sprintf "%.1f" (per ser_cycles); string_of_int ser_drains ];
+        [ "switch-on-exit"; Printf.sprintf "%.1f" (per soe_cycles); string_of_int soe_drains ];
+      ]
+  in
+  {
+    Report.id = "ablate-soe";
+    title = "switch-on-exit vs serialized transitions";
+    paper_claim =
+      "serialization costs ~30-60 cycles per enter/exit; switch-on-exit removes it for sandbox \
+       collections while preserving Spectre safety (§3.4)";
+    table;
+    verdict =
+      Printf.sprintf "switch-on-exit saves %.1f cycles per transition pair (%d vs %d drains)"
+        (per ser_cycles -. per soe_cycles) ser_drains soe_drains;
+  }
+
+let run_parallel_checks ?quick () =
+  let w = Hfi_workloads.Sightglass.find "xchacha20" in
+  ignore quick;
+  let run config =
+    let inst = Hfi_wasm.Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi w in
+    (Hfi_wasm.Instance.run_cycle ~config inst).Cycle_engine.cycles
+  in
+  let parallel = run Cycle_engine.skylake in
+  let serial = run { Cycle_engine.skylake with hfi_checks_in_parallel = false } in
+  let table =
+    Hfi_util.Table.render
+      ~header:[ "check placement"; "cycles (xchacha20)"; "normalized" ]
+      [
+        [ "parallel with dTLB (HFI, SS4.2)"; Hfi_util.Units.pp_cycles parallel; "100.0%" ];
+        [ "after translation (ablation)"; Hfi_util.Units.pp_cycles serial;
+          Printf.sprintf "%.1f%%" (serial /. parallel *. 100.0) ];
+      ]
+  in
+  {
+    Report.id = "ablate-parallel";
+    title = "region checks in parallel with the dTLB lookup";
+    paper_claim = "memory isolation with HFI imposes no overhead: checks execute in parallel with TLB lookups";
+    table;
+    verdict =
+      Printf.sprintf "serializing the checks after translation costs %.1f%%"
+        ((serial /. parallel -. 1.0) *. 100.0);
+  }
+
+let run_comparator ?quick:_ () =
+  let gobmk = Hfi_workloads.Spec.find "445.gobmk" in
+  let size s =
+    Program.byte_size
+      (Hfi_wasm.Instance.build_program ~strategy:s (Hfi_workloads.Spec.workload gobmk))
+  in
+  let guard = size Hfi_sfi.Strategy.Guard_pages in
+  let hfi = size Hfi_sfi.Strategy.Hfi in
+  let table =
+    Hfi_util.Table.render
+      ~header:[ "quantity"; "HFI design"; "naive design" ]
+      [
+        [ "explicit-region comparator bits"; string_of_int Hw_budget.hfi_comparator_bits;
+          string_of_int Hw_budget.naive_comparator_bits ];
+        [ "region registers (incl. switch-on-exit)"; string_of_int (2 * Hw_budget.total_region_registers); "-" ];
+        [ "445.gobmk code bytes (hmov prefix cost)"; Hfi_util.Units.pp_bytes hfi;
+          Printf.sprintf "%s (guard pages)" (Hfi_util.Units.pp_bytes guard) ];
+      ]
+  in
+  {
+    Report.id = "ablate-comparator";
+    title = "hardware budget: constrained regions vs naive bounds";
+    paper_claim =
+      "large/small region constraints allow a single 32-bit comparator instead of multiple 64-bit \
+       comparators (SS4.2); hmov's longer encodings pressure the i-cache on 445.gobmk";
+    table;
+    verdict =
+      Printf.sprintf "%.1fx fewer comparator bits; gobmk code grows %.1f%% under hmov"
+        Hw_budget.comparator_savings_ratio
+        ((float_of_int hfi /. float_of_int guard -. 1.0) *. 100.0);
+  }
+
+let run_transitions ?(quick = false) () =
+  let iterations = if quick then 300 else 2000 in
+  let spring = Hfi_runtime.Transitions.measure ~iterations Hfi_runtime.Transitions.Springboard in
+  let zero = Hfi_runtime.Transitions.measure ~iterations Hfi_runtime.Transitions.Zero_cost in
+  let table =
+    Hfi_util.Table.render
+      ~header:[ "transition mechanism"; "cycles per enter/exit pair" ]
+      [
+        [ "springboard + trampoline (native code)"; Printf.sprintf "%.1f" spring ];
+        [ "zero-cost (trusted Wasm compiler)"; Printf.sprintf "%.1f" zero ];
+      ]
+  in
+  {
+    Report.id = "ablate-transitions";
+    title = "software-chosen transition mechanisms (SS3.3.1)";
+    paper_claim =
+      "HFI leaves context save/restore to software: native code pays springboards (clear \
+       registers + stack switch) while Wasm can use zero-cost transitions on the order of a \
+       function call";
+    table;
+    verdict =
+      Printf.sprintf "springboard %.1f cycles vs zero-cost %.1f cycles per pair" spring zero;
+  }
+
+let run_multi_memory ?quick:_ () =
+  let mk strategy count =
+    let mem = Addr_space.create () in
+    let kernel = Kernel.create mem in
+    let mm =
+      Hfi_wasm.Multi_memory.create ~strategy ~kernel ~count ~bytes_each:(16 * 65536) ()
+    in
+    Hfi_wasm.Multi_memory.footprint mm
+  in
+  let rows =
+    List.map
+      (fun count ->
+        [
+          string_of_int count;
+          Hfi_util.Units.pp_bytes (mk Hfi_sfi.Strategy.Guard_pages count);
+          Hfi_util.Units.pp_bytes (mk Hfi_sfi.Strategy.Hfi count);
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  let table =
+    Hfi_util.Table.render ~header:[ "memories"; "guard pages"; "HFI (guards elided)" ] rows
+  in
+  let guard8 = mk Hfi_sfi.Strategy.Guard_pages 8 and hfi8 = mk Hfi_sfi.Strategy.Hfi 8 in
+  {
+    Report.id = "multi-memory";
+    title = "multi-memory instance footprint (SS2)";
+    paper_claim =
+      "multiple memories per instance increase the footprint by another 8 GiB per memory under \
+       guard pages; HFI memories pack at their real size, multiplexed over the explicit regions";
+    table;
+    verdict =
+      Printf.sprintf "8 memories: %s under guard pages vs %s under HFI (%.0fx)"
+        (Hfi_util.Units.pp_bytes guard8) (Hfi_util.Units.pp_bytes hfi8)
+        (float_of_int guard8 /. float_of_int hfi8);
+  }
+
+
+(* §2: FaaS function chaining in one address space vs across processes.
+   The in-process hop is measured on the cycle engine (call + serialized
+   HFI transition pair); the IPC hop is two process context switches plus
+   a pipe-style kernel round trip. *)
+let run_chaining ?(quick = false) () =
+  let iterations = if quick then 300 else 2000 in
+  let in_process =
+    Hfi_runtime.Transitions.measure ~iterations Hfi_runtime.Transitions.Zero_cost
+  in
+  let ipc =
+    float_of_int
+      ((2 * Cost.process_context_switch)
+      + (2 * Cost.syscall_ring_transition)
+      + Cost.syscall_read_base + Cost.syscall_write_base)
+  in
+  let table =
+    Hfi_util.Table.render
+      ~header:[ "function-chaining hop"; "cycles"; "relative" ]
+      [
+        [ "same address space (HFI sandboxes)"; Printf.sprintf "%.0f" in_process; "1x" ];
+        [ "across processes (IPC)"; Printf.sprintf "%.0f" ipc;
+          Printf.sprintf "%.0fx" (ipc /. in_process) ];
+      ]
+  in
+  {
+    Report.id = "chaining";
+    title = "function chaining: in-process vs IPC (SS2)";
+    paper_claim =
+      "in a single address space, function-to-function communication is as fast as a function \
+       call; across process boundaries it is easily 100x+ slower";
+    table;
+    verdict =
+      Printf.sprintf "in-process hop %.0f cycles vs IPC hop %.0f cycles (%.0fx)" in_process ipc
+        (ipc /. in_process);
+  }

@@ -1,0 +1,66 @@
+(** Fig. 2: cross-validation of the compiler-based emulation against
+    simulated HFI on the Sightglass suite, both on the cycle engine. The
+    paper reports emulation cycle counts between 98% and 108% of the
+    simulation, geometric-mean difference 1.62%. *)
+
+module Sightglass = Hfi_workloads.Sightglass
+module Instance = Hfi_wasm.Instance
+module Stats = Hfi_util.Stats
+
+type row = { kernel : string; hfi_cycles : float; emulated_cycles : float; ratio : float }
+
+let measure ?(quick = false) () =
+  let kernels =
+    if quick then
+      List.filter (fun (n, _) -> List.mem n [ "fib2"; "sieve"; "ctype"; "random" ]) Sightglass.all
+    else Sightglass.all
+  in
+  List.map
+    (fun (kernel, w) ->
+      let native = Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi w in
+      let rn = Instance.run_cycle native in
+      (match rn.Cycle_engine.status with
+      | Machine.Halted -> ()
+      | _ -> failwith (kernel ^ ": native HFI run failed"));
+      let emu = Instance.instantiate_emulated w in
+      let re = Instance.run_cycle emu in
+      (match re.Cycle_engine.status with
+      | Machine.Halted -> ()
+      | _ -> failwith (kernel ^ ": emulated run failed"));
+      {
+        kernel;
+        hfi_cycles = rn.Cycle_engine.cycles;
+        emulated_cycles = re.Cycle_engine.cycles;
+        ratio = re.Cycle_engine.cycles /. rn.Cycle_engine.cycles;
+      })
+    kernels
+
+let run ?quick () =
+  let rows = measure ?quick () in
+  let table =
+    Hfi_util.Table.render
+      ~header:[ "kernel"; "HFI (cycles)"; "emulation (cycles)"; "emu/HFI" ]
+      (List.map
+         (fun r ->
+           [
+             r.kernel;
+             Hfi_util.Units.pp_cycles r.hfi_cycles;
+             Hfi_util.Units.pp_cycles r.emulated_cycles;
+             Printf.sprintf "%.1f%%" (r.ratio *. 100.0);
+           ])
+         rows)
+  in
+  let ratios = List.map (fun r -> r.ratio) rows in
+  let lo, hi = Stats.min_max ratios in
+  let geodiff =
+    Stats.geomean (List.map (fun r -> if r > 1.0 then r else 1.0 /. r) ratios) -. 1.0
+  in
+  {
+    Report.id = "fig2";
+    title = "emulation accuracy vs simulated HFI (Sightglass, cycle engine)";
+    paper_claim = "emulation within 98%-108% of simulation; geomean difference 1.62%";
+    table;
+    verdict =
+      Printf.sprintf "emulation within %.0f%%-%.0f%% of simulation; geomean difference %.2f%%"
+        (lo *. 100.0) (hi *. 100.0) (geodiff *. 100.0);
+  }

@@ -1,0 +1,69 @@
+(** Fig. 3: SPEC INT 2006 normalized against guard pages, on the cycle
+    engine. The paper: bounds-checking costs 18.74%–48.34% (median
+    34.67%, geomean 34.7%); HFI runs at 92.51%–107.45% of guard pages
+    (median 95.88%, geomean 96.85%). *)
+
+module Spec = Hfi_workloads.Spec
+module Instance = Hfi_wasm.Instance
+module Stats = Hfi_util.Stats
+
+type row = { bench : string; guard : float; bounds : float; hfi : float }
+
+let run_one strategy p ~iters_divisor =
+  let p = { p with Spec.iters = Stdlib.max 4 (p.Spec.iters / iters_divisor) } in
+  let inst = Instance.instantiate ~strategy (Spec.workload p) in
+  let r = Instance.run_cycle inst in
+  (match r.Cycle_engine.status with
+  | Machine.Halted -> ()
+  | _ -> failwith (p.Spec.name ^ " did not halt"));
+  r.Cycle_engine.cycles
+
+let measure ?(quick = false) () =
+  let iters_divisor = if quick then 8 else 1 in
+  let profiles =
+    if quick then List.filteri (fun k _ -> k < 3) Spec.profiles else Spec.profiles
+  in
+  List.map
+    (fun p ->
+      {
+        bench = p.Spec.name;
+        guard = run_one Hfi_sfi.Strategy.Guard_pages p ~iters_divisor;
+        bounds = run_one Hfi_sfi.Strategy.Bounds_checks p ~iters_divisor;
+        hfi = run_one Hfi_sfi.Strategy.Hfi p ~iters_divisor;
+      })
+    profiles
+
+let run ?quick () =
+  let rows = measure ?quick () in
+  let table =
+    Hfi_util.Table.render
+      ~header:[ "benchmark"; "guard pages"; "bounds-checks"; "HFI" ]
+      (List.map
+         (fun r ->
+           [
+             r.bench;
+             "100.0%";
+             Printf.sprintf "%.1f%%" (r.bounds /. r.guard *. 100.0);
+             Printf.sprintf "%.1f%%" (r.hfi /. r.guard *. 100.0);
+           ])
+         rows)
+  in
+  let bounds_ratios = List.map (fun r -> r.bounds /. r.guard) rows in
+  let hfi_ratios = List.map (fun r -> r.hfi /. r.guard) rows in
+  let blo, bhi = Stats.min_max bounds_ratios in
+  let hlo, hhi = Stats.min_max hfi_ratios in
+  {
+    Report.id = "fig3";
+    title = "SPEC INT 2006 normalized to guard pages (cycle engine)";
+    paper_claim =
+      "bounds-checking +18.74%..+48.34% (geomean +34.7%); HFI 92.51%..107.45% of guard pages \
+       (geomean 96.85%, a 3.25% speedup)";
+    table;
+    verdict =
+      Printf.sprintf
+        "bounds-checking +%.1f%%..+%.1f%% (geomean +%.1f%%); HFI %.1f%%..%.1f%% (geomean %.1f%%)"
+        (Report.pct blo) (Report.pct bhi)
+        (Report.pct (Stats.geomean bounds_ratios))
+        (hlo *. 100.0) (hhi *. 100.0)
+        (Stats.geomean hfi_ratios *. 100.0);
+  }

@@ -1,0 +1,53 @@
+(** Fig. 7 + §5.3: the Spectre security evaluation. The SafeSide-style
+    PHT PoC runs on the speculative pipeline; without HFI the probe shows
+    one low-latency line at the first secret byte ('I'); with HFI region
+    protection no access latency drops below the threshold. The
+    TransientFail-style BTB attack is checked the same way. *)
+
+module Attack = Hfi_spectre.Attack
+
+let ascii_plot (r : Attack.probe_result) ~secret_byte =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "  byte value vs access latency (. = miss-latency, # = cached):\n  ";
+  Array.iteri
+    (fun g lat ->
+      if g mod 64 = 0 && g > 0 then Buffer.add_string buf "\n  ";
+      Buffer.add_char buf (if lat < r.Attack.hit_threshold then '#' else '.'))
+    r.Attack.latencies;
+  Buffer.add_char buf '\n';
+  (match r.Attack.leaked_byte with
+  | Some b ->
+    Buffer.add_string buf
+      (Printf.sprintf "  -> cached probe line at byte %d (%C)%s\n" b (Char.chr b)
+         (if b = secret_byte then " — the secret leaked" else ""))
+  | None -> Buffer.add_string buf "  -> no probe line below the hit threshold\n");
+  Buffer.contents buf
+
+let run_kind kind =
+  let o = Attack.run kind in
+  let secret_byte = Char.code o.Attack.secret_char in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%s, without HFI:\n" (Attack.kind_name kind));
+  Buffer.add_string buf (ascii_plot o.Attack.unprotected ~secret_byte);
+  Buffer.add_string buf (Printf.sprintf "%s, with HFI regions protecting the secret:\n" (Attack.kind_name kind));
+  Buffer.add_string buf (ascii_plot o.Attack.protected_ ~secret_byte);
+  ( Attack.attack_succeeded o.Attack.unprotected ~expected:o.Attack.secret_char,
+    o.Attack.protected_.Attack.leaked_byte = None,
+    Buffer.contents buf )
+
+let run ?quick:_ () =
+  let pht_leaks, pht_blocked, pht_plot = run_kind Attack.Pht in
+  let btb_leaks, btb_blocked, btb_plot = run_kind Attack.Btb in
+  let exit_leaks, exit_blocked, _ = run_kind Attack.Exit_bypass in
+  {
+    Report.id = "fig7";
+    title = "Spectre-PHT and Spectre-BTB probe latencies";
+    paper_claim =
+      "without HFI, a clear low-latency signal at the first secret byte ('I'); with HFI, no \
+       latency below the attack threshold (both PHT and BTB mitigated)";
+    table = pht_plot ^ btb_plot;
+    verdict =
+      Printf.sprintf
+        "PHT: leak without HFI %b, blocked with HFI %b; BTB: leak %b, blocked %b; transient unserialized hfi_exit: leak %b, blocked by serialization %b"
+        pht_leaks pht_blocked btb_leaks btb_blocked exit_leaks exit_blocked;
+  }

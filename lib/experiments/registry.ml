@@ -1,0 +1,33 @@
+(** All experiments, keyed by the bench-target ids of DESIGN.md. *)
+
+type entry = {
+  id : string;
+  description : string;
+  run : ?quick:bool -> unit -> Report.t;
+}
+
+let all : entry list =
+  [
+    { id = "fig2"; description = "Sightglass emulation cross-validation (Fig. 2)"; run = Fig2_validation.run };
+    { id = "fig3"; description = "SPEC 2006 vs guard pages (Fig. 3)"; run = Fig3_spec.run };
+    { id = "heap-growth"; description = "Wasm heap growth, mprotect vs hfi_set_region (SS6.1)"; run = Heap_growth.run };
+    { id = "reg-pressure"; description = "reserved-register overhead (SS6.1)"; run = Register_pressure.run };
+    { id = "font"; description = "Firefox font rendering (SS6.2)"; run = Fig4_image.run_font };
+    { id = "fig4"; description = "Firefox image rendering (Fig. 4)"; run = Fig4_image.run };
+    { id = "teardown"; description = "FaaS sandbox teardown batching (SS6.3.1)"; run = Faas_lifecycle.run_teardown };
+    { id = "scaling"; description = "sandbox-count scalability (SS6.3.2)"; run = Faas_lifecycle.run_scaling };
+    { id = "syscalls"; description = "syscall interposition vs seccomp-bpf (SS6.4.1)"; run = Syscall_interposition.run };
+    { id = "fig5"; description = "NGINX/OpenSSL native sandboxing (Fig. 5)"; run = Fig5_nginx.run };
+    { id = "table1"; description = "Spectre protection on FaaS tail latency (Table 1)"; run = Table1_faas.run };
+    { id = "fig7"; description = "Spectre-PHT/BTB probe latencies (Fig. 7, SS5.3)"; run = Fig7_spectre.run };
+    { id = "ablate-soe"; description = "ablation: switch-on-exit vs serialized transitions"; run = Ablations.run_switch_on_exit };
+    { id = "ablate-parallel"; description = "ablation: region checks in parallel with the dTLB"; run = Ablations.run_parallel_checks };
+    { id = "ablate-comparator"; description = "ablation: comparator budget and hmov encoding"; run = Ablations.run_comparator };
+    { id = "ablate-transitions"; description = "ablation: springboard vs zero-cost transitions (SS3.3.1)"; run = Ablations.run_transitions };
+    { id = "multi-memory"; description = "multi-memory instance footprint (SS2)"; run = Ablations.run_multi_memory };
+    { id = "chaining"; description = "function chaining in-process vs IPC (SS2)"; run = Ablations.run_chaining };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,24 @@
+(** Shared experiment-report plumbing: each experiment produces a titled
+    report with paper-vs-measured rows; the benchmark harness prints
+    them, and EXPERIMENTS.md records them. *)
+
+type t = {
+  id : string;  (** e.g. "fig3" *)
+  title : string;
+  paper_claim : string;  (** the sentence from the paper being reproduced *)
+  table : string;  (** rendered result rows *)
+  verdict : string;  (** measured summary vs the claim *)
+}
+
+let render r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "== %s: %s ==\n" r.id r.title);
+  Buffer.add_string buf (Printf.sprintf "paper: %s\n" r.paper_claim);
+  Buffer.add_string buf r.table;
+  if r.table <> "" && r.table.[String.length r.table - 1] <> '\n' then Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "measured: %s\n" r.verdict);
+  Buffer.contents buf
+
+let print r = print_string (render r)
+
+let pct r = (r -. 1.0) *. 100.0

@@ -1,0 +1,283 @@
+type width = W1 | W2 | W4 | W8
+
+let width_bytes = function W1 -> 1 | W2 -> 2 | W4 -> 4 | W8 -> 8
+
+type mem = { base : Reg.t option; index : Reg.t option; scale : int; disp : int }
+
+let mem ?base ?index ?(scale = 1) ?(disp = 0) () =
+  if scale <> 1 && scale <> 2 && scale <> 4 && scale <> 8 then
+    invalid_arg "Instr.mem: scale must be 1, 2, 4 or 8";
+  { base; index; scale; disp }
+
+let mem_reg r = { base = Some r; index = None; scale = 1; disp = 0 }
+
+type src = Imm of int | Reg of Reg.t
+
+type alu_op = Add | Sub | And | Or | Xor | Shl | Shr | Sar | Mul | Div
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge | Ult | Ule | Ugt | Uge
+
+let negate_cond = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+  | Ult -> Uge
+  | Ule -> Ugt
+  | Ugt -> Ule
+  | Uge -> Ult
+
+(* Unsigned comparison on OCaml ints: flip the sign bit ordering. *)
+let ucompare a b =
+  let flip x = x lxor min_int in
+  compare (flip a) (flip b)
+
+let eval_cond c a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | Ult -> ucompare a b < 0
+  | Ule -> ucompare a b <= 0
+  | Ugt -> ucompare a b > 0
+  | Uge -> ucompare a b >= 0
+
+type t =
+  | Mov of Reg.t * src
+  | Load of width * Reg.t * mem
+  | Store of width * mem * src
+  | Hload of int * width * Reg.t * mem
+  | Hstore of int * width * mem * src
+  | Lea of Reg.t * mem
+  | Alu of alu_op * Reg.t * src
+  | Cmp of Reg.t * src
+  | Cmp_mem of Reg.t * mem
+  | Jmp of int
+  | Jcc of cond * int
+  | Jmp_ind of Reg.t
+  | Call of int
+  | Call_ind of Reg.t
+  | Ret
+  | Push of Reg.t
+  | Pop of Reg.t
+  | Syscall
+  | Hfi_enter of Hfi_iface.sandbox_spec
+  | Hfi_exit
+  | Hfi_reenter
+  | Hfi_set_region of int * Hfi_iface.region
+  | Hfi_clear_region of int
+  | Hfi_clear_all_regions
+  | Hfi_get_region of int * Reg.t
+  | Cpuid
+  | Rdtsc of Reg.t
+  | Rdmsr of Reg.t
+  | Clflush of mem
+  | Mfence
+  | Nop
+  | Halt
+
+(* Encoding-length model. Displacement contributes 0/1/4 bytes as in x86;
+   an index register adds a SIB byte. *)
+let mem_bytes m =
+  let disp_bytes =
+    if m.disp = 0 then 0 else if m.disp >= -128 && m.disp < 128 then 1 else 4
+  in
+  let sib = match m.index with Some _ -> 1 | None -> 0 in
+  disp_bytes + sib
+
+let src_bytes = function
+  | Imm i -> if i >= -128 && i < 128 then 1 else 4
+  | Reg _ -> 0
+
+let length = function
+  | Mov (_, s) -> 3 + src_bytes s
+  | Load (_, _, m) -> 3 + mem_bytes m
+  | Store (_, m, s) -> 3 + mem_bytes m + src_bytes s
+  | Hload (_, _, _, m) -> 5 + mem_bytes m
+  | Hstore (_, _, m, s) -> 5 + mem_bytes m + src_bytes s
+  | Lea (_, m) -> 3 + mem_bytes m
+  | Alu ((Mul | Div), _, _) -> 4
+  | Alu (_, _, s) -> 3 + src_bytes s
+  | Cmp (_, s) -> 3 + src_bytes s
+  | Cmp_mem (_, m) -> 4 + mem_bytes m
+  | Jmp _ -> 5
+  | Jcc _ -> 6
+  | Jmp_ind _ -> 3
+  | Call _ -> 5
+  | Call_ind _ -> 3
+  | Ret -> 1
+  | Push _ | Pop _ -> 2
+  | Syscall -> 2
+  | Hfi_enter _ -> 4
+  | Hfi_exit -> 4
+  | Hfi_reenter -> 4
+  | Hfi_set_region _ -> 5
+  | Hfi_clear_region _ -> 4
+  | Hfi_clear_all_regions -> 4
+  | Hfi_get_region _ -> 5
+  | Cpuid -> 2
+  | Rdtsc _ -> 2
+  | Rdmsr _ -> 3
+  | Clflush m -> 3 + mem_bytes m
+  | Mfence -> 3
+  | Nop -> 1
+  | Halt -> 1
+
+let is_mem_read = function
+  | Load _ | Hload _ | Pop _ | Ret | Cmp_mem _ -> true
+  | _ -> false
+
+let is_mem_write = function
+  | Store _ | Hstore _ | Push _ | Call _ | Call_ind _ -> true
+  | _ -> false
+
+let is_branch = function
+  | Jmp _ | Jcc _ | Jmp_ind _ | Call _ | Call_ind _ | Ret -> true
+  | _ -> false
+
+let is_serializing = function
+  | Cpuid | Mfence -> true
+  | Hfi_enter s -> s.Hfi_iface.is_serialized
+  | Hfi_exit | Hfi_reenter -> true
+  | Hfi_set_region _ | Hfi_clear_region _ | Hfi_clear_all_regions -> true
+  | _ -> false
+
+let mem_reads m =
+  let add acc = function Some r -> r :: acc | None -> acc in
+  add (add [] m.base) m.index
+
+let src_reads = function Imm _ -> [] | Reg r -> [ r ]
+
+let reads = function
+  | Mov (_, s) -> src_reads s
+  | Load (_, _, m) -> mem_reads m
+  | Store (_, m, s) -> mem_reads m @ src_reads s
+  | Hload (_, _, _, m) ->
+    (* The base operand is architecturally replaced by the region base, so
+       only the index contributes a register dependency (§4.2). *)
+    (match m.index with Some r -> [ r ] | None -> [])
+  | Hstore (_, _, m, s) ->
+    (match m.index with Some r -> r :: src_reads s | None -> src_reads s)
+  | Lea (_, m) -> mem_reads m
+  | Alu (_, d, s) -> d :: src_reads s
+  | Cmp (d, s) -> d :: src_reads s
+  | Cmp_mem (d, m) -> d :: mem_reads m
+  | Jmp _ | Jcc _ -> []
+  | Jmp_ind r | Call_ind r -> [ r ]
+  | Call _ -> [ Reg.RSP ]
+  | Ret -> [ Reg.RSP ]
+  | Push r -> [ r; Reg.RSP ]
+  | Pop _ -> [ Reg.RSP ]
+  | Syscall -> [ Reg.RAX; Reg.RDI; Reg.RSI; Reg.RDX ]
+  | Hfi_enter _ | Hfi_exit | Hfi_reenter -> []
+  | Hfi_set_region _ | Hfi_clear_region _ | Hfi_clear_all_regions -> []
+  | Hfi_get_region _ -> []
+  | Cpuid -> [ Reg.RAX ]
+  | Rdtsc _ | Rdmsr _ -> []
+  | Clflush m -> mem_reads m
+  | Mfence | Nop | Halt -> []
+
+let writes = function
+  | Mov (d, _) | Load (_, d, _) | Hload (_, _, d, _) | Lea (d, _) -> [ d ]
+  | Alu (_, d, _) -> [ d ]
+  | Store _ | Hstore _ | Cmp _ | Cmp_mem _ -> []
+  | Jmp _ | Jcc _ | Jmp_ind _ -> []
+  | Call _ | Call_ind _ -> [ Reg.RSP ]
+  | Ret -> [ Reg.RSP ]
+  | Push _ -> [ Reg.RSP ]
+  | Pop d -> [ d; Reg.RSP ]
+  | Syscall -> [ Reg.RAX ]
+  | Hfi_enter _ | Hfi_exit | Hfi_reenter -> []
+  | Hfi_set_region _ | Hfi_clear_region _ | Hfi_clear_all_regions -> []
+  | Hfi_get_region (_, d) -> [ d ]
+  | Cpuid -> [ Reg.RAX; Reg.RBX; Reg.RCX; Reg.RDX ]
+  | Rdtsc d | Rdmsr d -> [ d ]
+  | Clflush _ | Mfence | Nop | Halt -> []
+
+let pp_src ppf = function
+  | Imm i -> Format.fprintf ppf "$%d" i
+  | Reg r -> Format.pp_print_string ppf (Reg.to_string r)
+
+let pp_mem ppf m =
+  let base = match m.base with Some r -> Reg.to_string r | None -> "" in
+  let index =
+    match m.index with
+    | Some r -> Printf.sprintf "+%s*%d" (Reg.to_string r) m.scale
+    | None -> ""
+  in
+  Format.fprintf ppf "[%s%s%+d]" base index m.disp
+
+let pp_width ppf w = Format.fprintf ppf "%d" (8 * width_bytes w)
+
+let pp ppf = function
+  | Mov (d, s) -> Format.fprintf ppf "mov %s, %a" (Reg.to_string d) pp_src s
+  | Load (w, d, m) -> Format.fprintf ppf "load%a %s, %a" pp_width w (Reg.to_string d) pp_mem m
+  | Store (w, m, s) -> Format.fprintf ppf "store%a %a, %a" pp_width w pp_mem m pp_src s
+  | Hload (n, w, d, m) ->
+    Format.fprintf ppf "hmov%d.load%a %s, %a" n pp_width w (Reg.to_string d) pp_mem m
+  | Hstore (n, w, m, s) ->
+    Format.fprintf ppf "hmov%d.store%a %a, %a" n pp_width w pp_mem m pp_src s
+  | Lea (d, m) -> Format.fprintf ppf "lea %s, %a" (Reg.to_string d) pp_mem m
+  | Alu (op, d, s) ->
+    let name =
+      match op with
+      | Add -> "add"
+      | Sub -> "sub"
+      | And -> "and"
+      | Or -> "or"
+      | Xor -> "xor"
+      | Shl -> "shl"
+      | Shr -> "shr"
+      | Sar -> "sar"
+      | Mul -> "mul"
+      | Div -> "div"
+    in
+    Format.fprintf ppf "%s %s, %a" name (Reg.to_string d) pp_src s
+  | Cmp (d, s) -> Format.fprintf ppf "cmp %s, %a" (Reg.to_string d) pp_src s
+  | Cmp_mem (d, m) -> Format.fprintf ppf "cmp %s, %a" (Reg.to_string d) pp_mem m
+  | Jmp t -> Format.fprintf ppf "jmp @%d" t
+  | Jcc (c, t) ->
+    let name =
+      match c with
+      | Eq -> "je"
+      | Ne -> "jne"
+      | Lt -> "jl"
+      | Le -> "jle"
+      | Gt -> "jg"
+      | Ge -> "jge"
+      | Ult -> "jb"
+      | Ule -> "jbe"
+      | Ugt -> "ja"
+      | Uge -> "jae"
+    in
+    Format.fprintf ppf "%s @%d" name t
+  | Jmp_ind r -> Format.fprintf ppf "jmp *%s" (Reg.to_string r)
+  | Call t -> Format.fprintf ppf "call @%d" t
+  | Call_ind r -> Format.fprintf ppf "call *%s" (Reg.to_string r)
+  | Ret -> Format.pp_print_string ppf "ret"
+  | Push r -> Format.fprintf ppf "push %s" (Reg.to_string r)
+  | Pop r -> Format.fprintf ppf "pop %s" (Reg.to_string r)
+  | Syscall -> Format.pp_print_string ppf "syscall"
+  | Hfi_enter s ->
+    Format.fprintf ppf "hfi_enter hybrid=%b ser=%b soe=%b" s.Hfi_iface.is_hybrid
+      s.Hfi_iface.is_serialized s.Hfi_iface.switch_on_exit
+  | Hfi_exit -> Format.pp_print_string ppf "hfi_exit"
+  | Hfi_reenter -> Format.pp_print_string ppf "hfi_reenter"
+  | Hfi_set_region (n, r) -> Format.fprintf ppf "hfi_set_region %d, %a" n Hfi_iface.pp_region r
+  | Hfi_clear_region n -> Format.fprintf ppf "hfi_clear_region %d" n
+  | Hfi_clear_all_regions -> Format.pp_print_string ppf "hfi_clear_all_regions"
+  | Hfi_get_region (n, d) -> Format.fprintf ppf "hfi_get_region %d, %s" n (Reg.to_string d)
+  | Cpuid -> Format.pp_print_string ppf "cpuid"
+  | Rdtsc d -> Format.fprintf ppf "rdtsc %s" (Reg.to_string d)
+  | Rdmsr d -> Format.fprintf ppf "rdmsr %s" (Reg.to_string d)
+  | Clflush m -> Format.fprintf ppf "clflush %a" pp_mem m
+  | Mfence -> Format.pp_print_string ppf "mfence"
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let to_string i = Format.asprintf "%a" pp i

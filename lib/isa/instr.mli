@@ -1,0 +1,102 @@
+(** Instruction set of the modeled machine.
+
+    The set is a RISC-flavored slice of x86-64: enough addressing-mode and
+    encoding realism for HFI's microarchitectural claims (complex
+    scale/index/base/displacement effective addresses, variable encoding
+    lengths that pressure the i-cache, a serializing [cpuid], timing and
+    cache-flush instructions for the Spectre PoCs) without modeling the
+    full ISA. Branch targets are instruction indices within a program;
+    [Program] maps indices to byte addresses for code-region checks. *)
+
+type width = W1 | W2 | W4 | W8
+
+val width_bytes : width -> int
+
+(** Memory operand: [base + index*scale + disp], any component optional. *)
+type mem = {
+  base : Reg.t option;
+  index : Reg.t option;
+  scale : int;  (** 1, 2, 4 or 8 *)
+  disp : int;
+}
+
+val mem : ?base:Reg.t -> ?index:Reg.t -> ?scale:int -> ?disp:int -> unit -> mem
+val mem_reg : Reg.t -> mem
+(** [base = reg], no index, no displacement. *)
+
+type src = Imm of int | Reg of Reg.t
+
+type alu_op =
+  | Add
+  | Sub
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Sar
+  | Mul  (** 3-cycle latency in the modeled core *)
+  | Div  (** 20-cycle latency *)
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge | Ult | Ule | Ugt | Uge
+
+val negate_cond : cond -> cond
+val eval_cond : cond -> int -> int -> bool
+(** [eval_cond c a b] is the truth of [a c b] with signed/unsigned
+    semantics per the condition. *)
+
+type t =
+  | Mov of Reg.t * src
+  | Load of width * Reg.t * mem
+  | Store of width * mem * src
+  | Hload of int * width * Reg.t * mem
+      (** [hmov{n}] load: region number 0–3; the [base] operand of [mem] is
+          architecturally ignored and replaced by the region base (§3.2). *)
+  | Hstore of int * width * mem * src  (** [hmov{n}] store *)
+  | Lea of Reg.t * mem
+  | Alu of alu_op * Reg.t * src  (** [dst <- dst op src] *)
+  | Cmp of Reg.t * src
+  | Cmp_mem of Reg.t * mem  (** compare with a memory operand (folded load) *)
+  | Jmp of int
+  | Jcc of cond * int
+  | Jmp_ind of Reg.t  (** indirect jump (BTB-predicted) *)
+  | Call of int
+  | Call_ind of Reg.t
+  | Ret
+  | Push of Reg.t
+  | Pop of Reg.t
+  | Syscall
+  | Hfi_enter of Hfi_iface.sandbox_spec
+  | Hfi_exit
+  | Hfi_reenter
+  | Hfi_set_region of int * Hfi_iface.region
+  | Hfi_clear_region of int
+  | Hfi_clear_all_regions
+  | Hfi_get_region of int * Reg.t  (** writes the region base to the register *)
+  | Cpuid  (** serializing; used by the software emulation of enter/exit *)
+  | Rdtsc of Reg.t  (** cycle counter read, for Spectre timing probes *)
+  | Rdmsr of Reg.t  (** read the HFI exit-reason MSR, encoded as an int *)
+  | Clflush of mem  (** evict the line from the modeled d-cache *)
+  | Mfence
+  | Nop
+  | Halt  (** stop the simulation; result convention: RAX *)
+
+val length : t -> int
+(** Encoded length in bytes. [Hload]/[Hstore] pay a 2-byte prefix over the
+    plain [Load]/[Store] encoding, matching the longer [hmov] encodings
+    whose i-cache impact the paper observes on 445.gobmk. *)
+
+val is_mem_read : t -> bool
+val is_mem_write : t -> bool
+val is_branch : t -> bool
+val is_serializing : t -> bool
+(** True for [Cpuid], [Mfence], and the HFI instructions whose semantics
+    require a pipeline drain when serialization is requested. *)
+
+val reads : t -> Reg.t list
+(** Source registers (for rename/dependency tracking). *)
+
+val writes : t -> Reg.t list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

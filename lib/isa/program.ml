@@ -1,0 +1,103 @@
+type t = {
+  instrs : Instr.t array;
+  offsets : int array;  (* byte offset of each instruction *)
+  byte_size : int;
+}
+
+let of_instrs instrs =
+  let n = Array.length instrs in
+  let offsets = Array.make n 0 in
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    offsets.(i) <- !off;
+    off := !off + Instr.length instrs.(i)
+  done;
+  { instrs; offsets; byte_size = !off }
+
+let instrs t = t.instrs
+let length t = Array.length t.instrs
+let get t i = t.instrs.(i)
+let byte_offset t i = t.offsets.(i)
+let byte_size t = t.byte_size
+
+let index_of_byte t b =
+  (* Binary search for an instruction starting exactly at byte [b]. *)
+  let lo = ref 0 and hi = ref (Array.length t.offsets - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let o = t.offsets.(mid) in
+    if o = b then begin
+      found := Some mid;
+      lo := !hi + 1
+    end
+    else if o < b then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let static_stats t ~mem_ops ~branches =
+  Array.iter
+    (fun i ->
+      if Instr.is_mem_read i || Instr.is_mem_write i then incr mem_ops;
+      if Instr.is_branch i then incr branches)
+    t.instrs
+
+let pp ppf t =
+  Array.iteri (fun i ins -> Format.fprintf ppf "%4d: %a@." i Instr.pp ins) t.instrs
+
+module Asm = struct
+  type item =
+    | Fixed of Instr.t
+    | Jmp_to of string
+    | Jcc_to of Instr.cond * string
+    | Call_to of string
+
+  type builder = {
+    mutable items : item list;  (* reversed *)
+    mutable count : int;
+    labels : (string, int) Hashtbl.t;
+    mutable fresh : int;
+  }
+
+  let create () = { items = []; count = 0; labels = Hashtbl.create 16; fresh = 0 }
+
+  let label b name =
+    if Hashtbl.mem b.labels name then
+      invalid_arg (Printf.sprintf "Asm.label: duplicate label %S" name);
+    Hashtbl.replace b.labels name b.count
+
+  let fresh_label b prefix =
+    b.fresh <- b.fresh + 1;
+    Printf.sprintf "%s__%d" prefix b.fresh
+
+  let push b item =
+    b.items <- item :: b.items;
+    b.count <- b.count + 1
+
+  let emit b i = push b (Fixed i)
+  let jmp b name = push b (Jmp_to name)
+  let jcc b c name = push b (Jcc_to (c, name))
+  let call b name = push b (Call_to name)
+  let here b = b.count
+
+  let resolve b name =
+    match Hashtbl.find_opt b.labels name with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Asm.assemble: undefined label %S" name)
+
+  let assemble b =
+    let items = List.rev b.items in
+    let instrs =
+      List.map
+        (function
+          | Fixed i -> i
+          | Jmp_to name -> Instr.Jmp (resolve b name)
+          | Jcc_to (c, name) -> Instr.Jcc (c, resolve b name)
+          | Call_to name -> Instr.Call (resolve b name))
+        items
+    in
+    of_instrs (Array.of_list instrs)
+
+  let label_index _t b name = resolve b name
+end

@@ -1,0 +1,37 @@
+(** General-purpose registers of the modeled x86-64-like machine. *)
+
+type t =
+  | RAX
+  | RBX
+  | RCX
+  | RDX
+  | RSI
+  | RDI
+  | RBP
+  | RSP
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
+  | R14
+  | R15
+
+val all : t array
+(** All sixteen registers in encoding order. *)
+
+val count : int
+
+val index : t -> int
+(** Stable index in [\[0, count)], used by the register file and renamer. *)
+
+val of_index : int -> t
+(** Inverse of [index]. Raises [Invalid_argument] out of range. *)
+
+val to_string : t -> string
+
+val caller_saved : t list
+(** Registers a springboard must clear before entering untrusted code. *)
+
+val callee_saved : t list

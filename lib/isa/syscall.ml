@@ -1,0 +1,39 @@
+type t =
+  | Read
+  | Write
+  | Open
+  | Close
+  | Mmap
+  | Mprotect
+  | Munmap
+  | Madvise
+  | Getpid
+  | Exit_group
+
+let number = function
+  | Read -> 0
+  | Write -> 1
+  | Open -> 2
+  | Close -> 3
+  | Mmap -> 9
+  | Mprotect -> 10
+  | Munmap -> 11
+  | Madvise -> 28
+  | Getpid -> 39
+  | Exit_group -> 231
+
+let all = [ Read; Write; Open; Close; Mmap; Mprotect; Munmap; Madvise; Getpid; Exit_group ]
+
+let of_number n = List.find_opt (fun s -> number s = n) all
+
+let to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Open -> "open"
+  | Close -> "close"
+  | Mmap -> "mmap"
+  | Mprotect -> "mprotect"
+  | Munmap -> "munmap"
+  | Madvise -> "madvise"
+  | Getpid -> "getpid"
+  | Exit_group -> "exit_group"

@@ -1,0 +1,21 @@
+(** The slice of the Linux syscall surface the simulations use. Numbers
+    follow the x86-64 ABI where one exists. The kernel-side behaviour and
+    cost model live in [Hfi_memory.Kernel]. *)
+
+type t =
+  | Read
+  | Write
+  | Open
+  | Close
+  | Mmap
+  | Mprotect
+  | Munmap
+  | Madvise
+  | Getpid
+  | Exit_group
+
+val number : t -> int
+val of_number : int -> t option
+val to_string : t -> string
+
+val all : t list

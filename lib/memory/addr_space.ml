@@ -1,0 +1,246 @@
+let page_size = 4096
+let page_shift = 12
+let max_va = 1 lsl 47
+
+module Imap = Map.Make (Int)
+
+type vma = { stop : int; perm : Perm.t }
+(* Keyed by start address in [t.vmas]; the interval is [start, stop). *)
+
+type t = {
+  mutable vmas : vma Imap.t;
+  pages : (int, Bytes.t) Hashtbl.t;  (* page index -> contents *)
+  mutable reserved : int;
+  mutable cursor : int;  (* bump pointer for mmap_anywhere *)
+  mutable minor_faults : int;
+}
+
+exception
+  Fault of {
+    addr : int;
+    access : [ `Read | `Write | `Exec ];
+    reason : [ `Unmapped | `Protection ];
+  }
+
+exception Out_of_va_space
+
+let create () =
+  {
+    vmas = Imap.empty;
+    pages = Hashtbl.create 1024;
+    reserved = 0;
+    cursor = 1 lsl 32;  (* leave low VA for code/stack conventions *)
+    minor_faults = 0;
+  }
+
+let page_down a = a land lnot (page_size - 1)
+let page_up a = (a + page_size - 1) land lnot (page_size - 1)
+
+let check_range addr len =
+  if len <= 0 then invalid_arg "Addr_space: non-positive length";
+  if addr < 0 || addr + len > max_va then invalid_arg "Addr_space: range beyond max_va"
+
+(* The VMA containing [addr], as (start, vma). *)
+let find_vma t addr =
+  match Imap.find_last_opt (fun s -> s <= addr) t.vmas with
+  | Some (start, v) when addr < v.stop -> Some (start, v)
+  | _ -> None
+
+(* Split any VMA straddling [addr] so that [addr] becomes a boundary. *)
+let split_at t addr =
+  match find_vma t addr with
+  | Some (start, v) when start < addr ->
+    t.vmas <- Imap.add start { v with stop = addr } t.vmas;
+    t.vmas <- Imap.add addr v t.vmas
+  | _ -> ()
+
+(* All VMAs fully inside [lo, hi) after splitting at both boundaries. *)
+let vmas_in t lo hi =
+  Imap.fold
+    (fun start v acc -> if start >= lo && v.stop <= hi then (start, v) :: acc else acc)
+    t.vmas []
+
+let overlapping t lo hi =
+  Imap.fold
+    (fun start v acc -> if start < hi && v.stop > lo then (start, v) :: acc else acc)
+    t.vmas []
+
+let drop_pages t lo hi =
+  let first = lo lsr page_shift and last = (hi - 1) lsr page_shift in
+  (* Iterate the smaller side: range vs resident table. *)
+  if last - first + 1 < Hashtbl.length t.pages then
+    for p = first to last do
+      Hashtbl.remove t.pages p
+    done
+  else begin
+    let doomed =
+      Hashtbl.fold (fun p _ acc -> if p >= first && p <= last then p :: acc else acc) t.pages []
+    in
+    List.iter (Hashtbl.remove t.pages) doomed
+  end
+
+let remove_range t lo hi =
+  split_at t lo;
+  split_at t hi;
+  List.iter
+    (fun (start, v) ->
+      t.vmas <- Imap.remove start t.vmas;
+      t.reserved <- t.reserved - (v.stop - start))
+    (vmas_in t lo hi)
+
+let mmap t ~addr ~len perm =
+  check_range addr len;
+  let lo = page_down addr and hi = page_up (addr + len) in
+  remove_range t lo hi;
+  drop_pages t lo hi;
+  t.vmas <- Imap.add lo { stop = hi; perm } t.vmas;
+  t.reserved <- t.reserved + (hi - lo)
+
+let mmap_anywhere t ~len perm =
+  let len = page_up len in
+  (* First fit from the cursor; wrap once. *)
+  let rec search from wrapped =
+    if from + len > max_va then
+      if wrapped then raise Out_of_va_space else search (1 lsl 32) true
+    else begin
+      match overlapping t from (from + len) with
+      | [] ->
+        mmap t ~addr:from ~len perm;
+        if from + len > t.cursor then t.cursor <- from + len;
+        from
+      | conflicts ->
+        let next =
+          List.fold_left (fun acc (_, v) -> Stdlib.max acc v.stop) (from + page_size) conflicts
+        in
+        search next wrapped
+    end
+  in
+  search t.cursor false
+
+let munmap t ~addr ~len =
+  check_range addr len;
+  let lo = page_down addr and hi = page_up (addr + len) in
+  remove_range t lo hi;
+  drop_pages t lo hi
+
+let mprotect t ~addr ~len perm =
+  check_range addr len;
+  let lo = page_down addr and hi = page_up (addr + len) in
+  split_at t lo;
+  split_at t hi;
+  (* Linux mprotect fails on holes; verify full coverage first. *)
+  let covered =
+    List.fold_left (fun acc (start, v) -> acc + (v.stop - start)) 0 (vmas_in t lo hi)
+  in
+  if covered <> hi - lo then raise (Fault { addr = lo; access = `Write; reason = `Unmapped });
+  List.iter
+    (fun (start, v) -> t.vmas <- Imap.add start { v with perm } t.vmas)
+    (vmas_in t lo hi)
+
+let madvise_dontneed t ~addr ~len =
+  check_range addr len;
+  drop_pages t (page_down addr) (page_up (addr + len))
+
+let perm_at t addr = match find_vma t addr with Some (_, v) -> Some v.perm | None -> None
+
+let is_mapped t addr = perm_at t addr <> None
+
+let check_access t addr access =
+  match find_vma t addr with
+  | None -> raise (Fault { addr; access; reason = `Unmapped })
+  | Some (_, v) ->
+    if not (Perm.allows v.perm access) then raise (Fault { addr; access; reason = `Protection })
+
+let get_page t idx = Hashtbl.find_opt t.pages idx
+
+let ensure_page t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make page_size '\000' in
+    Hashtbl.replace t.pages idx b;
+    t.minor_faults <- t.minor_faults + 1;
+    b
+
+let read_byte t addr =
+  match get_page t (addr lsr page_shift) with
+  | None -> 0
+  | Some b -> Char.code (Bytes.get b (addr land (page_size - 1)))
+
+let write_byte t addr v =
+  let b = ensure_page t (addr lsr page_shift) in
+  Bytes.set b (addr land (page_size - 1)) (Char.chr (v land 0xff))
+
+let valid_width bytes =
+  if bytes <> 1 && bytes <> 2 && bytes <> 4 && bytes <> 8 then
+    invalid_arg "Addr_space: width must be 1, 2, 4 or 8"
+
+let raw_load t addr bytes =
+  let v = ref 0 in
+  for i = bytes - 1 downto 0 do
+    v := (!v lsl 8) lor read_byte t (addr + i)
+  done;
+  (* Sign-agnostic: callers treat values as 64-bit patterns; OCaml ints
+     carry up to 62 bits which covers all modeled address arithmetic. *)
+  !v
+
+let raw_store t addr bytes v =
+  for i = 0 to bytes - 1 do
+    write_byte t (addr + i) ((v lsr (8 * i)) land 0xff)
+  done
+
+let load t ~addr ~bytes =
+  valid_width bytes;
+  check_access t addr `Read;
+  if bytes > 1 then check_access t (addr + bytes - 1) `Read;
+  raw_load t addr bytes
+
+let store t ~addr ~bytes v =
+  valid_width bytes;
+  check_access t addr `Write;
+  if bytes > 1 then check_access t (addr + bytes - 1) `Write;
+  raw_store t addr bytes v
+
+let fetch_check t ~addr = check_access t addr `Exec
+
+let peek t ~addr ~bytes =
+  valid_width bytes;
+  if not (is_mapped t addr) then raise (Fault { addr; access = `Read; reason = `Unmapped });
+  raw_load t addr bytes
+
+let poke t ~addr ~bytes v =
+  valid_width bytes;
+  if not (is_mapped t addr) then raise (Fault { addr; access = `Write; reason = `Unmapped });
+  raw_store t addr bytes v
+
+let blit_in t ~addr s = String.iteri (fun i c -> write_byte t (addr + i) (Char.code c)) s
+
+let read_string t ~addr ~len = String.init len (fun i -> Char.chr (read_byte t (addr + i)))
+
+let resident_pages_in t ~addr ~len =
+  let first = addr lsr page_shift and last = (addr + len - 1) lsr page_shift in
+  if last - first + 1 < Hashtbl.length t.pages then begin
+    let n = ref 0 in
+    for p = first to last do
+      if Hashtbl.mem t.pages p then incr n
+    done;
+    !n
+  end
+  else Hashtbl.fold (fun p _ acc -> if p >= first && p <= last then acc + 1 else acc) t.pages 0
+
+let mapped_pages_in t ~addr ~len =
+  let lo = page_down addr and hi = page_up (addr + len) in
+  List.fold_left
+    (fun acc (start, v) ->
+      let s = Stdlib.max start lo and e = Stdlib.min v.stop hi in
+      acc + ((e - s) lsr page_shift))
+    0 (overlapping t lo hi)
+
+let absent_pages_in t ~addr ~len =
+  mapped_pages_in t ~addr ~len - resident_pages_in t ~addr ~len
+
+let vma_count_in t ~addr ~len = List.length (overlapping t addr (addr + len))
+let vma_count t = Imap.cardinal t.vmas
+let reserved_bytes t = t.reserved
+let resident_bytes t = Hashtbl.length t.pages * page_size
+let minor_faults t = t.minor_faults

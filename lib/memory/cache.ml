@@ -1,0 +1,96 @@
+type config = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  hit_latency : int;
+  miss_latency : int;
+}
+
+let skylake_l1d =
+  (* miss_latency is the L1-miss service time assuming an L2 hit — the
+     common case for the modeled working sets. *)
+  { size_bytes = 32 * 1024; ways = 8; line_bytes = 64; hit_latency = 4; miss_latency = 18 }
+
+let skylake_l1i =
+  { size_bytes = 32 * 1024; ways = 8; line_bytes = 64; hit_latency = 1; miss_latency = 30 }
+
+type t = {
+  cfg : config;
+  sets : int;
+  (* tags.(set).(way) = line tag, or -1 if invalid; lru.(set).(way) =
+     recency stamp, larger = more recent. *)
+  tags : int array array;
+  lru : int array array;
+  mutable stamp : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create cfg =
+  let sets = cfg.size_bytes / (cfg.ways * cfg.line_bytes) in
+  if sets <= 0 then invalid_arg "Cache.create: bad geometry";
+  {
+    cfg;
+    sets;
+    tags = Array.init sets (fun _ -> Array.make cfg.ways (-1));
+    lru = Array.init sets (fun _ -> Array.make cfg.ways 0);
+    stamp = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let line_of t addr = addr / t.cfg.line_bytes
+let set_of t line = line mod t.sets
+
+let find_way t set tag =
+  let ways = t.tags.(set) in
+  let rec go i = if i >= t.cfg.ways then None else if ways.(i) = tag then Some i else go (i + 1) in
+  go 0
+
+let touch t set way =
+  t.stamp <- t.stamp + 1;
+  t.lru.(set).(way) <- t.stamp
+
+let victim_way t set =
+  let lru = t.lru.(set) in
+  let best = ref 0 in
+  for i = 1 to t.cfg.ways - 1 do
+    if lru.(i) < lru.(!best) then best := i
+  done;
+  !best
+
+let access t addr =
+  let tag = line_of t addr in
+  let set = set_of t tag in
+  match find_way t set tag with
+  | Some w ->
+    touch t set w;
+    t.hits <- t.hits + 1;
+    `Hit
+  | None ->
+    let w = victim_way t set in
+    t.tags.(set).(w) <- tag;
+    touch t set w;
+    t.misses <- t.misses + 1;
+    `Miss
+
+let probe t addr =
+  let tag = line_of t addr in
+  find_way t (set_of t tag) tag <> None
+
+let latency t = function `Hit -> t.cfg.hit_latency | `Miss -> t.cfg.miss_latency
+
+let timed_access t addr = latency t (access t addr)
+
+let flush_line t addr =
+  let tag = line_of t addr in
+  let set = set_of t tag in
+  match find_way t set tag with
+  | Some w -> t.tags.(set).(w) <- -1
+  | None -> ()
+
+let flush_all t =
+  Array.iter (fun ways -> Array.fill ways 0 (Array.length ways) (-1)) t.tags
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,134 @@
+type open_file = { content : string; mutable pos : int }
+
+type t = {
+  mem : Addr_space.t;
+  multithreaded : bool;
+  mutable cycles : float;
+  mutable seccomp : bool;
+  files : (int, string) Hashtbl.t;
+  fds : (int, open_file) Hashtbl.t;
+  mutable next_fd : int;
+  mutable syscalls : int;
+}
+
+let create ?(multithreaded = false) mem =
+  {
+    mem;
+    multithreaded;
+    cycles = 0.0;
+    seccomp = false;
+    files = Hashtbl.create 16;
+    fds = Hashtbl.create 16;
+    next_fd = 3;
+    syscalls = 0;
+  }
+
+let address_space t = t.mem
+let cycles t = t.cycles
+let reset_cycles t = t.cycles <- 0.0
+let charge t c = t.cycles <- t.cycles +. c
+let chargei t c = charge t (float_of_int c)
+let set_seccomp t b = t.seccomp <- b
+let add_file t ~id ~content = Hashtbl.replace t.files id content
+
+let shootdown_if_needed t = if t.multithreaded then chargei t Cost.tlb_shootdown
+
+let sys_mmap_fixed t ~addr ~len perm =
+  chargei t Cost.mmap_base;
+  Addr_space.mmap t.mem ~addr ~len perm
+
+let sys_mmap t ~len perm =
+  chargei t Cost.mmap_base;
+  Addr_space.mmap_anywhere t.mem ~len perm
+
+let sys_munmap t ~addr ~len =
+  let resident = Addr_space.resident_pages_in t.mem ~addr ~len in
+  chargei t (Cost.munmap_base + (resident * Cost.munmap_per_resident_page));
+  shootdown_if_needed t;
+  Addr_space.munmap t.mem ~addr ~len
+
+let sys_mprotect t ~addr ~len perm =
+  let pages = (len + Addr_space.page_size - 1) / Addr_space.page_size in
+  chargei t (Cost.mprotect_base + (pages * Cost.mprotect_per_page));
+  shootdown_if_needed t;
+  Addr_space.mprotect t.mem ~addr ~len perm
+
+let sys_madvise_dontneed t ~addr ~len =
+  let resident = Addr_space.resident_pages_in t.mem ~addr ~len in
+  let absent = Addr_space.absent_pages_in t.mem ~addr ~len in
+  charge t
+    (float_of_int (Cost.madvise_base + (resident * Cost.madvise_per_resident_page))
+    +. (float_of_int absent *. Cost.madvise_per_absent_page));
+  shootdown_if_needed t;
+  Addr_space.madvise_dontneed t.mem ~addr ~len
+
+let sys_open t ~id =
+  chargei t Cost.syscall_open;
+  match Hashtbl.find_opt t.files id with
+  | None -> -1
+  | Some content ->
+    let fd = t.next_fd in
+    t.next_fd <- t.next_fd + 1;
+    Hashtbl.replace t.fds fd { content; pos = 0 };
+    fd
+
+let sys_read t ~fd ~buf ~len =
+  match Hashtbl.find_opt t.fds fd with
+  | None ->
+    chargei t Cost.syscall_read_base;
+    -1
+  | Some f ->
+    let avail = String.length f.content - f.pos in
+    let n = Stdlib.min len avail in
+    charge t (float_of_int Cost.syscall_read_base +. (float_of_int n *. Cost.syscall_read_per_byte));
+    if n > 0 then begin
+      Addr_space.blit_in t.mem ~addr:buf (String.sub f.content f.pos n);
+      f.pos <- f.pos + n
+    end;
+    n
+
+let sys_write t ~fd ~buf:_ ~len =
+  ignore fd;
+  charge t
+    (float_of_int Cost.syscall_write_base +. (float_of_int len *. Cost.syscall_write_per_byte));
+  len
+
+let sys_close t ~fd =
+  chargei t Cost.syscall_close;
+  if Hashtbl.mem t.fds fd then begin
+    Hashtbl.remove t.fds fd;
+    0
+  end
+  else -1
+
+let sys_getpid t =
+  chargei t Cost.syscall_getpid;
+  4242
+
+let dispatch t ~number ~arg0 ~arg1 ~arg2 =
+  t.syscalls <- t.syscalls + 1;
+  chargei t Cost.syscall_ring_transition;
+  if t.seccomp then chargei t Cost.seccomp_filter_per_syscall;
+  match Hfi_isa.Syscall.of_number number with
+  | Some Hfi_isa.Syscall.Read -> sys_read t ~fd:arg0 ~buf:arg1 ~len:arg2
+  | Some Hfi_isa.Syscall.Write -> sys_write t ~fd:arg0 ~buf:arg1 ~len:arg2
+  | Some Hfi_isa.Syscall.Open -> sys_open t ~id:arg0
+  | Some Hfi_isa.Syscall.Close -> sys_close t ~fd:arg0
+  | Some Hfi_isa.Syscall.Mmap ->
+    (try sys_mmap t ~len:arg1 Perm.rw with Addr_space.Out_of_va_space -> -1)
+  | Some Hfi_isa.Syscall.Mprotect ->
+    (try
+       sys_mprotect t ~addr:arg0 ~len:arg1 (if arg2 = 0 then Perm.none else Perm.rw);
+       0
+     with Addr_space.Fault _ -> -1)
+  | Some Hfi_isa.Syscall.Munmap ->
+    sys_munmap t ~addr:arg0 ~len:arg1;
+    0
+  | Some Hfi_isa.Syscall.Madvise ->
+    sys_madvise_dontneed t ~addr:arg0 ~len:arg1;
+    0
+  | Some Hfi_isa.Syscall.Getpid -> sys_getpid t
+  | Some Hfi_isa.Syscall.Exit_group -> 0
+  | None -> -1
+
+let syscall_count t = t.syscalls

@@ -1,0 +1,53 @@
+(** OS-kernel model: syscall semantics over an {!Addr_space}, with cycle
+    cost accounting per {!Cost}, a tiny in-memory filesystem for the
+    syscall-interposition benchmark (§6.4.1), and an optional seccomp-bpf
+    filter whose per-syscall evaluation cost is the baseline HFI's
+    interposition is compared against. *)
+
+type t
+
+val create : ?multithreaded:bool -> Addr_space.t -> t
+(** [multithreaded] controls whether unmapping operations pay a TLB
+    shootdown (IPIs to sibling cores), as in the FaaS experiments. *)
+
+val address_space : t -> Addr_space.t
+
+val cycles : t -> float
+(** Cycles spent inside the kernel model so far. *)
+
+val reset_cycles : t -> unit
+val charge : t -> float -> unit
+
+val set_seccomp : t -> bool -> unit
+(** Install/remove a seccomp-bpf filter: adds
+    {!Cost.seccomp_filter_per_syscall} to every syscall. *)
+
+(** {1 In-memory filesystem} *)
+
+val add_file : t -> id:int -> content:string -> unit
+
+(** {1 Direct kernel-call interface}
+
+    Used by trusted-runtime code; each charges its modeled cost. *)
+
+val sys_mmap_fixed : t -> addr:int -> len:int -> Perm.t -> unit
+val sys_mmap : t -> len:int -> Perm.t -> int
+val sys_munmap : t -> addr:int -> len:int -> unit
+val sys_mprotect : t -> addr:int -> len:int -> Perm.t -> unit
+
+val sys_madvise_dontneed : t -> addr:int -> len:int -> unit
+(** Cost scales with resident pages freed plus absent pages walked — the
+    distinction §6.3.1's batched-teardown comparison turns on. *)
+
+val sys_open : t -> id:int -> int
+val sys_read : t -> fd:int -> buf:int -> len:int -> int
+val sys_write : t -> fd:int -> buf:int -> len:int -> int
+val sys_close : t -> fd:int -> int
+val sys_getpid : t -> int
+
+val dispatch : t -> number:int -> arg0:int -> arg1:int -> arg2:int -> int
+(** Syscall-instruction entry point: decode the number, run the call,
+    return the result ([-1] on error). Charges the ring transition and,
+    if installed, the seccomp filter. *)
+
+val syscall_count : t -> int

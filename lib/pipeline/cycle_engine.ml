@@ -1,0 +1,282 @@
+type config = {
+  issue_width : float;
+  mispredict_penalty : int;
+  drain_penalty : int;
+  spec_window : int;
+  icache : Cache.config;
+  dcache : Cache.config;
+  dtlb : Tlb.config;
+  hfi_checks_in_parallel : bool;
+}
+
+let skylake =
+  {
+    issue_width = 4.0;
+    mispredict_penalty = 14;
+    drain_penalty = Cost.serialization_drain;
+    spec_window = 64;
+    icache = Cache.skylake_l1i;
+    dcache = Cache.skylake_l1d;
+    dtlb = Tlb.skylake_dtlb;
+    hfi_checks_in_parallel = true;
+  }
+
+type result = {
+  cycles : float;
+  instrs : int;
+  icache_misses : int;
+  dcache_misses : int;
+  dtlb_misses : int;
+  cond_mispredicts : int;
+  indirect_mispredicts : int;
+  drains : int;
+  transient_instrs : int;
+  status : Machine.status;
+}
+
+type t = {
+  cfg : config;
+  m : Machine.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  dtlb : Tlb.t;
+  pred : Predictor.t;
+  (* scoreboard: cycle at which each architectural register's value is
+     available to consumers *)
+  ready : float array;
+  mutable clock : float;  (* issue front: time the next uop can issue *)
+  mutable committed : int;
+  mutable drains : int;
+  mutable transient : int;
+  mutable last_fetch_line : int;
+  mutable l2_stream_line : int;  (* line currently streaming in from L2 *)
+  mutable l2_stream_remaining : int;  (* bytes of that line still in flight *)
+}
+
+let create ?(config = skylake) m =
+  let t =
+    {
+      cfg = config;
+      m;
+      icache = Cache.create config.icache;
+      dcache = Cache.create config.dcache;
+      dtlb = Tlb.create config.dtlb;
+      pred = Predictor.create ();
+      ready = Array.make Reg.count 0.0;
+      clock = 0.0;
+      committed = 0;
+      drains = 0;
+      transient = 0;
+      last_fetch_line = -10;
+      l2_stream_line = -10;
+      l2_stream_remaining = 0;
+    }
+  in
+  Machine.set_now m (fun () -> int_of_float t.clock);
+  Machine.set_on_flush m (fun addr -> Cache.flush_line t.dcache addr);
+  t
+
+let cycles t = t.clock
+let dcache t = t.dcache
+let machine t = t.m
+
+let reg_ready t regs =
+  List.fold_left (fun acc r -> Float.max acc t.ready.(Reg.index r)) t.clock regs
+
+let set_ready t regs at = List.iter (fun r -> t.ready.(Reg.index r) <- at) regs
+
+let spec_effects t =
+  {
+    Machine.spec_fetch = (fun addr -> ignore (Cache.access t.icache addr));
+    Machine.spec_mem =
+      (fun ~addr ~write ->
+        ignore write;
+        ignore (Tlb.access t.dtlb addr);
+        ignore (Cache.access t.dcache addr));
+  }
+
+(* Timing for one committed instruction, given what architecturally
+   happened. *)
+let account t (info : Machine.exec_info) =
+  let issue_step = 1.0 /. t.cfg.issue_width in
+  (* Fetch: i-cache miss stalls the front end. *)
+  let fetch_addr = Machine.addr_of_index t.m info.index in
+  let fetch_line = fetch_addr / 64 in
+  let fetch_penalty =
+    match Cache.access t.icache fetch_addr with
+    | `Hit ->
+      (* Instructions on a line still streaming in from L2 pay for its
+         fetch bandwidth — longer encodings consume more of it (the
+         445.gobmk effect for hmov, §6.1). The charge lasts one line's
+         worth of bytes, then the line is fully resident. *)
+      if fetch_line = t.l2_stream_line && t.l2_stream_remaining > 0 then begin
+        t.l2_stream_remaining <- t.l2_stream_remaining - Instr.length info.instr;
+        float_of_int (Instr.length info.instr) /. 16.0
+      end
+      else 0.0
+    | `Miss ->
+      t.l2_stream_line <- fetch_line;
+      t.l2_stream_remaining <- 64 - Instr.length info.instr;
+      (* Next-line prefetch hides sequential fetch misses. *)
+      if fetch_line = t.last_fetch_line + 1 then 1.0 +. (float_of_int (Instr.length info.instr) /. 16.0)
+      else float_of_int t.cfg.icache.Cache.miss_latency
+  in
+  t.last_fetch_line <- fetch_line;
+  (* Issue when sources are ready. Compares, conditional branches, and
+     stores do not stall the issue front: out-of-order execution resolves
+     them off the critical path (their results gate nothing until
+     retirement) — this is why a predicted-not-taken bounds check is
+     cheap while a pointer-chasing load chain is not. *)
+  let srcs = Instr.reads info.instr in
+  let off_critical_path =
+    match info.instr with
+    | Instr.Cmp _ | Instr.Cmp_mem _ | Instr.Jcc _ | Instr.Store _ | Instr.Hstore _
+    | Instr.Push _ ->
+      true
+    | _ -> false
+  in
+  let issue =
+    if off_critical_path then t.clock +. issue_step +. fetch_penalty
+    else Float.max (t.clock +. issue_step) (reg_ready t srcs) +. fetch_penalty
+  in
+  (* Execution latency. *)
+  let latency =
+    match info.instr with
+    | Instr.Alu (Instr.Mul, _, _) -> 3.0
+    | Instr.Alu (Instr.Div, _, _) -> 20.0
+    | Instr.Alu (_, _, _) | Instr.Mov _ | Instr.Lea _ | Instr.Cmp _ | Instr.Cmp_mem _ -> 1.0
+    | Instr.Load _ | Instr.Hload _ | Instr.Pop _ | Instr.Ret -> 1.0 (* + memory below *)
+    | Instr.Store _ | Instr.Hstore _ | Instr.Push _ -> 1.0
+    | Instr.Rdtsc _ | Instr.Rdmsr _ -> 2.0
+    | _ -> 1.0
+  in
+  let mem_latency =
+    match info.mem with
+    | None -> 0.0
+    | Some a ->
+      let tlb_cycles = Tlb.timed_access t.dtlb a.addr in
+      let cache_cycles = Cache.timed_access t.dcache a.addr in
+      (* §4.2: HFI region/bound checks complete in parallel with the dtb
+         lookup, so they contribute max(check, tlb) = tlb. The ablation
+         places them after translation instead. *)
+      let hfi_extra =
+        if t.cfg.hfi_checks_in_parallel then 0.0
+        else if Hfi.enabled (Machine.hfi t.m) || a.via_hmov then 1.0
+        else 0.0
+      in
+      if a.write then float_of_int tlb_cycles +. hfi_extra
+      else float_of_int (tlb_cycles + cache_cycles) +. hfi_extra
+  in
+  let done_at = issue +. latency +. mem_latency in
+  set_ready t (Instr.writes info.instr) done_at;
+  t.clock <- issue;
+  (* Branch prediction and wrong-path execution. *)
+  (match info.branch with
+  | None -> ()
+  | Some b -> begin
+    let wrong_path_from predicted =
+      if predicted <> b.target then begin
+        t.transient <-
+          t.transient
+          + Machine.speculate t.m ~start:predicted ~fuel:t.cfg.spec_window (spec_effects t);
+        t.clock <- done_at +. float_of_int t.cfg.mispredict_penalty
+      end
+    in
+    match b.kind with
+    | Machine.Cond ->
+      let predicted_taken = Predictor.predict_cond t.pred ~pc:info.index in
+      let predicted = if predicted_taken then b.target (* static target *) else b.fallthrough in
+      (* For a conditional, the taken target comes from the decoder, so a
+         correct taken-prediction lands on the right path even on a BTB
+         cold miss. *)
+      let predicted =
+        if predicted_taken && not b.taken then
+          (* predicted taken, actually fell through: wrong path = the
+             encoded target *)
+          (match info.instr with Instr.Jcc (_, tgt) -> tgt | _ -> predicted)
+        else predicted
+      in
+      if predicted_taken <> b.taken then Predictor.note_cond_mispredict t.pred;
+      wrong_path_from predicted;
+      Predictor.update_cond t.pred ~pc:info.index ~taken:b.taken
+    | Machine.Uncond -> ()
+    | Machine.Indirect -> begin
+      match Predictor.predict_indirect t.pred ~pc:info.index with
+      | Some predicted ->
+        if predicted <> b.target then Predictor.note_indirect_mispredict t.pred;
+        wrong_path_from predicted;
+        Predictor.update_indirect t.pred ~pc:info.index ~target:b.target
+      | None ->
+        (* BTB miss: the front end waits for resolution — a stall but no
+           wrong-path execution. *)
+        t.clock <- done_at +. float_of_int (t.cfg.mispredict_penalty / 2);
+        Predictor.update_indirect t.pred ~pc:info.index ~target:b.target
+    end
+    | Machine.Call_k -> begin
+      Predictor.push_ras t.pred b.fallthrough;
+      (* Indirect calls are BTB-predicted: a mistrained BTB sends the
+         front end down an attacker-chosen path (Spectre-BTB). *)
+      (match info.instr with
+      | Instr.Call_ind _ -> begin
+        match Predictor.predict_indirect t.pred ~pc:info.index with
+        | Some predicted ->
+          if predicted <> b.target then Predictor.note_indirect_mispredict t.pred;
+          wrong_path_from predicted
+        | None -> t.clock <- done_at +. float_of_int (t.cfg.mispredict_penalty / 2)
+      end
+      | _ -> ());
+      Predictor.update_indirect t.pred ~pc:info.index ~target:b.target
+    end
+    | Machine.Ret_k -> begin
+      match Predictor.pop_ras t.pred with
+      | Some predicted when predicted = b.target -> ()
+      | Some predicted ->
+        Predictor.note_indirect_mispredict t.pred;
+        wrong_path_from predicted
+      | None -> t.clock <- done_at +. float_of_int (t.cfg.mispredict_penalty / 2)
+    end
+  end);
+  (* Serialization: drain — all in-flight results must complete, then pay
+     the drain penalty. *)
+  if info.serializing then begin
+    t.drains <- t.drains + 1;
+    let penalty =
+      match info.instr with Instr.Cpuid -> Cost.cpuid_drain | _ -> t.cfg.drain_penalty
+    in
+    let all_done = Array.fold_left Float.max t.clock t.ready in
+    t.clock <- Float.max t.clock all_done +. float_of_int penalty
+  end;
+  (* Kernel time and signal delivery are serial. *)
+  if info.kernel_cycles > 0.0 then t.clock <- t.clock +. info.kernel_cycles;
+  (match info.signal with
+  | Some _ -> t.clock <- t.clock +. float_of_int Cost.signal_delivery
+  | None -> ());
+  t.committed <- t.committed + 1
+
+let run ?(fuel = max_int) t =
+  let remaining = ref fuel in
+  let rec go () =
+    if !remaining <= 0 then Machine.status t.m
+    else begin
+      match Machine.step t.m (account t) with
+      | Machine.Running ->
+        decr remaining;
+        go ()
+      | (Machine.Halted | Machine.Faulted _) as s -> s
+    end
+  in
+  go ()
+
+let result t =
+  {
+    cycles = t.clock;
+    instrs = t.committed;
+    icache_misses = Cache.misses t.icache;
+    dcache_misses = Cache.misses t.dcache;
+    dtlb_misses = Tlb.misses t.dtlb;
+    cond_mispredicts = Predictor.cond_mispredicts t.pred;
+    indirect_mispredicts = Predictor.indirect_mispredicts t.pred;
+    drains = t.drains;
+    transient_instrs = t.transient;
+    status = Machine.status t.m;
+  }

@@ -1,0 +1,59 @@
+(** Cycle-level timing engine — the gem5 substitute.
+
+    Models the Table 2 core: superscalar in-order issue with out-of-order
+    completion tracked by a register-ready scoreboard, L1 i-/d-caches, a
+    dTLB whose lookup the HFI comparators run in parallel with, gshare +
+    BTB + RAS prediction, wrong-path transient execution on mispredicts
+    (with HFI gating cache fills per §4.1), and full pipeline drains for
+    serializing instructions.
+
+    This is the engine used for the Sightglass cross-validation (Fig. 2),
+    the Spectre PoCs (Fig. 7), and all microbenchmarks that depend on
+    pipeline behaviour. *)
+
+type config = {
+  issue_width : float;  (** sustained uops/cycle, Table 2: ~4 effective *)
+  mispredict_penalty : int;  (** front-end refill after squash *)
+  drain_penalty : int;  (** serializing-instruction drain (§3.4: 30–60) *)
+  spec_window : int;  (** max wrong-path instructions (ROB-bounded) *)
+  icache : Cache.config;
+  dcache : Cache.config;
+  dtlb : Tlb.config;
+  hfi_checks_in_parallel : bool;
+      (** the §4.2 claim; [false] is the ablation where each region check
+          adds a cycle of load latency *)
+}
+
+val skylake : config
+
+type result = {
+  cycles : float;
+  instrs : int;
+  icache_misses : int;
+  dcache_misses : int;
+  dtlb_misses : int;
+  cond_mispredicts : int;
+  indirect_mispredicts : int;
+  drains : int;
+  transient_instrs : int;  (** wrong-path instructions executed *)
+  status : Machine.status;
+}
+
+type t
+
+val create : ?config:config -> Machine.t -> t
+(** Attach an engine to a machine: installs the rdtsc clock and clflush
+    callback. *)
+
+val run : ?fuel:int -> t -> Machine.status
+(** Simulate until halt/fault or [fuel] committed instructions. May be
+    called repeatedly; time accumulates. *)
+
+val cycles : t -> float
+val result : t -> result
+
+val dcache : t -> Cache.t
+(** The modeled d-cache — the Spectre harness probes it for the
+    flush+reload measurement. *)
+
+val machine : t -> Machine.t

@@ -1,0 +1,171 @@
+type config = {
+  issue_width : float;
+  base_alu : float;
+  base_load : float;
+  base_store : float;
+  base_branch : float;
+  mul_latency : float;
+  div_latency : float;
+  miss_overlap : float;
+  mispredict_penalty : float;
+  drain_penalty : float;
+  model_caches : bool;
+}
+
+let default =
+  {
+    issue_width = 4.0;
+    base_alu = 0.12;
+    base_load = 0.30;
+    base_store = 0.22;
+    base_branch = 0.15;
+    mul_latency = 1.2;
+    div_latency = 12.0;
+    miss_overlap = 0.35;
+    mispredict_penalty = 14.0;
+    drain_penalty = float_of_int Cost.serialization_drain;
+    model_caches = true;
+  }
+
+type t = {
+  cfg : config;
+  m : Machine.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  dtlb : Tlb.t;
+  pred : Predictor.t;
+  mutable clock : float;
+  mutable committed : int;
+  mutable last_fetch_line : int;
+  mutable l2_stream_line : int;
+  mutable l2_stream_remaining : int;
+}
+
+let create ?(config = default) m =
+  let t =
+    {
+      cfg = config;
+      m;
+      icache = Cache.create Cache.skylake_l1i;
+      dcache = Cache.create Cache.skylake_l1d;
+      dtlb = Tlb.create Tlb.skylake_dtlb;
+      pred = Predictor.create ();
+      clock = 0.0;
+      committed = 0;
+      last_fetch_line = -10;
+      l2_stream_line = -10;
+      l2_stream_remaining = 0;
+    }
+  in
+  Machine.set_now m (fun () -> int_of_float t.clock);
+  Machine.set_on_flush m (fun addr -> Cache.flush_line t.dcache addr);
+  t
+
+let account t (info : Machine.exec_info) =
+  let cfg = t.cfg in
+  let c = ref (1.0 /. cfg.issue_width) in
+  (match info.instr with
+  | Instr.Alu (Instr.Mul, _, _) -> c := !c +. cfg.mul_latency
+  | Instr.Alu (Instr.Div, _, _) -> c := !c +. cfg.div_latency
+  | Instr.Alu _ | Instr.Mov _ | Instr.Lea _ | Instr.Cmp _ | Instr.Cmp_mem _ ->
+    c := !c +. cfg.base_alu
+  | Instr.Load _ | Instr.Hload _ | Instr.Pop _ -> c := !c +. cfg.base_load
+  | Instr.Store _ | Instr.Hstore _ | Instr.Push _ -> c := !c +. cfg.base_store
+  | Instr.Jmp _ | Instr.Jcc _ | Instr.Jmp_ind _ | Instr.Call _ | Instr.Call_ind _
+  | Instr.Ret ->
+    c := !c +. cfg.base_branch
+  | _ -> c := !c +. cfg.base_alu);
+  if cfg.model_caches then begin
+    let fetch_addr = Machine.addr_of_index t.m info.index in
+    let line = fetch_addr / 64 in
+    (match Cache.access t.icache fetch_addr with
+    | `Hit ->
+      (* L2 fetch bandwidth while the line streams in: longer encodings
+         consume more of it, for one line's worth of bytes. *)
+      if line = t.l2_stream_line && t.l2_stream_remaining > 0 then begin
+        t.l2_stream_remaining <- t.l2_stream_remaining - Instr.length info.instr;
+        c := !c +. (float_of_int (Instr.length info.instr) /. 16.0)
+      end
+    | `Miss ->
+      t.l2_stream_line <- line;
+      t.l2_stream_remaining <- 64 - Instr.length info.instr;
+      (* Next-line prefetch hides sequential fetch misses; only jumpy
+         fetch patterns expose the full fill latency. *)
+      if line = t.last_fetch_line + 1 then
+        c := !c +. 1.0 +. (float_of_int (Instr.length info.instr) /. 16.0)
+      else c := !c +. (float_of_int (Cache.latency t.icache `Miss) *. cfg.miss_overlap));
+    t.last_fetch_line <- line;
+    match info.mem with
+    | None -> ()
+    | Some a ->
+      (match Tlb.access t.dtlb a.addr with
+      | `Hit -> ()
+      | `Miss -> c := !c +. (float_of_int (Tlb.skylake_dtlb.Tlb.miss_latency) *. cfg.miss_overlap));
+      (match Cache.access t.dcache a.addr with
+      | `Hit -> ()
+      | `Miss ->
+        if not a.write then
+          c := !c +. (float_of_int (Cache.latency t.dcache `Miss) *. cfg.miss_overlap))
+  end;
+  (* Branches: charge mispredicts via the same predictor as the cycle
+     engine, but without wrong-path execution. *)
+  (match info.branch with
+  | Some b -> begin
+    match b.kind with
+    | Machine.Cond ->
+      let predicted = Predictor.predict_cond t.pred ~pc:info.index in
+      if predicted <> b.taken then begin
+        Predictor.note_cond_mispredict t.pred;
+        c := !c +. cfg.mispredict_penalty
+      end;
+      Predictor.update_cond t.pred ~pc:info.index ~taken:b.taken
+    | Machine.Indirect -> begin
+      match Predictor.predict_indirect t.pred ~pc:info.index with
+      | Some p when p = b.target -> ()
+      | _ ->
+        Predictor.note_indirect_mispredict t.pred;
+        c := !c +. cfg.mispredict_penalty;
+        Predictor.update_indirect t.pred ~pc:info.index ~target:b.target
+    end
+    | Machine.Call_k -> Predictor.push_ras t.pred b.fallthrough
+    | Machine.Ret_k -> begin
+      match Predictor.pop_ras t.pred with
+      | Some p when p = b.target -> ()
+      | _ ->
+        Predictor.note_indirect_mispredict t.pred;
+        c := !c +. cfg.mispredict_penalty
+    end
+    | Machine.Uncond -> ()
+  end
+  | None -> ());
+  if info.serializing then
+    c :=
+      !c
+      +. (match info.instr with
+         | Instr.Cpuid -> float_of_int Cost.cpuid_drain
+         | _ -> cfg.drain_penalty);
+  c := !c +. info.kernel_cycles;
+  (match info.signal with Some _ -> c := !c +. float_of_int Cost.signal_delivery | None -> ());
+  t.clock <- t.clock +. !c;
+  t.committed <- t.committed + 1
+
+let run ?(fuel = max_int) t =
+  let remaining = ref fuel in
+  let rec go () =
+    if !remaining <= 0 then Machine.status t.m
+    else begin
+      match Machine.step t.m (account t) with
+      | Machine.Running ->
+        decr remaining;
+        go ()
+      | (Machine.Halted | Machine.Faulted _) as s -> s
+    end
+  in
+  go ()
+
+let cycles t = t.clock
+let instrs t = t.committed
+let machine t = t.m
+let icache_misses t = Cache.misses t.icache
+let dcache_misses t = Cache.misses t.dcache
+let mispredicts t = Predictor.cond_mispredicts t.pred + Predictor.indirect_mispredicts t.pred

@@ -1,0 +1,37 @@
+(** Fast analytic timing engine — the compiler-based-emulation substitute
+    for long-running workloads (SPEC, Firefox, FaaS).
+
+    Instead of a scoreboard it uses per-class base costs plus additive
+    penalties for cache/TLB misses (scaled by a memory-level-parallelism
+    overlap factor), branch mispredicts, serialization drains, kernel
+    time, and signal delivery. Fig. 2 cross-validates this model's
+    relative accuracy against {!Cycle_engine} on the Sightglass suite. *)
+
+type config = {
+  issue_width : float;
+  base_alu : float;  (** additional to the issue slot *)
+  base_load : float;
+  base_store : float;
+  base_branch : float;
+  mul_latency : float;
+  div_latency : float;
+  miss_overlap : float;  (** fraction of miss latency that is exposed *)
+  mispredict_penalty : float;
+  drain_penalty : float;
+  model_caches : bool;  (** disable for pure instruction counting *)
+}
+
+val default : config
+
+type t
+
+val create : ?config:config -> Machine.t -> t
+
+val run : ?fuel:int -> t -> Machine.status
+val cycles : t -> float
+val instrs : t -> int
+val machine : t -> Machine.t
+
+val icache_misses : t -> int
+val dcache_misses : t -> int
+val mispredicts : t -> int

@@ -1,0 +1,541 @@
+type access = { addr : int; bytes : int; write : bool; via_hmov : bool }
+
+type branch_kind = Cond | Uncond | Indirect | Call_k | Ret_k
+
+type branch_info = { kind : branch_kind; taken : bool; target : int; fallthrough : int }
+
+type exec_info = {
+  index : int;
+  instr : Instr.t;
+  mem : access option;
+  branch : branch_info option;
+  serializing : bool;
+  kernel_cycles : float;
+  signal : Msr.t option;
+}
+
+type status = Running | Halted | Faulted of Msr.t
+
+type t = {
+  regs : int array;
+  mutable pc : int;
+  prog : Program.t;
+  code_base : int;
+  mem_ : Addr_space.t;
+  kernel : Kernel.t;
+  hfi : Hfi.t;
+  signal_handler : int option;
+  mutable status_ : status;
+  mutable cmp : int * int;
+  mutable instr_count : int;
+  mutable last_signal : Msr.t option;
+  mutable now : unit -> int;
+  mutable on_flush : int -> unit;
+  mutable resume : int option;
+      (* instruction to resume at after hfi_reenter (set when a syscall
+         is redirected to the exit handler) *)
+}
+
+let create ?signal_handler ~prog ~code_base ~mem ~kernel ~hfi ~entry () =
+  {
+    regs = Array.make Reg.count 0;
+    pc = entry;
+    prog;
+    code_base;
+    mem_ = mem;
+    kernel;
+    hfi;
+    signal_handler;
+    status_ = Running;
+    cmp = (0, 0);
+    instr_count = 0;
+    last_signal = None;
+    now = (fun () -> 0);
+    on_flush = ignore;
+    resume = None;
+  }
+
+let set_now t f = t.now <- f
+let set_on_flush t f = t.on_flush <- f
+let regs t = t.regs
+let get_reg t r = t.regs.(Reg.index r)
+let set_reg t r v = t.regs.(Reg.index r) <- v
+let pc t = t.pc
+let set_pc t i = t.pc <- i
+let status t = t.status_
+let hfi t = t.hfi
+let kernel t = t.kernel
+let mem t = t.mem_
+let program t = t.prog
+let code_base t = t.code_base
+let instr_count t = t.instr_count
+let last_signal t = t.last_signal
+
+let addr_of_index t i = t.code_base + Program.byte_offset t.prog i
+
+let index_of_addr t a =
+  if a < t.code_base then None else Program.index_of_byte t.prog (a - t.code_base)
+
+let src_value t = function Instr.Imm i -> i | Instr.Reg r -> get_reg t r
+
+let effective_address t (m : Instr.mem) =
+  let base = match m.base with Some r -> get_reg t r | None -> 0 in
+  let index = match m.index with Some r -> get_reg t r | None -> 0 in
+  base + (index * m.scale) + m.disp
+
+let mask_width w v =
+  match w with
+  | Instr.W1 -> v land 0xff
+  | Instr.W2 -> v land 0xffff
+  | Instr.W4 -> v land 0xffffffff
+  | Instr.W8 -> v
+
+(* Signals: deliver to the runtime's handler if one is registered,
+   otherwise end the run. *)
+exception Trap_exn of Msr.t
+
+let alu op a b =
+  match op with
+  | Instr.Add -> a + b
+  | Instr.Sub -> a - b
+  | Instr.And -> a land b
+  | Instr.Or -> a lor b
+  | Instr.Xor -> a lxor b
+  | Instr.Shl -> a lsl (b land 63)
+  | Instr.Shr -> a lsr (b land 63)
+  | Instr.Sar -> a asr (b land 63)
+  | Instr.Mul -> a * b
+  | Instr.Div -> if b = 0 then raise (Trap_exn (Msr.Hardware_fault 0)) else a / b
+
+(* Committed data access with HFI implicit-region check then paging. *)
+let data_access t ~addr ~bytes ~write ~value =
+  let acc = if write then `Write else `Read in
+  (match Hfi.check_data_access t.hfi ~addr ~bytes acc with
+  | Ok () -> ()
+  | Error v ->
+    ignore (Hfi.record_violation t.hfi v);
+    raise (Trap_exn (Msr.Bounds_violation v)));
+  try
+    if write then begin
+      Addr_space.store t.mem_ ~addr ~bytes value;
+      0
+    end
+    else Addr_space.load t.mem_ ~addr ~bytes
+  with Addr_space.Fault f ->
+    Hfi.on_hardware_fault t.hfi ~addr:f.addr;
+    raise (Trap_exn (Msr.Hardware_fault f.addr))
+
+let hmov_resolve t ~region (m : Instr.mem) ~bytes ~write =
+  let index_value = match m.index with Some r -> get_reg t r | None -> 0 in
+  match Hfi.check_hmov t.hfi ~region ~index_value ~scale:m.scale ~disp:m.disp ~bytes ~write with
+  | Ok ea -> ea
+  | Error v ->
+    ignore (Hfi.record_violation t.hfi v);
+    raise (Trap_exn (Msr.Bounds_violation v))
+
+let hmov_paged_access t ~addr ~bytes ~write ~value =
+  try
+    if write then begin
+      Addr_space.store t.mem_ ~addr ~bytes value;
+      0
+    end
+    else Addr_space.load t.mem_ ~addr ~bytes
+  with Addr_space.Fault f ->
+    Hfi.on_hardware_fault t.hfi ~addr:f.addr;
+    raise (Trap_exn (Msr.Hardware_fault f.addr))
+
+let step t (observe : exec_info -> unit) =
+  match t.status_ with
+  | Halted | Faulted _ -> t.status_
+  | Running ->
+    if t.pc < 0 || t.pc >= Program.length t.prog then begin
+      t.status_ <- Faulted (Msr.Hardware_fault (addr_of_index t 0));
+      t.status_
+    end
+    else begin
+      let index = t.pc in
+      let ins = Program.get t.prog index in
+      let pc_addr = addr_of_index t index in
+      let mem_acc = ref None in
+      let branch = ref None in
+      let signal = ref None in
+      let kcycles0 = Kernel.cycles t.kernel in
+      let drains0 = (Hfi.stats t.hfi).Hfi.drains in
+      let fallthrough = index + 1 in
+      let next = ref fallthrough in
+      t.instr_count <- t.instr_count + 1;
+      (try
+         (* Decode-stage code-region check (§4.1). *)
+         (match Hfi.check_ifetch t.hfi ~addr:pc_addr with
+         | Ok () -> ()
+         | Error v ->
+           ignore (Hfi.record_violation t.hfi v);
+           raise (Trap_exn (Msr.Bounds_violation v)));
+         match ins with
+         | Instr.Mov (d, s) -> set_reg t d (src_value t s)
+         | Instr.Load (w, d, m) ->
+           let addr = effective_address t m in
+           let bytes = Instr.width_bytes w in
+           mem_acc := Some { addr; bytes; write = false; via_hmov = false };
+           set_reg t d (data_access t ~addr ~bytes ~write:false ~value:0)
+         | Instr.Store (w, m, s) ->
+           let addr = effective_address t m in
+           let bytes = Instr.width_bytes w in
+           mem_acc := Some { addr; bytes; write = true; via_hmov = false };
+           ignore
+             (data_access t ~addr ~bytes ~write:true ~value:(mask_width w (src_value t s)))
+         | Instr.Hload (n, w, d, m) ->
+           let bytes = Instr.width_bytes w in
+           let addr = hmov_resolve t ~region:n m ~bytes ~write:false in
+           mem_acc := Some { addr; bytes; write = false; via_hmov = true };
+           set_reg t d (hmov_paged_access t ~addr ~bytes ~write:false ~value:0)
+         | Instr.Hstore (n, w, m, s) ->
+           let bytes = Instr.width_bytes w in
+           let addr = hmov_resolve t ~region:n m ~bytes ~write:true in
+           mem_acc := Some { addr; bytes; write = true; via_hmov = true };
+           ignore
+             (hmov_paged_access t ~addr ~bytes ~write:true
+                ~value:(mask_width w (src_value t s)))
+         | Instr.Lea (d, m) -> set_reg t d (effective_address t m)
+         | Instr.Alu (op, d, s) -> set_reg t d (alu op (get_reg t d) (src_value t s))
+         | Instr.Cmp (d, s) -> t.cmp <- (get_reg t d, src_value t s)
+         | Instr.Cmp_mem (d, m) ->
+           let addr = effective_address t m in
+           mem_acc := Some { addr; bytes = 8; write = false; via_hmov = false };
+           t.cmp <- (get_reg t d, data_access t ~addr ~bytes:8 ~write:false ~value:0)
+         | Instr.Jmp tgt ->
+           next := tgt;
+           branch := Some { kind = Uncond; taken = true; target = tgt; fallthrough }
+         | Instr.Jcc (c, tgt) ->
+           let a, b = t.cmp in
+           let taken = Instr.eval_cond c a b in
+           if taken then next := tgt;
+           branch := Some { kind = Cond; taken; target = !next; fallthrough }
+         | Instr.Jmp_ind r -> begin
+           let a = get_reg t r in
+           match index_of_addr t a with
+           | Some i ->
+             next := i;
+             branch := Some { kind = Indirect; taken = true; target = i; fallthrough }
+           | None -> raise (Trap_exn (Msr.Hardware_fault a))
+         end
+         | Instr.Call tgt ->
+           let rsp = get_reg t Reg.RSP - 8 in
+           set_reg t Reg.RSP rsp;
+           mem_acc := Some { addr = rsp; bytes = 8; write = true; via_hmov = false };
+           ignore
+             (data_access t ~addr:rsp ~bytes:8 ~write:true ~value:(addr_of_index t fallthrough));
+           next := tgt;
+           branch := Some { kind = Call_k; taken = true; target = tgt; fallthrough }
+         | Instr.Call_ind r -> begin
+           let a = get_reg t r in
+           match index_of_addr t a with
+           | Some i ->
+             let rsp = get_reg t Reg.RSP - 8 in
+             set_reg t Reg.RSP rsp;
+             mem_acc := Some { addr = rsp; bytes = 8; write = true; via_hmov = false };
+             ignore
+               (data_access t ~addr:rsp ~bytes:8 ~write:true
+                  ~value:(addr_of_index t fallthrough));
+             next := i;
+             branch := Some { kind = Call_k; taken = true; target = i; fallthrough }
+           | None -> raise (Trap_exn (Msr.Hardware_fault a))
+         end
+         | Instr.Ret -> begin
+           let rsp = get_reg t Reg.RSP in
+           mem_acc := Some { addr = rsp; bytes = 8; write = false; via_hmov = false };
+           let ra = data_access t ~addr:rsp ~bytes:8 ~write:false ~value:0 in
+           set_reg t Reg.RSP (rsp + 8);
+           match index_of_addr t ra with
+           | Some i ->
+             next := i;
+             branch := Some { kind = Ret_k; taken = true; target = i; fallthrough }
+           | None -> raise (Trap_exn (Msr.Hardware_fault ra))
+         end
+         | Instr.Push r ->
+           let rsp = get_reg t Reg.RSP - 8 in
+           set_reg t Reg.RSP rsp;
+           mem_acc := Some { addr = rsp; bytes = 8; write = true; via_hmov = false };
+           ignore (data_access t ~addr:rsp ~bytes:8 ~write:true ~value:(get_reg t r))
+         | Instr.Pop r ->
+           let rsp = get_reg t Reg.RSP in
+           mem_acc := Some { addr = rsp; bytes = 8; write = false; via_hmov = false };
+           set_reg t r (data_access t ~addr:rsp ~bytes:8 ~write:false ~value:0);
+           set_reg t Reg.RSP (rsp + 8)
+         | Instr.Syscall -> begin
+           let number = get_reg t Reg.RAX in
+           match Hfi.on_syscall t.hfi ~number with
+           | `Allow ->
+             let result =
+               Kernel.dispatch t.kernel ~number ~arg0:(get_reg t Reg.RDI)
+                 ~arg1:(get_reg t Reg.RSI) ~arg2:(get_reg t Reg.RDX)
+             in
+             set_reg t Reg.RAX result
+           | `Redirect h -> begin
+             (* §4.4: the syscall becomes a jump to the exit handler; the
+                resume point is preserved for hfi_reenter. *)
+             t.resume <- Some fallthrough;
+             match index_of_addr t h with
+             | Some i -> next := i
+             | None -> raise (Trap_exn (Msr.Hardware_fault h))
+           end
+           | `Fault -> raise (Trap_exn (Msr.Syscall_trap number))
+         end
+         | Instr.Hfi_enter spec -> begin
+           match Hfi.exec_enter t.hfi spec with
+           | Hfi.Continue -> ()
+           | Hfi.Jump a -> begin
+             match index_of_addr t a with
+             | Some i -> next := i
+             | None -> raise (Trap_exn (Msr.Hardware_fault a))
+           end
+           | Hfi.Trap r -> raise (Trap_exn r)
+         end
+         | Instr.Hfi_exit -> begin
+           match Hfi.exec_exit t.hfi with
+           | Hfi.Continue -> ()
+           | Hfi.Jump a -> begin
+             match index_of_addr t a with
+             | Some i -> next := i
+             | None -> raise (Trap_exn (Msr.Hardware_fault a))
+           end
+           | Hfi.Trap r -> raise (Trap_exn r)
+         end
+         | Instr.Hfi_reenter -> begin
+           match Hfi.exec_reenter t.hfi with
+           | Hfi.Continue -> begin
+             match t.resume with
+             | Some i ->
+               next := i;
+               t.resume <- None
+             | None -> ()
+           end
+           | Hfi.Jump a -> begin
+             match index_of_addr t a with
+             | Some i -> next := i
+             | None -> raise (Trap_exn (Msr.Hardware_fault a))
+           end
+           | Hfi.Trap r -> raise (Trap_exn r)
+         end
+         | Instr.Hfi_set_region (slot, r) -> begin
+           match Hfi.exec_set_region t.hfi ~slot r with
+           | Hfi.Continue -> ()
+           | Hfi.Jump _ -> ()
+           | Hfi.Trap reason -> raise (Trap_exn reason)
+         end
+         | Instr.Hfi_clear_region slot -> begin
+           match Hfi.exec_clear_region t.hfi ~slot with
+           | Hfi.Continue | Hfi.Jump _ -> ()
+           | Hfi.Trap reason -> raise (Trap_exn reason)
+         end
+         | Instr.Hfi_clear_all_regions -> begin
+           match Hfi.exec_clear_all t.hfi with
+           | Hfi.Continue | Hfi.Jump _ -> ()
+           | Hfi.Trap reason -> raise (Trap_exn reason)
+         end
+         | Instr.Hfi_get_region (slot, d) -> begin
+           match Hfi.exec_get_region t.hfi ~slot with
+           | Ok v -> set_reg t d v
+           | Error reason -> raise (Trap_exn reason)
+         end
+         | Instr.Cpuid ->
+           set_reg t Reg.RAX 0;
+           set_reg t Reg.RBX 0;
+           set_reg t Reg.RCX 0;
+           set_reg t Reg.RDX 0
+         | Instr.Rdtsc d -> set_reg t d (t.now ())
+         | Instr.Rdmsr d -> set_reg t d (Msr.encode (Hfi.exit_reason t.hfi))
+         | Instr.Clflush m -> t.on_flush (effective_address t m)
+         | Instr.Mfence | Instr.Nop -> ()
+         | Instr.Halt -> t.status_ <- Halted
+       with Trap_exn reason -> begin
+         signal := Some reason;
+         t.last_signal <- Some reason;
+         match t.signal_handler with
+         | Some h -> next := h
+         | None -> t.status_ <- Faulted reason
+       end);
+      let drains = (Hfi.stats t.hfi).Hfi.drains - drains0 in
+      let serializing =
+        drains > 0 || (match ins with Instr.Cpuid | Instr.Mfence -> true | _ -> false)
+      in
+      let info =
+        {
+          index;
+          instr = ins;
+          mem = !mem_acc;
+          branch = !branch;
+          serializing;
+          kernel_cycles = Kernel.cycles t.kernel -. kcycles0;
+          signal = !signal;
+        }
+      in
+      (match t.status_ with Running -> t.pc <- !next | Halted | Faulted _ -> ());
+      observe info;
+      t.status_
+    end
+
+let run ?(fuel = max_int) t observe =
+  let remaining = ref fuel in
+  let rec go () =
+    if !remaining <= 0 then t.status_
+    else begin
+      match step t observe with
+      | Running ->
+        decr remaining;
+        go ()
+      | (Halted | Faulted _) as s -> s
+    end
+  in
+  go ()
+
+type spec_effects = {
+  spec_fetch : int -> unit;
+  spec_mem : addr:int -> write:bool -> unit;
+}
+
+(* Wrong-path (transient) execution: shadow registers, suppressed stores,
+   no architectural commits. HFI checks gate cache effects exactly as the
+   hardware would: a failed check produces no cache-visible access. A
+   transient hfi_exit in an *unserialized* sandbox disables checking for
+   the remainder of the window — the attack §3.4's serialization (and the
+   switch-on-exit extension) exists to prevent. *)
+let speculate t ~start ~fuel effects =
+  let sregs = Array.copy t.regs in
+  let get r = sregs.(Reg.index r) in
+  let set r v = sregs.(Reg.index r) <- v in
+  let sval = function Instr.Imm i -> i | Instr.Reg r -> get r in
+  let ea (m : Instr.mem) =
+    let base = match m.base with Some r -> get r | None -> 0 in
+    let index = match m.index with Some r -> get r | None -> 0 in
+    base + (index * m.scale) + m.disp
+  in
+  let scmp = ref t.cmp in
+  (* Transient view of the HFI enable bit; region registers are read from
+     the architectural state (speculation does not retire updates). *)
+  let hfi_on = ref (Hfi.enabled t.hfi) in
+  let spec_of = Hfi.current_spec t.hfi in
+  let serialized_sandbox =
+    match spec_of with
+    | Some s -> s.Hfi_iface.is_serialized || s.Hfi_iface.switch_on_exit
+    | None -> false
+  in
+  let executed = ref 0 in
+  let pc = ref start in
+  let stop = ref false in
+  let check_data addr bytes acc =
+    if not !hfi_on then true
+    else begin
+      match Hfi.check_data_access t.hfi ~addr ~bytes acc with Ok () -> true | Error _ -> false
+    end
+  in
+  let mem_ok addr = Addr_space.perm_at t.mem_ addr <> None in
+  while (not !stop) && !executed < fuel && !pc >= 0 && !pc < Program.length t.prog do
+    let ins = Program.get t.prog !pc in
+    (* Decode-stage code-region gate (§4.1): out-of-region transient
+       instructions become faulting NOPs and never execute. *)
+    if !hfi_on && Hfi.check_ifetch t.hfi ~addr:(addr_of_index t !pc) <> Ok () then stop := true
+    else begin
+    effects.spec_fetch (addr_of_index t !pc);
+    incr executed;
+    let next = ref (!pc + 1) in
+    (match ins with
+    | Instr.Mov (d, s) -> set d (sval s)
+    | Instr.Load (w, d, m) ->
+      let addr = ea m in
+      let bytes = Instr.width_bytes w in
+      if check_data addr bytes `Read && mem_ok addr then begin
+        effects.spec_mem ~addr ~write:false;
+        set d (Addr_space.peek t.mem_ ~addr ~bytes)
+      end
+      else stop := true (* faulting transient load yields no value *)
+    | Instr.Store (_, m, _) ->
+      let addr = ea m in
+      (* Stores sit in the store buffer; no cache update pre-commit. *)
+      if not (check_data addr 1 `Write) then stop := true
+    | Instr.Hload (n, w, d, m) -> begin
+      let bytes = Instr.width_bytes w in
+      let index_value = match m.index with Some r -> get r | None -> 0 in
+      match
+        Hfi.check_hmov t.hfi ~region:n ~index_value ~scale:m.scale ~disp:m.disp ~bytes
+          ~write:false
+      with
+      | Ok addr when mem_ok addr ->
+        effects.spec_mem ~addr ~write:false;
+        set d (Addr_space.peek t.mem_ ~addr ~bytes)
+      | Ok _ | Error _ -> stop := true
+    end
+    | Instr.Hstore (_, _, _, _) -> ()
+    | Instr.Lea (d, m) -> set d (ea m)
+    | Instr.Alu (op, d, s) -> begin
+      match op with
+      | Instr.Div when sval s = 0 -> stop := true
+      | _ -> set d (alu op (get d) (sval s))
+    end
+    | Instr.Cmp (d, s) -> scmp := (get d, sval s)
+    | Instr.Cmp_mem (d, m) ->
+      let addr = ea m in
+      if mem_ok addr && check_data addr 8 `Read then begin
+        effects.spec_mem ~addr ~write:false;
+        scmp := (get d, Addr_space.peek t.mem_ ~addr ~bytes:8)
+      end
+      else stop := true
+    | Instr.Jmp tgt -> next := tgt
+    | Instr.Jcc (c, tgt) ->
+      let a, b = !scmp in
+      if Instr.eval_cond c a b then next := tgt
+    | Instr.Jmp_ind r -> begin
+      match index_of_addr t (get r) with Some i -> next := i | None -> stop := true
+    end
+    | Instr.Call tgt ->
+      set Reg.RSP (get Reg.RSP - 8);
+      next := tgt
+    | Instr.Call_ind r -> begin
+      set Reg.RSP (get Reg.RSP - 8);
+      match index_of_addr t (get r) with Some i -> next := i | None -> stop := true
+    end
+    | Instr.Ret -> begin
+      let rsp = get Reg.RSP in
+      if mem_ok rsp && check_data rsp 8 `Read then begin
+        effects.spec_mem ~addr:rsp ~write:false;
+        let ra = Addr_space.peek t.mem_ ~addr:rsp ~bytes:8 in
+        set Reg.RSP (rsp + 8);
+        match index_of_addr t ra with Some i -> next := i | None -> stop := true
+      end
+      else stop := true
+    end
+    | Instr.Push r ->
+      ignore r;
+      set Reg.RSP (get Reg.RSP - 8)
+    | Instr.Pop r ->
+      let rsp = get Reg.RSP in
+      if mem_ok rsp && check_data rsp 8 `Read then begin
+        effects.spec_mem ~addr:rsp ~write:false;
+        set r (Addr_space.peek t.mem_ ~addr:rsp ~bytes:8);
+        set Reg.RSP (rsp + 8)
+      end
+      else stop := true
+    | Instr.Syscall ->
+      (* Syscalls do not execute speculatively. *)
+      stop := true
+    | Instr.Hfi_enter spec ->
+      if spec.Hfi_iface.is_serialized then stop := true else hfi_on := true
+    | Instr.Hfi_exit ->
+      (* The §3.4 risk: an unserialized transient hfi_exit disables
+         checking on the wrong path. Serialization (or switch-on-exit)
+         stops speculation here instead. *)
+      if serialized_sandbox then stop := true else hfi_on := false
+    | Instr.Hfi_reenter -> stop := true
+    | Instr.Hfi_set_region _ | Instr.Hfi_clear_region _ | Instr.Hfi_clear_all_regions ->
+      stop := true
+    | Instr.Hfi_get_region (_, d) -> set d 0
+    | Instr.Cpuid | Instr.Mfence -> stop := true
+    | Instr.Rdtsc d -> set d (t.now ())
+    | Instr.Rdmsr d -> set d (Msr.encode (Hfi.exit_reason t.hfi))
+    | Instr.Clflush _ -> ()
+    | Instr.Nop -> ()
+    | Instr.Halt -> stop := true);
+    if not !stop then pc := !next
+    end
+  done;
+  !executed

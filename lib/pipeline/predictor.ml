@@ -1,0 +1,72 @@
+type config = { pht_bits : int; btb_entries : int; ras_depth : int }
+
+let default_config = { pht_bits = 12; btb_entries = 512; ras_depth = 16 }
+
+type t = {
+  cfg : config;
+  pht : int array;  (* 2-bit saturating counters *)
+  mutable history : int;
+  btb_tags : int array;
+  btb_targets : int array;
+  ras : int array;
+  mutable ras_top : int;
+  mutable cond_lookups : int;
+  mutable cond_miss : int;
+  mutable ind_miss : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    pht = Array.make (1 lsl config.pht_bits) 1 (* weakly not-taken *);
+    history = 0;
+    btb_tags = Array.make config.btb_entries (-1);
+    btb_targets = Array.make config.btb_entries 0;
+    ras = Array.make config.ras_depth 0;
+    ras_top = 0;
+    cond_lookups = 0;
+    cond_miss = 0;
+    ind_miss = 0;
+  }
+
+let pht_index t ~pc =
+  let mask = (1 lsl t.cfg.pht_bits) - 1 in
+  (pc lxor t.history) land mask
+
+let predict_cond t ~pc =
+  t.cond_lookups <- t.cond_lookups + 1;
+  t.pht.(pht_index t ~pc) >= 2
+
+let update_cond t ~pc ~taken =
+  let i = pht_index t ~pc in
+  let c = t.pht.(i) in
+  t.pht.(i) <- (if taken then Stdlib.min 3 (c + 1) else Stdlib.max 0 (c - 1));
+  t.history <- ((t.history lsl 1) lor if taken then 1 else 0) land ((1 lsl t.cfg.pht_bits) - 1)
+
+let btb_index t ~pc = pc mod t.cfg.btb_entries
+
+let predict_indirect t ~pc =
+  let i = btb_index t ~pc in
+  if t.btb_tags.(i) = pc then Some t.btb_targets.(i) else None
+
+let update_indirect t ~pc ~target =
+  let i = btb_index t ~pc in
+  t.btb_tags.(i) <- pc;
+  t.btb_targets.(i) <- target
+
+let push_ras t v =
+  t.ras.(t.ras_top mod t.cfg.ras_depth) <- v;
+  t.ras_top <- t.ras_top + 1
+
+let pop_ras t =
+  if t.ras_top = 0 then None
+  else begin
+    t.ras_top <- t.ras_top - 1;
+    Some t.ras.(t.ras_top mod t.cfg.ras_depth)
+  end
+
+let cond_lookups t = t.cond_lookups
+let cond_mispredicts t = t.cond_miss
+let note_cond_mispredict t = t.cond_miss <- t.cond_miss + 1
+let indirect_mispredicts t = t.ind_miss
+let note_indirect_mispredict t = t.ind_miss <- t.ind_miss + 1

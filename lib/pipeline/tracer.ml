@@ -1,0 +1,71 @@
+type entry = {
+  seq : int;
+  index : int;
+  disasm : string;
+  reg_writes : (Reg.t * int) list;
+  mem : Machine.access option;
+  signal : Msr.t option;
+}
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%6d  @%-5d %-40s" e.seq e.index e.disasm;
+  List.iter (fun (r, v) -> Format.fprintf ppf " %s=%d" (Reg.to_string r) v) e.reg_writes;
+  (match e.mem with
+  | Some a ->
+    Format.fprintf ppf "  [%s 0x%x/%d%s]"
+      (if a.Machine.write then "store" else "load")
+      a.Machine.addr a.Machine.bytes
+      (if a.Machine.via_hmov then " hmov" else "")
+  | None -> ());
+  match e.signal with
+  | Some s -> Format.fprintf ppf "  !! signal: %a" Msr.pp s
+  | None -> ()
+
+let trace ?(limit = 200) m =
+  let entries = ref [] in
+  let seq = ref 0 in
+  let continue = ref true in
+  while !continue && !seq < limit do
+    let before = Array.copy (Machine.regs m) in
+    let recorded = ref None in
+    (match
+       Machine.step m (fun info ->
+           incr seq;
+           let writes =
+             List.filter_map
+               (fun r ->
+                 let v = Machine.get_reg m r in
+                 if v <> before.(Reg.index r) then Some (r, v) else None)
+               (Instr.writes info.Machine.instr)
+           in
+           recorded :=
+             Some
+               {
+                 seq = !seq;
+                 index = info.Machine.index;
+                 disasm = Instr.to_string info.Machine.instr;
+                 reg_writes = writes;
+                 mem = info.Machine.mem;
+                 signal = info.Machine.signal;
+               })
+     with
+    | Machine.Running -> ()
+    | Machine.Halted | Machine.Faulted _ -> continue := false);
+    match !recorded with Some e -> entries := e :: !entries | None -> continue := false
+  done;
+  List.rev !entries
+
+let pp_result ppf (r : Cycle_engine.result) =
+  let ipc = if r.Cycle_engine.cycles > 0.0 then float_of_int r.Cycle_engine.instrs /. r.Cycle_engine.cycles else 0.0 in
+  Format.fprintf ppf
+    "cycles: %s@ instructions: %d (IPC %.2f)@ i-cache misses: %d@ d-cache misses: %d@ dTLB \
+     misses: %d@ mispredicts: %d cond + %d indirect@ drains: %d@ transient instructions: %d@ \
+     status: %s"
+    (Hfi_util.Units.pp_cycles r.Cycle_engine.cycles)
+    r.Cycle_engine.instrs ipc r.Cycle_engine.icache_misses r.Cycle_engine.dcache_misses
+    r.Cycle_engine.dtlb_misses r.Cycle_engine.cond_mispredicts r.Cycle_engine.indirect_mispredicts
+    r.Cycle_engine.drains r.Cycle_engine.transient_instrs
+    (match r.Cycle_engine.status with
+    | Machine.Halted -> "halted"
+    | Machine.Running -> "running"
+    | Machine.Faulted m -> "faulted: " ^ Msr.to_string m)

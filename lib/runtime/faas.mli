@@ -1,0 +1,43 @@
+(** The Rocket-webserver FaaS model behind Table 1: closed-loop load of
+    [concurrency] clients against a single worker serving Wasm tenant
+    functions, under three Spectre-protection configurations.
+
+    Per-request service time is grounded in execution: the tenant kernel
+    is run once on the fast engine and its cycle count scaled to the
+    paper's request magnitude; protection mechanisms then add their
+    modeled costs —
+
+    - [Unsafe]: stock Lucet, no Spectre protection;
+    - [Hfi_protection]: HFI native sandbox around the tenant — region
+      setup plus two serialized transitions per connection (§6.5), no
+      instruction-stream changes;
+    - [Swivel_protection]: Swivel-SFI compilation — the per-workload
+      execution factor and binary bloat of {!Hfi_sfi.Swivel}.
+
+    Latency variability is a lognormal service jitter; the p99 tail is
+    measured from the simulated samples, as apache-bench would report. *)
+
+type protection = Unsafe | Hfi_protection | Swivel_protection
+
+val protection_name : protection -> string
+
+type result = {
+  avg_ms : float;
+  tail_ms : float;  (** p99 *)
+  throughput_rps : float;
+  binary_bytes : int;
+}
+
+val serve :
+  ?requests:int ->
+  ?seed:int ->
+  Hfi_workloads.Faas_workloads.t ->
+  protection ->
+  result
+
+val run_table1 :
+  ?requests:int ->
+  ?seed:int ->
+  unit ->
+  (string * (protection * result) list) list
+(** All four workloads under all three configurations. *)

@@ -1,0 +1,168 @@
+let code_base = 0x40_0000
+let code_size = 2 * 1024 * 1024
+let stack_base = 0x1000_0000
+let stack_size = 1024 * 1024
+let data_base = 0x3000_0000
+let data_size_default = 1024 * 1024
+
+(* The handler sits right after the entry jump, so its byte address is
+   known when the hfi_enter parameters are emitted. *)
+let handler_addr = code_base + Instr.length (Instr.Jmp 0)
+
+type t = {
+  machine : Machine.t;
+  kernel : Kernel.t;
+  hfi : Hfi.t;
+}
+
+let code_region : Hfi_iface.region =
+  Hfi_iface.Implicit_code
+    { base_prefix = code_base; lsb_mask = code_size - 1; permission_exec = true }
+
+let stack_region : Hfi_iface.region =
+  Hfi_iface.Implicit_data
+    { base_prefix = stack_base; lsb_mask = stack_size - 1; permission_read = true; permission_write = true }
+
+let data_region size : Hfi_iface.region =
+  Hfi_iface.Implicit_data
+    { base_prefix = data_base; lsb_mask = size - 1; permission_read = true; permission_write = true }
+
+(* Share one host buffer in place through a byte-granular small explicit
+   region on hmov1 (§3.2): no copying, no allocator changes, and the
+   sandbox can touch exactly [len] bytes of it. *)
+let shared_object_region ~addr ~len : Hfi_iface.region =
+  Hfi_iface.Explicit_data
+    { base_address = addr; bound = len; permission_read = true; permission_write = true; is_large_region = false }
+
+let shared_object_slot = Hfi_isa.Hfi_iface.slot_of_explicit_index 1
+
+let emit_runtime ?(sandboxed = true) ?shared_object ~data_bytes b payload =
+  let open Instr in
+  let e = Program.Asm.emit b in
+  Program.Asm.jmp b "entry";
+  (* Exit handler (§3.3.2): disambiguate via the MSR. *)
+  Program.Asm.label b "exit_handler";
+  e (Rdmsr Reg.RBX);
+  e (Cmp (Reg.RBX, Imm 0x100));
+  Program.Asm.jcc b Lt "check_exit";
+  (* Trapped syscall: mediate — here, allow — and resume the sandbox. *)
+  e Syscall;
+  e Hfi_reenter;
+  Program.Asm.label b "check_exit";
+  e (Cmp (Reg.RBX, Imm 1));
+  Program.Asm.jcc b Eq "teardown";
+  (* Violations and faults land here via the OS signal path. *)
+  e (Mov (Reg.RAX, Imm (-2)));
+  e Halt;
+  Program.Asm.label b "teardown";
+  e Halt;
+  Program.Asm.label b "entry";
+  if sandboxed then begin
+    e (Hfi_set_region (0, code_region));
+    e (Hfi_set_region (2, stack_region));
+    e (Hfi_set_region (3, data_region data_bytes));
+    (match shared_object with
+    | Some (addr, len) -> e (Hfi_set_region (shared_object_slot, shared_object_region ~addr ~len))
+    | None -> ());
+    e
+      (Hfi_enter
+         {
+           Hfi_iface.is_hybrid = false;
+           is_serialized = true;
+           switch_on_exit = false;
+           exit_handler = Some handler_addr;
+         })
+  end;
+  payload b;
+  if not sandboxed then begin
+    (* Unsandboxed builds fall through instead of exiting via HFI. *)
+    e Halt
+  end
+
+let build_program ?(sandboxed = true) ?shared_object ~data_bytes payload =
+  let b = Program.Asm.create () in
+  emit_runtime ~sandboxed ?shared_object ~data_bytes b payload;
+  Program.Asm.assemble b
+
+let round_pow2 v =
+  let rec go p = if p >= v then p else go (p * 2) in
+  go 4096
+
+let build ?(data_bytes = data_size_default) ?shared_object ~payload () =
+  let data_bytes = round_pow2 data_bytes in
+  let mem = Addr_space.create () in
+  let kernel = Kernel.create mem in
+  let hfi = Hfi.create () in
+  let prog = build_program ?shared_object ~data_bytes payload in
+  Addr_space.mmap mem ~addr:code_base ~len:code_size Perm.rx;
+  Addr_space.mmap mem ~addr:stack_base ~len:stack_size Perm.rw;
+  Addr_space.mmap mem ~addr:data_base ~len:data_bytes Perm.rw;
+  let machine = Machine.create ~prog ~code_base ~mem ~kernel ~hfi ~entry:0 () in
+  Machine.set_reg machine Reg.RSP (stack_base + stack_size - 4096);
+  { machine; kernel; hfi }
+
+let machine t = t.machine
+let kernel t = t.kernel
+let hfi t = t.hfi
+
+let run ?fuel t =
+  let e = Fast_engine.create t.machine in
+  let status = Fast_engine.run ?fuel e in
+  (Fast_engine.cycles e, status)
+
+let run_cycle ?fuel t =
+  let e = Cycle_engine.create t.machine in
+  ignore (Cycle_engine.run ?fuel e);
+  Cycle_engine.result e
+
+type syscall_bench_mode = Hfi_interposition | Seccomp_filter | Unprotected
+
+(* §6.4.1: open a file, read it, close it, [iterations] times. *)
+let syscall_payload ~iterations b =
+  let open Instr in
+  let e = Program.Asm.emit b in
+  e (Mov (Reg.R9, Imm 0));
+  Program.Asm.label b "payload_loop";
+  e (Mov (Reg.RAX, Imm (Syscall.number Syscall.Open)));
+  e (Mov (Reg.RDI, Imm 1));
+  e Syscall;
+  e (Mov (Reg.R8, Reg Reg.RAX));
+  e (Mov (Reg.RAX, Imm (Syscall.number Syscall.Read)));
+  e (Mov (Reg.RDI, Reg Reg.R8));
+  e (Mov (Reg.RSI, Imm data_base));
+  e (Mov (Reg.RDX, Imm 256));
+  e Syscall;
+  e (Mov (Reg.RAX, Imm (Syscall.number Syscall.Close)));
+  e (Mov (Reg.RDI, Reg Reg.R8));
+  e Syscall;
+  e (Alu (Add, Reg.R9, Imm 1));
+  e (Cmp (Reg.R9, Imm iterations));
+  Program.Asm.jcc b Lt "payload_loop";
+  e (Mov (Reg.RAX, Imm 0));
+  e Hfi_exit
+
+let syscall_benchmark ~mode ~iterations =
+  let sandboxed = mode = Hfi_interposition in
+  let mem = Addr_space.create () in
+  let kernel = Kernel.create mem in
+  Kernel.add_file kernel ~id:1 ~content:(String.make 256 'x');
+  if mode = Seccomp_filter then begin
+    let filter =
+      Hfi_sfi.Seccomp.create
+        ~allowed:[ Syscall.Open; Syscall.Read; Syscall.Close; Syscall.Exit_group ]
+    in
+    Hfi_sfi.Seccomp.install filter kernel
+  end;
+  let hfi = Hfi.create () in
+  let prog = build_program ~sandboxed ~data_bytes:4096 (syscall_payload ~iterations) in
+  Addr_space.mmap mem ~addr:code_base ~len:code_size Perm.rx;
+  Addr_space.mmap mem ~addr:stack_base ~len:stack_size Perm.rw;
+  Addr_space.mmap mem ~addr:data_base ~len:4096 Perm.rw;
+  let machine = Machine.create ~prog ~code_base ~mem ~kernel ~hfi ~entry:0 () in
+  Machine.set_reg machine Reg.RSP (stack_base + stack_size - 4096);
+  let e = Fast_engine.create machine in
+  (match Fast_engine.run e with
+  | Machine.Halted -> ()
+  | Machine.Faulted m -> failwith ("syscall_benchmark faulted: " ^ Msr.to_string m)
+  | Machine.Running -> failwith "syscall_benchmark did not finish");
+  Fast_engine.cycles e

@@ -1,0 +1,53 @@
+(** Trusted runtime for HFI's *native* sandbox type (§3.3): sandbox
+    unmodified native payloads with no recompilation. The runtime
+    assembles a host program around the payload:
+
+    - springboard: configure implicit code/data regions over the
+      payload's code, stack, and data windows, install the exit handler,
+      [hfi_enter] with the native (locked) configuration;
+    - exit handler: read the exit-reason MSR with [rdmsr]; for a trapped
+      syscall, perform the call on the payload's behalf (complete
+      mediation, §3.1) and [hfi_reenter]; for [hfi_exit], fall through to
+      teardown;
+    - payload: arbitrary instructions emitted by the caller — they run
+      with HFI's region checks and syscall interposition applied.
+
+    This module also builds the §6.4.1 syscall-interposition benchmark
+    (open/read/close × N) in three configurations: HFI native sandbox,
+    seccomp-bpf filtering, and unprotected. *)
+
+type t
+
+val build :
+  ?data_bytes:int ->
+  ?shared_object:int * int ->
+  payload:(Program.Asm.builder -> unit) ->
+  unit ->
+  t
+(** Assemble runtime + payload. The payload builder may use labels
+    prefixed ["payload_"] and should end with [Instr.Hfi_exit]. The
+    payload's data window is mapped rw at {!data_base} and granted via an
+    implicit data region.
+
+    [shared_object (addr, len)] shares one host buffer *in place* with
+    the sandbox through a byte-granular small explicit region on [hmov1]
+    (§3.2) — the payload addresses it as offsets 0..len-1, no copying or
+    allocator changes on the host side. *)
+
+val data_base : int
+val data_size_default : int
+
+val machine : t -> Machine.t
+val kernel : t -> Kernel.t
+val hfi : t -> Hfi.t
+
+val run : ?fuel:int -> t -> float * Machine.status
+(** Execute on the fast engine. *)
+
+val run_cycle : ?fuel:int -> t -> Cycle_engine.result
+
+type syscall_bench_mode = Hfi_interposition | Seccomp_filter | Unprotected
+
+val syscall_benchmark : mode:syscall_bench_mode -> iterations:int -> float
+(** Total cycles for the open/read/close loop of §6.4.1 under the given
+    interposition mechanism. *)

@@ -1,0 +1,75 @@
+type process_status = Ready | Finished | Killed of Msr.t
+
+type process = {
+  name : string;
+  machine : Machine.t;
+  engine : Fast_engine.t;
+  mutable saved : Hfi.saved option;
+  mutable status : process_status;
+}
+
+type t = {
+  mutable procs : process list;  (* in spawn order *)
+  mutable switches : int;
+  mutable switch_cycles_ : float;
+  blank : Hfi.saved;
+}
+
+(* xsave/xrstor of the 22 (+22 switch-on-exit) HFI registers costs on the
+   order of a cache line of register file traffic. *)
+let xsave_hfi_cycles = 60.0
+
+let create () = { procs = []; switches = 0; switch_cycles_ = 0.0; blank = Hfi.xsave (Hfi.create ()) }
+
+let spawn t ~name machine =
+  let engine = Fast_engine.create machine in
+  t.procs <- t.procs @ [ { name; machine; engine; saved = None; status = Ready } ]
+
+let spawn_instance t ~name inst = spawn t ~name (Hfi_wasm.Instance.machine inst)
+
+let find t name =
+  match List.find_opt (fun p -> p.name = name) t.procs with
+  | Some p -> p
+  | None -> invalid_arg ("Scheduler: unknown process " ^ name)
+
+let run ?(quantum = 1000) ?(max_switches = 1_000_000) t =
+  let rec loop budget =
+    if budget <= 0 then failwith "Scheduler.run: switch budget exhausted";
+    match List.filter (fun p -> p.status = Ready) t.procs with
+    | [] -> ()
+    | ready ->
+      List.iter
+        (fun p ->
+          (* Switch in: the kernel restores this process's HFI registers
+             over whatever the previous process left in them (§3.3.3). *)
+          t.switches <- t.switches + 1;
+          t.switch_cycles_ <-
+            t.switch_cycles_ +. float_of_int Cost.process_context_switch +. (2.0 *. xsave_hfi_cycles);
+          (match p.saved with
+          | Some s -> Hfi.kernel_xrstor (Machine.hfi p.machine) s
+          | None -> ());
+          (match Fast_engine.run ~fuel:quantum p.engine with
+          | Machine.Running ->
+            (* Switch out: save HFI registers and surrender the core —
+               model the next process clobbering them. *)
+            p.saved <- Some (Hfi.xsave (Machine.hfi p.machine));
+            Hfi.kernel_xrstor (Machine.hfi p.machine) t.blank
+          | Machine.Halted -> p.status <- Finished
+          | Machine.Faulted reason -> p.status <- Killed reason))
+        ready;
+      loop (budget - 1)
+  in
+  loop max_switches
+
+let status t ~name = (find t name).status
+
+let result t ~name =
+  let p = find t name in
+  match p.status with
+  | Finished -> Machine.get_reg p.machine Reg.RAX
+  | Ready -> invalid_arg "Scheduler.result: still running"
+  | Killed r -> invalid_arg ("Scheduler.result: killed: " ^ Msr.to_string r)
+
+let context_switches t = t.switches
+let switch_cycles t = t.switch_cycles_
+let processes t = List.map (fun p -> p.name) t.procs

@@ -1,0 +1,38 @@
+(** OS support for HFI (§3.3.3): multiple processes use HFI concurrently;
+    on a context switch the kernel saves and restores the HFI registers
+    with the extended xsave/xrstor, like any other per-process state.
+
+    This module models a single core timesliced round-robin across
+    processes. Each process owns a machine (program + address space +
+    HFI state); the scheduler runs one for a quantum of committed
+    instructions, performs the §3.3.3 save (xsave with save-hfi-regs),
+    switches, and restores the next process's HFI registers before
+    resuming it. A process that faults is terminated; the others keep
+    running — in-process isolation composes with process isolation. *)
+
+type t
+
+type process_status = Ready | Finished | Killed of Msr.t
+
+val create : unit -> t
+
+val spawn : t -> name:string -> Machine.t -> unit
+(** Register a process around an existing machine. *)
+
+val spawn_instance : t -> name:string -> Hfi_wasm.Instance.t -> unit
+
+val run : ?quantum:int -> ?max_switches:int -> t -> unit
+(** Round-robin until every process finishes or is killed.
+    [quantum] is committed instructions per slice (default 1000). *)
+
+val status : t -> name:string -> process_status
+val result : t -> name:string -> int
+(** Final RAX of a finished process. *)
+
+val context_switches : t -> int
+
+val switch_cycles : t -> float
+(** Modeled cycles spent on context switches (process switch cost plus
+    the xsave/xrstor of HFI state). *)
+
+val processes : t -> string list

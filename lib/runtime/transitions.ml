@@ -1,0 +1,78 @@
+type kind = Springboard | Zero_cost
+
+let kind_name = function Springboard -> "springboard" | Zero_cost -> "zero-cost"
+
+(* Save area for the runtime's callee-saved registers across a visit to
+   untrusted code (the springboard cannot trust the sandbox to preserve
+   anything). *)
+let save_area = 0x1000_0000 + 0xfe000
+
+(* The springboard spills the runtime's callee-saved registers, clears
+   every caller-saved register (so no runtime state leaks into the
+   sandbox), and switches to the sandbox stack; the trampoline on the way
+   out restores everything. R11 stashes the runtime stack pointer. *)
+let emit_entry b kind ~sandbox_stack_top =
+  let open Instr in
+  let e = Program.Asm.emit b in
+  match kind with
+  | Zero_cost -> ()
+  | Springboard ->
+    List.iteri
+      (fun k r -> e (Store (W8, Instr.mem ~disp:(save_area + (8 * k)) (), Reg r)))
+      Reg.callee_saved;
+    List.iter (fun r -> if r <> Reg.R11 then e (Mov (r, Imm 0))) Reg.caller_saved;
+    e (Mov (Reg.R11, Reg Reg.RSP));
+    e (Mov (Reg.RSP, Imm sandbox_stack_top))
+
+let emit_exit b kind =
+  let open Instr in
+  let e = Program.Asm.emit b in
+  match kind with
+  | Zero_cost -> ()
+  | Springboard ->
+    e (Mov (Reg.RSP, Reg Reg.R11));
+    List.iteri
+      (fun k r -> e (Load (W8, r, Instr.mem ~disp:(save_area + (8 * k)) ())))
+      Reg.callee_saved
+
+let code_base = 0x40_0000
+
+let measure ?(iterations = 2000) kind =
+  let b = Program.Asm.create () in
+  let open Instr in
+  let e = Program.Asm.emit b in
+  e
+    (Hfi_set_region
+       ( 0,
+         Hfi_iface.Implicit_code
+           { base_prefix = code_base; lsb_mask = 0x1f_ffff; permission_exec = true } ));
+  e
+    (Hfi_set_region
+       ( 2,
+         Hfi_iface.Implicit_data
+           { base_prefix = 0x1000_0000; lsb_mask = 0xf_ffff; permission_read = true; permission_write = true } ));
+  (* callee-saved counter: the springboard clears caller-saved regs *)
+  e (Mov (Reg.RBP, Imm 0));
+  Program.Asm.label b "loop";
+  emit_entry b kind ~sandbox_stack_top:0x100e_0000;
+  e (Hfi_enter { Hfi_iface.default_hybrid_spec with is_serialized = true });
+  e (Alu (Add, Reg.RBX, Imm 1));
+  e Hfi_exit;
+  emit_exit b kind;
+  e (Alu (Add, Reg.RBP, Imm 1));
+  e (Cmp (Reg.RBP, Imm iterations));
+  Program.Asm.jcc b Lt "loop";
+  e Halt;
+  let prog = Program.Asm.assemble b in
+  let mem = Addr_space.create () in
+  let kernel = Kernel.create mem in
+  let hfi = Hfi.create () in
+  Addr_space.mmap mem ~addr:code_base ~len:0x20_0000 Perm.rx;
+  Addr_space.mmap mem ~addr:0x1000_0000 ~len:0x10_0000 Perm.rw;
+  let m = Machine.create ~prog ~code_base ~mem ~kernel ~hfi ~entry:0 () in
+  Machine.set_reg m Reg.RSP 0x100f_0000;
+  let e = Cycle_engine.create m in
+  (match Cycle_engine.run e with
+  | Machine.Halted -> ()
+  | _ -> failwith "Transitions.measure: did not halt");
+  Cycle_engine.cycles e /. float_of_int iterations

@@ -1,0 +1,28 @@
+(** Sandbox transition mechanisms (§3.3.1): HFI leaves context save and
+    restore to software, so runtimes pick the cheapest safe mechanism —
+
+    - {b springboard/trampoline}: for untrusted native code; clear the
+      caller-saved registers and switch to a dedicated stack before
+      entering, restore after;
+    - {b zero-cost}: for Wasm whose (trusted) compiler guarantees the
+      sandbox cannot misuse the caller's stack or scratch registers —
+      the transition is just the enter/exit instructions.
+
+    [measure] builds the corresponding instruction sequences around a
+    serialized hfi_enter/hfi_exit pair and times them on the cycle
+    engine, one number the FaaS and Firefox experiments lean on. *)
+
+type kind = Springboard | Zero_cost
+
+val kind_name : kind -> string
+
+val emit_entry : Program.Asm.builder -> kind -> sandbox_stack_top:int -> unit
+(** Code the runtime runs immediately before [hfi_enter]. *)
+
+val emit_exit : Program.Asm.builder -> kind -> unit
+(** Code immediately after the sandbox returns (restore the runtime's
+    stack pointer; register restoration is the caller's spill code). *)
+
+val measure : ?iterations:int -> kind -> float
+(** Modeled cycles per complete transition pair (entry code +
+    serialized enter + exit + exit code). *)

@@ -1,0 +1,82 @@
+type mode =
+  | Bounds of { base : int; size : int }
+  | Mask of { base : int; size : int }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let validate_mode = function
+  | Bounds _ -> ()
+  | Mask { base; size } ->
+    if not (is_pow2 size) then invalid_arg "Rewriter: mask size must be a power of two";
+    if base land (size - 1) <> 0 then invalid_arg "Rewriter: mask base must be size-aligned"
+
+(* Loads/stores through general memory operands get instrumented; stack
+   traffic (push/pop/call/ret) is exempt as real SFI systems keep RSP
+   valid by construction, and hmov carries its own hardware check. *)
+let needs_instrumentation = function
+  | Instr.Load _ | Instr.Store _ | Instr.Clflush _ -> true
+  | _ -> false
+
+let extra_instrs mode = match mode with Bounds _ -> 5 | Mask _ -> 3
+
+let overhead_instrs ~mode prog =
+  validate_mode mode;
+  Array.fold_left
+    (fun acc i -> if needs_instrumentation i then acc + extra_instrs mode else acc)
+    0 (Program.instrs prog)
+
+let apply ~mode ~scratch prog =
+  validate_mode mode;
+  let instrs = Program.instrs prog in
+  let n = Array.length instrs in
+  (* Pass 1: new start index of each original instruction. *)
+  let new_start = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    let sz = if needs_instrumentation instrs.(i) then 1 + extra_instrs mode else 1 in
+    new_start.(i + 1) <- new_start.(i) + sz
+  done;
+  let trap_start = new_start.(n) in
+  let remap t =
+    if t < 0 || t > n then t (* out-of-program target: leave to fault at runtime *)
+    else new_start.(t)
+  in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  let guard (m : Instr.mem) =
+    emit (Instr.Lea (scratch, m));
+    (match mode with
+    | Bounds { base; size } ->
+      emit (Instr.Cmp (scratch, Instr.Imm base));
+      emit (Instr.Jcc (Instr.Ult, trap_start));
+      emit (Instr.Cmp (scratch, Instr.Imm (base + size)));
+      emit (Instr.Jcc (Instr.Uge, trap_start))
+    | Mask { base; size } ->
+      emit (Instr.Alu (Instr.And, scratch, Instr.Imm (size - 1)));
+      emit (Instr.Alu (Instr.Or, scratch, Instr.Imm base)));
+    Instr.mem_reg scratch
+  in
+  Array.iter
+    (fun ins ->
+      match ins with
+      | Instr.Load (w, d, m) ->
+        let m' = guard m in
+        emit (Instr.Load (w, d, m'))
+      | Instr.Store (w, m, s) ->
+        (match s with
+        | Instr.Reg r when r = scratch -> invalid_arg "Rewriter: program uses scratch register"
+        | _ -> ());
+        let m' = guard m in
+        emit (Instr.Store (w, m', s))
+      | Instr.Clflush m ->
+        let m' = guard m in
+        emit (Instr.Clflush m')
+      | Instr.Jmp t -> emit (Instr.Jmp (remap t))
+      | Instr.Jcc (c, t) -> emit (Instr.Jcc (c, remap t))
+      | Instr.Call t -> emit (Instr.Call (remap t))
+      | other -> emit other)
+    instrs;
+  (* Trap block: precise-trap semantics — report and stop. Masking mode
+     never reaches it but keeping layout uniform simplifies testing. *)
+  emit (Instr.Mov (Reg.RAX, Instr.Imm (-1)));
+  emit Instr.Halt;
+  Program.of_instrs (Array.of_list (List.rev !out))

@@ -1,0 +1,22 @@
+(** Classic SFI binary rewriting (Wahbe et al., §2): instrument every
+    load/store of an existing program with either explicit bounds checks
+    (precise traps, ~2× slowdown on memory-dense code) or address masking
+    (cheaper, but converts out-of-bounds accesses into silent in-sandbox
+    corruption). Used for the native-code SFI comparisons; Wasm-level
+    checks are emitted by {!Hfi_wasm.Codegen} instead. *)
+
+type mode =
+  | Bounds of { base : int; size : int }
+      (** trap unless [base <= ea < base + size]; appends a trap block *)
+  | Mask of { base : int; size : int }
+      (** force [ea] into the region: [ (ea land (size-1)) lor base ];
+          [size] must be a power of two and [base] aligned to it *)
+
+val apply : mode:mode -> scratch:Reg.t -> Program.t -> Program.t
+(** Rewrite the program, remapping all branch targets across the inserted
+    instrumentation. [scratch] must be a register the program does not
+    use (conventionally R15). Raises [Invalid_argument] for a misaligned
+    [Mask] configuration. *)
+
+val overhead_instrs : mode:mode -> Program.t -> int
+(** Static count of instrumentation instructions [apply] would insert. *)

@@ -1,0 +1,25 @@
+type action = Allow | Trap | Kill
+
+type t = { allowed : int array }
+
+let create ~allowed = { allowed = Array.of_list (List.map Hfi_isa.Syscall.number allowed) }
+
+(* Each whitelist entry costs a load+compare+branch triple in cBPF. *)
+let instrs_per_entry = 3
+let preamble_instrs = 4 (* arch check and syscall-number load *)
+
+let evaluate t ~number =
+  let n = Array.length t.allowed in
+  let rec go i =
+    if i >= n then (Trap, preamble_instrs + (n * instrs_per_entry))
+    else if t.allowed.(i) = number then (Allow, preamble_instrs + ((i + 1) * instrs_per_entry))
+    else go (i + 1)
+  in
+  go 0
+
+let install _t kernel = Kernel.set_seccomp kernel true
+
+let per_syscall_cycles t ~number =
+  let _, instrs = evaluate t ~number in
+  (* A cBPF instruction interprets in ~4 cycles plus fixed entry glue. *)
+  float_of_int ((instrs * 4) + 40)

@@ -1,0 +1,21 @@
+(** seccomp-bpf syscall filtering — the state-of-the-art interposition
+    baseline (ERIM, §6.4.1). A filter is a whitelist evaluated by a cBPF
+    program on every syscall; evaluation cost scales with the number of
+    comparisons before a match. *)
+
+type action = Allow | Trap | Kill
+
+type t
+
+val create : allowed:Hfi_isa.Syscall.t list -> t
+(** Build a linear whitelist filter; earlier entries match faster, as in
+    a real cBPF chain. *)
+
+val evaluate : t -> number:int -> action * int
+(** Filter decision and the number of cBPF instructions executed. *)
+
+val install : t -> Kernel.t -> unit
+(** Turn on the per-syscall filter charge in the kernel model. *)
+
+val per_syscall_cycles : t -> number:int -> float
+(** Modeled evaluation cost for a given syscall. *)

@@ -1,0 +1,25 @@
+type t = Guard_pages | Bounds_checks | Masking | Hfi
+
+let all = [ Guard_pages; Bounds_checks; Masking; Hfi ]
+
+let to_string = function
+  | Guard_pages -> "guard-pages"
+  | Bounds_checks -> "bounds-checks"
+  | Masking -> "masking"
+  | Hfi -> "hfi"
+
+(* R14 holds the heap base for software schemes; R13 additionally holds
+   the heap bound for explicit bounds checks. HFI frees both (§6.1). *)
+let reserved_registers = function
+  | Guard_pages -> [ Reg.R14 ]
+  | Bounds_checks -> [ Reg.R14; Reg.R13 ]
+  | Masking -> [ Reg.R14 ]
+  | Hfi -> []
+
+let precise_traps = function
+  | Guard_pages | Bounds_checks | Hfi -> true
+  | Masking -> false
+
+let guard_region_bytes = function
+  | Guard_pages -> 4 * 1024 * 1024 * 1024
+  | Bounds_checks | Masking | Hfi -> 0

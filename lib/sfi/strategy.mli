@@ -1,0 +1,32 @@
+(** Isolation strategies compared throughout the paper's evaluation. The
+    Wasm compiler ({!Hfi_wasm.Codegen}) and the linear-memory manager
+    specialize their output on this choice. *)
+
+type t =
+  | Guard_pages
+      (** Wasm's production scheme (§2): 8 GiB reservation, 32-bit index +
+          constant offset added to a heap base kept in a reserved
+          register; out-of-bounds lands in the PROT_NONE guard. *)
+  | Bounds_checks
+      (** Conditional bounds check before every heap access; needs heap
+          base and bound in two reserved registers. *)
+  | Masking
+      (** Wahbe-style address masking: no trap semantics — out-of-bounds
+          wraps into the sandbox (unsuitable for Wasm, §2). *)
+  | Hfi  (** hmov through an explicit region; no reserved registers. *)
+
+val all : t list
+val to_string : t -> string
+
+val reserved_registers : t -> Reg.t list
+(** Registers the compiler must set aside for the scheme — the register
+    pressure the paper measures in §6.1 (heap base, and bound for
+    bounds-checking). *)
+
+val precise_traps : t -> bool
+(** Whether out-of-bounds accesses trap precisely (a Wasm requirement);
+    masking does not. *)
+
+val guard_region_bytes : t -> int
+(** Virtual address space consumed per sandbox beyond the accessible
+    heap: 4 GiB of guard for [Guard_pages], none for the others. *)

@@ -1,0 +1,21 @@
+type profile = {
+  branch_density : float;
+  indirect_density : float;
+  straightline_fraction : float;
+}
+
+(* Calibration: a fence at every indirect transfer (~30 cycles against a
+   ~4-cycle baseline block) and register/CFI glue on conditional-branch
+   dense code; long straight-line regions see a small layout benefit. *)
+let execution_factor p =
+  let fence_cost = 9.0 *. p.indirect_density in
+  let cfi_cost = 2.6 *. p.branch_density in
+  let bonus = 0.12 *. p.straightline_fraction in
+  Float.max 0.90 (1.0 +. fence_cost +. cfi_cost -. bonus)
+
+let binary_bloat_factor = 1.17
+
+let tail_inflation p =
+  (* Fences serialize the pipeline, so queueing delays compound in the
+     tail; denser control flow → fatter tail. *)
+  1.0 +. (1.5 *. p.branch_density) +. (4.0 *. p.indirect_density)

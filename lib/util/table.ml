@@ -1,0 +1,42 @@
+type align = Left | Right
+
+let render ?align ~header rows =
+  let cols = List.length header in
+  let align =
+    match align with
+    | Some a -> a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let all = header :: rows in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < cols then widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+        row)
+    all;
+  let pad i cell =
+    let w = widths.(i) in
+    let a = try List.nth align i with _ -> Right in
+    match a with
+    | Left -> Printf.sprintf "%-*s" w cell
+    | Right -> Printf.sprintf "%*s" w cell
+  in
+  let render_row row = String.concat "  " (List.mapi pad row) in
+  let rule =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)

@@ -1,0 +1,11 @@
+(** Minimal aligned ASCII table rendering used by the benchmark harness to
+    print paper-style result tables. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] renders a table with a header rule. Columns are
+    sized to the widest cell; [align] defaults to [Left] for the first
+    column and [Right] for the rest. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit

@@ -1,0 +1,23 @@
+let transform ~heap_base prog =
+  let emulate = function
+    | Instr.Hfi_enter _ | Instr.Hfi_exit | Instr.Hfi_reenter -> Instr.Cpuid
+    | Instr.Hfi_set_region _ ->
+      (* Region metadata moves from memory to registers: one load from
+         the globals area stands in for the register writes. *)
+      Instr.Load (Instr.W8, Reg.RDX, Instr.mem ~disp:Layout.globals_base ())
+    | Instr.Hfi_clear_region _ | Instr.Hfi_clear_all_regions -> Instr.Nop
+    | Instr.Hfi_get_region (_, d) -> Instr.Mov (d, Instr.Imm 0)
+    | Instr.Hload (_, w, d, m) ->
+      Instr.Load (w, d, { m with Instr.base = None; disp = m.Instr.disp + heap_base })
+    | Instr.Hstore (_, w, m, s) ->
+      Instr.Store (w, { m with Instr.base = None; disp = m.Instr.disp + heap_base }, s)
+    | other -> other
+  in
+  Program.of_instrs (Array.map emulate (Program.instrs prog))
+
+let is_emulation_instr = function
+  | Instr.Hfi_enter _ | Instr.Hfi_exit | Instr.Hfi_reenter | Instr.Hfi_set_region _
+  | Instr.Hfi_clear_region _ | Instr.Hfi_clear_all_regions | Instr.Hfi_get_region _
+  | Instr.Hload _ | Instr.Hstore _ ->
+    false
+  | _ -> true

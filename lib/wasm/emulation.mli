@@ -1,0 +1,23 @@
+(** The paper's compiler-based emulation of HFI (§5.2, appendix A.2):
+    approximate HFI's costs on hardware that lacks the extension.
+
+    - [hfi_enter]/[hfi_exit]/[hfi_reenter] → [cpuid], a serializing
+      instruction with a comparable drain;
+    - [hfi_set_region] → a load that moves region metadata from memory
+      into registers;
+    - [hmov] → a regular [mov] whose base operand is a constant
+      displacement (the fixed heap base) — freeing the base register and
+      matching hmov's reduced register pressure;
+    - remaining HFI bookkeeping instructions → [nop].
+
+    The transform is instruction-for-instruction, so branch targets are
+    unchanged. The result runs with HFI *disabled* (no protection): it is
+    a timing proxy, exactly as in the paper. Fig. 2 cross-validates it
+    against native HFI on the cycle engine. *)
+
+val transform : heap_base:int -> Program.t -> Program.t
+(** [heap_base] is folded into each former-hmov displacement. *)
+
+val is_emulation_instr : Instr.t -> bool
+(** True for instructions the transform can produce from HFI ones (used
+    in tests to confirm no HFI instruction survives). *)

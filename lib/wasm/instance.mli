@@ -1,0 +1,68 @@
+(** A runnable sandboxed Wasm module: compiled program + linear memory +
+    machine state, assembled under a chosen isolation strategy.
+
+    For the HFI strategy the emitted program mirrors §3.3: the (trusted)
+    runtime configures the code, stack, globals, and heap regions with
+    [hfi_set_region], enters a hybrid sandbox, runs the module body, and
+    exits. For software strategies the module prologue pins the heap
+    base/bound registers and runs unsandboxed (isolation comes from the
+    compiled checks or the guard reservation). *)
+
+(** A workload authored against {!Codegen}. *)
+type workload = {
+  name : string;
+  heap_bytes : int;  (** accessible heap to provision *)
+  init : Addr_space.t -> heap_base:int -> unit;  (** pre-populate memory *)
+  build : Codegen.t -> unit;
+      (** emit the body; leave the result in RAX; do not emit [Halt] *)
+  self_transitions : bool;
+      (** the body emits its own {!Codegen.emit_sandbox_enter}/exit pairs
+          (e.g. per-image-row transitions); the harness then does not wrap
+          the whole body in a sandbox entry *)
+}
+
+val workload :
+  ?heap_bytes:int ->
+  ?init:(Addr_space.t -> heap_base:int -> unit) ->
+  ?self_transitions:bool ->
+  name:string ->
+  (Codegen.t -> unit) ->
+  workload
+
+type t
+
+val instantiate :
+  strategy:Hfi_sfi.Strategy.t ->
+  ?serialized:bool ->
+  ?multithreaded:bool ->
+  ?heap_max:int ->
+  workload ->
+  t
+(** Fresh address space, kernel, HFI state, compiled program, and
+    machine. [serialized] controls the Spectre flag on HFI entries
+    (default true). [heap_max] defaults to {!Layout.heap_max}. *)
+
+val build_program : strategy:Hfi_sfi.Strategy.t -> ?serialized:bool -> workload -> Program.t
+(** Just the compiled program (for code-size reporting). *)
+
+val machine : t -> Machine.t
+val memory : t -> Linear_memory.t
+val kernel : t -> Kernel.t
+val hfi : t -> Hfi.t
+val program : t -> Program.t
+
+val run_fast : ?fuel:int -> t -> float * Machine.status
+(** Execute on the fast engine; returns total cycles (engine + kernel
+    time is already folded in) and the final status. *)
+
+val run_cycle : ?fuel:int -> ?config:Cycle_engine.config -> t -> Cycle_engine.result
+
+val result_rax : t -> int
+(** RAX after the run — the module's return value. *)
+
+val code_bytes : t -> int
+
+val instantiate_emulated : ?multithreaded:bool -> ?heap_max:int -> workload -> t
+(** The compiler-based emulation build (§5.2): compile for HFI, then
+    apply {!Emulation.transform}; runs with HFI disabled as a timing
+    proxy. Used by the Fig. 2 cross-validation. *)

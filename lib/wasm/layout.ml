@@ -1,0 +1,60 @@
+(** Standard address-space layout for a single sandboxed module. All
+    region bases are power-of-two aligned so implicit HFI regions can
+    cover them exactly, and the heap base is 4 GiB-aligned so small
+    explicit regions never straddle a 4 GiB line (§3.2). *)
+
+let code_base = 0x40_0000
+let code_region_size = 2 * 1024 * 1024 (* 2 MiB implicit code region *)
+
+let stack_region_base = 0x1000_0000
+let stack_region_size = 1024 * 1024 (* 1 MiB implicit data region *)
+let stack_top = stack_region_base + stack_region_size - 4096
+
+let globals_base = 0x2000_0000
+let globals_size = 64 * 1024
+
+(* Cell inside the globals area holding the current heap size — the
+   wasm2c instance-struct field that software bounds checks reload on
+   every access. *)
+let heap_bound_cell = globals_base + 0x8000
+
+let heap_base = 0x2_0000_0000 (* 8 GiB mark; 4 GiB-aligned *)
+let heap_max = 4 * 1024 * 1024 * 1024 (* Wasm's 4 GiB limit *)
+
+let code_region : Hfi_isa.Hfi_iface.region =
+  Hfi_isa.Hfi_iface.Implicit_code
+    { base_prefix = code_base; lsb_mask = code_region_size - 1; permission_exec = true }
+
+let stack_region : Hfi_isa.Hfi_iface.region =
+  Hfi_isa.Hfi_iface.Implicit_data
+    {
+      base_prefix = stack_region_base;
+      lsb_mask = stack_region_size - 1;
+      permission_read = true;
+      permission_write = true;
+    }
+
+let globals_region : Hfi_isa.Hfi_iface.region =
+  Hfi_isa.Hfi_iface.Implicit_data
+    {
+      base_prefix = globals_base;
+      lsb_mask = globals_size - 1;
+      permission_read = true;
+      permission_write = true;
+    }
+
+(** Explicit large region covering the accessible heap prefix. *)
+let heap_region ~size : Hfi_isa.Hfi_iface.region =
+  Hfi_isa.Hfi_iface.Explicit_data
+    {
+      base_address = heap_base;
+      bound = size;
+      permission_read = true;
+      permission_write = true;
+      is_large_region = true;
+    }
+
+(** The hmov region number used for the Wasm heap. *)
+let heap_hmov_region = 0
+
+let heap_region_slot = Hfi_isa.Hfi_iface.slot_of_explicit_index heap_hmov_region

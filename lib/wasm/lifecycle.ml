@@ -1,0 +1,88 @@
+(* Fixed instance-management costs, calibrated against the §6.3.1
+   numbers on the paper's Skylake (25.7 us stock teardown at 3.3 GHz
+   including one madvise + shootdown + this constant). *)
+let instantiate_bookkeeping = 58_000.0
+let teardown_bookkeeping = 60_000.0
+
+type t = {
+  strat : Hfi_sfi.Strategy.t;
+  kernel : Kernel.t;
+  slots : Linear_memory.t array;
+  live : bool array;
+  stride_ : int;
+  heap_bytes : int;
+  pool_base : int;
+  mutable runtime_cycles_ : float;
+}
+
+let create ~strategy ~kernel ~slots ~heap_bytes ?(pool_base = 0x10_0000_0000) () =
+  let guard = Hfi_sfi.Strategy.guard_region_bytes strategy in
+  let stride_ = heap_bytes + guard in
+  let mk i =
+    Linear_memory.reserve ~strategy ~kernel
+      ~base:(pool_base + (i * stride_))
+      ~max_bytes:heap_bytes ~initial_bytes:0 ()
+  in
+  {
+    strat = strategy;
+    kernel;
+    slots = Array.init slots mk;
+    live = Array.make slots false;
+    stride_;
+    heap_bytes;
+    pool_base;
+    runtime_cycles_ = 0.0;
+  }
+
+let slot_count t = Array.length t.slots
+let stride t = t.stride_
+let memory t i = t.slots.(i)
+
+let instantiate t i =
+  t.runtime_cycles_ <- t.runtime_cycles_ +. instantiate_bookkeeping;
+  let lm = t.slots.(i) in
+  if Linear_memory.size lm < t.heap_bytes then
+    Linear_memory.grow lm ~delta:(t.heap_bytes - Linear_memory.size lm);
+  t.live.(i) <- true
+
+let run_trivial t i ~touch_pages =
+  let lm = t.slots.(i) in
+  let mem = Kernel.address_space t.kernel in
+  let faults0 = Addr_space.minor_faults mem in
+  for p = 0 to touch_pages - 1 do
+    Addr_space.store mem ~addr:(Linear_memory.base lm + (p * 4096)) ~bytes:8 0x5a5a5a5a
+  done;
+  let faults = Addr_space.minor_faults mem - faults0 in
+  Kernel.charge t.kernel (float_of_int (faults * Cost.page_fault))
+
+let teardown_each t =
+  Array.iteri
+    (fun i lm ->
+      if t.live.(i) then begin
+        t.runtime_cycles_ <- t.runtime_cycles_ +. teardown_bookkeeping;
+        Linear_memory.teardown_madvise lm;
+        t.live.(i) <- false
+      end)
+    t.slots
+
+let teardown_batched t =
+  let n = Array.length t.slots in
+  if n > 0 then begin
+    Array.iteri
+      (fun i _ ->
+        if t.live.(i) then begin
+          t.runtime_cycles_ <- t.runtime_cycles_ +. teardown_bookkeeping;
+          t.live.(i) <- false
+        end)
+      t.slots;
+    (* One madvise over the whole pool span. With guard elision the span
+       is densely mapped heaps; without it the kernel walks the guard
+       VMAs between heaps. *)
+    let span = ((n - 1) * t.stride_) + t.heap_bytes in
+    Kernel.sys_madvise_dontneed t.kernel ~addr:t.pool_base ~len:span
+  end
+
+let runtime_cycles t = t.runtime_cycles_
+
+let reserved_bytes t =
+  Array.fold_left (fun acc lm -> acc + Linear_memory.reserved_footprint lm) 0 t.slots

@@ -1,0 +1,59 @@
+(** Wasmtime-style instance lifecycle management (§5.1, §6.3).
+
+    A pool of fixed slots holds one linear memory each, laid out
+    adjacently in the address space. Teardown discards a dead instance's
+    memory with madvise(MADV_DONTNEED):
+
+    - stock: one madvise per instance over its accessible heap;
+    - batched + guard elision (HFI): heaps are adjacent with no guard
+      regions between them, so one madvise spans many instances —
+      amortizing the syscall and its TLB shootdown;
+    - batched without elision: the span crosses every intervening 4 GiB
+      guard region, and the kernel walks those empty PTE ranges — the
+      case §6.3.1 shows is *slower* than stock.
+
+    All kernel costs accrue to the pool's {!Hfi_memory.Kernel}; the
+    fixed per-instance bookkeeping accrues to {!runtime_cycles}. *)
+
+type t
+
+val create :
+  strategy:Hfi_sfi.Strategy.t ->
+  kernel:Kernel.t ->
+  slots:int ->
+  heap_bytes:int ->
+  ?pool_base:int ->
+  unit ->
+  t
+(** Reserve [slots] adjacent linear-memory slots. Slot stride is
+    [heap_bytes] plus the strategy's guard-region footprint. *)
+
+val slot_count : t -> int
+val stride : t -> int
+val memory : t -> int -> Linear_memory.t
+
+val instantiate : t -> int -> unit
+(** Bring a slot to life: instance-allocation bookkeeping (and, for the
+    guard-pages strategy, the mprotect to make the heap accessible). *)
+
+val run_trivial : t -> int -> touch_pages:int -> unit
+(** The §6.3.1 micro-workload: write constant data into the instance's
+    heap, faulting in [touch_pages] pages. *)
+
+val teardown_each : t -> unit
+(** Stock Wasmtime: per-instance madvise. *)
+
+val teardown_batched : t -> unit
+(** One madvise spanning all slots (guard elision happens — or fails to —
+    according to the pool's layout). *)
+
+val runtime_cycles : t -> float
+(** Non-kernel per-instance bookkeeping accumulated so far. *)
+
+val reserved_bytes : t -> int
+
+(** Calibrated fixed costs (cycles) of Wasmtime's instance management,
+    exposed for the experiment report. *)
+
+val instantiate_bookkeeping : float
+val teardown_bookkeeping : float

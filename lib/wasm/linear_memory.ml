@@ -1,0 +1,115 @@
+let wasm_page = 64 * 1024
+
+(* Runtime bookkeeping on every grow, independent of the isolation
+   mechanism (size accounting, fuel checks). *)
+let grow_bookkeeping = 300.0
+
+type t = {
+  strat : Hfi_sfi.Strategy.t;
+  kernel : Kernel.t;
+  hfi : Hfi.t option;
+  base_ : int;
+  max : int;
+  guard : int;
+  mutable size_ : int;
+  mutable grow_cycles_ : float;
+}
+
+let round_up v = (v + wasm_page - 1) / wasm_page * wasm_page
+
+let reserve ~strategy ~kernel ?hfi ?(base = Layout.heap_base) ~max_bytes ~initial_bytes () =
+  let max = round_up max_bytes in
+  let initial = round_up initial_bytes in
+  if initial > max then invalid_arg "Linear_memory.reserve: initial > max";
+  let guard = Hfi_sfi.Strategy.guard_region_bytes strategy in
+  let t =
+    { strat = strategy; kernel; hfi; base_ = base; max; guard; size_ = 0; grow_cycles_ = 0.0 }
+  in
+  (match strategy with
+  | Hfi_sfi.Strategy.Guard_pages ->
+    (* Reserve everything PROT_NONE; accessibility via mprotect. *)
+    Kernel.sys_mmap_fixed kernel ~addr:base ~len:(max + guard) Perm.none;
+    if initial > 0 then Kernel.sys_mprotect kernel ~addr:base ~len:initial Perm.rw
+  | Hfi_sfi.Strategy.Bounds_checks | Hfi_sfi.Strategy.Masking | Hfi_sfi.Strategy.Hfi ->
+    (* Safety comes from software checks or HFI regions; map RW up
+       front so growth never needs the kernel. *)
+    Kernel.sys_mmap_fixed kernel ~addr:base ~len:max Perm.rw);
+  t.size_ <- initial;
+  (match (strategy, hfi) with
+  | Hfi_sfi.Strategy.Hfi, Some h ->
+    t.grow_cycles_ <- t.grow_cycles_ +. float_of_int Cost.hfi_set_region_cycles;
+    (match
+       Hfi.exec_set_region h ~slot:Layout.heap_region_slot
+         (Hfi_iface.Explicit_data
+            {
+              base_address = base;
+              bound = initial;
+              permission_read = true;
+              permission_write = true;
+              is_large_region = true;
+            })
+     with
+    | Hfi.Continue | Hfi.Jump _ -> ()
+    | Hfi.Trap r -> failwith ("Linear_memory: region setup trapped: " ^ Msr.to_string r))
+  | _ -> ());
+  t
+
+let strategy t = t.strat
+let base t = t.base_
+let size t = t.size_
+let max_bytes t = t.max
+let reserved_footprint t = t.max + t.guard
+
+let region_descriptor t =
+  Hfi_iface.Explicit_data
+    {
+      base_address = t.base_;
+      bound = t.size_;
+      permission_read = true;
+      permission_write = true;
+      is_large_region = true;
+    }
+
+let grow t ~delta =
+  let delta = round_up delta in
+  if t.size_ + delta > t.max then invalid_arg "Linear_memory.grow: beyond max";
+  t.grow_cycles_ <- t.grow_cycles_ +. grow_bookkeeping;
+  (match t.strat with
+  | Hfi_sfi.Strategy.Guard_pages ->
+    (* §6.1: the guard-pages scheme must mprotect on every grow. *)
+    Kernel.sys_mprotect t.kernel ~addr:(t.base_ + t.size_) ~len:delta Perm.rw
+  | Hfi_sfi.Strategy.Bounds_checks | Hfi_sfi.Strategy.Masking ->
+    (* Software bound update only. *)
+    ()
+  | Hfi_sfi.Strategy.Hfi -> begin
+    t.grow_cycles_ <- t.grow_cycles_ +. float_of_int Cost.hfi_set_region_cycles;
+    match t.hfi with
+    | None -> ()
+    | Some h -> begin
+      match
+        Hfi.exec_set_region h ~slot:Layout.heap_region_slot
+          (Hfi_iface.Explicit_data
+             {
+               base_address = t.base_;
+               bound = t.size_ + delta;
+               permission_read = true;
+               permission_write = true;
+               is_large_region = true;
+             })
+      with
+      | Hfi.Continue | Hfi.Jump _ -> ()
+      | Hfi.Trap r -> failwith ("Linear_memory.grow: trapped: " ^ Msr.to_string r)
+    end
+  end);
+  t.size_ <- t.size_ + delta
+
+let grow_cycles t = t.grow_cycles_
+
+let teardown_madvise t =
+  if t.size_ > 0 then Kernel.sys_madvise_dontneed t.kernel ~addr:t.base_ ~len:t.size_
+
+let release t = Kernel.sys_munmap t.kernel ~addr:t.base_ ~len:(t.max + t.guard)
+
+let touched_pages t =
+  if t.size_ = 0 then 0
+  else Addr_space.resident_pages_in (Kernel.address_space t.kernel) ~addr:t.base_ ~len:t.size_

@@ -1,0 +1,59 @@
+(** Wasm linear memory under each isolation strategy (§2, §5.1).
+
+    - guard pages: reserve heap-max plus a 4 GiB guard as PROT_NONE, then
+      mprotect the accessible prefix on every [grow] — a syscall, PTE
+      updates, and (in a threaded process) a TLB shootdown;
+    - bounds checks / masking: reserve the heap RW up front; growth is a
+      software bound update, no syscall;
+    - HFI: reserve RW up front, no guard; growth is one
+      [hfi_set_region] — the ~30× heap-growth result of §6.1.
+
+    All syscall costs flow through the {!Hfi_memory.Kernel} attached at
+    reservation time; HFI register-update costs accumulate locally. *)
+
+type t
+
+val reserve :
+  strategy:Hfi_sfi.Strategy.t ->
+  kernel:Kernel.t ->
+  ?hfi:Hfi.t ->
+  ?base:int ->
+  max_bytes:int ->
+  initial_bytes:int ->
+  unit ->
+  t
+(** Reserve the address-space slot at [base] (default {!Layout.heap_base})
+    and make [initial_bytes] accessible. For the HFI strategy, if [hfi]
+    is given the explicit heap region (slot 6 / hmov0) is configured and
+    kept in sync by [grow]. *)
+
+val strategy : t -> Hfi_sfi.Strategy.t
+val base : t -> int
+val size : t -> int
+(** Currently accessible bytes. *)
+
+val max_bytes : t -> int
+
+val reserved_footprint : t -> int
+(** Virtual address space consumed, including any guard region. *)
+
+val grow : t -> delta:int -> unit
+(** Grow the accessible prefix by [delta] bytes (rounded up to the 64 KiB
+    Wasm page). Raises [Invalid_argument] past [max_bytes]. *)
+
+val grow_cycles : t -> float
+(** Cycles spent on growth so far *outside* the kernel (runtime
+    bookkeeping + HFI register updates); kernel syscall time is in the
+    kernel's own accumulator. *)
+
+val region_descriptor : t -> Hfi_iface.region
+(** Explicit large region covering the accessible prefix. *)
+
+val teardown_madvise : t -> unit
+(** Discard contents (instance reuse), keeping the reservation. *)
+
+val release : t -> unit
+(** munmap the whole slot. *)
+
+val touched_pages : t -> int
+(** Resident 4 KiB pages in the accessible prefix. *)

@@ -1,0 +1,215 @@
+exception Invalid_module of Wasm_validate.error
+
+(* Globals live in the globals area, away from the heap-bound cell and
+   the spill slots used by synthetic workloads. *)
+let global_slot i = Layout.globals_base + 0x4000 + (8 * i)
+
+(* Sentinel RAX value for a compiled [unreachable]; distinct from the
+   codegen trap block's -1 used by software bounds checks. *)
+let unreachable_sentinel = min_int + 3
+
+let local_slot i = -8 * (i + 1)
+
+let width_of_bytes = function
+  | 1 -> Instr.W1
+  | 2 -> Instr.W2
+  | 4 -> Instr.W4
+  | 8 -> Instr.W8
+  | _ -> invalid_arg "Wasm_compile: width"
+
+let cond_of_relop = function
+  | Wasm_ir.Eq -> Instr.Eq
+  | Wasm_ir.Ne -> Instr.Ne
+  | Wasm_ir.Lt_s -> Instr.Lt
+  | Wasm_ir.Le_s -> Instr.Le
+  | Wasm_ir.Gt_s -> Instr.Gt
+  | Wasm_ir.Ge_s -> Instr.Ge
+  | Wasm_ir.Lt_u -> Instr.Ult
+  | Wasm_ir.Ge_u -> Instr.Uge
+
+let alu_of_binop = function
+  | Wasm_ir.Add -> Instr.Add
+  | Wasm_ir.Sub -> Instr.Sub
+  | Wasm_ir.Mul -> Instr.Mul
+  | Wasm_ir.Div -> Instr.Div
+  | Wasm_ir.And -> Instr.And
+  | Wasm_ir.Or -> Instr.Or
+  | Wasm_ir.Xor -> Instr.Xor
+  | Wasm_ir.Shl -> Instr.Shl
+  | Wasm_ir.Shr_u -> Instr.Shr
+
+let compile_func cg (m : Wasm_ir.module_) fidx =
+  let open Instr in
+  let f = m.Wasm_ir.funcs.(fidx) in
+  let e = Codegen.emit cg in
+  let fname k = Printf.sprintf "wf%d%s" k "" in
+  let ret_label = Printf.sprintf "wf%d_ret" fidx in
+  let nlocals = f.Wasm_ir.params + f.Wasm_ir.locals in
+  Codegen.label cg (fname fidx);
+  (* Prologue: frame, zeroed locals, parameters copied into slots. *)
+  e (Push Reg.RBP);
+  e (Mov (Reg.RBP, Reg Reg.RSP));
+  if nlocals > 0 then e (Alu (Sub, Reg.RSP, Imm (8 * nlocals)));
+  e (Mov (Reg.RDX, Imm 0));
+  for i = f.Wasm_ir.params to nlocals - 1 do
+    e (Store (W8, Instr.mem ~base:Reg.RBP ~disp:(local_slot i) (), Reg Reg.RDX))
+  done;
+  for i = 0 to f.Wasm_ir.params - 1 do
+    e (Load (W8, Reg.RDX, Instr.mem ~base:Reg.RBP ~disp:(16 + (8 * (f.Wasm_ir.params - 1 - i))) ()));
+    e (Store (W8, Instr.mem ~base:Reg.RBP ~disp:(local_slot i) (), Reg Reg.RDX))
+  done;
+  (* Body: Wasm operand stack = machine stack; RCX/RDX/R10 scratch. *)
+  let materialize_bool cond =
+    let l = Codegen.fresh_label cg "b" in
+    e (Mov (Reg.R10, Imm 1));
+    Codegen.jcc cg cond l;
+    e (Mov (Reg.R10, Imm 0));
+    Codegen.label cg l;
+    e (Push Reg.R10)
+  in
+  let rec instrs body ~labels = List.iter (fun i -> instr i ~labels) body
+  and instr ins ~labels =
+    match (ins : Wasm_ir.instr) with
+    | Wasm_ir.Const v ->
+      e (Mov (Reg.RDX, Imm v));
+      e (Push Reg.RDX)
+    | Wasm_ir.Local_get i ->
+      e (Load (W8, Reg.RDX, Instr.mem ~base:Reg.RBP ~disp:(local_slot i) ()));
+      e (Push Reg.RDX)
+    | Wasm_ir.Local_set i ->
+      e (Pop Reg.RDX);
+      e (Store (W8, Instr.mem ~base:Reg.RBP ~disp:(local_slot i) (), Reg Reg.RDX))
+    | Wasm_ir.Local_tee i ->
+      e (Pop Reg.RDX);
+      e (Store (W8, Instr.mem ~base:Reg.RBP ~disp:(local_slot i) (), Reg Reg.RDX));
+      e (Push Reg.RDX)
+    | Wasm_ir.Global_get i ->
+      e (Load (W8, Reg.RDX, Instr.mem ~disp:(global_slot i) ()));
+      e (Push Reg.RDX)
+    | Wasm_ir.Global_set i ->
+      e (Pop Reg.RDX);
+      e (Store (W8, Instr.mem ~disp:(global_slot i) (), Reg Reg.RDX))
+    | Wasm_ir.Load { bytes; offset } ->
+      e (Pop Reg.RCX);
+      (* Wasm addresses are i32: canonicalize before the access path. *)
+      e (Alu (And, Reg.RCX, Imm 0xffffffff));
+      Codegen.load_heap cg (width_of_bytes bytes) ~dst:Reg.RDX ~addr:Reg.RCX ~offset;
+      e (Push Reg.RDX)
+    | Wasm_ir.Store { bytes; offset } ->
+      e (Pop Reg.RDX);
+      e (Pop Reg.RCX);
+      e (Alu (And, Reg.RCX, Imm 0xffffffff));
+      Codegen.store_heap cg (width_of_bytes bytes) ~addr:Reg.RCX ~offset ~src:(Reg Reg.RDX)
+    | Wasm_ir.Binop op ->
+      e (Pop Reg.RDX);
+      e (Pop Reg.RCX);
+      e (Alu (alu_of_binop op, Reg.RCX, Reg Reg.RDX));
+      e (Push Reg.RCX)
+    | Wasm_ir.Relop op ->
+      e (Pop Reg.RDX);
+      e (Pop Reg.RCX);
+      e (Cmp (Reg.RCX, Reg Reg.RDX));
+      materialize_bool (cond_of_relop op)
+    | Wasm_ir.Eqz ->
+      e (Pop Reg.RCX);
+      e (Cmp (Reg.RCX, Imm 0));
+      materialize_bool Instr.Eq
+    | Wasm_ir.Drop -> e (Pop Reg.RDX)
+    | Wasm_ir.Select ->
+      e (Pop Reg.R10);
+      e (Pop Reg.RDX);
+      e (Pop Reg.RCX);
+      e (Cmp (Reg.R10, Imm 0));
+      let keep = Codegen.fresh_label cg "sel" in
+      Codegen.jcc cg Instr.Ne keep;
+      e (Mov (Reg.RCX, Reg Reg.RDX));
+      Codegen.label cg keep;
+      e (Push Reg.RCX)
+    | Wasm_ir.Block body ->
+      let end_l = Codegen.fresh_label cg "blk" in
+      instrs body ~labels:(end_l :: labels);
+      Codegen.label cg end_l
+    | Wasm_ir.Loop body ->
+      let start_l = Codegen.fresh_label cg "loop" in
+      Codegen.label cg start_l;
+      instrs body ~labels:(start_l :: labels)
+    | Wasm_ir.If (then_b, else_b) ->
+      let else_l = Codegen.fresh_label cg "else" in
+      let end_l = Codegen.fresh_label cg "endif" in
+      e (Pop Reg.RCX);
+      e (Cmp (Reg.RCX, Imm 0));
+      Codegen.jcc cg Instr.Eq else_l;
+      instrs then_b ~labels:(end_l :: labels);
+      Codegen.jmp cg end_l;
+      Codegen.label cg else_l;
+      instrs else_b ~labels:(end_l :: labels);
+      Codegen.label cg end_l
+    | Wasm_ir.Br n -> Codegen.jmp cg (List.nth labels n)
+    | Wasm_ir.Br_if n ->
+      e (Pop Reg.RCX);
+      e (Cmp (Reg.RCX, Imm 0));
+      Codegen.jcc cg Instr.Ne (List.nth labels n)
+    | Wasm_ir.Call i ->
+      let callee = m.Wasm_ir.funcs.(i) in
+      Program.Asm.call (Codegen.asm cg) (fname i);
+      if callee.Wasm_ir.params > 0 then e (Alu (Add, Reg.RSP, Imm (8 * callee.Wasm_ir.params)));
+      if callee.Wasm_ir.results = 1 then e (Push Reg.RDX)
+    | Wasm_ir.Return -> Codegen.jmp cg ret_label
+    | Wasm_ir.Nop -> e Nop
+    | Wasm_ir.Unreachable ->
+      e (Mov (Reg.RAX, Imm unreachable_sentinel));
+      e Halt
+  in
+  instrs f.Wasm_ir.body ~labels:[];
+  (* Epilogue: result to RDX, tear the frame down. *)
+  Codegen.label cg ret_label;
+  if f.Wasm_ir.results = 1 then e (Pop Reg.RDX);
+  e (Mov (Reg.RSP, Reg Reg.RBP));
+  e (Pop Reg.RBP);
+  e Ret
+
+let compile cg (m : Wasm_ir.module_) =
+  (match Wasm_validate.validate m with Ok () -> () | Error err -> raise (Invalid_module err));
+  let open Instr in
+  let e = Codegen.emit cg in
+  Codegen.jmp cg "__wasm_start";
+  Array.iteri (fun i _ -> compile_func cg m i) m.Wasm_ir.funcs;
+  Codegen.label cg "__wasm_start";
+  Program.Asm.call (Codegen.asm cg) (Printf.sprintf "wf%d" m.Wasm_ir.start);
+  if m.Wasm_ir.funcs.(m.Wasm_ir.start).Wasm_ir.results = 1 then e (Mov (Reg.RAX, Reg Reg.RDX))
+  else e (Mov (Reg.RAX, Imm 0))
+
+let workload (m : Wasm_ir.module_) =
+  Instance.workload ~name:"wasm-module"
+    ~heap_bytes:(max 65536 (m.Wasm_ir.memory_pages * 65536))
+    ~init:(fun mem ~heap_base ->
+      List.iter
+        (fun (off, s) -> Hfi_memory.Addr_space.blit_in mem ~addr:(heap_base + off) s)
+        m.Wasm_ir.data;
+      Array.iteri
+        (fun i v -> Hfi_memory.Addr_space.poke mem ~addr:(global_slot i) ~bytes:8 v)
+        m.Wasm_ir.globals)
+    (fun cg -> compile cg m)
+
+let run ~strategy (m : Wasm_ir.module_) =
+  let inst = Instance.instantiate ~strategy (workload m) in
+  let cycles, status = Instance.run_fast ~fuel:30_000_000 inst in
+  let results = m.Wasm_ir.funcs.(m.Wasm_ir.start).Wasm_ir.results in
+  let outcome =
+    match status with
+    | Machine.Halted ->
+      let rax = Instance.result_rax inst in
+      if rax = unreachable_sentinel then Wasm_interp.Trap Wasm_interp.Unreachable_executed
+      else if rax = Codegen.trap_sentinel then
+        (* the codegen trap block: a software bounds check fired *)
+        Wasm_interp.Trap (Wasm_interp.Out_of_bounds 0)
+      else if results = 1 then Wasm_interp.Value rax
+      else Wasm_interp.No_value
+    | Machine.Faulted (Msr.Hardware_fault 0) -> Wasm_interp.Trap Wasm_interp.Division_by_zero
+    | Machine.Faulted (Msr.Hardware_fault a) -> Wasm_interp.Trap (Wasm_interp.Out_of_bounds a)
+    | Machine.Faulted (Msr.Bounds_violation v) ->
+      Wasm_interp.Trap (Wasm_interp.Out_of_bounds v.Msr.addr)
+    | Machine.Faulted _ -> Wasm_interp.Trap Wasm_interp.Unreachable_executed
+    | Machine.Running -> failwith "Wasm_compile.run: out of fuel"
+  in
+  (outcome, cycles)

@@ -1,0 +1,35 @@
+(** The wasm2c analogue: ahead-of-time compilation of {!Wasm_ir} modules
+    to the machine model, through {!Codegen} so every linear-memory
+    access carries the selected isolation mechanism (guard pages, bounds
+    checks, masking, or HFI's hmov).
+
+    Compilation scheme (straightforward, "-O0"):
+    - the Wasm operand stack maps to the machine stack (push/pop);
+    - locals live in an RBP-framed activation record; calls pass
+      arguments on the machine stack and return in a scratch register;
+    - structured control flow compiles to labels and conditional jumps;
+    - heap addresses are canonicalized to 32 bits (Wasm's i32 address
+      space) before entering the strategy's access sequence;
+    - [Unreachable] and division by zero trap the sandbox.
+
+    Differential testing: for any validated module, running the compiled
+    program under any strategy must match {!Wasm_interp.run} — same value
+    or a trap in the same place. *)
+
+exception Invalid_module of Wasm_validate.error
+
+val compile : Codegen.t -> Wasm_ir.module_ -> unit
+(** Emit the whole module into the code generator: a jump to the start
+    function's call site, every function, and a final epilogue that
+    leaves the start function's result (if any) in RAX. Validates first;
+    raises {!Invalid_module}. *)
+
+val workload : Wasm_ir.module_ -> Instance.workload
+(** Package a module as an {!Instance.workload}: memory pages become the
+    heap provision, data segments become heap initializers, globals are
+    materialized in the globals area. *)
+
+val run : strategy:Hfi_sfi.Strategy.t -> Wasm_ir.module_ -> Wasm_interp.outcome * float
+(** Compile, instantiate, execute on the fast engine, and classify the
+    result in {!Wasm_interp.outcome} terms (machine faults map to the
+    corresponding traps). Also returns modeled cycles. *)

@@ -1,0 +1,24 @@
+(** Reference interpreter for {!Wasm_ir} — the differential-testing
+    oracle for {!Wasm_compile}: the compiled module, run on the machine
+    model under any isolation strategy, must produce exactly what this
+    interpreter computes (same result or same trap). *)
+
+type trap =
+  | Out_of_bounds of int  (** memory access beyond the linear memory *)
+  | Division_by_zero
+  | Unreachable_executed
+  | Call_stack_exhausted
+
+type outcome = Value of int | No_value | Trap of trap
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run : ?fuel:int -> Wasm_ir.module_ -> outcome
+(** Execute the start function on a fresh instance. [fuel] bounds the
+    interpreted instruction count (default 10M); exhausting it raises
+    [Failure]. The module should be validated first; the interpreter
+    itself raises [Invalid_argument] on malformed programs. *)
+
+val memory_byte : ?fuel:int -> Wasm_ir.module_ -> int -> int
+(** Run, then read a byte of the final linear memory (for tests that
+    check stored effects). *)

@@ -1,0 +1,115 @@
+type binop = Add | Sub | Mul | Div | And | Or | Xor | Shl | Shr_u
+
+type relop = Eq | Ne | Lt_s | Le_s | Gt_s | Ge_s | Lt_u | Ge_u
+
+type instr =
+  | Const of int
+  | Local_get of int
+  | Local_set of int
+  | Local_tee of int
+  | Global_get of int
+  | Global_set of int
+  | Load of { bytes : int; offset : int }
+  | Store of { bytes : int; offset : int }
+  | Binop of binop
+  | Relop of relop
+  | Eqz
+  | Drop
+  | Select
+  | Block of instr list
+  | Loop of instr list
+  | If of instr list * instr list
+  | Br of int
+  | Br_if of int
+  | Call of int
+  | Return
+  | Nop
+  | Unreachable
+
+type func = {
+  name : string;
+  params : int;
+  locals : int;
+  results : int;
+  body : instr list;
+}
+
+type module_ = {
+  funcs : func array;
+  globals : int array;
+  memory_pages : int;
+  data : (int * string) list;
+  start : int;
+}
+
+let func ?(params = 0) ?(locals = 0) ?(results = 0) ~name body =
+  { name; params; locals; results; body }
+
+let module_ ?(globals = [||]) ?(memory_pages = 1) ?(data = []) ~start funcs =
+  { funcs; globals; memory_pages; data; start }
+
+let binop_name = function
+  | Add -> "i64.add"
+  | Sub -> "i64.sub"
+  | Mul -> "i64.mul"
+  | Div -> "i64.div"
+  | And -> "i64.and"
+  | Or -> "i64.or"
+  | Xor -> "i64.xor"
+  | Shl -> "i64.shl"
+  | Shr_u -> "i64.shr_u"
+
+let relop_name = function
+  | Eq -> "i64.eq"
+  | Ne -> "i64.ne"
+  | Lt_s -> "i64.lt_s"
+  | Le_s -> "i64.le_s"
+  | Gt_s -> "i64.gt_s"
+  | Ge_s -> "i64.ge_s"
+  | Lt_u -> "i64.lt_u"
+  | Ge_u -> "i64.ge_u"
+
+let rec pp_instr ppf = function
+  | Const v -> Format.fprintf ppf "(i64.const %d)" v
+  | Local_get i -> Format.fprintf ppf "(local.get %d)" i
+  | Local_set i -> Format.fprintf ppf "(local.set %d)" i
+  | Local_tee i -> Format.fprintf ppf "(local.tee %d)" i
+  | Global_get i -> Format.fprintf ppf "(global.get %d)" i
+  | Global_set i -> Format.fprintf ppf "(global.set %d)" i
+  | Load { bytes; offset } -> Format.fprintf ppf "(i64.load%d offset=%d)" (bytes * 8) offset
+  | Store { bytes; offset } -> Format.fprintf ppf "(i64.store%d offset=%d)" (bytes * 8) offset
+  | Binop op -> Format.fprintf ppf "(%s)" (binop_name op)
+  | Relop op -> Format.fprintf ppf "(%s)" (relop_name op)
+  | Eqz -> Format.pp_print_string ppf "(i64.eqz)"
+  | Drop -> Format.pp_print_string ppf "(drop)"
+  | Select -> Format.pp_print_string ppf "(select)"
+  | Block body ->
+    Format.fprintf ppf "@[<v 2>(block@ %a)@]" (Format.pp_print_list pp_instr) body
+  | Loop body -> Format.fprintf ppf "@[<v 2>(loop@ %a)@]" (Format.pp_print_list pp_instr) body
+  | If (t, e) ->
+    Format.fprintf ppf "@[<v 2>(if@ (then %a)@ (else %a))@]" (Format.pp_print_list pp_instr) t
+      (Format.pp_print_list pp_instr) e
+  | Br n -> Format.fprintf ppf "(br %d)" n
+  | Br_if n -> Format.fprintf ppf "(br_if %d)" n
+  | Call i -> Format.fprintf ppf "(call %d)" i
+  | Return -> Format.pp_print_string ppf "(return)"
+  | Nop -> Format.pp_print_string ppf "(nop)"
+  | Unreachable -> Format.pp_print_string ppf "(unreachable)"
+
+(* Escape a data segment as decimal byte codes, locale- and
+   quoting-trouble-free for the round-tripping parser. *)
+let pp_data ppf (off, s) =
+  Format.fprintf ppf "(data %d" off;
+  String.iter (fun c -> Format.fprintf ppf " %d" (Char.code c)) s;
+  Format.fprintf ppf ")"
+
+let pp_module ppf m =
+  Format.fprintf ppf "@[<v 2>(module (memory %d) (start %d)@ " m.memory_pages m.start;
+  Array.iter (fun g -> Format.fprintf ppf "(global %d)@ " g) m.globals;
+  List.iter (fun d -> Format.fprintf ppf "%a@ " pp_data d) m.data;
+  Array.iter
+    (fun f ->
+      Format.fprintf ppf "@[<v 2>(func $%s (params %d) (locals %d) (results %d)@ %a)@]@ "
+        f.name f.params f.locals f.results (Format.pp_print_list pp_instr) f.body)
+    m.funcs;
+  Format.fprintf ppf ")@]"

@@ -1,0 +1,80 @@
+(** A miniature WebAssembly: structured modules with functions, locals,
+    an operand stack, linear-memory accesses, and structured control
+    flow. This is the input language of {!Wasm_compile} (the wasm2c
+    analogue) and {!Wasm_interp} (the reference interpreter used for
+    differential testing).
+
+    Simplifications relative to the full spec, documented here once:
+    values are untyped 64-bit integers (loads narrow, stores truncate);
+    blocks and branches carry no values; there is one memory and no
+    tables; [memory.grow] is an embedder operation rather than an
+    instruction. None of these affect the isolation mechanics under
+    study — heap accesses, control flow, and call/return structure are
+    faithful. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** traps on zero; OCaml-int semantics, as the machine model *)
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr_u
+
+type relop = Eq | Ne | Lt_s | Le_s | Gt_s | Ge_s | Lt_u | Ge_u
+
+type instr =
+  | Const of int
+  | Local_get of int
+  | Local_set of int
+  | Local_tee of int  (** set and keep the value on the stack *)
+  | Global_get of int
+  | Global_set of int
+  | Load of { bytes : int; offset : int }
+      (** pop address, push zero-extended value; [bytes] in 1/2/4/8 *)
+  | Store of { bytes : int; offset : int }  (** pop value, pop address *)
+  | Binop of binop
+  | Relop of relop  (** pushes 0/1 *)
+  | Eqz
+  | Drop
+  | Select  (** pop cond, b, a; push a if cond<>0 else b *)
+  | Block of instr list  (** br targets its end *)
+  | Loop of instr list  (** br targets its start *)
+  | If of instr list * instr list  (** pops the condition *)
+  | Br of int  (** branch to the [n]-th enclosing block/loop *)
+  | Br_if of int
+  | Call of int
+  | Return
+  | Nop
+  | Unreachable  (** compiles to a trapping access; traps the sandbox *)
+
+type func = {
+  name : string;
+  params : int;
+  locals : int;  (** additional zero-initialized locals *)
+  results : int;  (** 0 or 1 *)
+  body : instr list;
+}
+
+type module_ = {
+  funcs : func array;
+  globals : int array;  (** initial values *)
+  memory_pages : int;  (** 64 KiB Wasm pages *)
+  data : (int * string) list;  (** (offset, bytes) initializers *)
+  start : int;  (** index of the exported entry function (no params) *)
+}
+
+val func : ?params:int -> ?locals:int -> ?results:int -> name:string -> instr list -> func
+
+val module_ :
+  ?globals:int array ->
+  ?memory_pages:int ->
+  ?data:(int * string) list ->
+  start:int ->
+  func array ->
+  module_
+
+val pp_instr : Format.formatter -> instr -> unit
+val pp_module : Format.formatter -> module_ -> unit

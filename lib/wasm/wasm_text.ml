@@ -1,0 +1,182 @@
+let to_string m = Format.asprintf "%a" Wasm_ir.pp_module m
+
+(* --- s-expression layer --- *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokenize src =
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | ')' ->
+        flush ();
+        tokens := String.make 1 c :: !tokens
+      | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | c -> Buffer.add_char buf c)
+    src;
+  flush ();
+  List.rev !tokens
+
+let parse_sexp tokens =
+  let rec one = function
+    | [] -> fail "unexpected end of input"
+    | "(" :: rest ->
+      let items, rest = many rest in
+      (List items, rest)
+    | ")" :: _ -> fail "unexpected ')'"
+    | atom :: rest -> (Atom atom, rest)
+  and many = function
+    | ")" :: rest -> ([], rest)
+    | [] -> fail "missing ')'"
+    | tokens ->
+      let item, rest = one tokens in
+      let items, rest = many rest in
+      (item :: items, rest)
+  in
+  match one tokens with
+  | sexp, [] -> sexp
+  | _, tok :: _ -> fail "trailing tokens starting at %S" tok
+
+(* --- translation --- *)
+
+let int_atom = function
+  | Atom a -> (try int_of_string a with _ -> fail "expected integer, got %S" a)
+  | List _ -> fail "expected integer, got a list"
+
+let offset_atom = function
+  | Atom a -> begin
+    match String.index_opt a '=' with
+    | Some i when String.sub a 0 i = "offset" -> (
+      try int_of_string (String.sub a (i + 1) (String.length a - i - 1))
+      with _ -> fail "bad offset in %S" a)
+    | _ -> fail "expected offset=N, got %S" a
+  end
+  | List _ -> fail "expected offset=N, got a list"
+
+let binop_of_name = function
+  | "i64.add" -> Some Wasm_ir.Add
+  | "i64.sub" -> Some Wasm_ir.Sub
+  | "i64.mul" -> Some Wasm_ir.Mul
+  | "i64.div" -> Some Wasm_ir.Div
+  | "i64.and" -> Some Wasm_ir.And
+  | "i64.or" -> Some Wasm_ir.Or
+  | "i64.xor" -> Some Wasm_ir.Xor
+  | "i64.shl" -> Some Wasm_ir.Shl
+  | "i64.shr_u" -> Some Wasm_ir.Shr_u
+  | _ -> None
+
+let relop_of_name = function
+  | "i64.eq" -> Some Wasm_ir.Eq
+  | "i64.ne" -> Some Wasm_ir.Ne
+  | "i64.lt_s" -> Some Wasm_ir.Lt_s
+  | "i64.le_s" -> Some Wasm_ir.Le_s
+  | "i64.gt_s" -> Some Wasm_ir.Gt_s
+  | "i64.ge_s" -> Some Wasm_ir.Ge_s
+  | "i64.lt_u" -> Some Wasm_ir.Lt_u
+  | "i64.ge_u" -> Some Wasm_ir.Ge_u
+  | _ -> None
+
+let mem_width = function
+  | "i64.load8" | "i64.store8" -> 1
+  | "i64.load16" | "i64.store16" -> 2
+  | "i64.load32" | "i64.store32" -> 4
+  | "i64.load64" | "i64.store64" -> 8
+  | n -> fail "unknown memory width in %S" n
+
+let rec instr_of_sexp = function
+  | List [ Atom "i64.const"; v ] -> Wasm_ir.Const (int_atom v)
+  | List [ Atom "local.get"; v ] -> Wasm_ir.Local_get (int_atom v)
+  | List [ Atom "local.set"; v ] -> Wasm_ir.Local_set (int_atom v)
+  | List [ Atom "local.tee"; v ] -> Wasm_ir.Local_tee (int_atom v)
+  | List [ Atom "global.get"; v ] -> Wasm_ir.Global_get (int_atom v)
+  | List [ Atom "global.set"; v ] -> Wasm_ir.Global_set (int_atom v)
+  | List [ Atom name; off ] when String.length name > 8 && String.sub name 0 8 = "i64.load" ->
+    Wasm_ir.Load { bytes = mem_width name; offset = offset_atom off }
+  | List [ Atom name; off ] when String.length name > 9 && String.sub name 0 9 = "i64.store" ->
+    Wasm_ir.Store { bytes = mem_width name; offset = offset_atom off }
+  | List [ Atom "i64.eqz" ] -> Wasm_ir.Eqz
+  | List [ Atom "drop" ] -> Wasm_ir.Drop
+  | List [ Atom "select" ] -> Wasm_ir.Select
+  | List [ Atom "nop" ] -> Wasm_ir.Nop
+  | List [ Atom "unreachable" ] -> Wasm_ir.Unreachable
+  | List [ Atom "return" ] -> Wasm_ir.Return
+  | List [ Atom "br"; n ] -> Wasm_ir.Br (int_atom n)
+  | List [ Atom "br_if"; n ] -> Wasm_ir.Br_if (int_atom n)
+  | List [ Atom "call"; n ] -> Wasm_ir.Call (int_atom n)
+  | List (Atom "block" :: body) -> Wasm_ir.Block (List.map instr_of_sexp body)
+  | List (Atom "loop" :: body) -> Wasm_ir.Loop (List.map instr_of_sexp body)
+  | List [ Atom "if"; List (Atom "then" :: t); List (Atom "else" :: e) ] ->
+    Wasm_ir.If (List.map instr_of_sexp t, List.map instr_of_sexp e)
+  | List [ Atom op ] when binop_of_name op <> None ->
+    Wasm_ir.Binop (Option.get (binop_of_name op))
+  | List [ Atom op ] when relop_of_name op <> None ->
+    Wasm_ir.Relop (Option.get (relop_of_name op))
+  | List (Atom name :: _) -> fail "unknown instruction %S" name
+  | List (List _ :: _) | List [] -> fail "malformed instruction"
+  | Atom a -> fail "bare atom %S where an instruction was expected" a
+
+let func_of_sexp = function
+  | List
+      (Atom "func"
+      :: Atom dollar_name
+      :: List [ Atom "params"; params ]
+      :: List [ Atom "locals"; locals ]
+      :: List [ Atom "results"; results ]
+      :: body) ->
+    let name =
+      if String.length dollar_name > 0 && dollar_name.[0] = '$' then
+        String.sub dollar_name 1 (String.length dollar_name - 1)
+      else fail "function name must start with '$': %S" dollar_name
+    in
+    {
+      Wasm_ir.name;
+      params = int_atom params;
+      locals = int_atom locals;
+      results = int_atom results;
+      body = List.map instr_of_sexp body;
+    }
+  | _ -> fail "malformed (func ...)"
+
+let module_of_sexp = function
+  | List (Atom "module" :: List [ Atom "memory"; pages ] :: List [ Atom "start"; start ] :: rest)
+    ->
+    let globals = ref [] in
+    let data = ref [] in
+    let funcs = ref [] in
+    List.iter
+      (fun item ->
+        match item with
+        | List [ Atom "global"; v ] -> globals := int_atom v :: !globals
+        | List (Atom "data" :: off :: bytes) ->
+          let s = String.init (List.length bytes) (fun i -> Char.chr (int_atom (List.nth bytes i) land 0xff)) in
+          data := (int_atom off, s) :: !data
+        | List (Atom "func" :: _) -> funcs := func_of_sexp item :: !funcs
+        | _ -> fail "unknown module field")
+      rest;
+    {
+      Wasm_ir.funcs = Array.of_list (List.rev !funcs);
+      globals = Array.of_list (List.rev !globals);
+      memory_pages = int_atom pages;
+      data = List.rev !data;
+      start = int_atom start;
+    }
+  | _ -> fail "expected (module (memory N) (start N) ...)"
+
+let parse src =
+  try Ok (module_of_sexp (parse_sexp (tokenize src))) with
+  | Parse_error e -> Error e
+  | Failure e -> Error e
+
+let parse_exn src = match parse src with Ok m -> m | Error e -> failwith ("Wasm_text: " ^ e)

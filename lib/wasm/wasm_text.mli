@@ -1,0 +1,30 @@
+(** Textual module format — the WAT-flavored s-expressions printed by
+    {!Wasm_ir.pp_module}, parsed back into modules. Enables storing
+    modules in files, the CLI's [wasm] subcommand, and print/parse
+    round-trip testing.
+
+    Grammar (all atoms whitespace-separated):
+    {v
+    module := (module (memory N) (start N) global* data* func* )
+    global := (global N)
+    data   := (data OFFSET BYTE* )
+    func   := (func $name (params N) (locals N) (results N) instr* )
+    instr  := (i64.const N) | (local.get N) | (local.set N) | (local.tee N)
+            | (global.get N) | (global.set N)
+            | (i64.loadW offset=N) | (i64.storeW offset=N)    W in 8/16/32/64
+            | (i64.add .. i64.shr_u) | (i64.eq .. i64.ge_u) | (i64.eqz)
+            | (drop) | (select) | (nop) | (unreachable) | (return)
+            | (br N) | (br_if N) | (call N)
+            | (block instr* ) | (loop instr* )
+            | (if (then instr* ) (else instr* ))
+    v} *)
+
+val to_string : Wasm_ir.module_ -> string
+
+val parse : string -> (Wasm_ir.module_, string) result
+(** Parse the textual form. The error message includes the offending
+    token. Round trip: [parse (to_string m)] yields a module equal to
+    [m] up to function names being preserved. *)
+
+val parse_exn : string -> Wasm_ir.module_
+(** Raises [Failure] with the parse error. *)

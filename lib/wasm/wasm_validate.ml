@@ -1,0 +1,140 @@
+type error = { func : string; at : Wasm_ir.instr option; reason : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "in %s: %s%a" e.func e.reason
+    (fun ppf -> function
+      | None -> ()
+      | Some i -> Format.fprintf ppf " at %a" Wasm_ir.pp_instr i)
+    e.at
+
+exception Invalid of Wasm_ir.instr option * string
+
+let fail ?at reason = raise (Invalid (at, reason))
+
+(* Validate a body under our structured discipline: the operand stack is
+   tracked relative to block entry; each block's body must balance
+   (the function body to [results]); terminator instructions
+   (br/return/unreachable) must end their block so depth stays exact —
+   exactly the invariant the compiler's virtual-stack allocation needs. *)
+let validate_func (m : Wasm_ir.module_) (f : Wasm_ir.func) =
+  let nlocals = f.Wasm_ir.params + f.Wasm_ir.locals in
+  let check_local at i =
+    if i < 0 || i >= nlocals then fail ~at (Printf.sprintf "local %d out of range" i)
+  in
+  let check_global at i =
+    if i < 0 || i >= Array.length m.Wasm_ir.globals then
+      fail ~at (Printf.sprintf "global %d out of range" i)
+  in
+  let need at depth n =
+    if depth < n then fail ~at (Printf.sprintf "stack underflow: need %d, have %d" n depth)
+  in
+  let rec body instrs ~labels ~expect =
+    let rec go depth = function
+      | [] ->
+        if depth <> expect then
+          fail (Printf.sprintf "block ends at depth %d, expected %d" depth expect)
+      | ins :: rest -> begin
+        let open Wasm_ir in
+        let at = ins in
+        let ensure_last () = if rest <> [] then fail ~at "unreachable code after terminator" in
+        match ins with
+        | Const _ | Local_get _ | Global_get _ ->
+          (match ins with
+          | Local_get i -> check_local at i
+          | Global_get i -> check_global at i
+          | _ -> ());
+          go (depth + 1) rest
+        | Local_set i ->
+          check_local at i;
+          need at depth 1;
+          go (depth - 1) rest
+        | Local_tee i ->
+          check_local at i;
+          need at depth 1;
+          go depth rest
+        | Global_set i ->
+          check_global at i;
+          need at depth 1;
+          go (depth - 1) rest
+        | Load { bytes; offset } ->
+          if not (List.mem bytes [ 1; 2; 4; 8 ]) then fail ~at "bad load width";
+          if offset < 0 then fail ~at "negative load offset";
+          need at depth 1;
+          go depth rest
+        | Store { bytes; offset } ->
+          if not (List.mem bytes [ 1; 2; 4; 8 ]) then fail ~at "bad store width";
+          if offset < 0 then fail ~at "negative store offset";
+          need at depth 2;
+          go (depth - 2) rest
+        | Binop _ | Relop _ ->
+          need at depth 2;
+          go (depth - 1) rest
+        | Eqz ->
+          need at depth 1;
+          go depth rest
+        | Drop ->
+          need at depth 1;
+          go (depth - 1) rest
+        | Select ->
+          need at depth 3;
+          go (depth - 2) rest
+        | Block b ->
+          body b ~labels:(labels + 1) ~expect:0;
+          go depth rest
+        | Loop b ->
+          body b ~labels:(labels + 1) ~expect:0;
+          go depth rest
+        | If (t, e) ->
+          need at depth 1;
+          body t ~labels:(labels + 1) ~expect:0;
+          body e ~labels:(labels + 1) ~expect:0;
+          go (depth - 1) rest
+        | Br n ->
+          if n < 0 || n >= labels then fail ~at (Printf.sprintf "label %d out of range" n);
+          if depth <> 0 then fail ~at "br with non-empty block stack";
+          ensure_last ()
+        | Br_if n ->
+          if n < 0 || n >= labels then fail ~at (Printf.sprintf "label %d out of range" n);
+          need at depth 1;
+          if depth - 1 <> 0 then fail ~at "br_if with non-empty block stack";
+          go (depth - 1) rest
+        | Call i ->
+          if i < 0 || i >= Array.length m.Wasm_ir.funcs then
+            fail ~at (Printf.sprintf "function %d out of range" i);
+          let callee = m.Wasm_ir.funcs.(i) in
+          need at depth callee.Wasm_ir.params;
+          go (depth - callee.Wasm_ir.params + callee.Wasm_ir.results) rest
+        | Return ->
+          need at depth f.Wasm_ir.results;
+          ensure_last ()
+        | Nop -> go depth rest
+        | Unreachable -> ensure_last ()
+      end
+    in
+    go 0 instrs
+  in
+  if f.Wasm_ir.results < 0 || f.Wasm_ir.results > 1 then fail "results must be 0 or 1";
+  if f.Wasm_ir.params < 0 || f.Wasm_ir.locals < 0 then fail "negative locals";
+  body f.Wasm_ir.body ~labels:0 ~expect:f.Wasm_ir.results
+
+let validate (m : Wasm_ir.module_) =
+  try
+    if Array.length m.Wasm_ir.funcs = 0 then fail "module has no functions";
+    if m.Wasm_ir.start < 0 || m.Wasm_ir.start >= Array.length m.Wasm_ir.funcs then
+      fail "start function out of range";
+    if m.Wasm_ir.funcs.(m.Wasm_ir.start).Wasm_ir.params <> 0 then
+      fail "start function must take no parameters";
+    if m.Wasm_ir.memory_pages < 0 then fail "negative memory size";
+    List.iter
+      (fun (off, bytes) ->
+        if off < 0 || off + String.length bytes > m.Wasm_ir.memory_pages * 65536 then
+          fail "data segment outside memory")
+      m.Wasm_ir.data;
+    Array.iter
+      (fun f ->
+        try validate_func m f
+        with Invalid (at, reason) ->
+          raise (Invalid (at, Printf.sprintf "%s (in function %s)" reason f.Wasm_ir.name)))
+      m.Wasm_ir.funcs;
+    Ok ()
+  with Invalid (at, reason) -> Error { func = "module"; at; reason }

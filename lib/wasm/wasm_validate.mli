@@ -1,0 +1,25 @@
+(** Module validation: stack discipline and index sanity, in the spirit
+    of Wasm's validation pass. A validated module cannot underflow its
+    operand stack, branch to a nonexistent label, touch an out-of-range
+    local/global, or call a missing function — the properties the
+    compiler's correctness relies on. *)
+
+type error = {
+  func : string;
+  at : Wasm_ir.instr option;  (** offending instruction, if any *)
+  reason : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val validate : Wasm_ir.module_ -> (unit, error) result
+(** Checks every function body:
+    - operand-stack depth never goes negative and ends at [results];
+    - [Br]/[Br_if] label depths are within the enclosing block nesting,
+      and branches occur only at empty relative operand stack (so the
+      compiler's stack mapping is path-independent);
+    - local/global indices are in range;
+    - call targets exist, and their results/params keep the stack
+      balanced;
+    - [start] exists, takes no parameters;
+    - data segments fit in the declared memory. *)

@@ -1,0 +1,214 @@
+open Hfi_isa
+module Cg = Hfi_wasm.Codegen
+module Inst = Hfi_wasm.Instance
+
+type t = {
+  name : string;
+  workload : Hfi_wasm.Instance.workload;
+  target_unsafe_ms : float;
+  swivel_profile : Hfi_sfi.Swivel.profile;
+  binary_bytes : int;
+  code_fraction : float;
+  concurrency : int;
+}
+
+let i cg x = Cg.emit cg x
+let mib = 1024 * 1024
+
+let counted_loop cg reg ~limit body =
+  i cg (Instr.Mov (reg, Instr.Imm 0));
+  let l = Cg.fresh_label cg "loop" in
+  Cg.label cg l;
+  body ();
+  i cg (Instr.Alu (Instr.Add, reg, Instr.Imm 1));
+  i cg (Instr.Cmp (reg, Instr.Imm limit));
+  Cg.jcc cg Instr.Lt l
+
+(* XML -> JSON: scan 8 KiB of markup, branching per character class and
+   emitting transformed output. *)
+let xml_kernel =
+  Inst.workload ~name:"xml-to-json" ~heap_bytes:65536
+    ~init:(fun mem ~heap_base ->
+      let pat = "<item id=\"42\"><name>widget</name><qty>7</qty></item>" in
+      for k = 0 to 8191 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + k) ~bytes:1
+          (Char.code pat.[k mod String.length pat])
+      done)
+    (fun cg ->
+      let open Instr in
+      i cg (Mov (Reg.RAX, Imm 0));
+      i cg (Mov (Reg.RDI, Imm 16384));
+      (* output cursor *)
+      counted_loop cg Reg.RCX ~limit:8192 (fun () ->
+          Cg.load_heap cg W1 ~dst:Reg.R8 ~addr:Reg.RCX ~offset:0;
+          let emit_case ch out =
+            i cg (Cmp (Reg.R8, Imm (Char.code ch)));
+            let skip = Cg.fresh_label cg "c" in
+            Cg.jcc cg Ne skip;
+            i cg (Mov (Reg.R9, Imm (Char.code out)));
+            Cg.store_heap cg W1 ~addr:Reg.RDI ~offset:0 ~src:(Reg Reg.R9);
+            i cg (Alu (Add, Reg.RDI, Imm 1));
+            i cg (Alu (Add, Reg.RAX, Imm 1));
+            Cg.label cg skip
+          in
+          emit_case '<' '{';
+          emit_case '>' '}';
+          emit_case '"' '\'';
+          emit_case '=' ':';
+          (* default: copy through *)
+          Cg.store_heap cg W1 ~addr:Reg.RDI ~offset:0 ~src:(Reg Reg.R8);
+          i cg (Alu (Add, Reg.RDI, Imm 1))))
+
+(* Image classification: dense dot products — long straight-line FMA
+   chains over weights and activations. *)
+let classify_kernel =
+  Inst.workload ~name:"image-classification" ~heap_bytes:(4 * 65536)
+    ~init:(fun mem ~heap_base ->
+      for k = 0 to 16383 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + (4 * k)) ~bytes:4
+          ((k * 2654435761) land 0xffff)
+      done)
+    (fun cg ->
+      let open Instr in
+      i cg (Mov (Reg.RAX, Imm 0));
+      (* 32 neurons x 256 inputs, inner loop unrolled by 4. *)
+      counted_loop cg Reg.RCX ~limit:32 (fun () ->
+          i cg (Mov (Reg.R11, Imm 0));
+          counted_loop cg Reg.RDX ~limit:64 (fun () ->
+              i cg (Lea (Reg.RSI, Instr.mem ~index:Reg.RDX ~scale:4 ()));
+              for u = 0 to 3 do
+                Cg.load_heap cg W4 ~dst:Reg.R8 ~addr:Reg.RSI ~offset:(16 * u);
+                Cg.load_heap cg W4 ~dst:Reg.R9 ~addr:Reg.RSI ~offset:(32768 + (16 * u));
+                i cg (Alu (Mul, Reg.R8, Reg Reg.R9));
+                i cg (Alu (Add, Reg.R11, Reg Reg.R8))
+              done);
+          i cg (Alu (Xor, Reg.RAX, Reg Reg.R11))))
+
+(* SHA-256-style compression: 64 rounds of ARX over a message schedule,
+   8 blocks. *)
+let sha_kernel =
+  Inst.workload ~name:"check-sha-256" ~heap_bytes:65536
+    ~init:(fun mem ~heap_base ->
+      for k = 0 to 2047 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + (4 * k)) ~bytes:4
+          ((k * 0x9e3779b9) land 0xffffffff)
+      done)
+    (fun cg ->
+      let open Instr in
+      let mask32 = 0xffffffff in
+      i cg (Mov (Reg.RAX, Imm 0x6a09e667));
+      i cg (Mov (Reg.RBX, Imm 0xbb67ae85));
+      counted_loop cg Reg.RCX ~limit:8 (fun () ->
+          counted_loop cg Reg.RDX ~limit:64 (fun () ->
+              i cg (Lea (Reg.RSI, Instr.mem ~index:Reg.RDX ~scale:4 ()));
+              Cg.load_heap cg W4 ~dst:Reg.R8 ~addr:Reg.RSI ~offset:0;
+              (* sigma-like mixes *)
+              i cg (Mov (Reg.R9, Reg Reg.R8));
+              i cg (Alu (Shr, Reg.R9, Imm 7));
+              i cg (Alu (Xor, Reg.R8, Reg Reg.R9));
+              i cg (Mov (Reg.R9, Reg Reg.R8));
+              i cg (Alu (Shl, Reg.R9, Imm 11));
+              i cg (Alu (Xor, Reg.R8, Reg Reg.R9));
+              i cg (Alu (And, Reg.R8, Imm mask32));
+              i cg (Alu (Add, Reg.RAX, Reg Reg.R8));
+              i cg (Alu (And, Reg.RAX, Imm mask32));
+              i cg (Alu (Xor, Reg.RBX, Reg Reg.RAX));
+              Cg.store_heap cg W4 ~addr:Reg.RSI ~offset:8192 ~src:(Reg Reg.RBX));
+          i cg (Alu (Add, Reg.RAX, Reg Reg.RBX))))
+
+(* Templated HTML: scan a template, branch on placeholder markers,
+   splice values through an indirect dispatch per placeholder kind. *)
+let html_kernel =
+  Inst.workload ~name:"templated-html" ~heap_bytes:65536
+    ~init:(fun mem ~heap_base ->
+      let pat = "<li class=%c%>%u% said %m% at %t%</li>\n" in
+      for k = 0 to 6143 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + k) ~bytes:1
+          (Char.code pat.[k mod String.length pat])
+      done;
+      let vals = "alice bob carol dave erin frank grace heidi " in
+      for k = 0 to 1023 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + 8192 + k) ~bytes:1
+          (Char.code vals.[k mod String.length vals])
+      done)
+    (fun cg ->
+      let open Instr in
+      i cg (Mov (Reg.RAX, Imm 0));
+      i cg (Mov (Reg.RDI, Imm 16384));
+      counted_loop cg Reg.RCX ~limit:6144 (fun () ->
+          Cg.load_heap cg W1 ~dst:Reg.R8 ~addr:Reg.RCX ~offset:0;
+          i cg (Cmp (Reg.R8, Imm (Char.code '%')));
+          let plain = Cg.fresh_label cg "plain" in
+          let done_ = Cg.fresh_label cg "done" in
+          Cg.jcc cg Ne plain;
+          (* placeholder: substitute 8 bytes from the values table chosen
+             by the next character *)
+          Cg.load_heap cg W1 ~dst:Reg.R9 ~addr:Reg.RCX ~offset:1;
+          i cg (Alu (And, Reg.R9, Imm 63));
+          i cg (Alu (Shl, Reg.R9, Imm 3));
+          counted_loop cg Reg.RSI ~limit:8 (fun () ->
+              i cg (Lea (Reg.R10, Instr.mem ~index:Reg.RSI ()));
+              i cg (Alu (Add, Reg.R10, Reg Reg.R9));
+              Cg.load_heap cg W1 ~dst:Reg.R11 ~addr:Reg.R10 ~offset:8192;
+              i cg (Lea (Reg.R10, Instr.mem ~index:Reg.RSI ()));
+              i cg (Alu (Add, Reg.R10, Reg Reg.RDI));
+              i cg (Mov (Reg.RDX, Reg Reg.R10));
+              Cg.store_heap cg W1 ~addr:Reg.RDX ~offset:0 ~src:(Reg Reg.R11);
+              i cg (Alu (Add, Reg.RAX, Reg Reg.R11)));
+          i cg (Alu (Add, Reg.RDI, Imm 8));
+          Cg.jmp cg done_;
+          Cg.label cg plain;
+          Cg.store_heap cg W1 ~addr:Reg.RDI ~offset:16384 ~src:(Reg Reg.R8);
+          i cg (Alu (Add, Reg.RDI, Imm 1));
+          Cg.label cg done_))
+
+(* Swivel control-flow profiles calibrated to the Table 1 ratios. *)
+let xml_to_json =
+  {
+    name = "XML to JSON";
+    workload = xml_kernel;
+    target_unsafe_ms = 421.0;
+    swivel_profile =
+      { Hfi_sfi.Swivel.branch_density = 0.12; indirect_density = 0.004; straightline_fraction = 0.2 };
+    binary_bytes = 3 * mib + (mib / 2);
+    code_fraction = 1.0;
+    concurrency = 100;
+  }
+
+let image_classification =
+  {
+    name = "Image classification";
+    workload = classify_kernel;
+    target_unsafe_ms = 12200.0;
+    swivel_profile =
+      { Hfi_sfi.Swivel.branch_density = 0.02; indirect_density = 0.0005; straightline_fraction = 0.9 };
+    binary_bytes = 34 * mib + (3 * mib / 10);
+    code_fraction = 0.035;
+    concurrency = 100;
+  }
+
+let sha256_check =
+  {
+    name = "Check SHA-256";
+    workload = sha_kernel;
+    target_unsafe_ms = 589.0;
+    swivel_profile =
+      { Hfi_sfi.Swivel.branch_density = 0.06; indirect_density = 0.001; straightline_fraction = 0.6 };
+    binary_bytes = 3 * mib + (9 * mib / 10);
+    code_fraction = 1.0;
+    concurrency = 100;
+  }
+
+let templated_html =
+  {
+    name = "Templated HTML";
+    workload = html_kernel;
+    target_unsafe_ms = 45.6;
+    swivel_profile =
+      { Hfi_sfi.Swivel.branch_density = 0.2; indirect_density = 0.02; straightline_fraction = 0.1 };
+    binary_bytes = 3 * mib + (6 * mib / 10);
+    code_fraction = 1.0;
+    concurrency = 100;
+  }
+
+let all = [ xml_to_json; image_classification; sha256_check; templated_html ]

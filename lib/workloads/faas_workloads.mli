@@ -1,0 +1,31 @@
+(** The four FaaS tenant functions of Table 1, served by the Rocket-style
+    webserver model in {!Hfi_runtime.Faas}: XML→JSON transcoding, image
+    classification, SHA-256 integrity checking, and templated-HTML
+    rendering.
+
+    Each workload carries (a) an executable scaled-down kernel used to
+    *measure* per-request service cycles on the engines, (b) a
+    control-flow profile for the Swivel cost model, and (c) the paper's
+    binary size for the size columns of Table 1. *)
+
+type t = {
+  name : string;
+  workload : Hfi_wasm.Instance.workload;  (** scaled kernel *)
+  target_unsafe_ms : float;
+      (** mean request latency of the unprotected build under the Table 1
+          client load, used to scale measured kernel cycles up to the
+          paper's request magnitude *)
+  swivel_profile : Hfi_sfi.Swivel.profile;
+  binary_bytes : int;  (** Lucet build size reported in Table 1 *)
+  code_fraction : float;
+      (** fraction of the binary that is code — Swivel's bloat applies
+          only to it (the classifier is almost entirely model weights) *)
+  concurrency : int;  (** in-flight requests in the load generator *)
+}
+
+val xml_to_json : t
+val image_classification : t
+val sha256_check : t
+val templated_html : t
+
+val all : t list

@@ -1,0 +1,203 @@
+open Hfi_isa
+module Cg = Hfi_wasm.Codegen
+module Inst = Hfi_wasm.Instance
+module Layout = Hfi_wasm.Layout
+
+type resolution = R1920p | R480p | R240p
+
+(* Dimensions scaled 1:4 per axis from the paper's images to keep
+   simulated instruction counts tractable; every per-row and per-pixel
+   structural effect is preserved. *)
+let resolution_dims = function
+  | R1920p -> (480, 270)
+  | R480p -> (214, 120)
+  | R240p -> (107, 60)
+
+let resolution_name = function R1920p -> "1920p" | R480p -> "480p" | R240p -> "240p"
+
+type compression = Best | Default | None_
+
+let compression_name = function Best -> "best" | Default -> "default" | None_ -> "none"
+
+(* Entropy-decode compute and live coefficient state per pixel; higher
+   compression = more of both (the register-pressure trend of §6.2). *)
+let compute_ops = function Best -> 12 | Default -> 8 | None_ -> 4
+let live_coeffs = function Best -> 14 | Default -> 12 | None_ -> 10
+
+let image_rows r = snd (resolution_dims r)
+
+let i cg x = Cg.emit cg x
+
+let base_pool = [ Reg.RBX; Reg.RDI; Reg.RBP; Reg.R8; Reg.R9; Reg.R10; Reg.R11; Reg.R12 ]
+let extra_pool = [ Reg.R13; Reg.R14 ]
+
+let pool_for strategy =
+  let reserved = Hfi_sfi.Strategy.reserved_registers strategy in
+  base_pool @ List.filter (fun r -> not (List.mem r reserved)) extra_pool
+
+let spill_slot v = Layout.globals_base + 0x100 + (8 * v)
+
+(* The software schemes carry explicit u32 index canonicalization on the
+   decoder's running pointers; hmov's addressing discipline subsumes it. *)
+let canonicalize cg reg =
+  match Cg.strategy cg with
+  | Hfi_sfi.Strategy.Hfi -> ()
+  | Hfi_sfi.Strategy.Guard_pages | Hfi_sfi.Strategy.Bounds_checks | Hfi_sfi.Strategy.Masking ->
+    i cg (Instr.Alu (Instr.And, reg, Instr.Imm 0xffffffff))
+
+(* Grow the accessible heap by one Wasm page at the current size:
+   mprotect for guard pages, a bound-cell store for software checks, a
+   region-register update for HFI (§6.1). *)
+let emit_grow cg ~current =
+  let open Instr in
+  match Cg.strategy cg with
+  | Hfi_sfi.Strategy.Guard_pages ->
+    i cg (Mov (Reg.RAX, Imm (Syscall.number Syscall.Mprotect)));
+    i cg (Mov (Reg.RDI, Imm (Layout.heap_base + current)));
+    i cg (Mov (Reg.RSI, Imm 65536));
+    i cg (Mov (Reg.RDX, Imm 1));
+    i cg Syscall
+  | Hfi_sfi.Strategy.Bounds_checks | Hfi_sfi.Strategy.Masking ->
+    i cg (Mov (Reg.RDX, Imm (current + 65536)));
+    i cg (Store (W8, Instr.mem ~disp:Layout.heap_bound_cell (), Reg Reg.RDX))
+  | Hfi_sfi.Strategy.Hfi ->
+    i cg
+      (Hfi_set_region
+         ( Layout.heap_region_slot,
+           Hfi_iface.Explicit_data
+             {
+               base_address = Layout.heap_base;
+               bound = current + 65536;
+               permission_read = true;
+               permission_write = true;
+               is_large_region = true;
+             } ))
+
+(* Shared pixel/glyph kernel: load input, mix [ops] coefficient
+   updates (spilling past the register pool), table lookup, store. *)
+let emit_kernel cg ~pool ~live ~ops ~in_off ~tbl_off ~out_off ~idx_reg ~op_seed =
+  let open Instr in
+  let npool = Array.length pool in
+  (* Entropy decode: more compressed input means more bit-buffer refill
+     reads per pixel, each with a canonicalized pointer. *)
+  let reads = Stdlib.max 1 (ops / 3) in
+  for r = 0 to reads - 1 do
+    canonicalize cg idx_reg;
+    Cg.load_heap cg W1 ~dst:Reg.RDX ~addr:idx_reg ~offset:(in_off + (r * 4096))
+  done;
+  for k = 0 to ops - 1 do
+    let v = (op_seed + k) mod live in
+    let op = match k mod 3 with 0 -> Add | 1 -> Xor | _ -> Sub in
+    if v < npool then i cg (Alu (op, pool.(v), Reg Reg.RDX))
+    else begin
+      (* Spilled coefficient: reload, update, store back. *)
+      i cg (Load (W8, Reg.RDX, Instr.mem ~disp:(spill_slot v) ()));
+      i cg (Alu (op, Reg.RDX, Imm (k + 1)));
+      i cg (Store (W8, Instr.mem ~disp:(spill_slot v) (), Reg Reg.RDX))
+    end
+  done;
+  (* Dequantization table lookup indexed by the low bits of the first
+     coefficient. *)
+  i cg (Mov (Reg.RDX, Reg pool.(op_seed mod Stdlib.min live npool)));
+  i cg (Alu (And, Reg.RDX, Imm 255));
+  canonicalize cg Reg.RDX;
+  Cg.load_heap cg W1 ~dst:Reg.RDX ~addr:Reg.RDX ~offset:tbl_off;
+  i cg (Alu (Xor, Reg.RAX, Reg Reg.RDX));
+  canonicalize cg idx_reg;
+  Cg.store_heap cg W1 ~addr:idx_reg ~offset:out_off ~src:(Reg Reg.RDX)
+
+let in_off = 0
+let tbl_off = 65536
+let out_base = 131072
+
+let image_decode res comp =
+  let w, h = resolution_dims res in
+  let ops = compute_ops comp in
+  let live = live_coeffs comp in
+  let name = Printf.sprintf "jpeg-%s-%s" (resolution_name res) (compression_name comp) in
+  Inst.workload ~name ~self_transitions:true
+    ~heap_bytes:(out_base + 65536)
+    ~init:(fun mem ~heap_base ->
+      for k = 0 to (w * h) - 1 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + (k mod 65536)) ~bytes:1
+          ((k * 131) land 0xff)
+      done;
+      for k = 0 to 255 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + tbl_off + k) ~bytes:1
+          ((k * 167) land 0xff)
+      done)
+    (fun cg ->
+      let open Instr in
+      let pool = Array.of_list (pool_for (Cg.strategy cg)) in
+      i cg (Mov (Reg.RAX, Imm 0));
+      Array.iteri (fun k r -> i cg (Mov (r, Imm (k * 3)))) pool;
+      (* Emit per-row code: rows are unrolled at the band level so heap
+         growth lands between the right rows, as a streaming decoder
+         grows its output buffer. *)
+      let grown = ref 65536 in
+      for row = 0 to h - 1 do
+        (* Grow the output buffer when the next row would cross the
+           currently accessible frontier (4 output bytes per pixel). *)
+        let needed = out_base + ((row + 1) * w * 4) in
+        while needed > !grown + out_base do
+          emit_grow cg ~current:(out_base + (!grown - 65536) + 65536);
+          grown := !grown + 65536
+        done;
+        Cg.emit_sandbox_enter cg ~serialized:true;
+        (* Row loop: RSI = column. *)
+        i cg (Mov (Reg.RSI, Imm 0));
+        let l = Cg.fresh_label cg "col" in
+        Cg.label cg l;
+        i cg (Lea (Reg.RCX, Instr.mem ~index:Reg.RSI ~disp:(row * w) ()));
+        emit_kernel cg ~pool ~live ~ops ~in_off ~tbl_off
+          ~out_off:(out_base + (row * w)) ~idx_reg:Reg.RCX ~op_seed:row;
+        i cg (Alu (Add, Reg.RSI, Imm 1));
+        i cg (Cmp (Reg.RSI, Imm w));
+        Cg.jcc cg Lt l;
+        Cg.emit_sandbox_exit cg
+      done)
+
+let font_reflow () =
+  let glyphs = 600 in
+  let reflows = 10 in
+  let sizes = 4 in
+  Inst.workload ~name:"graphite-reflow" ~self_transitions:true
+    ~heap_bytes:(out_base + 65536)
+    ~init:(fun mem ~heap_base ->
+      for k = 0 to 8191 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + k) ~bytes:1 ((k * 37) land 0xff)
+      done;
+      for k = 0 to 255 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + tbl_off + k) ~bytes:1
+          ((k * 211) land 0xff)
+      done)
+    (fun cg ->
+      let open Instr in
+      let pool = Array.of_list (pool_for (Cg.strategy cg)) in
+      i cg (Mov (Reg.RAX, Imm 0));
+      Array.iteri (fun k r -> i cg (Mov (r, Imm (k * 7)))) pool;
+      for reflow = 0 to reflows - 1 do
+        for size = 0 to sizes - 1 do
+          (* One sandbox invocation per (reflow, size) shaping call. *)
+          Cg.emit_sandbox_enter cg ~serialized:true;
+          i cg (Mov (Reg.RSI, Imm 0));
+          let l = Cg.fresh_label cg "glyph" in
+          Cg.label cg l;
+          i cg (Mov (Reg.RCX, Reg Reg.RSI));
+          emit_kernel cg ~pool ~live:11 ~ops:3 ~in_off ~tbl_off ~out_off:out_base
+            ~idx_reg:Reg.RCX ~op_seed:(reflow + size);
+          (* Kerning/positioning arithmetic between lookups is pure
+             register work — shaping is less heap-dense than decoding. *)
+          for k = 0 to 11 do
+            i cg
+              (Alu
+                 ( (match k mod 3 with 0 -> Add | 1 -> Xor | _ -> Sub),
+                   pool.(k mod 4),
+                   Reg pool.((k + 1) mod 4) ))
+          done;
+          i cg (Alu (Add, Reg.RSI, Imm 1));
+          i cg (Cmp (Reg.RSI, Imm glyphs));
+          Cg.jcc cg Lt l;
+          Cg.emit_sandbox_exit cg
+        done
+      done)

@@ -1,0 +1,33 @@
+(** The Firefox library-sandboxing workloads of §6.2: Wasm-sandboxed font
+    shaping (libgraphite) and JPEG decoding (libjpeg), in the style of
+    RLBox.
+
+    The image decoder performs one sandbox invocation per pixel row — at
+    1080p that is ≈ 720×2 serialized HFI enters/exits per image (§6.2) —
+    so it exercises exactly the transition-amortization claim. The
+    decode loop is register-hungry (IDCT coefficient state), allocates
+    its output buffer in 64 KiB growth steps, and canonicalizes its
+    running pointers on every access under the software schemes; HFI
+    removes the spills, the mprotect-per-grow, and the index
+    canonicalization, which is where its 14%–37% speedup comes from. *)
+
+type resolution = R1920p | R480p | R240p
+
+val resolution_dims : resolution -> int * int
+val resolution_name : resolution -> string
+
+type compression = Best | Default | None_
+(** JPEG quality setting: more compression = more entropy-decode compute
+    per pixel (and more coefficient state, hence register pressure). *)
+
+val compression_name : compression -> string
+
+val image_decode : resolution -> compression -> Hfi_wasm.Instance.workload
+(** One full image decode: per-row sandbox transitions
+    ([self_transitions = true]). RAX holds a pixel checksum. *)
+
+val image_rows : resolution -> int
+
+val font_reflow : unit -> Hfi_wasm.Instance.workload
+(** libgraphite-style text reflow: shape a paragraph ten times at
+    several font sizes (§6.2's 1823 ms benchmark, scaled down). *)

@@ -1,0 +1,554 @@
+open Hfi_isa
+module Cg = Hfi_wasm.Codegen
+module Inst = Hfi_wasm.Instance
+
+let i cg x = Cg.emit cg x
+let movi cg d v = i cg (Instr.Mov (d, Instr.Imm v))
+let movr cg d s = i cg (Instr.Mov (d, Instr.Reg s))
+let add cg d s = i cg (Instr.Alu (Instr.Add, d, s))
+let sub cg d s = i cg (Instr.Alu (Instr.Sub, d, s))
+let xor cg d s = i cg (Instr.Alu (Instr.Xor, d, s))
+let and_ cg d s = i cg (Instr.Alu (Instr.And, d, s))
+let or_ cg d s = i cg (Instr.Alu (Instr.Or, d, s))
+let shl cg d k = i cg (Instr.Alu (Instr.Shl, d, Instr.Imm k))
+let shr cg d k = i cg (Instr.Alu (Instr.Shr, d, Instr.Imm k))
+let cmp cg d s = i cg (Instr.Cmp (d, s))
+
+let mask32 = 0xffffffff
+
+(* Counted loop: reg runs from [from] to [limit-1]; body executes at
+   least once (all kernels iterate at least once). *)
+let for_up cg reg ~from ~limit body =
+  movi cg reg from;
+  let l = Cg.fresh_label cg "for" in
+  Cg.label cg l;
+  body ();
+  add cg reg (Instr.Imm 1);
+  cmp cg reg (Instr.Imm limit);
+  Cg.jcc cg Instr.Lt l
+
+(* 32-bit rotate-left of [d] by [k], clobbering [tmp]. *)
+let rotl32 cg d tmp k =
+  movr cg tmp d;
+  shl cg d k;
+  shr cg tmp (32 - k);
+  or_ cg d (Instr.Reg tmp);
+  and_ cg d (Instr.Imm mask32)
+
+(* ------------------------------------------------------------------ *)
+(* Kernels                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Recursive fibonacci (the Sightglass "fib2"). *)
+let fib2 =
+  Inst.workload ~name:"fib2" (fun cg ->
+      let open Instr in
+      Cg.jmp cg "main";
+      Cg.label cg "fib";
+      cmp cg Reg.RDI (Imm 2);
+      Cg.jcc cg Lt "fib_base";
+      i cg (Push Reg.RDI);
+      sub cg Reg.RDI (Imm 1);
+      Program.Asm.call (Cg.asm cg) "fib";
+      i cg (Pop Reg.RDI);
+      i cg (Push Reg.RAX);
+      sub cg Reg.RDI (Imm 2);
+      Program.Asm.call (Cg.asm cg) "fib";
+      i cg (Pop Reg.RBX);
+      add cg Reg.RAX (Reg Reg.RBX);
+      i cg Ret;
+      Cg.label cg "fib_base";
+      movr cg Reg.RAX Reg.RDI;
+      i cg Ret;
+      Cg.label cg "main";
+      movi cg Reg.RDI 18;
+      Program.Asm.call (Cg.asm cg) "fib")
+
+(* Ackermann A(3,4) = 125. *)
+let ackermann =
+  Inst.workload ~name:"ackermann" (fun cg ->
+      let open Instr in
+      Cg.jmp cg "main";
+      Cg.label cg "ack";
+      cmp cg Reg.RDI (Imm 0);
+      Cg.jcc cg Eq "ack_m0";
+      cmp cg Reg.RSI (Imm 0);
+      Cg.jcc cg Eq "ack_n0";
+      i cg (Push Reg.RDI);
+      sub cg Reg.RSI (Imm 1);
+      Program.Asm.call (Cg.asm cg) "ack";
+      i cg (Pop Reg.RDI);
+      movr cg Reg.RSI Reg.RAX;
+      sub cg Reg.RDI (Imm 1);
+      Program.Asm.call (Cg.asm cg) "ack";
+      i cg Ret;
+      Cg.label cg "ack_m0";
+      movr cg Reg.RAX Reg.RSI;
+      add cg Reg.RAX (Imm 1);
+      i cg Ret;
+      Cg.label cg "ack_n0";
+      sub cg Reg.RDI (Imm 1);
+      movi cg Reg.RSI 1;
+      Program.Asm.call (Cg.asm cg) "ack";
+      i cg Ret;
+      Cg.label cg "main";
+      movi cg Reg.RDI 3;
+      movi cg Reg.RSI 4;
+      Program.Asm.call (Cg.asm cg) "ack")
+
+(* Base64 encode 3072 input bytes via a 64-entry table; RAX sums the
+   encoded bytes. Input at 0, table at 8192, output at 16384. *)
+let base64 =
+  Inst.workload ~name:"base64" ~heap_bytes:65536
+    ~init:(fun mem ~heap_base ->
+      for k = 0 to 3071 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + k) ~bytes:1 ((k * 7) land 0xff)
+      done;
+      let tbl = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/" in
+      String.iteri
+        (fun k c -> Hfi_memory.Addr_space.poke mem ~addr:(heap_base + 8192 + k) ~bytes:1 (Char.code c))
+        tbl)
+    (fun cg ->
+      let open Instr in
+      movi cg Reg.RAX 0;
+      (* RCX: input triple index; RDI: output index *)
+      movi cg Reg.RDI 16384;
+      let sextet shift_instrs =
+        (* compute sextet into R9 from 24-bit word in R8, then table
+           lookup and store *)
+        movr cg Reg.R9 Reg.R8;
+        shift_instrs ();
+        and_ cg Reg.R9 (Imm 63);
+        Cg.load_heap cg W1 ~dst:Reg.R10 ~addr:Reg.R9 ~offset:8192;
+        Cg.store_heap cg W1 ~addr:Reg.RDI ~offset:0 ~src:(Reg Reg.R10);
+        add cg Reg.RDI (Imm 1);
+        add cg Reg.RAX (Reg Reg.R10)
+      in
+      for_up cg Reg.RCX ~from:0 ~limit:1024 (fun () ->
+          (* load triple at RCX*3 into 24-bit R8 *)
+          i cg (Lea (Reg.RSI, Instr.mem ~index:Reg.RCX ~scale:2 ()));
+          add cg Reg.RSI (Reg Reg.RCX);
+          (* RSI = 3*RCX *)
+          Cg.load_heap cg W1 ~dst:Reg.R8 ~addr:Reg.RSI ~offset:0;
+          shl cg Reg.R8 8;
+          Cg.load_heap cg W1 ~dst:Reg.R11 ~addr:Reg.RSI ~offset:1;
+          or_ cg Reg.R8 (Reg Reg.R11);
+          shl cg Reg.R8 8;
+          Cg.load_heap cg W1 ~dst:Reg.R11 ~addr:Reg.RSI ~offset:2;
+          or_ cg Reg.R8 (Reg Reg.R11);
+          sextet (fun () -> shr cg Reg.R9 18);
+          sextet (fun () -> shr cg Reg.R9 12);
+          sextet (fun () -> shr cg Reg.R9 6);
+          sextet (fun () -> ())))
+
+(* ctype: classify 8192 bytes with a 256-entry table; count "alnum". *)
+let ctype =
+  Inst.workload ~name:"ctype" ~heap_bytes:65536
+    ~init:(fun mem ~heap_base ->
+      for k = 0 to 8191 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + k) ~bytes:1 ((k * 31 + 7) land 0xff)
+      done;
+      (* class table at 16384: 1 for alnum ASCII, else 0 *)
+      for c = 0 to 255 do
+        let alnum =
+          (c >= Char.code '0' && c <= Char.code '9')
+          || (c >= Char.code 'A' && c <= Char.code 'Z')
+          || (c >= Char.code 'a' && c <= Char.code 'z')
+        in
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + 16384 + c) ~bytes:1 (if alnum then 1 else 0)
+      done)
+    (fun cg ->
+      let open Instr in
+      movi cg Reg.RAX 0;
+      for_up cg Reg.RCX ~from:0 ~limit:8192 (fun () ->
+          Cg.load_heap cg W1 ~dst:Reg.R8 ~addr:Reg.RCX ~offset:0;
+          Cg.load_heap cg W1 ~dst:Reg.R9 ~addr:Reg.R8 ~offset:16384;
+          add cg Reg.RAX (Reg Reg.R9)))
+
+(* Gimli-like 384-bit ARX permutation: 12 u32 words, 24 rounds. *)
+let gimli =
+  Inst.workload ~name:"gimli" ~heap_bytes:65536
+    ~init:(fun mem ~heap_base ->
+      for w = 0 to 11 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + (4 * w)) ~bytes:4 ((w * 0x9e3779b9) land mask32)
+      done)
+    (fun cg ->
+      let open Instr in
+      for_up cg Reg.RCX ~from:0 ~limit:24 (fun () ->
+          for_up cg Reg.RDX ~from:0 ~limit:4 (fun () ->
+              (* x = s[c]; y = s[4+c]; z = s[8+c] *)
+              i cg (Lea (Reg.RSI, Instr.mem ~index:Reg.RDX ~scale:4 ()));
+              Cg.load_heap cg W4 ~dst:Reg.R8 ~addr:Reg.RSI ~offset:0;
+              Cg.load_heap cg W4 ~dst:Reg.R9 ~addr:Reg.RSI ~offset:16;
+              Cg.load_heap cg W4 ~dst:Reg.R10 ~addr:Reg.RSI ~offset:32;
+              rotl32 cg Reg.R8 Reg.R12 24;
+              rotl32 cg Reg.R9 Reg.R12 9;
+              (* z' = x ^ (z << 1) ^ ((y & z) << 2) *)
+              movr cg Reg.R11 Reg.R10;
+              shl cg Reg.R11 1;
+              movr cg Reg.RBX Reg.R9;
+              and_ cg Reg.RBX (Reg Reg.R10);
+              shl cg Reg.RBX 2;
+              xor cg Reg.R11 (Reg Reg.RBX);
+              xor cg Reg.R11 (Reg Reg.R8);
+              and_ cg Reg.R11 (Imm mask32);
+              Cg.store_heap cg W4 ~addr:Reg.RSI ~offset:32 ~src:(Reg Reg.R11);
+              (* y' = y ^ x ^ ((x|z) << 1) *)
+              movr cg Reg.R11 Reg.R8;
+              or_ cg Reg.R11 (Reg Reg.R10);
+              shl cg Reg.R11 1;
+              xor cg Reg.R11 (Reg Reg.R9);
+              xor cg Reg.R11 (Reg Reg.R8);
+              and_ cg Reg.R11 (Imm mask32);
+              Cg.store_heap cg W4 ~addr:Reg.RSI ~offset:16 ~src:(Reg Reg.R11);
+              (* x' = z ^ y ^ ((x&y) << 3) *)
+              movr cg Reg.R11 Reg.R8;
+              and_ cg Reg.R11 (Reg Reg.R9);
+              shl cg Reg.R11 3;
+              xor cg Reg.R11 (Reg Reg.R9);
+              xor cg Reg.R11 (Reg Reg.R10);
+              and_ cg Reg.R11 (Imm mask32);
+              Cg.store_heap cg W4 ~addr:Reg.RSI ~offset:0 ~src:(Reg Reg.R11)));
+      (* checksum *)
+      movi cg Reg.RAX 0;
+      for_up cg Reg.RCX ~from:0 ~limit:12 (fun () ->
+          i cg (Lea (Reg.RSI, Instr.mem ~index:Reg.RCX ~scale:4 ()));
+          Cg.load_heap cg W4 ~dst:Reg.R8 ~addr:Reg.RSI ~offset:0;
+          xor cg Reg.RAX (Reg Reg.R8)))
+
+(* Keccak-like permutation over 25 u64 lanes, 24 rounds of a theta/chi
+   flavored mix. *)
+let keccak =
+  Inst.workload ~name:"keccak" ~heap_bytes:65536
+    ~init:(fun mem ~heap_base ->
+      for w = 0 to 24 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + (8 * w)) ~bytes:8 (w * 0x123456789ab + 7)
+      done)
+    (fun cg ->
+      let open Instr in
+      for_up cg Reg.RCX ~from:0 ~limit:24 (fun () ->
+          (* theta-like: s[i] ^= s[(i+1) mod 25] rotated, for all i *)
+          for_up cg Reg.RDX ~from:0 ~limit:25 (fun () ->
+              i cg (Lea (Reg.RSI, Instr.mem ~index:Reg.RDX ~scale:8 ()));
+              Cg.load_heap cg W8 ~dst:Reg.R8 ~addr:Reg.RSI ~offset:0;
+              (* neighbor index (wrap): idx2 = (RDX+1) == 25 ? 0 : RDX+1 *)
+              movr cg Reg.RDI Reg.RDX;
+              add cg Reg.RDI (Imm 1);
+              cmp cg Reg.RDI (Imm 25);
+              let nowrap = Cg.fresh_label cg "nowrap" in
+              Cg.jcc cg Lt nowrap;
+              movi cg Reg.RDI 0;
+              Cg.label cg nowrap;
+              i cg (Lea (Reg.RDI, Instr.mem ~index:Reg.RDI ~scale:8 ()));
+              Cg.load_heap cg W8 ~dst:Reg.R9 ~addr:Reg.RDI ~offset:0;
+              (* mix: x ^= rotl(y, 13)-ish *)
+              movr cg Reg.R10 Reg.R9;
+              shl cg Reg.R10 13;
+              shr cg Reg.R9 17;
+              or_ cg Reg.R10 (Reg Reg.R9);
+              xor cg Reg.R8 (Reg Reg.R10);
+              Cg.store_heap cg W8 ~addr:Reg.RSI ~offset:0 ~src:(Reg Reg.R8)));
+      movi cg Reg.RAX 0;
+      for_up cg Reg.RCX ~from:0 ~limit:25 (fun () ->
+          i cg (Lea (Reg.RSI, Instr.mem ~index:Reg.RCX ~scale:8 ()));
+          Cg.load_heap cg W8 ~dst:Reg.R8 ~addr:Reg.RSI ~offset:0;
+          xor cg Reg.RAX (Reg Reg.R8)))
+
+(* memmove: forward copy of 2048 words then overlapping backward copy. *)
+let memmove =
+  Inst.workload ~name:"memmove" ~heap_bytes:65536
+    ~init:(fun mem ~heap_base ->
+      for w = 0 to 2047 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + (8 * w)) ~bytes:8 (w * 3 + 1)
+      done)
+    (fun cg ->
+      let open Instr in
+      (* forward: dst 16384 <- src 0, 2048 words *)
+      for_up cg Reg.RCX ~from:0 ~limit:2048 (fun () ->
+          i cg (Lea (Reg.RSI, Instr.mem ~index:Reg.RCX ~scale:8 ()));
+          Cg.load_heap cg W8 ~dst:Reg.R8 ~addr:Reg.RSI ~offset:0;
+          Cg.store_heap cg W8 ~addr:Reg.RSI ~offset:16384 ~src:(Reg Reg.R8));
+      (* overlapping backward: region [16384, +2048w) -> [16384+8, ...) *)
+      movi cg Reg.RCX 2047;
+      let l = Cg.fresh_label cg "back" in
+      Cg.label cg l;
+      i cg (Lea (Reg.RSI, Instr.mem ~index:Reg.RCX ~scale:8 ()));
+      Cg.load_heap cg W8 ~dst:Reg.R8 ~addr:Reg.RSI ~offset:16384;
+      Cg.store_heap cg W8 ~addr:Reg.RSI ~offset:(16384 + 8) ~src:(Reg Reg.R8);
+      sub cg Reg.RCX (Imm 1);
+      cmp cg Reg.RCX (Imm 0);
+      Cg.jcc cg Ge l;
+      (* checksum of moved region *)
+      movi cg Reg.RAX 0;
+      for_up cg Reg.RCX ~from:0 ~limit:2048 (fun () ->
+          i cg (Lea (Reg.RSI, Instr.mem ~index:Reg.RCX ~scale:8 ()));
+          Cg.load_heap cg W8 ~dst:Reg.R8 ~addr:Reg.RSI ~offset:16384;
+          add cg Reg.RAX (Reg Reg.R8)))
+
+(* minicsv: count rows and fields of 4 KiB of CSV. *)
+let minicsv =
+  Inst.workload ~name:"minicsv" ~heap_bytes:65536
+    ~init:(fun mem ~heap_base ->
+      let pat = "alpha,beta,gamma,delta\n12,34,56,78\nx,y,z,w\n" in
+      for k = 0 to 4095 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + k) ~bytes:1
+          (Char.code pat.[k mod String.length pat])
+      done)
+    (fun cg ->
+      let open Instr in
+      movi cg Reg.R8 0;
+      (* rows *)
+      movi cg Reg.R9 0;
+      (* fields *)
+      for_up cg Reg.RCX ~from:0 ~limit:4096 (fun () ->
+          Cg.load_heap cg W1 ~dst:Reg.R10 ~addr:Reg.RCX ~offset:0;
+          cmp cg Reg.R10 (Imm (Char.code ','));
+          let not_comma = Cg.fresh_label cg "nc" in
+          Cg.jcc cg Ne not_comma;
+          add cg Reg.R9 (Imm 1);
+          Cg.label cg not_comma;
+          cmp cg Reg.R10 (Imm (Char.code '\n'));
+          let not_nl = Cg.fresh_label cg "nn" in
+          Cg.jcc cg Ne not_nl;
+          add cg Reg.R8 (Imm 1);
+          add cg Reg.R9 (Imm 1);
+          Cg.label cg not_nl);
+      movr cg Reg.RAX Reg.R8;
+      i cg (Alu (Mul, Reg.RAX, Imm 1000));
+      add cg Reg.RAX (Reg Reg.R9))
+
+(* nestedloop: 40^3 iterations of pure control flow. *)
+let nestedloop =
+  Inst.workload ~name:"nestedloop" (fun cg ->
+      let open Instr in
+      movi cg Reg.RAX 0;
+      for_up cg Reg.RCX ~from:0 ~limit:40 (fun () ->
+          for_up cg Reg.RDX ~from:0 ~limit:40 (fun () ->
+              for_up cg Reg.RSI ~from:0 ~limit:40 (fun () -> add cg Reg.RAX (Imm 1)))))
+
+(* xorshift64* PRNG, 30k steps. *)
+let random =
+  Inst.workload ~name:"random" (fun cg ->
+      let open Instr in
+      movi cg Reg.R8 0x2545F491;
+      movi cg Reg.RAX 0;
+      for_up cg Reg.RCX ~from:0 ~limit:30000 (fun () ->
+          movr cg Reg.R9 Reg.R8;
+          shr cg Reg.R9 12;
+          xor cg Reg.R8 (Reg Reg.R9);
+          movr cg Reg.R9 Reg.R8;
+          shl cg Reg.R9 25;
+          xor cg Reg.R8 (Reg Reg.R9);
+          movr cg Reg.R9 Reg.R8;
+          shr cg Reg.R9 27;
+          xor cg Reg.R8 (Reg Reg.R9);
+          xor cg Reg.RAX (Reg Reg.R8)))
+
+(* Token-bucket rate limiter over 8192 synthetic arrival deltas. *)
+let ratelimit =
+  Inst.workload ~name:"ratelimit" ~heap_bytes:65536
+    ~init:(fun mem ~heap_base ->
+      for k = 0 to 8191 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + (4 * k)) ~bytes:4 (1 + ((k * k) mod 5))
+      done)
+    (fun cg ->
+      let open Instr in
+      movi cg Reg.R8 10;
+      (* tokens (scaled by 1) *)
+      movi cg Reg.RAX 0;
+      (* allowed count *)
+      for_up cg Reg.RCX ~from:0 ~limit:8192 (fun () ->
+          i cg (Lea (Reg.RSI, Instr.mem ~index:Reg.RCX ~scale:4 ()));
+          Cg.load_heap cg W4 ~dst:Reg.R9 ~addr:Reg.RSI ~offset:0;
+          (* tokens += delta; cap at 10 *)
+          add cg Reg.R8 (Reg Reg.R9);
+          cmp cg Reg.R8 (Imm 10);
+          let nocap = Cg.fresh_label cg "nocap" in
+          Cg.jcc cg Le nocap;
+          movi cg Reg.R8 10;
+          Cg.label cg nocap;
+          (* if tokens >= 3 then allow, tokens -= 3 *)
+          cmp cg Reg.R8 (Imm 3);
+          let deny = Cg.fresh_label cg "deny" in
+          Cg.jcc cg Lt deny;
+          sub cg Reg.R8 (Imm 3);
+          add cg Reg.RAX (Imm 1);
+          Cg.label cg deny))
+
+(* Sieve of Eratosthenes up to 8192; result is pi(8192) = 1028. *)
+let sieve =
+  Inst.workload ~name:"sieve" ~heap_bytes:65536 (fun cg ->
+      let open Instr in
+      let n = 8192 in
+      (* clear flags *)
+      for_up cg Reg.RCX ~from:0 ~limit:n (fun () ->
+          Cg.store_heap cg W1 ~addr:Reg.RCX ~offset:0 ~src:(Imm 0));
+      (* sieve *)
+      for_up cg Reg.RCX ~from:2 ~limit:n (fun () ->
+          Cg.load_heap cg W1 ~dst:Reg.R8 ~addr:Reg.RCX ~offset:0;
+          cmp cg Reg.R8 (Imm 0);
+          let composite = Cg.fresh_label cg "comp" in
+          Cg.jcc cg Ne composite;
+          (* mark multiples: RDX = 2*RCX; while RDX < n: flag; RDX += RCX *)
+          i cg (Lea (Reg.RDX, Instr.mem ~index:Reg.RCX ~scale:2 ()));
+          cmp cg Reg.RDX (Imm n);
+          let done_ = Cg.fresh_label cg "done" in
+          Cg.jcc cg Ge done_;
+          let mark = Cg.fresh_label cg "mark" in
+          Cg.label cg mark;
+          Cg.store_heap cg W1 ~addr:Reg.RDX ~offset:0 ~src:(Imm 1);
+          add cg Reg.RDX (Reg Reg.RCX);
+          cmp cg Reg.RDX (Imm n);
+          Cg.jcc cg Lt mark;
+          Cg.label cg done_;
+          Cg.label cg composite);
+      (* count primes *)
+      movi cg Reg.RAX 0;
+      for_up cg Reg.RCX ~from:2 ~limit:n (fun () ->
+          Cg.load_heap cg W1 ~dst:Reg.R8 ~addr:Reg.RCX ~offset:0;
+          cmp cg Reg.R8 (Imm 0);
+          let skip = Cg.fresh_label cg "skip" in
+          Cg.jcc cg Ne skip;
+          add cg Reg.RAX (Imm 1);
+          Cg.label cg skip))
+
+(* switch: 8-way dispatch on PRNG output, 20000 iterations. *)
+let switch_ =
+  Inst.workload ~name:"switch" (fun cg ->
+      let open Instr in
+      movi cg Reg.R8 12345;
+      movi cg Reg.RAX 0;
+      for_up cg Reg.RCX ~from:0 ~limit:20000 (fun () ->
+          (* LCG step *)
+          i cg (Alu (Mul, Reg.R8, Imm 1103515245));
+          add cg Reg.R8 (Imm 12345);
+          and_ cg Reg.R8 (Imm 0x7fffffff);
+          movr cg Reg.R9 Reg.R8;
+          and_ cg Reg.R9 (Imm 7);
+          let endl = Cg.fresh_label cg "endsw" in
+          let case k body =
+            cmp cg Reg.R9 (Imm k);
+            let next = Cg.fresh_label cg "case" in
+            Cg.jcc cg Ne next;
+            body ();
+            Cg.jmp cg endl;
+            Cg.label cg next
+          in
+          case 0 (fun () -> add cg Reg.RAX (Imm 1));
+          case 1 (fun () -> add cg Reg.RAX (Imm 3));
+          case 2 (fun () -> xor cg Reg.RAX (Imm 0xff));
+          case 3 (fun () -> add cg Reg.RAX (Reg Reg.R8));
+          case 4 (fun () -> sub cg Reg.RAX (Imm 2));
+          case 5 (fun () -> shl cg Reg.RAX 1);
+          case 6 (fun () -> shr cg Reg.RAX 1);
+          (* default: 7 *)
+          xor cg Reg.RAX (Reg Reg.R9);
+          Cg.label cg endl))
+
+(* Shared shape of the ARX stream ciphers: quarter-round mixes over a
+   16-word state in the heap. [w] selects 32- or 64-bit lanes. *)
+let arx_cipher ~name ~rounds ~w ~rots =
+  Inst.workload ~name ~heap_bytes:65536
+    ~init:(fun mem ~heap_base ->
+      let lane = match w with Instr.W4 -> 4 | _ -> 8 in
+      for k = 0 to 15 do
+        Hfi_memory.Addr_space.poke mem ~addr:(heap_base + (lane * k)) ~bytes:lane
+          ((k * 0x61707865 + 0x3320646e) land (if lane = 4 then mask32 else max_int))
+      done)
+    (fun cg ->
+      let open Instr in
+      let lane = match w with W4 -> 4 | _ -> 8 in
+      let bits = lane * 8 in
+      let msk = if lane = 4 then mask32 else -1 in
+      let rot d tmp k =
+        movr cg tmp d;
+        shl cg d k;
+        if lane = 4 then and_ cg d (Imm msk);
+        shr cg tmp (bits - k);
+        or_ cg d (Instr.Reg tmp)
+      in
+      let qr (a, b, c, d) =
+        let la = a * lane and lb = b * lane and lc = c * lane and ld = d * lane in
+        let ld_ reg off =
+          movi cg Reg.RSI off;
+          Cg.load_heap cg w ~dst:reg ~addr:Reg.RSI ~offset:0
+        in
+        let st_ reg off =
+          movi cg Reg.RSI off;
+          Cg.store_heap cg w ~addr:Reg.RSI ~offset:0 ~src:(Reg reg)
+        in
+        ld_ Reg.R8 la;
+        ld_ Reg.R9 lb;
+        ld_ Reg.R10 lc;
+        ld_ Reg.R11 ld;
+        let r1, r2, r3, r4 = rots in
+        add cg Reg.R8 (Reg Reg.R9);
+        if lane = 4 then and_ cg Reg.R8 (Imm msk);
+        xor cg Reg.R11 (Reg Reg.R8);
+        rot Reg.R11 Reg.R12 r1;
+        add cg Reg.R10 (Reg Reg.R11);
+        if lane = 4 then and_ cg Reg.R10 (Imm msk);
+        xor cg Reg.R9 (Reg Reg.R10);
+        rot Reg.R9 Reg.R12 r2;
+        add cg Reg.R8 (Reg Reg.R9);
+        if lane = 4 then and_ cg Reg.R8 (Imm msk);
+        xor cg Reg.R11 (Reg Reg.R8);
+        rot Reg.R11 Reg.R12 r3;
+        add cg Reg.R10 (Reg Reg.R11);
+        if lane = 4 then and_ cg Reg.R10 (Imm msk);
+        xor cg Reg.R9 (Reg Reg.R10);
+        rot Reg.R9 Reg.R12 r4;
+        st_ Reg.R8 la;
+        st_ Reg.R9 lb;
+        st_ Reg.R10 lc;
+        st_ Reg.R11 ld
+      in
+      for_up cg Reg.RCX ~from:0 ~limit:rounds (fun () ->
+          (* column round *)
+          qr (0, 4, 8, 12);
+          qr (1, 5, 9, 13);
+          qr (2, 6, 10, 14);
+          qr (3, 7, 11, 15);
+          (* diagonal round *)
+          qr (0, 5, 10, 15);
+          qr (1, 6, 11, 12);
+          qr (2, 7, 8, 13);
+          qr (3, 4, 9, 14));
+      movi cg Reg.RAX 0;
+      for_up cg Reg.RCX ~from:0 ~limit:16 (fun () ->
+          i cg (Lea (Reg.RSI, Instr.mem ~index:Reg.RCX ~scale:lane ()));
+          Cg.load_heap cg w ~dst:Reg.R8 ~addr:Reg.RSI ~offset:0;
+          xor cg Reg.RAX (Reg Reg.R8)))
+
+let blake3_scalar = arx_cipher ~name:"blake3-scalar" ~rounds:28 ~w:Instr.W4 ~rots:(16, 12, 8, 7)
+let xblabla20 = arx_cipher ~name:"xblabla20" ~rounds:40 ~w:Instr.W8 ~rots:(32, 24, 16, 63)
+let xchacha20 = arx_cipher ~name:"xchacha20" ~rounds:40 ~w:Instr.W4 ~rots:(16, 12, 8, 7)
+
+let all =
+  [
+    ("blake3-scalar", blake3_scalar);
+    ("ackermann", ackermann);
+    ("base64", base64);
+    ("ctype", ctype);
+    ("fib2", fib2);
+    ("gimli", gimli);
+    ("keccak", keccak);
+    ("memmove", memmove);
+    ("minicsv", minicsv);
+    ("nestedloop", nestedloop);
+    ("random", random);
+    ("ratelimit", ratelimit);
+    ("sieve", sieve);
+    ("switch", switch_);
+    ("xblabla20", xblabla20);
+    ("xchacha20", xchacha20);
+  ]
+
+let find name = List.assoc name all
+
+let expected_result = function
+  | "fib2" -> Some 2584
+  | "ackermann" -> Some 125
+  | "nestedloop" -> Some 64000
+  | "sieve" -> Some 1028
+  | _ -> None

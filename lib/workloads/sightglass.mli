@@ -1,0 +1,19 @@
+(** The Sightglass benchmark kernels used for the paper's gem5 vs
+    emulation cross-validation (Fig. 2): short Wasm-friendly primitives
+    from cryptography, mathematics, string manipulation, and control
+    flow. Each kernel is authored once against {!Hfi_wasm.Codegen} and
+    leaves a checksum in RAX, so tests can assert that every isolation
+    strategy computes the same result.
+
+    Kernel sizes are chosen so the cycle engine finishes each in well
+    under a second while still exercising caches and predictors. *)
+
+val all : (string * Hfi_wasm.Instance.workload) list
+(** The 16 kernels of Fig. 2, in the paper's order. *)
+
+val find : string -> Hfi_wasm.Instance.workload
+(** Raises [Not_found] for an unknown kernel name. *)
+
+val expected_result : string -> int option
+(** Architectural checksum for kernels with a closed-form expectation;
+    used by the test suite. *)

@@ -1,0 +1,113 @@
+(* Shape tests over the experiment registry: every experiment must run
+   (quick mode) and its measured result must point the same way as the
+   paper's claim — who wins, and roughly by how much. *)
+
+open Hfi_experiments
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_registry_complete () =
+  (* Every table/figure of the evaluation section plus the ablations. *)
+  let expected =
+    [ "fig2"; "fig3"; "heap-growth"; "reg-pressure"; "font"; "fig4"; "teardown"; "scaling";
+      "syscalls"; "fig5"; "table1"; "fig7"; "ablate-soe"; "ablate-parallel"; "ablate-comparator";
+      "ablate-transitions"; "multi-memory"; "chaining" ]
+  in
+  List.iter
+    (fun id -> check_bool (id ^ " registered") true (Registry.find id <> None))
+    expected;
+  check_int "registry size" (List.length expected) (List.length Registry.all)
+
+let run id =
+  match Registry.find id with
+  | Some e -> e.Registry.run ~quick:true ()
+  | None -> Alcotest.failf "experiment %s missing" id
+
+let test_all_run_quick () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let r = e.run ~quick:true () in
+      check_bool (e.id ^ " produced a table") true (String.length r.Report.table > 0);
+      check_bool (e.id ^ " produced a verdict") true (String.length r.Report.verdict > 0))
+    Registry.all
+
+let test_fig2_emulation_accuracy () =
+  let rows = Fig2_validation.measure ~quick:true () in
+  List.iter
+    (fun r ->
+      check_bool
+        (r.Fig2_validation.kernel ^ " emulation within 10%")
+        true
+        (r.Fig2_validation.ratio > 0.90 && r.Fig2_validation.ratio < 1.10))
+    rows
+
+let test_fig3_shape () =
+  let rows = Fig3_spec.measure ~quick:true () in
+  List.iter
+    (fun r ->
+      let bounds = r.Fig3_spec.bounds /. r.Fig3_spec.guard in
+      let hfi = r.Fig3_spec.hfi /. r.Fig3_spec.guard in
+      check_bool (r.Fig3_spec.bench ^ ": bounds slower") true (bounds > 1.10);
+      check_bool (r.Fig3_spec.bench ^ ": hfi competitive") true (hfi < 1.08))
+    rows
+
+let test_heap_growth_ratio () =
+  let r = Heap_growth.run ~quick:true () in
+  (* "~30x": accept an order-of-magnitude window. *)
+  check_bool "hfi much faster" true
+    (let v = r.Report.verdict in
+     (* verdict ends with "NN.Nx" *)
+     match String.rindex_opt v ' ' with
+     | Some i ->
+       let tail = String.sub v (i + 1) (String.length v - i - 1) in
+       let x = float_of_string (String.sub tail 0 (String.length tail - 1)) in
+       x > 10.0 && x < 100.0
+     | None -> false)
+
+let test_teardown_shape () =
+  let stock = Faas_lifecycle.teardown_us_per_sandbox ~sandboxes:300 Faas_lifecycle.Stock in
+  let batched = Faas_lifecycle.teardown_us_per_sandbox ~sandboxes:300 Faas_lifecycle.Hfi_batched in
+  let noelide =
+    Faas_lifecycle.teardown_us_per_sandbox ~sandboxes:300 Faas_lifecycle.Batched_without_elision
+  in
+  check_bool "batched beats stock" true (batched < stock);
+  check_bool "non-elided batching loses to stock" true (noelide > stock)
+
+let test_scaling_numbers () =
+  check_int "paper's own 16K figure" 16384
+    (Faas_lifecycle.max_sandboxes ~va_bits:47 ~heap_bytes:(4 * (1 lsl 30))
+       ~guard_bytes:(4 * (1 lsl 30)));
+  check_bool "HFI fits ~10x more" true
+    (Faas_lifecycle.max_sandboxes ~va_bits:47 ~heap_bytes:(1 lsl 30) ~guard_bytes:0 >= 131072)
+
+let test_syscalls_shape () =
+  let r = run "syscalls" in
+  (* seccomp must be over HFI by low single digits *)
+  check_bool "seccomp above HFI" true
+    (Scanf.sscanf r.Report.verdict "seccomp-bpf %f%% over HFI" (fun p -> p > 0.5 && p < 5.0))
+
+let test_spectre_verdict () =
+  let r = run "fig7" in
+  (* Every leak/blocked flag in the verdict must read true. *)
+  let contains_false =
+    let v = r.Report.verdict and needle = "false" in
+    let n = String.length v and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub v i m = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "verdict non-empty" true (String.length r.Report.verdict > 0);
+  check_bool "no attack verdict is false" false contains_false
+
+let suite =
+  [
+    Alcotest.test_case "registry complete" `Quick test_registry_complete;
+    Alcotest.test_case "all experiments run (quick)" `Slow test_all_run_quick;
+    Alcotest.test_case "fig2 emulation accuracy" `Quick test_fig2_emulation_accuracy;
+    Alcotest.test_case "fig3 shape" `Quick test_fig3_shape;
+    Alcotest.test_case "heap-growth ratio" `Quick test_heap_growth_ratio;
+    Alcotest.test_case "teardown shape" `Quick test_teardown_shape;
+    Alcotest.test_case "scaling numbers" `Quick test_scaling_numbers;
+    Alcotest.test_case "syscalls shape" `Quick test_syscalls_shape;
+    Alcotest.test_case "spectre verdict" `Quick test_spectre_verdict;
+  ]

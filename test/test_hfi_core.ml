@@ -1,0 +1,392 @@
+open Hfi_isa
+open Hfi_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let kib64 = 1 lsl 16
+let gib = 1 lsl 30
+
+let icode ?(exec = true) base mask = Hfi_iface.Implicit_code { base_prefix = base; lsb_mask = mask; permission_exec = exec }
+
+let idata ?(r = true) ?(w = true) base mask =
+  Hfi_iface.Implicit_data { base_prefix = base; lsb_mask = mask; permission_read = r; permission_write = w }
+
+let edata ?(r = true) ?(w = true) ?(large = true) base bound =
+  Hfi_iface.Explicit_data
+    { base_address = base; bound; permission_read = r; permission_write = w; is_large_region = large }
+
+(* {1 Region validation} *)
+
+let test_validate_implicit_ok () =
+  check_bool "ok" true (Region.validate ~slot:2 (idata 0x100000 0xfffff) = Ok ())
+
+let test_validate_mask_not_contiguous () =
+  check_bool "bad mask" true
+    (Region.validate ~slot:2 (idata 0x100000 0b1010) = Error Region.Mask_not_contiguous)
+
+let test_validate_base_overlaps_mask () =
+  check_bool "base in mask" true
+    (Region.validate ~slot:2 (idata 0x100008 0xfff) = Error Region.Base_not_aligned)
+
+let test_validate_kind_mismatch () =
+  check_bool "data in code slot" true
+    (Region.validate ~slot:0 (idata 0x100000 0xfff) = Error Region.Wrong_kind_for_slot);
+  check_bool "code in data slot" true
+    (Region.validate ~slot:2 (icode 0x100000 0xfff) = Error Region.Wrong_kind_for_slot);
+  check_bool "explicit in implicit slot" true
+    (Region.validate ~slot:2 (edata (16 * kib64) kib64) = Error Region.Wrong_kind_for_slot)
+
+let test_validate_large_alignment () =
+  check_bool "unaligned base" true
+    (Region.validate ~slot:6 (edata 100 kib64) = Error Region.Large_not_64k_aligned);
+  check_bool "unaligned bound" true
+    (Region.validate ~slot:6 (edata kib64 100) = Error Region.Large_not_64k_aligned);
+  check_bool "aligned ok" true (Region.validate ~slot:6 (edata kib64 (2 * kib64)) = Ok ())
+
+let test_validate_large_max () =
+  check_bool "256TiB ok" true
+    (Region.validate ~slot:6 (edata 0 Region.large_max_bound) = Ok ());
+  check_bool "over" true
+    (Region.validate ~slot:6 (edata 0 (Region.large_max_bound + kib64)) = Error Region.Bound_too_large)
+
+let test_validate_small_byte_granular () =
+  check_bool "byte-granular ok" true (Region.validate ~slot:6 (edata ~large:false 1001 77) = Ok ())
+
+let test_validate_small_4g_boundary () =
+  (* A small region may not span a 4GiB-aligned address (§3.2). *)
+  let base = (4 * gib) - 100 in
+  check_bool "spans boundary" true
+    (Region.validate ~slot:6 (edata ~large:false base 200) = Error Region.Small_spans_4g_boundary);
+  check_bool "just below ok" true (Region.validate ~slot:6 (edata ~large:false base 100) = Ok ());
+  check_bool "too big" true
+    (Region.validate ~slot:6 (edata ~large:false 0 ((4 * gib) + 1)) = Error Region.Bound_too_large)
+
+(* {1 Prefix matching} *)
+
+let test_implicit_match () =
+  check_bool "inside" true (Region.implicit_matches ~base_prefix:0x10000 ~lsb_mask:0xffff 0x1ffff);
+  check_bool "base itself" true (Region.implicit_matches ~base_prefix:0x10000 ~lsb_mask:0xffff 0x10000);
+  check_bool "below" false (Region.implicit_matches ~base_prefix:0x10000 ~lsb_mask:0xffff 0xffff);
+  check_bool "above" false (Region.implicit_matches ~base_prefix:0x10000 ~lsb_mask:0xffff 0x20000)
+
+(* {1 hmov checks (§4.2)} *)
+
+let small_region = { Hfi_iface.base_address = 0x200000; bound = 4096; permission_read = true; permission_write = true; is_large_region = false }
+
+let test_hmov_in_bounds () =
+  match Region.hmov_access small_region ~index_value:100 ~scale:4 ~disp:8 ~bytes:8 ~write:false with
+  | Ok c ->
+    check_int "ea" (0x200000 + 408) c.Region.effective_address;
+    check_int "32-bit comparator" 32 c.Region.comparator_bits
+  | Error _ -> Alcotest.fail "should pass"
+
+let test_hmov_out_of_bounds () =
+  check_bool "oob" true
+    (Region.hmov_access small_region ~index_value:4096 ~scale:1 ~disp:0 ~bytes:1 ~write:false
+    = Error Msr.Out_of_bounds);
+  (* Last byte must fit: offset+bytes > bound traps. *)
+  check_bool "straddle end" true
+    (Region.hmov_access small_region ~index_value:4092 ~scale:1 ~disp:0 ~bytes:8 ~write:false
+    = Error Msr.Out_of_bounds);
+  check_bool "exactly fits" true
+    (Region.hmov_access small_region ~index_value:4088 ~scale:1 ~disp:0 ~bytes:8 ~write:false
+    |> Result.is_ok)
+
+let test_hmov_negative_offsets_trap () =
+  check_bool "neg index" true
+    (Region.hmov_access small_region ~index_value:(-1) ~scale:1 ~disp:0 ~bytes:1 ~write:false
+    = Error Msr.Negative_offset);
+  check_bool "neg disp" true
+    (Region.hmov_access small_region ~index_value:0 ~scale:1 ~disp:(-8) ~bytes:1 ~write:false
+    = Error Msr.Negative_offset)
+
+let test_hmov_overflow_traps () =
+  check_bool "overflow" true
+    (Region.hmov_access small_region ~index_value:(1 lsl 61) ~scale:8 ~disp:0 ~bytes:1 ~write:false
+    = Error Msr.Address_overflow)
+
+let test_hmov_permissions () =
+  let ro = { small_region with Hfi_iface.permission_write = false } in
+  check_bool "read ok" true (Region.hmov_access ro ~index_value:0 ~scale:1 ~disp:0 ~bytes:1 ~write:false |> Result.is_ok);
+  check_bool "write denied" true
+    (Region.hmov_access ro ~index_value:0 ~scale:1 ~disp:0 ~bytes:1 ~write:true = Error Msr.Permission)
+
+(* {1 HFI state machine} *)
+
+let hybrid = Hfi_iface.default_hybrid_spec
+let native_with h = { Hfi_iface.default_native_spec with exit_handler = Some h }
+
+let test_enter_exit_basic () =
+  let h = Hfi.create () in
+  check_bool "disabled initially" false (Hfi.enabled h);
+  check_bool "enter" true (Hfi.exec_enter h hybrid = Hfi.Continue);
+  check_bool "enabled" true (Hfi.enabled h);
+  check_bool "exit falls through" true (Hfi.exec_exit h = Hfi.Continue);
+  check_bool "disabled after exit" false (Hfi.enabled h);
+  check_bool "msr says exit" true (Hfi.exit_reason h = Msr.Exit_instruction)
+
+let test_native_exit_jumps_to_handler () =
+  let h = Hfi.create () in
+  ignore (Hfi.exec_enter h (native_with 0xcafe));
+  check_bool "jump to handler" true (Hfi.exec_exit h = Hfi.Jump 0xcafe)
+
+let test_native_locks_region_registers () =
+  let h = Hfi.create () in
+  ignore (Hfi.exec_enter h (native_with 0x1000));
+  (match Hfi.exec_set_region h ~slot:2 (idata 0x100000 0xfff) with
+  | Hfi.Trap Msr.Privileged_in_native -> ()
+  | _ -> Alcotest.fail "set_region must trap in native sandbox");
+  check_bool "sandbox was torn down" false (Hfi.enabled h)
+
+let test_hybrid_allows_region_updates () =
+  let h = Hfi.create () in
+  ignore (Hfi.exec_enter h hybrid);
+  check_bool "allowed" true (Hfi.exec_set_region h ~slot:2 (idata 0x100000 0xfff) = Hfi.Continue);
+  check_bool "serialized" true ((Hfi.stats h).Hfi.drains > 0)
+
+let test_set_region_validates () =
+  let h = Hfi.create () in
+  match Hfi.exec_set_region h ~slot:2 (idata 0x100008 0xfff) with
+  | Hfi.Trap Msr.Invalid_region_descriptor -> ()
+  | _ -> Alcotest.fail "invalid descriptor must trap"
+
+let test_region_readback () =
+  let h = Hfi.create () in
+  ignore (Hfi.exec_set_region h ~slot:6 (edata (16 * kib64) kib64));
+  check_bool "readable" true (Hfi.region h 6 <> None);
+  (match Hfi.exec_get_region h ~slot:6 with
+  | Ok base -> check_int "base" (16 * kib64) base
+  | Error _ -> Alcotest.fail "get_region");
+  ignore (Hfi.exec_clear_region h ~slot:6);
+  check_bool "cleared" true (Hfi.region h 6 = None)
+
+let test_clear_all () =
+  let h = Hfi.create () in
+  ignore (Hfi.exec_set_region h ~slot:2 (idata 0x100000 0xfff));
+  ignore (Hfi.exec_set_region h ~slot:6 (edata (16 * kib64) kib64));
+  ignore (Hfi.exec_clear_all h);
+  check_bool "slot2" true (Hfi.region h 2 = None);
+  check_bool "slot6" true (Hfi.region h 6 = None)
+
+let test_default_deny () =
+  (* A sandbox with no regions mapped can access nothing (§3.2). *)
+  let h = Hfi.create () in
+  ignore (Hfi.exec_enter h hybrid);
+  (match Hfi.check_data_access h ~addr:0x100000 ~bytes:8 `Read with
+  | Error v -> check_bool "no matching region" true (v.Msr.cause = Msr.No_matching_region)
+  | Ok () -> Alcotest.fail "default must deny");
+  match Hfi.check_ifetch h ~addr:0x400000 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "ifetch must deny"
+
+let test_first_match_wins () =
+  (* §3.2: permissions come from the *first* matching region. A read-only
+     region listed before an overlapping rw region denies writes. *)
+  let h = Hfi.create () in
+  ignore (Hfi.exec_set_region h ~slot:2 (idata ~r:true ~w:false 0x100000 0xfff));
+  ignore (Hfi.exec_set_region h ~slot:3 (idata ~r:true ~w:true 0x100000 0xfff));
+  ignore (Hfi.exec_enter h hybrid);
+  check_bool "read allowed" true (Hfi.check_data_access h ~addr:0x100010 ~bytes:8 `Read = Ok ());
+  match Hfi.check_data_access h ~addr:0x100010 ~bytes:8 `Write with
+  | Error v -> check_bool "write denied by first match" true (v.Msr.cause = Msr.Permission)
+  | Ok () -> Alcotest.fail "first-match should deny"
+
+let test_checks_disabled_when_hfi_off () =
+  let h = Hfi.create () in
+  check_bool "off: everything allowed" true (Hfi.check_data_access h ~addr:0x1 ~bytes:8 `Write = Ok ())
+
+let test_data_access_straddles_region_end () =
+  let h = Hfi.create () in
+  ignore (Hfi.exec_set_region h ~slot:2 (idata 0x100000 0xfff));
+  ignore (Hfi.exec_enter h hybrid);
+  check_bool "last inside ok" true (Hfi.check_data_access h ~addr:0x100ff8 ~bytes:8 `Read = Ok ());
+  match Hfi.check_data_access h ~addr:0x100ffc ~bytes:8 `Read with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "straddling access must fault"
+
+let test_syscall_interposition () =
+  let h = Hfi.create () in
+  ignore (Hfi.exec_enter h (native_with 0xbeef));
+  (match Hfi.on_syscall h ~number:2 with
+  | `Redirect 0xbeef -> ()
+  | _ -> Alcotest.fail "native syscall must redirect");
+  check_bool "msr has number" true (Hfi.exit_reason h = Msr.Syscall_trap 2);
+  check_bool "sandbox exited" false (Hfi.enabled h)
+
+let test_hybrid_syscalls_direct () =
+  let h = Hfi.create () in
+  ignore (Hfi.exec_enter h hybrid);
+  check_bool "hybrid allowed" true (Hfi.on_syscall h ~number:2 = `Allow);
+  check_bool "still sandboxed" true (Hfi.enabled h)
+
+let test_reenter_after_syscall () =
+  let h = Hfi.create () in
+  ignore (Hfi.exec_enter h (native_with 0xbeef));
+  ignore (Hfi.on_syscall h ~number:3);
+  check_bool "outside" false (Hfi.enabled h);
+  check_bool "reenter" true (Hfi.exec_reenter h = Hfi.Continue);
+  check_bool "back inside" true (Hfi.enabled h);
+  check_bool "still native" true (Hfi.in_native_sandbox h)
+
+let test_violation_tears_down () =
+  let h = Hfi.create () in
+  ignore (Hfi.exec_enter h hybrid);
+  let v = { Msr.addr = 0x1234; access = Msr.Read; cause = Msr.No_matching_region } in
+  (match Hfi.record_violation h v with
+  | Hfi.Trap (Msr.Bounds_violation v') -> check_int "addr preserved" 0x1234 v'.Msr.addr
+  | _ -> Alcotest.fail "must trap");
+  check_bool "disabled" false (Hfi.enabled h)
+
+let test_hardware_fault_records () =
+  let h = Hfi.create () in
+  ignore (Hfi.exec_enter h hybrid);
+  Hfi.on_hardware_fault h ~addr:0xdead;
+  check_bool "disabled" false (Hfi.enabled h);
+  check_bool "msr" true (Hfi.exit_reason h = Msr.Hardware_fault 0xdead)
+
+let test_switch_on_exit_swaps_banks () =
+  let h = Hfi.create () in
+  (* Runtime sets itself up in a serialized hybrid sandbox (§3.4). *)
+  ignore (Hfi.exec_set_region h ~slot:2 (idata 0x100000 0xfff));
+  ignore (Hfi.exec_enter h { hybrid with is_serialized = true });
+  (* Prepare the child's regions in the inactive bank (slots +10). *)
+  ignore (Hfi.exec_set_region h ~slot:12 (idata 0x200000 0xfff));
+  let child = { Hfi_iface.is_hybrid = false; is_serialized = false; switch_on_exit = true; exit_handler = Some 0x77 } in
+  let drains_before = (Hfi.stats h).Hfi.drains in
+  check_bool "soe enter" true (Hfi.exec_enter h child = Hfi.Continue);
+  check_int "unserialized enter: no drain" drains_before (Hfi.stats h).Hfi.drains;
+  (* Child's view: region slot 2 is the child's. *)
+  check_bool "child regions active" true (Hfi.check_data_access h ~addr:0x200010 ~bytes:8 `Read = Ok ());
+  check_bool "runtime regions inactive" false (Hfi.check_data_access h ~addr:0x100010 ~bytes:8 `Read = Ok ());
+  (* Exit: swap back to runtime, HFI stays enabled. *)
+  (match Hfi.exec_exit h with
+  | Hfi.Jump 0x77 -> ()
+  | _ -> Alcotest.fail "soe exit should land in handler");
+  check_bool "still enabled (runtime sandbox)" true (Hfi.enabled h);
+  check_bool "runtime regions back" true (Hfi.check_data_access h ~addr:0x100010 ~bytes:8 `Read = Ok ())
+
+let test_xsave_xrstor_roundtrip () =
+  let h = Hfi.create () in
+  ignore (Hfi.exec_set_region h ~slot:6 (edata (16 * kib64) kib64));
+  ignore (Hfi.exec_enter h hybrid);
+  let saved = Hfi.xsave h in
+  ignore (Hfi.exec_exit h);
+  ignore (Hfi.exec_clear_all h);
+  check_bool "restore" true (Hfi.xrstor h saved = Hfi.Continue);
+  check_bool "enabled restored" true (Hfi.enabled h);
+  check_bool "region restored" true (Hfi.region h 6 <> None)
+
+let test_xrstor_traps_in_native () =
+  let h = Hfi.create () in
+  let saved = Hfi.xsave h in
+  ignore (Hfi.exec_enter h (native_with 0x1));
+  match Hfi.xrstor h saved with
+  | Hfi.Trap Msr.Privileged_in_native -> ()
+  | _ -> Alcotest.fail "xrstor with HFI flag must trap in native sandbox"
+
+let test_enter_in_native_traps () =
+  let h = Hfi.create () in
+  ignore (Hfi.exec_enter h (native_with 0x1));
+  match Hfi.exec_enter h hybrid with
+  | Hfi.Trap Msr.Privileged_in_native -> ()
+  | _ -> Alcotest.fail "nested enter in native must trap"
+
+let test_msr_encoding () =
+  check_int "no exit" 0 (Msr.encode Msr.No_exit);
+  check_int "exit" 1 (Msr.encode Msr.Exit_instruction);
+  check_int "syscall 5" 0x105 (Msr.encode (Msr.Syscall_trap 5))
+
+let test_hw_budget () =
+  check_int "registers" 20 Hw_budget.total_region_registers;
+  check_bool "savings" true (Hw_budget.comparator_savings_ratio > 2.0)
+
+(* Property tests: validated explicit regions never let hmov escape. *)
+let prop_hmov_never_escapes =
+  QCheck.Test.make ~name:"hmov stays within validated region bounds" ~count:500
+    (QCheck.quad (QCheck.int_bound 10000) (QCheck.oneofl [ 1; 2; 4; 8 ]) (QCheck.int_bound 10000)
+       (QCheck.oneofl [ 1; 2; 4; 8 ]))
+    (fun (index_value, scale, disp, bytes) ->
+      let r = { Hfi_iface.base_address = 0x300000; bound = 4096; permission_read = true; permission_write = true; is_large_region = false } in
+      match Region.hmov_access r ~index_value ~scale ~disp ~bytes ~write:false with
+      | Ok c ->
+        c.Region.effective_address >= r.Hfi_iface.base_address
+        && c.Region.effective_address + bytes <= r.Hfi_iface.base_address + r.Hfi_iface.bound
+      | Error _ -> true)
+
+let prop_implicit_match_is_range =
+  QCheck.Test.make ~name:"prefix match equals range membership" ~count:500
+    (QCheck.pair (QCheck.int_bound 0xfffff) (QCheck.int_bound 15))
+    (fun (addr, k) ->
+      let mask = (1 lsl k) - 1 in
+      let base = 0x40000 land lnot mask in
+      Region.implicit_matches ~base_prefix:base ~lsb_mask:mask addr
+      = (addr >= base && addr < base + mask + 1))
+
+let prop_validate_small_never_crosses =
+  QCheck.Test.make ~name:"validated small regions never cross 4GiB lines" ~count:500
+    (QCheck.pair QCheck.(int_bound (1 lsl 33)) QCheck.(int_bound (1 lsl 20)))
+    (fun (base, bound) ->
+      match
+        Region.validate ~slot:6
+          (Hfi_iface.Explicit_data
+             { base_address = base; bound; permission_read = true; permission_write = true; is_large_region = false })
+      with
+      | Ok () -> bound = 0 || base / (4 * gib) = (base + bound - 1) / (4 * gib)
+      | Error _ -> true)
+
+let test_conformance_suite () =
+  match Hfi_core.Conformance.failures () with
+  | [] -> ()
+  | (name, msg) :: _ -> Alcotest.failf "conformance check %S failed: %s" name msg
+
+let test_conformance_covers_sections () =
+  (* every check cites a paper section; the suite is non-trivial *)
+  check_bool "19 checks" true (List.length Hfi_core.Conformance.all >= 18);
+  List.iter
+    (fun c -> check_bool "has section" true (String.length c.Hfi_core.Conformance.section > 0))
+    Hfi_core.Conformance.all
+
+let suite =
+  [
+    Alcotest.test_case "A.1 conformance checks all pass" `Quick test_conformance_suite;
+    Alcotest.test_case "conformance coverage" `Quick test_conformance_covers_sections;
+    Alcotest.test_case "validate implicit ok" `Quick test_validate_implicit_ok;
+    Alcotest.test_case "validate mask contiguity" `Quick test_validate_mask_not_contiguous;
+    Alcotest.test_case "validate base alignment" `Quick test_validate_base_overlaps_mask;
+    Alcotest.test_case "validate kind mismatch" `Quick test_validate_kind_mismatch;
+    Alcotest.test_case "validate large alignment" `Quick test_validate_large_alignment;
+    Alcotest.test_case "validate large max bound" `Quick test_validate_large_max;
+    Alcotest.test_case "validate small byte-granular" `Quick test_validate_small_byte_granular;
+    Alcotest.test_case "validate small 4GiB rule" `Quick test_validate_small_4g_boundary;
+    Alcotest.test_case "implicit prefix match" `Quick test_implicit_match;
+    Alcotest.test_case "hmov in bounds" `Quick test_hmov_in_bounds;
+    Alcotest.test_case "hmov out of bounds" `Quick test_hmov_out_of_bounds;
+    Alcotest.test_case "hmov negative offsets" `Quick test_hmov_negative_offsets_trap;
+    Alcotest.test_case "hmov overflow" `Quick test_hmov_overflow_traps;
+    Alcotest.test_case "hmov permissions" `Quick test_hmov_permissions;
+    Alcotest.test_case "enter/exit basic" `Quick test_enter_exit_basic;
+    Alcotest.test_case "native exit handler" `Quick test_native_exit_jumps_to_handler;
+    Alcotest.test_case "native locks regions" `Quick test_native_locks_region_registers;
+    Alcotest.test_case "hybrid region updates" `Quick test_hybrid_allows_region_updates;
+    Alcotest.test_case "set_region validates" `Quick test_set_region_validates;
+    Alcotest.test_case "region readback/clear" `Quick test_region_readback;
+    Alcotest.test_case "clear all regions" `Quick test_clear_all;
+    Alcotest.test_case "default deny" `Quick test_default_deny;
+    Alcotest.test_case "first match wins" `Quick test_first_match_wins;
+    Alcotest.test_case "checks off when disabled" `Quick test_checks_disabled_when_hfi_off;
+    Alcotest.test_case "straddling access faults" `Quick test_data_access_straddles_region_end;
+    Alcotest.test_case "syscall interposition" `Quick test_syscall_interposition;
+    Alcotest.test_case "hybrid direct syscalls" `Quick test_hybrid_syscalls_direct;
+    Alcotest.test_case "reenter after syscall" `Quick test_reenter_after_syscall;
+    Alcotest.test_case "violation teardown" `Quick test_violation_tears_down;
+    Alcotest.test_case "hardware fault MSR" `Quick test_hardware_fault_records;
+    Alcotest.test_case "switch-on-exit banks" `Quick test_switch_on_exit_swaps_banks;
+    Alcotest.test_case "xsave/xrstor roundtrip" `Quick test_xsave_xrstor_roundtrip;
+    Alcotest.test_case "xrstor traps in native" `Quick test_xrstor_traps_in_native;
+    Alcotest.test_case "nested enter traps in native" `Quick test_enter_in_native_traps;
+    Alcotest.test_case "msr encoding" `Quick test_msr_encoding;
+    Alcotest.test_case "hw budget" `Quick test_hw_budget;
+    QCheck_alcotest.to_alcotest prop_hmov_never_escapes;
+    QCheck_alcotest.to_alcotest prop_implicit_match_is_range;
+    QCheck_alcotest.to_alcotest prop_validate_small_never_crosses;
+  ]

@@ -1,0 +1,172 @@
+open Hfi_isa
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_reg_index_roundtrip () =
+  Array.iter (fun r -> Alcotest.(check bool) "roundtrip" true (Reg.of_index (Reg.index r) = r)) Reg.all;
+  check_int "count" 16 Reg.count
+
+let test_reg_names_unique () =
+  let names = Array.to_list (Array.map Reg.to_string Reg.all) in
+  check_int "unique names" 16 (List.length (List.sort_uniq compare names))
+
+let test_eval_cond_signed_unsigned () =
+  check_bool "lt signed" true (Instr.eval_cond Instr.Lt (-1) 1);
+  check_bool "ult treats -1 as large" false (Instr.eval_cond Instr.Ult (-1) 1);
+  check_bool "ugt" true (Instr.eval_cond Instr.Ugt (-1) 1);
+  check_bool "eq" true (Instr.eval_cond Instr.Eq 5 5);
+  check_bool "uge equal" true (Instr.eval_cond Instr.Uge 5 5);
+  check_bool "ule" true (Instr.eval_cond Instr.Ule 3 5)
+
+let test_negate_cond_involutive () =
+  List.iter
+    (fun c -> check_bool "double negation" true (Instr.negate_cond (Instr.negate_cond c) = c))
+    [ Instr.Eq; Instr.Ne; Instr.Lt; Instr.Le; Instr.Gt; Instr.Ge; Instr.Ult; Instr.Ule; Instr.Ugt; Instr.Uge ]
+
+let test_negate_cond_inverts () =
+  let conds =
+    [ Instr.Eq; Instr.Ne; Instr.Lt; Instr.Le; Instr.Gt; Instr.Ge; Instr.Ult; Instr.Ule; Instr.Ugt; Instr.Uge ]
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (a, b) ->
+          check_bool "negation flips truth" (Instr.eval_cond c a b)
+            (not (Instr.eval_cond (Instr.negate_cond c) a b)))
+        [ (0, 0); (1, 2); (2, 1); (-3, 4); (4, -3) ])
+    conds
+
+let test_hmov_encoding_longer () =
+  let m = Instr.mem ~base:Reg.RAX ~disp:64 () in
+  let plain = Instr.length (Instr.Load (Instr.W8, Reg.RBX, m)) in
+  let hmov = Instr.length (Instr.Hload (0, Instr.W8, Reg.RBX, m)) in
+  check_int "hmov prefix is 2 bytes" (plain + 2) hmov
+
+let test_length_disp_encoding () =
+  let small = Instr.mem ~base:Reg.RAX ~disp:4 () in
+  let large = Instr.mem ~base:Reg.RAX ~disp:4096 () in
+  let none = Instr.mem ~base:Reg.RAX () in
+  check_bool "no disp shortest" true
+    (Instr.length (Instr.Load (Instr.W8, Reg.RBX, none))
+    < Instr.length (Instr.Load (Instr.W8, Reg.RBX, small)));
+  check_bool "large disp longest" true
+    (Instr.length (Instr.Load (Instr.W8, Reg.RBX, small))
+    < Instr.length (Instr.Load (Instr.W8, Reg.RBX, large)))
+
+let test_mem_scale_validation () =
+  Alcotest.check_raises "bad scale" (Invalid_argument "Instr.mem: scale must be 1, 2, 4 or 8")
+    (fun () -> ignore (Instr.mem ~scale:3 ()))
+
+let test_hmov_reads_drop_base () =
+  let m = Instr.mem ~base:Reg.RAX ~index:Reg.RBX () in
+  let plain_reads = Instr.reads (Instr.Load (Instr.W8, Reg.RCX, m)) in
+  let hmov_reads = Instr.reads (Instr.Hload (0, Instr.W8, Reg.RCX, m)) in
+  check_bool "plain reads base" true (List.mem Reg.RAX plain_reads);
+  check_bool "hmov ignores base (reduced register pressure)" false (List.mem Reg.RAX hmov_reads);
+  check_bool "hmov still reads index" true (List.mem Reg.RBX hmov_reads)
+
+let test_classification () =
+  check_bool "load reads mem" true (Instr.is_mem_read (Instr.Load (Instr.W8, Reg.RAX, Instr.mem_reg Reg.RBX)));
+  check_bool "store writes mem" true (Instr.is_mem_write (Instr.Store (Instr.W8, Instr.mem_reg Reg.RBX, Instr.Imm 0)));
+  check_bool "jcc is branch" true (Instr.is_branch (Instr.Jcc (Instr.Eq, 0)));
+  check_bool "cpuid serializes" true (Instr.is_serializing Instr.Cpuid);
+  check_bool "nop does not serialize" false (Instr.is_serializing Instr.Nop)
+
+let test_program_offsets () =
+  let p =
+    Program.of_instrs
+      [| Instr.Nop; Instr.Mov (Reg.RAX, Instr.Imm 5); Instr.Halt |]
+  in
+  check_int "first at 0" 0 (Program.byte_offset p 0);
+  check_int "second after nop" (Instr.length Instr.Nop) (Program.byte_offset p 1);
+  check_int "size" (Instr.length Instr.Nop + Instr.length (Instr.Mov (Reg.RAX, Instr.Imm 5)) + 1)
+    (Program.byte_size p)
+
+let test_index_of_byte () =
+  let p = Program.of_instrs [| Instr.Nop; Instr.Nop; Instr.Halt |] in
+  Alcotest.(check (option int)) "exact offset" (Some 1) (Program.index_of_byte p 1);
+  Alcotest.(check (option int)) "mid-instruction" None (Program.index_of_byte p 100)
+
+let test_asm_labels () =
+  let b = Program.Asm.create () in
+  Program.Asm.emit b (Instr.Mov (Reg.RAX, Instr.Imm 0));
+  Program.Asm.label b "loop";
+  Program.Asm.emit b (Instr.Alu (Instr.Add, Reg.RAX, Instr.Imm 1));
+  Program.Asm.emit b (Instr.Cmp (Reg.RAX, Instr.Imm 10));
+  Program.Asm.jcc b Instr.Lt "loop";
+  Program.Asm.emit b Instr.Halt;
+  let p = Program.Asm.assemble b in
+  check_int "5 instrs" 5 (Program.length p);
+  (match Program.get p 3 with
+  | Instr.Jcc (Instr.Lt, 1) -> ()
+  | i -> Alcotest.failf "wrong resolution: %s" (Instr.to_string i))
+
+let test_asm_forward_reference () =
+  let b = Program.Asm.create () in
+  Program.Asm.jmp b "end";
+  Program.Asm.emit b Instr.Nop;
+  Program.Asm.label b "end";
+  Program.Asm.emit b Instr.Halt;
+  let p = Program.Asm.assemble b in
+  match Program.get p 0 with
+  | Instr.Jmp 2 -> ()
+  | i -> Alcotest.failf "forward ref broken: %s" (Instr.to_string i)
+
+let test_asm_undefined_label () =
+  let b = Program.Asm.create () in
+  Program.Asm.jmp b "nowhere";
+  Alcotest.check_raises "undefined" (Invalid_argument "Asm.assemble: undefined label \"nowhere\"")
+    (fun () -> ignore (Program.Asm.assemble b))
+
+let test_asm_duplicate_label () =
+  let b = Program.Asm.create () in
+  Program.Asm.label b "x";
+  Alcotest.check_raises "duplicate" (Invalid_argument "Asm.label: duplicate label \"x\"")
+    (fun () -> Program.Asm.label b "x")
+
+let test_asm_fresh_labels_unique () =
+  let b = Program.Asm.create () in
+  let l1 = Program.Asm.fresh_label b "l" in
+  let l2 = Program.Asm.fresh_label b "l" in
+  check_bool "unique" true (l1 <> l2)
+
+let test_hfi_iface_slots () =
+  check_int "10 regions" 10 Hfi_iface.region_count;
+  Alcotest.(check bool) "slot 0 is code" true (Hfi_iface.slot_kind 0 = `Code);
+  Alcotest.(check bool) "slot 3 is implicit data" true (Hfi_iface.slot_kind 3 = `Implicit_data);
+  Alcotest.(check bool) "slot 7 is explicit" true (Hfi_iface.slot_kind 7 = `Explicit_data);
+  check_int "hmov region of slot 6" 0 (Hfi_iface.explicit_index 6);
+  check_int "slot of hmov region 3" 9 (Hfi_iface.slot_of_explicit_index 3)
+
+let test_syscall_numbers () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option string))
+        "roundtrip" (Some (Syscall.to_string s))
+        (Option.map Syscall.to_string (Syscall.of_number (Syscall.number s))))
+    Syscall.all;
+  Alcotest.(check bool) "unknown" true (Syscall.of_number 9999 = None)
+
+let suite =
+  [
+    Alcotest.test_case "reg index roundtrip" `Quick test_reg_index_roundtrip;
+    Alcotest.test_case "reg names unique" `Quick test_reg_names_unique;
+    Alcotest.test_case "eval_cond signed/unsigned" `Quick test_eval_cond_signed_unsigned;
+    Alcotest.test_case "negate_cond involutive" `Quick test_negate_cond_involutive;
+    Alcotest.test_case "negate_cond inverts truth" `Quick test_negate_cond_inverts;
+    Alcotest.test_case "hmov longer encoding" `Quick test_hmov_encoding_longer;
+    Alcotest.test_case "disp encoding lengths" `Quick test_length_disp_encoding;
+    Alcotest.test_case "mem scale validation" `Quick test_mem_scale_validation;
+    Alcotest.test_case "hmov drops base dependency" `Quick test_hmov_reads_drop_base;
+    Alcotest.test_case "instr classification" `Quick test_classification;
+    Alcotest.test_case "program byte offsets" `Quick test_program_offsets;
+    Alcotest.test_case "index_of_byte" `Quick test_index_of_byte;
+    Alcotest.test_case "asm labels" `Quick test_asm_labels;
+    Alcotest.test_case "asm forward reference" `Quick test_asm_forward_reference;
+    Alcotest.test_case "asm undefined label" `Quick test_asm_undefined_label;
+    Alcotest.test_case "asm duplicate label" `Quick test_asm_duplicate_label;
+    Alcotest.test_case "asm fresh labels" `Quick test_asm_fresh_labels_unique;
+    Alcotest.test_case "hfi_iface slots" `Quick test_hfi_iface_slots;
+    Alcotest.test_case "syscall numbers" `Quick test_syscall_numbers;
+  ]

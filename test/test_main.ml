@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "hfi"
+    [
+      ("util", Test_util.suite);
+      ("isa", Test_isa.suite);
+      ("memory", Test_memory.suite);
+      ("hfi-core", Test_hfi_core.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("sfi", Test_sfi.suite);
+      ("wasm", Test_wasm.suite);
+      ("wasm-ir", Test_wasm_ir.suite);
+      ("workloads", Test_workloads.suite);
+      ("runtime", Test_runtime.suite);
+      ("spectre", Test_spectre.suite);
+      ("experiments", Test_experiments.suite);
+      ("properties", Test_properties.suite);
+    ]

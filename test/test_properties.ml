@@ -1,0 +1,385 @@
+(* Model-based property tests: the VMA address space against a naive
+   byte-map reference, the set-associative cache against a brute-force
+   LRU list, and algebraic properties of core components. *)
+
+open Hfi_memory
+
+let check_bool = Alcotest.(check bool)
+
+(* --- Addr_space vs a naive reference model --- *)
+
+type ref_model = {
+  perms : (int, Perm.t) Hashtbl.t;  (* page -> protection *)
+  bytes : (int, int) Hashtbl.t;  (* address -> byte *)
+}
+
+let page = 4096
+let arena_pages = 64
+let arena_base = 0x10000
+
+type op =
+  | Op_mmap of int * int * Perm.t  (* page index, pages, perm *)
+  | Op_munmap of int * int
+  | Op_mprotect of int * int * Perm.t
+  | Op_madvise of int * int
+  | Op_store of int * int  (* byte offset in arena, value *)
+  | Op_load of int
+
+let gen_op =
+  let open QCheck.Gen in
+  let perm = oneofl [ Perm.none; Perm.r; Perm.rw ] in
+  let range =
+    map
+      (fun (p, n) -> (p, Stdlib.min n (arena_pages - p)))
+      (pair (int_bound (arena_pages - 1)) (int_range 1 8))
+  in
+  frequency
+    [
+      (2, map2 (fun (p, n) pr -> Op_mmap (p, n, pr)) range perm);
+      (1, map (fun (p, n) -> Op_munmap (p, n)) range);
+      (1, map2 (fun (p, n) pr -> Op_mprotect (p, n, pr)) range perm);
+      (1, map (fun (p, n) -> Op_madvise (p, n)) range);
+      (4, map2 (fun off v -> Op_store (off, v)) (int_bound ((arena_pages * page) - 9)) (int_bound 255));
+      (4, map (fun off -> Op_load off) (int_bound ((arena_pages * page) - 9)));
+    ]
+
+let ref_apply m op =
+  let set_pages p n perm =
+    for k = p to min (arena_pages - 1) (p + n - 1) do
+      Hashtbl.replace m.perms k perm
+    done
+  in
+  let drop_bytes p n =
+    let doomed =
+      Hashtbl.fold
+        (fun a _ acc ->
+          let pg = (a - arena_base) / page in
+          if pg >= p && pg < p + n then a :: acc else acc)
+        m.bytes []
+    in
+    List.iter (Hashtbl.remove m.bytes) doomed
+  in
+  match op with
+  | Op_mmap (p, n, perm) ->
+    set_pages p n perm;
+    drop_bytes p n;
+    `Ok
+  | Op_munmap (p, n) ->
+    for k = p to min (arena_pages - 1) (p + n - 1) do
+      Hashtbl.remove m.perms k
+    done;
+    drop_bytes p n;
+    `Ok
+  | Op_mprotect (p, n, perm) ->
+    (* fails like ENOMEM when any page is unmapped *)
+    let all_mapped = ref true in
+    for k = p to min (arena_pages - 1) (p + n - 1) do
+      if not (Hashtbl.mem m.perms k) then all_mapped := false
+    done;
+    if !all_mapped then begin
+      set_pages p n perm;
+      `Ok
+    end
+    else `Fault
+  | Op_madvise (p, n) ->
+    drop_bytes p n;
+    `Ok
+  | Op_store (off, v) ->
+    let a = arena_base + off in
+    let ok = ref true in
+    for b = a to a + 7 do
+      match Hashtbl.find_opt m.perms ((b - arena_base) / page) with
+      | Some p when p.Perm.w -> ()
+      | _ -> ok := false
+    done;
+    if !ok then begin
+      for b = 0 to 7 do
+        Hashtbl.replace m.bytes (a + b) ((v + b) land 0xff)
+      done;
+      `Ok
+    end
+    else `Fault
+  | Op_load off ->
+    let a = arena_base + off in
+    let ok = ref true in
+    for b = a to a + 7 do
+      match Hashtbl.find_opt m.perms ((b - arena_base) / page) with
+      | Some p when p.Perm.r -> ()
+      | _ -> ok := false
+    done;
+    if !ok then begin
+      let v = ref 0 in
+      for b = 7 downto 0 do
+        v := (!v lsl 8) lor (match Hashtbl.find_opt m.bytes (a + b) with Some x -> x | None -> 0)
+      done;
+      `Value !v
+    end
+    else `Fault
+
+let real_apply mem op =
+  try
+    match op with
+    | Op_mmap (p, n, perm) ->
+      Addr_space.mmap mem ~addr:(arena_base + (p * page)) ~len:(n * page) perm;
+      `Ok
+    | Op_munmap (p, n) ->
+      Addr_space.munmap mem ~addr:(arena_base + (p * page)) ~len:(n * page);
+      `Ok
+    | Op_mprotect (p, n, perm) ->
+      Addr_space.mprotect mem ~addr:(arena_base + (p * page)) ~len:(n * page) perm;
+      `Ok
+    | Op_madvise (p, n) ->
+      Addr_space.madvise_dontneed mem ~addr:(arena_base + (p * page)) ~len:(n * page);
+      `Ok
+    | Op_store (off, v) ->
+      (* write the same byte pattern as the reference *)
+      for b = 0 to 7 do
+        Addr_space.store mem ~addr:(arena_base + off + b) ~bytes:1 ((v + b) land 0xff)
+      done;
+      `Ok
+    | Op_load off -> `Value (Addr_space.load mem ~addr:(arena_base + off) ~bytes:8)
+  with Addr_space.Fault _ -> `Fault
+
+(* The real store is not atomic across the permission check per byte; the
+   reference checks all 8 bytes first. Make them comparable by probing
+   writability first on the real side too. *)
+let real_apply_checked mem op =
+  match op with
+  | Op_store (off, _) ->
+    let writable =
+      List.for_all
+        (fun b ->
+          match Addr_space.perm_at mem (arena_base + off + b) with
+          | Some p -> p.Perm.w
+          | None -> false)
+        (List.init 8 Fun.id)
+    in
+    if writable then real_apply mem op else `Fault
+  | _ -> real_apply mem op
+
+let prop_addr_space_matches_reference =
+  QCheck.Test.make ~name:"addr_space agrees with a naive page/byte reference model" ~count:120
+    (QCheck.make QCheck.Gen.(list_size (int_range 10 60) gen_op))
+    (fun ops ->
+      let mem = Addr_space.create () in
+      let m = { perms = Hashtbl.create 64; bytes = Hashtbl.create 256 } in
+      List.for_all
+        (fun op ->
+          let expected = ref_apply m op in
+          let actual = real_apply_checked mem op in
+          (* mprotect faults abort the ref update too: redo ref to keep in
+             sync (ref_apply already only applies on success). *)
+          expected = actual)
+        ops)
+
+(* --- Cache vs a brute-force LRU reference --- *)
+
+let prop_cache_matches_lru_reference =
+  QCheck.Test.make ~name:"set-associative cache matches brute-force LRU" ~count:80
+    (QCheck.make QCheck.Gen.(list_size (int_range 20 200) (int_bound 4095)))
+    (fun lines ->
+      let cfg = { Cache.size_bytes = 16 * 64; ways = 4; line_bytes = 64; hit_latency = 1; miss_latency = 10 } in
+      let sets = 4 in
+      let c = Cache.create cfg in
+      (* reference: per-set list of lines, most recent first *)
+      let ref_sets = Array.make sets [] in
+      List.for_all
+        (fun line ->
+          let addr = line * 64 in
+          let set = line mod sets in
+          let hit_ref = List.mem line ref_sets.(set) in
+          let l = line :: List.filter (fun x -> x <> line) ref_sets.(set) in
+          ref_sets.(set) <- (if List.length l > 4 then List.filteri (fun i _ -> i < 4) l else l);
+          let hit = Cache.access c addr = `Hit in
+          hit = hit_ref)
+        lines)
+
+(* --- PRNG and statistics algebra --- *)
+
+let prop_prng_int_in_range =
+  QCheck.Test.make ~name:"prng int_in stays in range" ~count:200
+    QCheck.(pair small_nat (pair small_nat small_nat))
+    (fun (seed, (a, b)) ->
+      let min = Stdlib.min a b and max = Stdlib.max a b in
+      let t = Hfi_util.Prng.create ~seed in
+      let v = Hfi_util.Prng.int_in t ~min ~max in
+      v >= min && v <= max)
+
+let prop_percentile_monotonic =
+  QCheck.Test.make ~name:"percentiles are monotonic" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let p25 = Hfi_util.Stats.percentile 25.0 xs in
+      let p50 = Hfi_util.Stats.percentile 50.0 xs in
+      let p99 = Hfi_util.Stats.percentile 99.0 xs in
+      p25 <= p50 && p50 <= p99)
+
+let prop_geomean_between_min_max =
+  QCheck.Test.make ~name:"geomean lies between min and max" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (make QCheck.Gen.(float_range 0.1 100.0)))
+    (fun xs ->
+      let g = Hfi_util.Stats.geomean xs in
+      let lo, hi = Hfi_util.Stats.min_max xs in
+      g >= lo -. 1e-9 && g <= hi +. 1e-9)
+
+(* --- instruction encoding sanity over random programs --- *)
+
+let gen_simple_instr =
+  let open QCheck.Gen in
+  let reg = map (fun i -> Hfi_isa.Reg.of_index i) (int_bound 15) in
+  oneof
+    [
+      map2 (fun d v -> Hfi_isa.Instr.Mov (d, Hfi_isa.Instr.Imm v)) reg (int_bound 100000);
+      map2 (fun d s -> Hfi_isa.Instr.Alu (Hfi_isa.Instr.Add, d, Hfi_isa.Instr.Reg s)) reg reg;
+      map (fun d -> Hfi_isa.Instr.Push d) reg;
+      return Hfi_isa.Instr.Nop;
+    ]
+
+let prop_program_offsets_consistent =
+  QCheck.Test.make ~name:"program byte offsets are cumulative instruction lengths" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 50) gen_simple_instr))
+    (fun instrs ->
+      let p = Hfi_isa.Program.of_instrs (Array.of_list instrs) in
+      let ok = ref true in
+      let acc = ref 0 in
+      List.iteri
+        (fun i ins ->
+          if Hfi_isa.Program.byte_offset p i <> !acc then ok := false;
+          (* every instruction start must be findable by byte offset *)
+          if Hfi_isa.Program.index_of_byte p !acc <> Some i then ok := false;
+          acc := !acc + Hfi_isa.Instr.length ins)
+        instrs;
+      !ok && Hfi_isa.Program.byte_size p = !acc)
+
+(* --- HFI state-machine invariants under random operation sequences --- *)
+
+type hfi_op =
+  | H_enter of bool * bool * bool  (* hybrid, serialized, soe *)
+  | H_exit
+  | H_reenter
+  | H_set of int
+  | H_clear of int
+  | H_clear_all
+  | H_syscall of int
+  | H_fault of int
+  | H_save_restore
+
+let gen_hfi_op =
+  let open QCheck.Gen in
+  frequency
+    [
+      (3, map3 (fun a b c -> H_enter (a, b, c)) bool bool bool);
+      (3, return H_exit);
+      (1, return H_reenter);
+      (2, map (fun s -> H_set (s mod 20)) (int_bound 19));
+      (1, map (fun s -> H_clear (s mod 20)) (int_bound 19));
+      (1, return H_clear_all);
+      (2, map (fun n -> H_syscall n) (int_bound 50));
+      (1, map (fun a -> H_fault a) (int_bound 100000));
+      (1, return H_save_restore);
+    ]
+
+let region_for_slot s =
+  match Hfi_isa.Hfi_iface.slot_kind (s mod 10) with
+  | `Code ->
+    Hfi_isa.Hfi_iface.Implicit_code { base_prefix = 0x40_0000; lsb_mask = 0xfffff; permission_exec = true }
+  | `Implicit_data ->
+    Hfi_isa.Hfi_iface.Implicit_data
+      { base_prefix = 0x100000; lsb_mask = 0xffff; permission_read = true; permission_write = true }
+  | `Explicit_data ->
+    Hfi_isa.Hfi_iface.Explicit_data
+      { base_address = 1 lsl 20; bound = 1 lsl 16; permission_read = true; permission_write = true; is_large_region = true }
+
+let prop_hfi_state_invariants =
+  QCheck.Test.make ~name:"HFI state machine invariants hold under random op sequences" ~count:150
+    (QCheck.make QCheck.Gen.(list_size (int_range 5 60) gen_hfi_op))
+    (fun ops ->
+      let open Hfi_core in
+      let h = Hfi.create () in
+      List.for_all
+        (fun op ->
+          (match op with
+          | H_enter (hy, ser, soe) ->
+            ignore
+              (Hfi.exec_enter h
+                 { Hfi_isa.Hfi_iface.is_hybrid = hy; is_serialized = ser; switch_on_exit = soe;
+                   exit_handler = (if hy then None else Some 0x1000) })
+          | H_exit -> ignore (Hfi.exec_exit h)
+          | H_reenter -> ignore (Hfi.exec_reenter h)
+          | H_set s -> ignore (Hfi.exec_set_region h ~slot:s (region_for_slot s))
+          | H_clear s -> ignore (Hfi.exec_clear_region h ~slot:s)
+          | H_clear_all -> ignore (Hfi.exec_clear_all h)
+          | H_syscall n -> ignore (Hfi.on_syscall h ~number:n)
+          | H_fault a -> Hfi.on_hardware_fault h ~addr:a
+          | H_save_restore ->
+            let saved = Hfi.xsave h in
+            Hfi.kernel_xrstor h saved);
+          (* Invariant 1: enabled implies a current spec. *)
+          let inv1 = (not (Hfi.enabled h)) || Hfi.current_spec h <> None in
+          (* Invariant 2: in a native sandbox, privileged ops always trap
+             (probe non-destructively via get_region). *)
+          let inv2 =
+            (not (Hfi.in_native_sandbox h))
+            || Hfi.exec_get_region h ~slot:0 = Error Msr.Privileged_in_native
+          in
+          (* Invariant 3: region slots only hold kind-matching regions. *)
+          let inv3 =
+            List.for_all
+              (fun s ->
+                match Hfi.region h s with
+                | None -> true
+                | Some (Hfi_isa.Hfi_iface.Implicit_code _) -> Hfi_isa.Hfi_iface.slot_kind s = `Code
+                | Some (Hfi_isa.Hfi_iface.Implicit_data _) ->
+                  Hfi_isa.Hfi_iface.slot_kind s = `Implicit_data
+                | Some (Hfi_isa.Hfi_iface.Explicit_data _) ->
+                  Hfi_isa.Hfi_iface.slot_kind s = `Explicit_data)
+              (List.init 10 Fun.id)
+          in
+          (* Invariant 4: disabled state never interposes syscalls. *)
+          let inv4 = Hfi.enabled h || Hfi.on_syscall h ~number:1 = `Allow in
+          inv1 && inv2 && inv3 && inv4)
+        ops)
+
+let prop_xsave_restores_observables =
+  QCheck.Test.make ~name:"xsave/kernel_xrstor restores observable HFI state" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 25) gen_hfi_op))
+    (fun ops ->
+      let open Hfi_core in
+      let h = Hfi.create () in
+      List.iter
+        (fun op ->
+          match op with
+          | H_enter (hy, ser, soe) ->
+            ignore
+              (Hfi.exec_enter h
+                 { Hfi_isa.Hfi_iface.is_hybrid = hy; is_serialized = ser; switch_on_exit = soe;
+                   exit_handler = None })
+          | H_exit -> ignore (Hfi.exec_exit h)
+          | H_set s -> ignore (Hfi.exec_set_region h ~slot:s (region_for_slot s))
+          | _ -> ())
+        ops;
+      let observe () =
+        ( Hfi.enabled h,
+          Hfi.current_spec h,
+          Msr.encode (Hfi.exit_reason h),
+          List.init 10 (fun s -> Hfi.region h s) )
+      in
+      let before = observe () in
+      let saved = Hfi.xsave h in
+      ignore (Hfi.exec_clear_all h);
+      (if Hfi.enabled h then ignore (Hfi.exec_exit h));
+      Hfi.kernel_xrstor h saved;
+      observe () = before)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_addr_space_matches_reference;
+    QCheck_alcotest.to_alcotest prop_cache_matches_lru_reference;
+    QCheck_alcotest.to_alcotest prop_prng_int_in_range;
+    QCheck_alcotest.to_alcotest prop_percentile_monotonic;
+    QCheck_alcotest.to_alcotest prop_geomean_between_min_max;
+    QCheck_alcotest.to_alcotest prop_program_offsets_consistent;
+    QCheck_alcotest.to_alcotest prop_hfi_state_invariants;
+    QCheck_alcotest.to_alcotest prop_xsave_restores_observables;
+  ]
+

@@ -1,0 +1,264 @@
+open Hfi_isa
+open Hfi_core
+open Hfi_pipeline
+open Hfi_runtime
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Native sandbox *)
+
+let payload_exit_42 b =
+  let open Instr in
+  Program.Asm.emit b (Mov (Reg.RAX, Imm 42));
+  Program.Asm.emit b Hfi_exit
+
+let test_native_sandbox_runs_payload () =
+  let t = Native_sandbox.build ~payload:payload_exit_42 () in
+  let _, status = Native_sandbox.run t in
+  check_bool "halted" true (status = Machine.Halted);
+  check_int "payload result" 42 (Machine.get_reg (Native_sandbox.machine t) Reg.RAX);
+  check_bool "hfi off at end" false (Hfi.enabled (Native_sandbox.hfi t))
+
+let test_native_sandbox_interposes_syscalls () =
+  let payload b =
+    let open Instr in
+    let e = Program.Asm.emit b in
+    e (Mov (Reg.RAX, Imm (Syscall.number Syscall.Getpid)));
+    e Syscall;
+    e Hfi_exit
+  in
+  let t = Native_sandbox.build ~payload () in
+  let _, status = Native_sandbox.run t in
+  check_bool "halted" true (status = Machine.Halted);
+  check_int "syscall executed on behalf" 4242 (Machine.get_reg (Native_sandbox.machine t) Reg.RAX);
+  check_int "one trap" 1 (Hfi.stats (Native_sandbox.hfi t)).Hfi.syscall_traps
+
+let test_native_sandbox_contains_wild_reads () =
+  let payload b =
+    let open Instr in
+    Program.Asm.emit b (Load (W8, Reg.RAX, Instr.mem ~disp:0x7000_0000 ()));
+    Program.Asm.emit b Hfi_exit
+  in
+  let t = Native_sandbox.build ~payload () in
+  let _, status = Native_sandbox.run t in
+  check_bool "violation" true
+    (match status with Machine.Faulted (Msr.Bounds_violation _) -> true | _ -> false)
+
+let test_native_sandbox_payload_continues_after_syscall () =
+  (* open/read/close then compute: hfi_reenter must resume correctly. *)
+  let payload b =
+    let open Instr in
+    let e = Program.Asm.emit b in
+    e (Mov (Reg.RAX, Imm (Syscall.number Syscall.Open)));
+    e (Mov (Reg.RDI, Imm 1));
+    e Syscall;
+    e (Mov (Reg.R8, Reg Reg.RAX));
+    e (Mov (Reg.RAX, Imm (Syscall.number Syscall.Close)));
+    e (Mov (Reg.RDI, Reg Reg.R8));
+    e Syscall;
+    e (Mov (Reg.RAX, Imm 1000));
+    e (Alu (Add, Reg.RAX, Reg Reg.R8));
+    e Hfi_exit
+  in
+  let t = Native_sandbox.build ~payload () in
+  Hfi_memory.Kernel.add_file (Native_sandbox.kernel t) ~id:1 ~content:"x";
+  let _, status = Native_sandbox.run t in
+  check_bool "halted" true (status = Machine.Halted);
+  (* fd is 3 → 1003 *)
+  check_int "resumed with state intact" 1003 (Machine.get_reg (Native_sandbox.machine t) Reg.RAX)
+
+let test_syscall_benchmark_ordering () =
+  let n = 300 in
+  let un = Native_sandbox.syscall_benchmark ~mode:Native_sandbox.Unprotected ~iterations:n in
+  let hfi = Native_sandbox.syscall_benchmark ~mode:Native_sandbox.Hfi_interposition ~iterations:n in
+  let sec = Native_sandbox.syscall_benchmark ~mode:Native_sandbox.Seccomp_filter ~iterations:n in
+  check_bool "unprotected cheapest" true (un < hfi);
+  check_bool "seccomp above hfi" true (hfi < sec);
+  check_bool "hfi within 5% of unprotected" true (hfi /. un < 1.05)
+
+(* FaaS model *)
+
+let test_faas_hfi_near_unsafe () =
+  let w = Hfi_workloads.Faas_workloads.templated_html in
+  let unsafe = Faas.serve ~requests:600 w Faas.Unsafe in
+  let hfi = Faas.serve ~requests:600 w Faas.Hfi_protection in
+  let swivel = Faas.serve ~requests:600 w Faas.Swivel_protection in
+  check_bool "hfi avg within 2%" true (hfi.Faas.avg_ms /. unsafe.Faas.avg_ms < 1.02);
+  check_bool "swivel noticeably slower" true (swivel.Faas.avg_ms /. unsafe.Faas.avg_ms > 1.2);
+  check_bool "swivel throughput drops" true (swivel.Faas.throughput_rps < unsafe.Faas.throughput_rps);
+  check_bool "swivel binary bloats" true (swivel.Faas.binary_bytes > unsafe.Faas.binary_bytes);
+  check_int "hfi binary unchanged" unsafe.Faas.binary_bytes hfi.Faas.binary_bytes
+
+let test_faas_deterministic () =
+  let w = Hfi_workloads.Faas_workloads.xml_to_json in
+  let a = Faas.serve ~requests:300 ~seed:5 w Faas.Unsafe in
+  let b = Faas.serve ~requests:300 ~seed:5 w Faas.Unsafe in
+  check_bool "same seed same tail" true (a.Faas.tail_ms = b.Faas.tail_ms)
+
+let test_faas_table1_complete () =
+  let t = Faas.run_table1 ~requests:200 () in
+  check_int "4 workloads" 4 (List.length t);
+  List.iter (fun (_, rows) -> check_int "3 configurations" 3 (List.length rows)) t
+
+(* NGINX model *)
+
+let test_nginx_ordering () =
+  List.iter
+    (fun s ->
+      let native = Nginx.throughput Nginx.Native ~file_bytes:s in
+      let hfi = Nginx.throughput Nginx.Hfi_native ~file_bytes:s in
+      let mpk = Nginx.throughput Nginx.Mpk_erim ~file_bytes:s in
+      check_bool "native fastest" true (native > hfi);
+      check_bool "mpk between" true (mpk > hfi && mpk < native))
+    Nginx.file_sizes
+
+let test_nginx_overhead_band () =
+  let over m s = (1.0 -. (Nginx.throughput m ~file_bytes:s /. Nginx.throughput Nginx.Native ~file_bytes:s)) *. 100.0 in
+  List.iter
+    (fun s ->
+      let h = over Nginx.Hfi_native s in
+      check_bool "hfi 2-7%" true (h > 2.0 && h < 7.0))
+    Nginx.file_sizes
+
+let test_nginx_transitions_grow_with_size () =
+  check_bool "more records, more transitions" true
+    (Nginx.transitions_per_request ~file_bytes:(128 * 1024)
+    > Nginx.transitions_per_request ~file_bytes:0)
+
+(* Scheduler: processes multiplex one core's HFI registers (SS3.3.3). *)
+
+let test_scheduler_multiplexes_hfi_processes () =
+  let sched = Scheduler.create () in
+  (* Two HFI-sandboxed Wasm instances plus one plain process, timesliced
+     with deliberately clobbered HFI registers between slices: only a
+     correct xsave/xrstor keeps the sandboxes alive. *)
+  let w1 = Hfi_workloads.Sightglass.find "sieve" in
+  let w2 = Hfi_workloads.Sightglass.find "fib2" in
+  Scheduler.spawn_instance sched ~name:"sieve"
+    (Hfi_wasm.Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi w1);
+  Scheduler.spawn_instance sched ~name:"fib"
+    (Hfi_wasm.Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi w2);
+  Scheduler.spawn_instance sched ~name:"guard"
+    (Hfi_wasm.Instance.instantiate ~strategy:Hfi_sfi.Strategy.Guard_pages w2);
+  Scheduler.run ~quantum:700 sched;
+  check_bool "sieve finished" true (Scheduler.status sched ~name:"sieve" = Scheduler.Finished);
+  check_int "sieve correct across switches" 1028 (Scheduler.result sched ~name:"sieve");
+  check_int "fib correct" 2584 (Scheduler.result sched ~name:"fib");
+  check_int "guard-pages process too" 2584 (Scheduler.result sched ~name:"guard");
+  check_bool "many context switches happened" true (Scheduler.context_switches sched > 10);
+  check_bool "switch time accounted" true (Scheduler.switch_cycles sched > 0.0)
+
+let test_scheduler_kills_faulting_process_only () =
+  let sched = Scheduler.create () in
+  let bad =
+    Hfi_wasm.Instance.workload ~name:"bad" (fun cg ->
+        Hfi_wasm.Codegen.emit cg (Instr.Mov (Reg.RCX, Imm (512 * 1024 * 1024)));
+        Hfi_wasm.Codegen.store_heap cg Instr.W8 ~addr:Reg.RCX ~offset:0 ~src:(Instr.Imm 1))
+  in
+  Scheduler.spawn_instance sched ~name:"bad"
+    (Hfi_wasm.Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi bad);
+  Scheduler.spawn_instance sched ~name:"good"
+    (Hfi_wasm.Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi
+       (Hfi_workloads.Sightglass.find "nestedloop"));
+  Scheduler.run ~quantum:200 sched;
+  check_bool "bad killed" true
+    (match Scheduler.status sched ~name:"bad" with Scheduler.Killed _ -> true | _ -> false);
+  check_int "good unaffected" 64000 (Scheduler.result sched ~name:"good")
+
+(* Transitions (SS3.3.1). *)
+
+let test_transition_costs () =
+  let spring = Transitions.measure ~iterations:500 Transitions.Springboard in
+  let zero = Transitions.measure ~iterations:500 Transitions.Zero_cost in
+  check_bool "springboard costs more" true (spring > zero +. 3.0);
+  (* both are on the order of a serialized enter/exit pair, i.e. ~100
+     cycles, not a process switch (~4500) *)
+  check_bool "zero-cost near pure enter/exit" true (zero < 300.0);
+  check_bool "springboard still far below IPC" true (spring < 1000.0)
+
+(* In-place object sharing through a small explicit region (SS3.2). *)
+
+let host_buffer_addr = 0x5000_0040 (* deliberately unaligned-ish: byte granular *)
+
+let test_shared_object_in_place () =
+  let payload b =
+    let open Instr in
+    let e = Program.Asm.emit b in
+    (* sum the 10-byte shared object via hmov1 and increment its first byte *)
+    e (Mov (Reg.RAX, Imm 0));
+    e (Mov (Reg.RCX, Imm 0));
+    Program.Asm.label b "payload_sum";
+    e (Hload (1, W1, Reg.R8, Instr.mem ~index:Reg.RCX ()));
+    e (Alu (Add, Reg.RAX, Reg Reg.R8));
+    e (Alu (Add, Reg.RCX, Imm 1));
+    e (Cmp (Reg.RCX, Imm 10));
+    Program.Asm.jcc b Lt "payload_sum";
+    e (Hload (1, W1, Reg.R9, Instr.mem ()));
+    e (Alu (Add, Reg.R9, Imm 1));
+    e (Hstore (1, W1, Instr.mem (), Reg Reg.R9));
+    e Hfi_exit
+  in
+  let t = Native_sandbox.build ~shared_object:(host_buffer_addr, 10) ~payload () in
+  let mem = Hfi_memory.Kernel.address_space (Native_sandbox.kernel t) in
+  Hfi_memory.Addr_space.mmap mem ~addr:0x5000_0000 ~len:4096 Hfi_memory.Perm.rw;
+  for k = 0 to 9 do
+    Hfi_memory.Addr_space.poke mem ~addr:(host_buffer_addr + k) ~bytes:1 (k + 1)
+  done;
+  let _, status = Native_sandbox.run t in
+  check_bool "halted" true (status = Machine.Halted);
+  check_int "summed the object" 55 (Machine.get_reg (Native_sandbox.machine t) Reg.RAX);
+  check_int "wrote back in place" 2 (Hfi_memory.Addr_space.peek mem ~addr:host_buffer_addr ~bytes:1)
+
+let test_shared_object_is_exactly_bounded () =
+  (* One byte past the 10-byte object traps, even though the host page
+     continues — the byte-granular sharing claim of SS3.2. *)
+  let payload b =
+    let open Instr in
+    Program.Asm.emit b (Hload (1, W1, Reg.RAX, Instr.mem ~disp:10 ()));
+    Program.Asm.emit b Hfi_exit
+  in
+  let t = Native_sandbox.build ~shared_object:(host_buffer_addr, 10) ~payload () in
+  let mem = Hfi_memory.Kernel.address_space (Native_sandbox.kernel t) in
+  Hfi_memory.Addr_space.mmap mem ~addr:0x5000_0000 ~len:4096 Hfi_memory.Perm.rw;
+  let _, status = Native_sandbox.run t in
+  check_bool "one byte past the object traps" true
+    (match status with Machine.Faulted (Msr.Bounds_violation v) -> v.Msr.cause = Msr.Out_of_bounds | _ -> false)
+
+let test_shared_object_not_reachable_by_plain_loads () =
+  (* The surrounding host page is not in any implicit region: ordinary
+     loads at the object's own address still trap. *)
+  let payload b =
+    let open Instr in
+    Program.Asm.emit b (Load (W1, Reg.RAX, Instr.mem ~disp:host_buffer_addr ()));
+    Program.Asm.emit b Hfi_exit
+  in
+  let t = Native_sandbox.build ~shared_object:(host_buffer_addr, 10) ~payload () in
+  let mem = Hfi_memory.Kernel.address_space (Native_sandbox.kernel t) in
+  Hfi_memory.Addr_space.mmap mem ~addr:0x5000_0000 ~len:4096 Hfi_memory.Perm.rw;
+  let _, status = Native_sandbox.run t in
+  check_bool "implicit path denies the same address" true
+    (match status with Machine.Faulted (Msr.Bounds_violation _) -> true | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "native sandbox runs payload" `Quick test_native_sandbox_runs_payload;
+    Alcotest.test_case "native sandbox interposes syscalls" `Quick test_native_sandbox_interposes_syscalls;
+    Alcotest.test_case "native sandbox contains wild reads" `Quick test_native_sandbox_contains_wild_reads;
+    Alcotest.test_case "hfi_reenter resumes payload" `Quick test_native_sandbox_payload_continues_after_syscall;
+    Alcotest.test_case "syscall benchmark ordering" `Quick test_syscall_benchmark_ordering;
+    Alcotest.test_case "faas: hfi near unsafe, swivel slower" `Quick test_faas_hfi_near_unsafe;
+    Alcotest.test_case "faas deterministic" `Quick test_faas_deterministic;
+    Alcotest.test_case "faas table1 complete" `Quick test_faas_table1_complete;
+    Alcotest.test_case "nginx mechanism ordering" `Quick test_nginx_ordering;
+    Alcotest.test_case "nginx overhead band" `Quick test_nginx_overhead_band;
+    Alcotest.test_case "nginx transitions scale" `Quick test_nginx_transitions_grow_with_size;
+    Alcotest.test_case "scheduler multiplexes HFI" `Quick test_scheduler_multiplexes_hfi_processes;
+    Alcotest.test_case "scheduler isolates faults" `Quick test_scheduler_kills_faulting_process_only;
+    Alcotest.test_case "transition costs" `Quick test_transition_costs;
+    Alcotest.test_case "shared object in place" `Quick test_shared_object_in_place;
+    Alcotest.test_case "shared object exactly bounded" `Quick test_shared_object_is_exactly_bounded;
+    Alcotest.test_case "shared object not implicitly reachable" `Quick test_shared_object_not_reachable_by_plain_loads;
+  ]
+
+

@@ -1,0 +1,216 @@
+open Hfi_isa
+open Hfi_memory
+open Hfi_sfi
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_strategy_metadata () =
+  check_int "guard reserves one reg" 1 (List.length (Strategy.reserved_registers Strategy.Guard_pages));
+  check_int "bounds reserves two" 2 (List.length (Strategy.reserved_registers Strategy.Bounds_checks));
+  check_int "hfi reserves none" 0 (List.length (Strategy.reserved_registers Strategy.Hfi));
+  check_bool "masking imprecise" false (Strategy.precise_traps Strategy.Masking);
+  check_bool "hfi precise" true (Strategy.precise_traps Strategy.Hfi);
+  check_int "guard footprint 4GiB" (4 * 1024 * 1024 * 1024) (Strategy.guard_region_bytes Strategy.Guard_pages);
+  check_int "hfi no guards" 0 (Strategy.guard_region_bytes Strategy.Hfi)
+
+let test_mpk_domain_limit () =
+  let k = Kernel.create (Addr_space.create ()) in
+  let m = Mpk.create k in
+  for _ = 1 to Mpk.max_domains do
+    ignore (Mpk.allocate_domain m)
+  done;
+  check_int "15 domains" 15 (Mpk.domains_in_use m);
+  Alcotest.check_raises "16th fails" Mpk.Out_of_domains (fun () -> ignore (Mpk.allocate_domain m))
+
+let test_mpk_free_and_reuse () =
+  let k = Kernel.create (Addr_space.create ()) in
+  let m = Mpk.create k in
+  let d = Mpk.allocate_domain m in
+  Mpk.free_domain m d;
+  check_int "freed" 0 (Mpk.domains_in_use m);
+  ignore (Mpk.allocate_domain m);
+  check_int "re-allocated" 1 (Mpk.domains_in_use m)
+
+let test_mpk_switch_cheap_userspace () =
+  let mem = Addr_space.create () in
+  let k = Kernel.create mem in
+  let m = Mpk.create k in
+  let d = Mpk.allocate_domain m in
+  let kernel_before = Kernel.cycles k in
+  let c = Mpk.switch_to m ~domain:d in
+  check_bool "no kernel involvement" true (Kernel.cycles k = kernel_before);
+  check_bool "tens of cycles" true (c > 10.0 && c < 500.0);
+  check_int "active" d (Mpk.active_domain m)
+
+let test_mpk_assign_pages_is_kernel_call () =
+  let mem = Addr_space.create () in
+  Addr_space.mmap mem ~addr:0x10000 ~len:8192 Perm.rw;
+  let k = Kernel.create mem in
+  let m = Mpk.create k in
+  let d = Mpk.allocate_domain m in
+  let before = Kernel.cycles k in
+  Mpk.assign_pages m ~domain:d ~addr:0x10000 ~len:8192;
+  check_bool "kernel cycles charged" true (Kernel.cycles k > before);
+  Alcotest.check_raises "unallocated domain"
+    (Invalid_argument "Mpk.assign_pages: unallocated domain") (fun () ->
+      Mpk.assign_pages m ~domain:99 ~addr:0x10000 ~len:4096)
+
+let test_seccomp_filter_semantics () =
+  let f = Seccomp.create ~allowed:[ Syscall.Read; Syscall.Write ] in
+  check_bool "read allowed" true (fst (Seccomp.evaluate f ~number:(Syscall.number Syscall.Read)) = Seccomp.Allow);
+  check_bool "open trapped" true (fst (Seccomp.evaluate f ~number:(Syscall.number Syscall.Open)) = Seccomp.Trap)
+
+let test_seccomp_cost_ordering () =
+  let f = Seccomp.create ~allowed:[ Syscall.Read; Syscall.Write; Syscall.Open; Syscall.Close ] in
+  let _, first = Seccomp.evaluate f ~number:(Syscall.number Syscall.Read) in
+  let _, last = Seccomp.evaluate f ~number:(Syscall.number Syscall.Close) in
+  check_bool "later entries cost more" true (last > first);
+  check_bool "cycles model positive" true (Seccomp.per_syscall_cycles f ~number:2 > 0.0)
+
+let test_swivel_factors () =
+  let p b i s = { Swivel.branch_density = b; indirect_density = i; straightline_fraction = s } in
+  (* Calibrated to Table 1's measured ratios. *)
+  let xml = Swivel.execution_factor (p 0.12 0.004 0.2) in
+  check_bool "xml ~1.33" true (Float.abs (xml -. 1.33) < 0.05);
+  let img = Swivel.execution_factor (p 0.02 0.0005 0.9) in
+  check_bool "image can be <1" true (img < 1.0);
+  check_bool "floor at 0.90" true (Swivel.execution_factor (p 0.0 0.0 1.0) >= 0.90);
+  check_bool "bloat ~17%" true (Float.abs (Swivel.binary_bloat_factor -. 1.17) < 0.001);
+  check_bool "tail inflation grows with branches" true
+    (Swivel.tail_inflation (p 0.2 0.0 0.0) > Swivel.tail_inflation (p 0.05 0.0 0.0))
+
+(* Rewriter: classic SFI over native programs. *)
+
+let native_prog () =
+  let open Instr in
+  Program.of_instrs
+    [|
+      Mov (Reg.RBX, Imm 0x2000_0000);
+      Store (W8, Instr.mem ~base:Reg.RBX ~disp:8 (), Imm 7);
+      Load (W8, Reg.RAX, Instr.mem ~base:Reg.RBX ~disp:8 ());
+      Halt;
+    |]
+
+let run_prog prog =
+  let mem = Addr_space.create () in
+  let kernel = Kernel.create mem in
+  let hfi = Hfi_core.Hfi.create () in
+  Addr_space.mmap mem ~addr:0x40_0000 ~len:65536 Perm.rx;
+  Addr_space.mmap mem ~addr:0x2000_0000 ~len:65536 Perm.rw;
+  let m = Hfi_pipeline.Machine.create ~prog ~code_base:0x40_0000 ~mem ~kernel ~hfi ~entry:0 () in
+  let e = Hfi_pipeline.Fast_engine.create m in
+  (Hfi_pipeline.Fast_engine.run e, m)
+
+let test_rewriter_bounds_preserves_behavior () =
+  let mode = Rewriter.Bounds { base = 0x2000_0000; size = 65536 } in
+  let rewritten = Rewriter.apply ~mode ~scratch:Reg.R15 (native_prog ()) in
+  let status, m = run_prog rewritten in
+  check_bool "halted" true (status = Hfi_pipeline.Machine.Halted);
+  check_int "same result" 7 (Hfi_pipeline.Machine.get_reg m Reg.RAX)
+
+let test_rewriter_bounds_traps_oob () =
+  let open Instr in
+  let bad =
+    Program.of_instrs
+      [| Mov (Reg.RBX, Imm 0x3000_0000); Load (W8, Reg.RAX, Instr.mem ~base:Reg.RBX ()); Halt |]
+  in
+  let mode = Rewriter.Bounds { base = 0x2000_0000; size = 65536 } in
+  let rewritten = Rewriter.apply ~mode ~scratch:Reg.R15 bad in
+  let status, m = run_prog rewritten in
+  check_bool "halted at trap block" true (status = Hfi_pipeline.Machine.Halted);
+  check_int "trap sentinel" (-1) (Hfi_pipeline.Machine.get_reg m Reg.RAX)
+
+let test_rewriter_mask_wraps () =
+  let open Instr in
+  let bad =
+    Program.of_instrs
+      [|
+        Mov (Reg.RBX, Imm 0x3000_0008);
+        Store (W8, Instr.mem ~base:Reg.RBX (), Imm 99);
+        Load (W8, Reg.RAX, Instr.mem ~disp:0x2000_0008 ());
+        Halt;
+      |]
+  in
+  let mode = Rewriter.Mask { base = 0x2000_0000; size = 65536 } in
+  let rewritten = Rewriter.apply ~mode ~scratch:Reg.R15 bad in
+  let status, m = run_prog rewritten in
+  check_bool "no trap (masking)" true (status = Hfi_pipeline.Machine.Halted);
+  (* the OOB store wrapped to base+8 — SS2's silent corruption *)
+  check_int "corruption in-sandbox" 99 (Hfi_pipeline.Machine.get_reg m Reg.RAX)
+
+let test_rewriter_remaps_branches () =
+  let open Instr in
+  let prog =
+    Program.of_instrs
+      [|
+        Mov (Reg.RBX, Imm 0x2000_0000);
+        Load (W8, Reg.RAX, Instr.mem ~base:Reg.RBX ());
+        Jmp 4;
+        Mov (Reg.RAX, Imm (-5));
+        Halt;
+      |]
+  in
+  let mode = Rewriter.Bounds { base = 0x2000_0000; size = 65536 } in
+  let rewritten = Rewriter.apply ~mode ~scratch:Reg.R15 prog in
+  let status, m = run_prog rewritten in
+  check_bool "halted" true (status = Hfi_pipeline.Machine.Halted);
+  check_int "jump skipped the poison mov" 0 (Hfi_pipeline.Machine.get_reg m Reg.RAX)
+
+let test_rewriter_overhead_count () =
+  let mode = Rewriter.Bounds { base = 0; size = 65536 } in
+  check_int "2 mem ops x 5" 10 (Rewriter.overhead_instrs ~mode (native_prog ()));
+  let mask = Rewriter.Mask { base = 0; size = 65536 } in
+  check_int "2 mem ops x 3" 6 (Rewriter.overhead_instrs ~mode:mask (native_prog ()))
+
+let test_rewriter_mask_validation () =
+  Alcotest.check_raises "non-pow2" (Invalid_argument "Rewriter: mask size must be a power of two")
+    (fun () -> ignore (Rewriter.apply ~mode:(Rewriter.Mask { base = 0; size = 1000 }) ~scratch:Reg.R15 (native_prog ())));
+  Alcotest.check_raises "misaligned"
+    (Invalid_argument "Rewriter: mask base must be size-aligned") (fun () ->
+      ignore
+        (Rewriter.apply ~mode:(Rewriter.Mask { base = 4096; size = 65536 }) ~scratch:Reg.R15
+           (native_prog ())))
+
+let prop_rewriter_never_escapes =
+  QCheck.Test.make ~name:"bounds-rewritten programs never touch memory outside the region"
+    ~count:60
+    (QCheck.pair (QCheck.int_bound 0xffff) (QCheck.int_bound 3))
+    (fun (offset, kind) ->
+      let open Instr in
+      (* A program computing a wild address from the random offset. *)
+      let addr = 0x2000_0000 + (offset * 977 * (kind + 1)) in
+      let prog =
+        Program.of_instrs
+          [| Mov (Reg.RBX, Imm addr); Load (W8, Reg.RAX, Instr.mem ~base:Reg.RBX ()); Halt |]
+      in
+      let mode = Rewriter.Bounds { base = 0x2000_0000; size = 65536 } in
+      let rewritten = Rewriter.apply ~mode ~scratch:Reg.R15 prog in
+      (* Map ONLY the sandbox region: any escaping access would fault. *)
+      let mem = Addr_space.create () in
+      let kernel = Kernel.create mem in
+      let hfi = Hfi_core.Hfi.create () in
+      Addr_space.mmap mem ~addr:0x40_0000 ~len:65536 Perm.rx;
+      Addr_space.mmap mem ~addr:0x2000_0000 ~len:65536 Perm.rw;
+      let m = Hfi_pipeline.Machine.create ~prog:rewritten ~code_base:0x40_0000 ~mem ~kernel ~hfi ~entry:0 () in
+      let e = Hfi_pipeline.Fast_engine.create m in
+      Hfi_pipeline.Fast_engine.run e = Hfi_pipeline.Machine.Halted)
+
+let suite =
+  [
+    Alcotest.test_case "strategy metadata" `Quick test_strategy_metadata;
+    Alcotest.test_case "mpk 15-domain limit" `Quick test_mpk_domain_limit;
+    Alcotest.test_case "mpk free/reuse" `Quick test_mpk_free_and_reuse;
+    Alcotest.test_case "mpk userspace switch" `Quick test_mpk_switch_cheap_userspace;
+    Alcotest.test_case "mpk page assignment via kernel" `Quick test_mpk_assign_pages_is_kernel_call;
+    Alcotest.test_case "seccomp semantics" `Quick test_seccomp_filter_semantics;
+    Alcotest.test_case "seccomp cost ordering" `Quick test_seccomp_cost_ordering;
+    Alcotest.test_case "swivel factors" `Quick test_swivel_factors;
+    Alcotest.test_case "rewriter bounds preserves behavior" `Quick test_rewriter_bounds_preserves_behavior;
+    Alcotest.test_case "rewriter bounds traps OOB" `Quick test_rewriter_bounds_traps_oob;
+    Alcotest.test_case "rewriter mask wraps in-sandbox" `Quick test_rewriter_mask_wraps;
+    Alcotest.test_case "rewriter remaps branches" `Quick test_rewriter_remaps_branches;
+    Alcotest.test_case "rewriter overhead counts" `Quick test_rewriter_overhead_count;
+    Alcotest.test_case "rewriter mask validation" `Quick test_rewriter_mask_validation;
+    QCheck_alcotest.to_alcotest prop_rewriter_never_escapes;
+  ]

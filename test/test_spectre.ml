@@ -1,0 +1,71 @@
+open Hfi_spectre
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_pht_leaks_without_hfi () =
+  let o = Attack.run Attack.Pht in
+  check_bool "leak" true (Attack.attack_succeeded o.Attack.unprotected ~expected:o.Attack.secret_char)
+
+let test_pht_blocked_with_hfi () =
+  let o = Attack.run Attack.Pht in
+  check_bool "no leak under HFI" true (o.Attack.protected_.Attack.leaked_byte = None)
+
+let test_btb_leaks_without_hfi () =
+  let o = Attack.run Attack.Btb in
+  check_bool "leak" true (Attack.attack_succeeded o.Attack.unprotected ~expected:o.Attack.secret_char)
+
+let test_btb_blocked_with_hfi () =
+  let o = Attack.run Attack.Btb in
+  check_bool "no leak under HFI" true (o.Attack.protected_.Attack.leaked_byte = None)
+
+let test_multiple_bytes_recoverable () =
+  (* The attack reads the secret byte-by-byte, as SafeSide does. *)
+  String.iteri
+    (fun i expected ->
+      if i < 4 then begin
+        let o = Attack.run ~byte_index:i Attack.Pht in
+        check_bool
+          (Printf.sprintf "byte %d leaks" i)
+          true
+          (Attack.attack_succeeded o.Attack.unprotected ~expected)
+      end)
+    Attack.secret
+
+let test_probe_latencies_bimodal () =
+  let o = Attack.run Attack.Pht in
+  let r = o.Attack.unprotected in
+  let below =
+    Array.fold_left (fun n l -> if l < r.Attack.hit_threshold then n + 1 else n) 0 r.Attack.latencies
+  in
+  check_int "exactly one cached line" 1 below;
+  check_int "256 guesses measured" 256 (Array.length r.Attack.latencies)
+
+let test_transient_execution_observed () =
+  check_bool "wrong-path instructions ran" true
+    (Attack.transient_instructions Attack.Pht ~protected:false > 0)
+
+let test_secret_is_safeside () =
+  check_bool "SafeSide secret string" true (Attack.secret.[0] = 'I')
+
+let test_exit_bypass () =
+  (* SS3.4: an unserialized transient hfi_exit disables checking on the
+     wrong path; serializing the sandbox entry/exit stops it. *)
+  let o = Attack.run Attack.Exit_bypass in
+  check_bool "unserialized sandbox leaks through transient hfi_exit" true
+    (Attack.attack_succeeded o.Attack.unprotected ~expected:o.Attack.secret_char);
+  check_bool "serialized sandbox blocks it" true
+    (o.Attack.protected_.Attack.leaked_byte = None)
+
+let suite =
+  [
+    Alcotest.test_case "PHT leaks without HFI" `Quick test_pht_leaks_without_hfi;
+    Alcotest.test_case "PHT blocked with HFI" `Quick test_pht_blocked_with_hfi;
+    Alcotest.test_case "BTB leaks without HFI" `Quick test_btb_leaks_without_hfi;
+    Alcotest.test_case "BTB blocked with HFI" `Quick test_btb_blocked_with_hfi;
+    Alcotest.test_case "multiple secret bytes" `Quick test_multiple_bytes_recoverable;
+    Alcotest.test_case "probe is bimodal" `Quick test_probe_latencies_bimodal;
+    Alcotest.test_case "transient execution observed" `Quick test_transient_execution_observed;
+    Alcotest.test_case "secret matches SafeSide" `Quick test_secret_is_safeside;
+    Alcotest.test_case "exit-bypass attack (SS3.4)" `Quick test_exit_bypass;
+  ]

@@ -1,0 +1,271 @@
+open Hfi_isa
+open Hfi_memory
+open Hfi_core
+open Hfi_pipeline
+open Hfi_wasm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Sum the first [n] 8-byte words of the heap. *)
+let sum_workload n =
+  Instance.workload ~name:"sum" ~heap_bytes:65536
+    ~init:(fun mem ~heap_base ->
+      for i = 0 to n - 1 do
+        Addr_space.poke mem ~addr:(heap_base + (8 * i)) ~bytes:8 (i + 1)
+      done)
+    (fun cg ->
+      let open Instr in
+      Codegen.emit cg (Mov (Reg.RAX, Imm 0));
+      Codegen.emit cg (Mov (Reg.RCX, Imm 0));
+      Codegen.label cg "loop";
+      Codegen.load_heap_scaled cg W8 ~dst:Reg.RBX ~addr:Reg.RCX ~scale:8 ~offset:0;
+      Codegen.emit cg (Alu (Add, Reg.RAX, Reg Reg.RBX));
+      Codegen.emit cg (Alu (Add, Reg.RCX, Imm 1));
+      Codegen.emit cg (Cmp (Reg.RCX, Imm n));
+      Codegen.jcc cg Lt "loop")
+
+let expected n = n * (n + 1) / 2
+
+let test_sum_strategy strategy () =
+  let inst = Instance.instantiate ~strategy (sum_workload 100) in
+  let _, status = Instance.run_fast inst in
+  check_bool "halted" true (status = Machine.Halted);
+  check_int "sum" (expected 100) (Instance.result_rax inst)
+
+let test_sum_cycle_engine strategy () =
+  let inst = Instance.instantiate ~strategy (sum_workload 50) in
+  let r = Instance.run_cycle inst in
+  check_bool "halted" true (r.Cycle_engine.status = Machine.Halted);
+  check_int "sum" (expected 50) (Instance.result_rax inst);
+  check_bool "cycles positive" true (r.Cycle_engine.cycles > 0.0)
+
+(* Out-of-bounds store at a given index; each strategy must contain it. *)
+let oob_workload index =
+  Instance.workload ~name:"oob" ~heap_bytes:65536 (fun cg ->
+      let open Instr in
+      Codegen.emit cg (Mov (Reg.RCX, Imm index));
+      Codegen.store_heap cg W8 ~addr:Reg.RCX ~offset:0 ~src:(Imm 0xbad);
+      Codegen.emit cg (Mov (Reg.RAX, Imm 42)))
+
+let test_oob_traps strategy () =
+  (* Heap is 64 KiB; index far outside (but within an i32, as compiled
+     Wasm guarantees). *)
+  let inst = Instance.instantiate ~strategy (oob_workload (10 * 1024 * 1024)) in
+  let _, status = Instance.run_fast inst in
+  match strategy with
+  | Hfi_sfi.Strategy.Guard_pages ->
+    (* Lands in the PROT_NONE guard: a hardware fault. *)
+    check_bool "faulted" true
+      (match status with Machine.Faulted (Msr.Hardware_fault _) -> true | _ -> false)
+  | Hfi_sfi.Strategy.Bounds_checks ->
+    (* Branches to the trap block: clean halt with the trap sentinel. *)
+    check_bool "halted" true (status = Machine.Halted);
+    check_int "trap sentinel" Codegen.trap_sentinel (Instance.result_rax inst)
+  | Hfi_sfi.Strategy.Hfi ->
+    check_bool "hfi bounds fault" true
+      (match status with Machine.Faulted (Msr.Bounds_violation _) -> true | _ -> false)
+  | Hfi_sfi.Strategy.Masking ->
+    (* No trap: the access wraps into the sandbox (the §2 corruption
+       semantics) and execution completes. *)
+    check_bool "halted" true (status = Machine.Halted);
+    check_int "completed" 42 (Instance.result_rax inst)
+
+let test_masking_stays_inside () =
+  (* The §2 point: masking converts OOB into in-sandbox corruption. *)
+  let inst =
+    Instance.instantiate ~strategy:Hfi_sfi.Strategy.Masking (oob_workload (10 * 1024 * 1024))
+  in
+  let _, status = Instance.run_fast inst in
+  check_bool "no fault" true (status = Machine.Halted);
+  (* The wrapped address is inside the heap: some heap byte got 0xbad. *)
+  let mem = Kernel.address_space (Instance.kernel inst) in
+  let base = Linear_memory.base (Instance.memory inst) in
+  let wrapped = (10 * 1024 * 1024) land 0xffff in
+  check_int "corruption landed in-sandbox" 0xbad
+    (Addr_space.peek mem ~addr:(base + wrapped) ~bytes:8)
+
+let test_strategies_agree () =
+  let results =
+    List.map
+      (fun s ->
+        let inst = Instance.instantiate ~strategy:s (sum_workload 64) in
+        ignore (Instance.run_fast inst);
+        Instance.result_rax inst)
+      Hfi_sfi.Strategy.all
+  in
+  List.iter (fun r -> check_int "all strategies same result" (expected 64) r) results
+
+let test_hfi_instance_enters_sandbox () =
+  let inst = Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi (sum_workload 8) in
+  ignore (Instance.run_fast inst);
+  let st = Hfi.stats (Instance.hfi inst) in
+  check_int "one enter" 1 st.Hfi.enters;
+  check_int "one exit" 1 st.Hfi.exits;
+  check_bool "hfi disabled at end" false (Hfi.enabled (Instance.hfi inst))
+
+let test_code_size_ordering () =
+  let size s = Program.byte_size (Instance.build_program ~strategy:s (sum_workload 10)) in
+  check_bool "bounds biggest" true (size Hfi_sfi.Strategy.Bounds_checks > size Hfi_sfi.Strategy.Guard_pages);
+  check_bool "masking bigger than guard" true (size Hfi_sfi.Strategy.Masking > size Hfi_sfi.Strategy.Guard_pages)
+
+let test_linear_memory_grow_costs () =
+  let mk strategy =
+    let mem = Addr_space.create () in
+    let kernel = Kernel.create mem in
+    let hfi = Hfi.create () in
+    let lm =
+      Linear_memory.reserve ~strategy ~kernel ~hfi ~max_bytes:(16 * 65536) ~initial_bytes:65536 ()
+    in
+    Kernel.reset_cycles kernel;
+    for _ = 1 to 8 do
+      Linear_memory.grow lm ~delta:65536
+    done;
+    Kernel.cycles kernel +. Linear_memory.grow_cycles lm
+  in
+  let guard = mk Hfi_sfi.Strategy.Guard_pages in
+  let hfi = mk Hfi_sfi.Strategy.Hfi in
+  check_bool "hfi growth much cheaper" true (guard > 5.0 *. hfi)
+
+let test_hfi_grow_updates_region () =
+  let mem = Addr_space.create () in
+  let kernel = Kernel.create mem in
+  let hfi = Hfi.create () in
+  let lm =
+    Linear_memory.reserve ~strategy:Hfi_sfi.Strategy.Hfi ~kernel ~hfi ~max_bytes:(4 * 65536)
+      ~initial_bytes:65536 ()
+  in
+  (match Hfi.region hfi Layout.heap_region_slot with
+  | Some (Hfi_iface.Explicit_data r) -> check_int "initial bound" 65536 r.Hfi_iface.bound
+  | _ -> Alcotest.fail "region not configured");
+  Linear_memory.grow lm ~delta:65536;
+  match Hfi.region hfi Layout.heap_region_slot with
+  | Some (Hfi_iface.Explicit_data r) -> check_int "grown bound" (2 * 65536) r.Hfi_iface.bound
+  | _ -> Alcotest.fail "region lost"
+
+let test_guard_footprint () =
+  let mem = Addr_space.create () in
+  let kernel = Kernel.create mem in
+  let gib = 1 lsl 30 in
+  let lm =
+    Linear_memory.reserve ~strategy:Hfi_sfi.Strategy.Guard_pages ~kernel ~max_bytes:(4 * gib)
+      ~initial_bytes:65536 ()
+  in
+  check_int "8 GiB footprint" (8 * gib) (Linear_memory.reserved_footprint lm);
+  let mem2 = Addr_space.create () in
+  let kernel2 = Kernel.create mem2 in
+  let lm2 =
+    Linear_memory.reserve ~strategy:Hfi_sfi.Strategy.Hfi ~kernel:kernel2 ~max_bytes:(4 * gib)
+      ~initial_bytes:65536 ()
+  in
+  check_int "4 GiB footprint without guards" (4 * gib) (Linear_memory.reserved_footprint lm2)
+
+let test_lifecycle_pool () =
+  let mem = Addr_space.create () in
+  let kernel = Kernel.create ~multithreaded:true mem in
+  let pool =
+    Lifecycle.create ~strategy:Hfi_sfi.Strategy.Hfi ~kernel ~slots:4 ~heap_bytes:(4 * 65536) ()
+  in
+  check_int "4 slots" 4 (Lifecycle.slot_count pool);
+  check_int "dense stride" (4 * 65536) (Lifecycle.stride pool);
+  for i = 0 to 3 do
+    Lifecycle.instantiate pool i;
+    Lifecycle.run_trivial pool i ~touch_pages:4
+  done;
+  check_bool "pages resident" true (Linear_memory.touched_pages (Lifecycle.memory pool 0) >= 4);
+  Lifecycle.teardown_batched pool;
+  check_int "discarded" 0 (Linear_memory.touched_pages (Lifecycle.memory pool 0))
+
+let test_lifecycle_batched_cheaper_than_each_when_elided () =
+  let run f =
+    let mem = Addr_space.create () in
+    let kernel = Kernel.create ~multithreaded:true mem in
+    let pool =
+      Lifecycle.create ~strategy:Hfi_sfi.Strategy.Hfi ~kernel ~slots:32 ~heap_bytes:(16 * 65536) ()
+    in
+    for i = 0 to 31 do
+      Lifecycle.instantiate pool i;
+      Lifecycle.run_trivial pool i ~touch_pages:4
+    done;
+    Kernel.reset_cycles kernel;
+    f pool;
+    Kernel.cycles kernel
+  in
+  let each = run Lifecycle.teardown_each in
+  let batched = run Lifecycle.teardown_batched in
+  check_bool "batching amortizes syscalls" true (batched < each)
+
+(* Multi-memory (SS2): footprint and region multiplexing. *)
+
+let test_multi_memory_footprint () =
+  let gib = 1 lsl 30 in
+  let mk strategy =
+    let mem = Addr_space.create () in
+    let kernel = Kernel.create mem in
+    Multi_memory.create ~strategy ~kernel ~count:3 ~bytes_each:(16 * 65536) ()
+  in
+  let guard = Multi_memory.footprint (mk Hfi_sfi.Strategy.Guard_pages) in
+  let hfi = Multi_memory.footprint (mk Hfi_sfi.Strategy.Hfi) in
+  check_bool "each extra memory costs ~4GiB of guards" true (guard - hfi >= 3 * (4 * gib));
+  check_int "hfi memories pack at real size" (3 * 16 * 65536) hfi
+
+let test_multi_memory_multiplexing () =
+  let mem = Addr_space.create () in
+  let kernel = Kernel.create mem in
+  let hfi = Hfi.create () in
+  let mm =
+    Multi_memory.create ~strategy:Hfi_sfi.Strategy.Hfi ~kernel ~hfi ~count:6
+      ~bytes_each:65536 ()
+  in
+  (* First four bind without eviction. *)
+  let r0 = Multi_memory.region_for mm ~memory:0 in
+  let r1 = Multi_memory.region_for mm ~memory:1 in
+  let r2 = Multi_memory.region_for mm ~memory:2 in
+  let r3 = Multi_memory.region_for mm ~memory:3 in
+  check_int "4 distinct regions" 4 (List.length (List.sort_uniq compare [ r0; r1; r2; r3 ]));
+  check_int "no rebinds yet" 0 (Multi_memory.rebinds mm);
+  (* A fifth memory evicts the least-recently-used binding (memory 0). *)
+  let r4 = Multi_memory.region_for mm ~memory:4 in
+  check_int "evicted memory 0's region" r0 r4;
+  check_int "one rebind" 1 (Multi_memory.rebinds mm);
+  (* Re-touching memory 0 now rebinds again. *)
+  ignore (Multi_memory.region_for mm ~memory:0);
+  check_int "two rebinds" 2 (Multi_memory.rebinds mm);
+  (* The region register actually points at the bound memory. *)
+  let r = Multi_memory.region_for mm ~memory:5 in
+  (match Hfi.region hfi (Hfi_iface.slot_of_explicit_index r) with
+  | Some (Hfi_iface.Explicit_data d) ->
+    check_int "region base tracks memory 5" (Linear_memory.base (Multi_memory.memory mm 5))
+      d.Hfi_iface.base_address
+  | _ -> Alcotest.fail "region not bound");
+  check_bool "hot binding is stable" true
+    (Multi_memory.region_for mm ~memory:5 = r && Multi_memory.rebinds mm = 3)
+
+let strategies_cases name f =
+  List.map
+    (fun s -> Alcotest.test_case (Printf.sprintf "%s (%s)" name (Hfi_sfi.Strategy.to_string s)) `Quick (f s))
+    Hfi_sfi.Strategy.all
+
+let suite =
+  strategies_cases "sum workload" test_sum_strategy
+  @ [
+      Alcotest.test_case "sum on cycle engine (guard)" `Quick
+        (test_sum_cycle_engine Hfi_sfi.Strategy.Guard_pages);
+      Alcotest.test_case "sum on cycle engine (hfi)" `Quick
+        (test_sum_cycle_engine Hfi_sfi.Strategy.Hfi);
+    ]
+  @ strategies_cases "oob containment" test_oob_traps
+  @ [
+      Alcotest.test_case "masking corrupts in-sandbox" `Quick test_masking_stays_inside;
+      Alcotest.test_case "strategies agree on results" `Quick test_strategies_agree;
+      Alcotest.test_case "hfi instance transitions" `Quick test_hfi_instance_enters_sandbox;
+      Alcotest.test_case "code size ordering" `Quick test_code_size_ordering;
+      Alcotest.test_case "grow cost: hfi vs mprotect" `Quick test_linear_memory_grow_costs;
+      Alcotest.test_case "hfi grow updates region" `Quick test_hfi_grow_updates_region;
+      Alcotest.test_case "guard footprint 8GiB" `Quick test_guard_footprint;
+      Alcotest.test_case "lifecycle pool" `Quick test_lifecycle_pool;
+      Alcotest.test_case "batched teardown amortizes" `Quick test_lifecycle_batched_cheaper_than_each_when_elided;
+      Alcotest.test_case "multi-memory footprint" `Quick test_multi_memory_footprint;
+      Alcotest.test_case "multi-memory multiplexing" `Quick test_multi_memory_multiplexing;
+    ]
+

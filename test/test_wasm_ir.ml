@@ -1,0 +1,427 @@
+(* The mini-Wasm layer: validator unit tests, reference-interpreter unit
+   tests, and differential tests — every validated module must compute
+   the same thing interpreted and compiled-then-executed on the machine
+   model, under every isolation strategy. *)
+
+open Hfi_wasm
+open Wasm_ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let strategies = Hfi_sfi.Strategy.[ Guard_pages; Bounds_checks; Masking; Hfi ]
+
+(* --- sample modules --- *)
+
+(* Iterative factorial of local 0. *)
+let fact_body =
+  [
+    Const 1;
+    Local_set 1;
+    (* acc = 1 *)
+    Block
+      [
+        Loop
+          [
+            Local_get 0;
+            Eqz;
+            Br_if 1;
+            (* exit when n = 0 *)
+            Local_get 1;
+            Local_get 0;
+            Binop Mul;
+            Local_set 1;
+            Local_get 0;
+            Const 1;
+            Binop Sub;
+            Local_set 0;
+            Br 0;
+          ];
+      ];
+    Local_get 1;
+  ]
+
+let fact_module n =
+  module_ ~start:0
+    [|
+      func ~name:"main" ~results:1 [ Const n; Call 1 ];
+      func ~name:"fact" ~params:1 ~locals:1 ~results:1 fact_body;
+    |]
+
+(* Recursive fibonacci. *)
+let fib_module n =
+  module_ ~start:0
+    [|
+      func ~name:"main" ~results:1 [ Const n; Call 1 ];
+      func ~name:"fib" ~params:1 ~results:1
+        [
+          Local_get 0;
+          Const 2;
+          Relop Lt_s;
+          If
+            ( [ Local_get 0; Local_set 0 ],
+              [
+                Local_get 0;
+                Const 1;
+                Binop Sub;
+                Call 1;
+                Local_get 0;
+                Const 2;
+                Binop Sub;
+                Call 1;
+                Binop Add;
+                Local_set 0;
+              ] );
+          Local_get 0;
+        ];
+    |]
+
+(* Sum the first n 8-byte words of memory (initialized by a data seg). *)
+let memsum_module =
+  let data = String.init 64 (fun i -> if i mod 8 = 0 then Char.chr (i / 8 + 1) else '\000') in
+  module_ ~start:0 ~memory_pages:1 ~data:[ (0, data) ]
+    [|
+      func ~name:"main" ~locals:2 ~results:1
+        [
+          Const 0;
+          Local_set 0;
+          (* i *)
+          Const 0;
+          Local_set 1;
+          (* acc *)
+          Block
+            [
+              Loop
+                [
+                  Local_get 0;
+                  Const 8;
+                  Relop Ge_s;
+                  Br_if 1;
+                  Local_get 1;
+                  Local_get 0;
+                  Const 8;
+                  Binop Mul;
+                  Load { bytes = 8; offset = 0 };
+                  Binop Add;
+                  Local_set 1;
+                  Local_get 0;
+                  Const 1;
+                  Binop Add;
+                  Local_set 0;
+                  Br 0;
+                ];
+            ];
+          Local_get 1;
+        ];
+    |]
+
+(* Store then reload through memory, with globals in the mix. *)
+let store_module =
+  module_ ~start:0 ~globals:[| 7; 0 |]
+    [|
+      func ~name:"main" ~results:1
+        [
+          Const 100;
+          Global_get 0;
+          Const 6;
+          Binop Mul;
+          Store { bytes = 4; offset = 8 };
+          (* mem[108..111] = 42 *)
+          Const 100;
+          Load { bytes = 4; offset = 8 };
+          Global_set 1;
+          Global_get 1;
+        ];
+    |]
+
+let oob_module =
+  module_ ~start:0 ~memory_pages:1
+    [| func ~name:"main" [ Const 0x7f000000; Const 1; Store { bytes = 8; offset = 0 } ] |]
+
+let div_zero_module =
+  module_ ~start:0
+    [| func ~name:"main" ~results:1 [ Const 7; Const 0; Binop Div ] |]
+
+let unreachable_module =
+  module_ ~start:0 [| func ~name:"main" [ Block [ Unreachable ] ] |]
+
+(* --- validator --- *)
+
+let valid m = Wasm_validate.validate m = Ok ()
+
+let test_validator_accepts_samples () =
+  List.iter
+    (fun (name, m) -> check_bool name true (valid m))
+    [
+      ("fact", fact_module 5);
+      ("fib", fib_module 10);
+      ("memsum", memsum_module);
+      ("store", store_module);
+      ("oob", oob_module);
+      ("div0", div_zero_module);
+      ("unreachable", unreachable_module);
+    ]
+
+let expect_invalid name m = check_bool name false (valid m)
+
+let test_validator_rejects () =
+  expect_invalid "stack underflow"
+    (module_ ~start:0 [| func ~name:"m" [ Drop ] |]);
+  expect_invalid "unbalanced body"
+    (module_ ~start:0 [| func ~name:"m" [ Const 1 ] |]);
+  expect_invalid "missing result"
+    (module_ ~start:0 [| func ~name:"m" ~results:1 [ Nop ] |]);
+  expect_invalid "bad label"
+    (module_ ~start:0 [| func ~name:"m" [ Block [ Br 2 ] ] |]);
+  expect_invalid "bad local"
+    (module_ ~start:0 [| func ~name:"m" [ Local_get 0; Drop ] |]);
+  expect_invalid "bad global"
+    (module_ ~start:0 [| func ~name:"m" [ Global_get 0; Drop ] |]);
+  expect_invalid "bad call target"
+    (module_ ~start:0 [| func ~name:"m" [ Call 3 ] |]);
+  expect_invalid "start with params"
+    (module_ ~start:0 [| func ~name:"m" ~params:1 [ ] |]);
+  expect_invalid "code after terminator"
+    (module_ ~start:0 [| func ~name:"m" [ Block [ Br 0; Nop ] ] |]);
+  expect_invalid "br with values on stack"
+    (module_ ~start:0 [| func ~name:"m" [ Block [ Const 1; Br 0 ] ] |]);
+  expect_invalid "data outside memory"
+    (module_ ~start:0 ~memory_pages:1 ~data:[ (65530, "0123456789") ]
+       [| func ~name:"m" [] |]);
+  expect_invalid "unvalidated width"
+    (module_ ~start:0 [| func ~name:"m" [ Const 0; Load { bytes = 3; offset = 0 }; Drop ] |])
+
+(* --- interpreter --- *)
+
+let test_interp_samples () =
+  check_bool "fact 5" true (Wasm_interp.run (fact_module 5) = Wasm_interp.Value 120);
+  check_bool "fib 10" true (Wasm_interp.run (fib_module 10) = Wasm_interp.Value 55);
+  check_bool "memsum" true (Wasm_interp.run memsum_module = Wasm_interp.Value 36);
+  check_bool "store/globals" true (Wasm_interp.run store_module = Wasm_interp.Value 42);
+  check_bool "oob" true
+    (match Wasm_interp.run oob_module with Wasm_interp.Trap (Wasm_interp.Out_of_bounds _) -> true | _ -> false);
+  check_bool "div0" true (Wasm_interp.run div_zero_module = Wasm_interp.Trap Wasm_interp.Division_by_zero);
+  check_bool "unreachable" true
+    (Wasm_interp.run unreachable_module = Wasm_interp.Trap Wasm_interp.Unreachable_executed)
+
+let test_interp_memory_effect () =
+  check_int "store visible in memory" 42 (Wasm_interp.memory_byte store_module 108)
+
+let test_interp_select () =
+  let m sel =
+    module_ ~start:0
+      [| func ~name:"m" ~results:1 [ Const 11; Const 22; Const sel; Select ] |]
+  in
+  check_bool "select true" true (Wasm_interp.run (m 1) = Wasm_interp.Value 11);
+  check_bool "select false" true (Wasm_interp.run (m 0) = Wasm_interp.Value 22)
+
+let test_interp_call_stack_limit () =
+  let infinite =
+    module_ ~start:0 [| func ~name:"m" [ Call 0 ] |]
+  in
+  check_bool "exhausts" true
+    (Wasm_interp.run infinite = Wasm_interp.Trap Wasm_interp.Call_stack_exhausted)
+
+(* --- compiled vs interpreted --- *)
+
+let outcomes_match (a : Wasm_interp.outcome) (b : Wasm_interp.outcome) =
+  match (a, b) with
+  | Wasm_interp.Value x, Wasm_interp.Value y -> x = y
+  | Wasm_interp.No_value, Wasm_interp.No_value -> true
+  | Wasm_interp.Trap (Wasm_interp.Out_of_bounds _), Wasm_interp.Trap (Wasm_interp.Out_of_bounds _)
+    ->
+    true
+  | Wasm_interp.Trap ta, Wasm_interp.Trap tb -> ta = tb
+  | _ -> false
+
+let differential name m =
+  let reference = Wasm_interp.run m in
+  List.iter
+    (fun s ->
+      if s = Hfi_sfi.Strategy.Masking && (match reference with Wasm_interp.Trap _ -> true | _ -> false)
+      then () (* masking has no trap semantics, by design (SS2) *)
+      else begin
+        let compiled, _ = Wasm_compile.run ~strategy:s m in
+        if not (outcomes_match reference compiled) then
+          Alcotest.failf "%s under %s: interp %s vs compiled %s" name
+            (Hfi_sfi.Strategy.to_string s)
+            (Format.asprintf "%a" Wasm_interp.pp_outcome reference)
+            (Format.asprintf "%a" Wasm_interp.pp_outcome compiled)
+      end)
+    strategies
+
+let test_compiled_matches_interp () =
+  differential "fact" (fact_module 8);
+  differential "fib" (fib_module 12);
+  differential "memsum" memsum_module;
+  differential "store" store_module;
+  differential "div0" div_zero_module;
+  differential "unreachable" unreachable_module
+
+let test_compiled_oob_containment () =
+  (* The compiled OOB store must trap under precise-trap strategies. *)
+  List.iter
+    (fun s ->
+      let outcome, _ = Wasm_compile.run ~strategy:s oob_module in
+      match outcome with
+      | Wasm_interp.Trap (Wasm_interp.Out_of_bounds _) -> ()
+      | o ->
+        Alcotest.failf "oob under %s: %s" (Hfi_sfi.Strategy.to_string s)
+          (Format.asprintf "%a" Wasm_interp.pp_outcome o))
+    Hfi_sfi.Strategy.[ Guard_pages; Bounds_checks; Hfi ]
+
+let test_invalid_module_rejected_by_compiler () =
+  let bad = module_ ~start:0 [| func ~name:"m" [ Drop ] |] in
+  check_bool "raises" true
+    (try
+       ignore (Wasm_compile.run ~strategy:Hfi_sfi.Strategy.Hfi bad);
+       false
+     with Wasm_compile.Invalid_module _ -> true)
+
+(* Random expression modules: generate postfix instruction sequences
+   with an explicit depth budget — valid by construction — and compare
+   compiled vs interpreted under every strategy. *)
+let gen_instrs =
+  let open QCheck.Gen in
+  let rec emit depth budget acc =
+    if budget <= 0 then
+      (* close out: reduce the stack to exactly one result *)
+      let rec close depth acc =
+        if depth = 0 then List.rev (Const 1 :: acc)
+        else if depth = 1 then List.rev acc
+        else close (depth - 1) (Binop Xor :: acc)
+      in
+      return (close depth acc)
+    else
+      let choices =
+        List.concat
+          [
+            [ (3, map (fun v -> `Push (Const (v - 128))) (int_bound 256)) ];
+            [ (1, return (`Push (Local_get 0))) ];
+            (if depth >= 1 then
+               [ (1, return `Tee); (1, map (fun o -> `Loadm o) (int_bound 512)) ]
+             else []);
+            (if depth >= 2 then
+               [
+                 (3, map (fun op -> `Bin op) (oneofl [ Add; Sub; Mul; And; Or; Xor; Shl; Shr_u ]));
+                 (1, map (fun r -> `Rel r) (oneofl [ Eq; Ne; Lt_s; Le_s; Gt_s; Ge_s; Lt_u; Ge_u ]));
+                 (1, map (fun o -> `Storem o) (int_bound 512));
+               ]
+             else []);
+            (if depth >= 3 then [ (1, return `Select) ] else []);
+          ]
+      in
+      let* choice = frequency choices in
+      match choice with
+      | `Push i -> emit (depth + 1) (budget - 1) (i :: acc)
+      | `Tee -> emit depth (budget - 1) (Local_tee 0 :: acc)
+      | `Bin op -> emit (depth - 1) (budget - 1) (Binop op :: acc)
+      | `Rel r -> emit (depth - 1) (budget - 1) (Relop r :: acc)
+      | `Select -> emit (depth - 2) (budget - 1) (Select :: acc)
+      | `Loadm off ->
+        (* mask the address into the one-page memory before loading *)
+        emit depth (budget - 1)
+          (Load { bytes = 8; offset = off } :: Binop And :: Const 0xfff :: acc)
+      | `Storem off ->
+        (* the unmasked address may be out of bounds: both sides must
+           then agree on the trap *)
+        emit (depth - 2) (budget - 1) (Store { bytes = 8; offset = off } :: acc)
+  in
+  let* budget = QCheck.Gen.int_range 4 40 in
+  emit 0 budget []
+
+let prop_differential_random_exprs =
+  QCheck.Test.make ~name:"compiled modules match the reference interpreter" ~count:120
+    (QCheck.make gen_instrs)
+    (fun body ->
+      let m =
+        module_ ~start:0 ~memory_pages:1
+          [| func ~name:"main" ~locals:1 ~results:1 body |]
+      in
+      match Wasm_validate.validate m with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+        let reference = Wasm_interp.run m in
+        List.for_all
+          (fun s ->
+            match reference with
+            | Wasm_interp.Trap _ when s = Hfi_sfi.Strategy.Masking -> true
+            | _ ->
+              let compiled, _ = Wasm_compile.run ~strategy:s m in
+              outcomes_match reference compiled)
+          strategies)
+
+(* --- textual format round-trips --- *)
+
+let modules_for_roundtrip =
+  [
+    ("fact", fact_module 5);
+    ("fib", fib_module 7);
+    ("memsum", memsum_module);
+    ("store", store_module);
+    ("oob", oob_module);
+    ("div0", div_zero_module);
+    ("unreachable", unreachable_module);
+  ]
+
+let test_text_roundtrip () =
+  List.iter
+    (fun (name, m) ->
+      match Wasm_text.parse (Wasm_text.to_string m) with
+      | Error e -> Alcotest.failf "%s failed to re-parse: %s" name e
+      | Ok m' ->
+        if m' <> m then Alcotest.failf "%s did not round-trip" name;
+        (* and it still runs identically *)
+        check_bool (name ^ " same outcome") true (Wasm_interp.run m = Wasm_interp.run m'))
+    modules_for_roundtrip
+
+let test_text_parse_errors () =
+  let bad = [ "("; "(module)"; "(module (memory 1) (start 0) (func))";
+              "(module (memory 1) (start 0) (wat 1))" ] in
+  List.iter
+    (fun src ->
+      match Wasm_text.parse src with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" src
+      | Error e -> check_bool "error message non-empty" true (String.length e > 0))
+    bad
+
+let test_text_parse_and_run () =
+  let src =
+    "(module (memory 1) (start 0)\n\
+     (func $main (params 0) (locals 1) (results 1)\n\
+     (i64.const 6) (local.set 0)\n\
+     (local.get 0) (local.get 0) (i64.mul)))"
+  in
+  let m = Wasm_text.parse_exn src in
+  check_bool "validates" true (Wasm_validate.validate m = Ok ());
+  check_bool "interp" true (Wasm_interp.run m = Wasm_interp.Value 36);
+  let outcome, _ = Wasm_compile.run ~strategy:Hfi_sfi.Strategy.Hfi m in
+  check_bool "compiled" true (outcome = Wasm_interp.Value 36)
+
+let prop_text_roundtrip_random =
+  QCheck.Test.make ~name:"generated modules round-trip through the text format" ~count:80
+    (QCheck.make gen_instrs)
+    (fun body ->
+      let m =
+        module_ ~start:0 ~memory_pages:1 [| func ~name:"main" ~locals:1 ~results:1 body |]
+      in
+      match Wasm_text.parse (Wasm_text.to_string m) with Ok m' -> m' = m | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "validator accepts samples" `Quick test_validator_accepts_samples;
+    Alcotest.test_case "validator rejections" `Quick test_validator_rejects;
+    Alcotest.test_case "interp samples" `Quick test_interp_samples;
+    Alcotest.test_case "interp memory effects" `Quick test_interp_memory_effect;
+    Alcotest.test_case "interp select" `Quick test_interp_select;
+    Alcotest.test_case "interp call-stack limit" `Quick test_interp_call_stack_limit;
+    Alcotest.test_case "compiled matches interp (samples)" `Quick test_compiled_matches_interp;
+    Alcotest.test_case "compiled OOB containment" `Quick test_compiled_oob_containment;
+    Alcotest.test_case "compiler rejects invalid" `Quick test_invalid_module_rejected_by_compiler;
+    QCheck_alcotest.to_alcotest prop_differential_random_exprs;
+    Alcotest.test_case "text round-trips (samples)" `Quick test_text_roundtrip;
+    Alcotest.test_case "text parse errors" `Quick test_text_parse_errors;
+    Alcotest.test_case "text parse and run" `Quick test_text_parse_and_run;
+    QCheck_alcotest.to_alcotest prop_text_roundtrip_random;
+  ]
+
