@@ -6,12 +6,18 @@
 
    Output is plain text; run `dune exec bench/main.exe`. Pass experiment
    ids (e.g. `fig3 table1`) to run a subset; pass `--quick` for reduced
-   workload sizes; `--no-micro` skips the Bechamel section. *)
+   workload sizes; `--no-micro` skips the Bechamel section;
+   `--micro-only` runs just that section; `--json FILE` additionally
+   writes the results as JSON. Set HFI_JOBS=n to fan independent
+   experiments (and the fig2/fig3 inner matrices) across n domains —
+   with the default HFI_JOBS=1 the output is byte-identical to the
+   historical sequential driver. *)
 
 open Bechamel
 open Toolkit
 module Registry = Hfi_experiments.Registry
 module Report = Hfi_experiments.Report
+module Pool = Hfi_util.Pool
 
 (* One microbenchmark per table/figure: the primitive operation whose
    cost that experiment's result turns on. *)
@@ -30,6 +36,9 @@ let micro_tests () =
   Hfi_memory.Addr_space.mmap mem ~addr:0x10000 ~len:65536 Hfi_memory.Perm.rw;
   let kernel = Hfi_memory.Kernel.create mem in
   let spec = Hfi_isa.Hfi_iface.default_hybrid_spec in
+  (* Make one page resident so the load micro measures the fast path,
+     not first-touch allocation. *)
+  Hfi_memory.Addr_space.store mem ~addr:0x12000 ~bytes:8 0x1122334455667788;
   [
     (* fig2/fig3: the per-access checks HFI adds to loads and hmovs. *)
     Test.make ~name:"fig2+fig3: implicit region check"
@@ -61,6 +70,14 @@ let micro_tests () =
     (* fig7: the flush+reload probe primitive. *)
     Test.make ~name:"fig7: d-cache probe"
       (Staged.stage (fun () -> ignore (Hfi_memory.Cache.probe cache 0x4000)));
+    (* memory fast path: an 8-byte load served by the one-entry VMA memo
+       and page cache (the per-instruction cost of every engine). *)
+    Test.make ~name:"memory: 8B resident load fast path"
+      (Staged.stage (fun () -> ignore (Hfi_memory.Addr_space.load mem ~addr:0x12000 ~bytes:8)));
+    (* pool: cost of fanning trivial items across the configured number
+       of domains — the fixed overhead HFI_JOBS adds per batch. *)
+    Test.make ~name:"pool: fan-out overhead (8 items)"
+      (Staged.stage (fun () -> ignore (Pool.map (fun x -> x + 1) [ 1; 2; 3; 4; 5; 6; 7; 8 ])));
     (* cross-cutting: one full Sightglass kernel on the fast engine. *)
     Test.make ~name:"engine: gimli end-to-end (fast engine)"
       (Staged.stage (fun () ->
@@ -69,11 +86,13 @@ let micro_tests () =
            ignore (Hfi_wasm.Instance.run_fast i)));
   ]
 
+(* Prints each estimate as it lands and returns them for the JSON dump. *)
 let run_micro () =
   print_endline "== Bechamel microbenchmarks (host-time of simulator primitives) ==";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = [ Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -81,32 +100,173 @@ let run_micro () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-46s %10.1f ns/op\n%!" name est
-          | _ -> Printf.printf "  %-46s (no estimate)\n%!" name)
+          | Some [ est ] ->
+            estimates := (name, Some est) :: !estimates;
+            Printf.printf "  %-46s %10.1f ns/op\n%!" name est
+          | _ ->
+            estimates := (name, None) :: !estimates;
+            Printf.printf "  %-46s (no estimate)\n%!" name)
         results)
     (micro_tests ());
-  print_newline ()
+  print_newline ();
+  List.rev !estimates
+
+(* Minimal JSON writer (yojson is not vendored): only what the schema
+   below needs. *)
+module Json = struct
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let str s = "\"" ^ escape s ^ "\""
+  let num f = Printf.sprintf "%.6g" f
+  let obj fields = "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+  let arr items = "[" ^ String.concat "," items ^ "]"
+end
+
+let write_json ~file ~mode ~jobs ~micro ~experiments ~total_seconds =
+  let micro_json =
+    Json.arr
+      (List.map
+         (fun (name, est) ->
+           Json.obj
+             [
+               ("name", Json.str name);
+               ("ns_per_op", match est with Some e -> Json.num e | None -> "null");
+             ])
+         micro)
+  in
+  let exp_json =
+    Json.arr
+      (List.map
+         (fun (r, seconds) ->
+           Json.obj
+             [
+               ("id", Json.str r.Report.id);
+               ("title", Json.str r.Report.title);
+               ("paper_claim", Json.str r.Report.paper_claim);
+               ("verdict", Json.str r.Report.verdict);
+               ("table", Json.str r.Report.table);
+               ("seconds", Json.num seconds);
+             ])
+         experiments)
+  in
+  let doc =
+    Json.obj
+      [
+        ("mode", Json.str mode);
+        ("jobs", string_of_int jobs);
+        ("micro", micro_json);
+        ("experiments", exp_json);
+        ("total_seconds", Json.num total_seconds);
+      ]
+  in
+  let oc = open_out file in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let quick = List.mem "--quick" args in
-  let no_micro = List.mem "--no-micro" args in
-  let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
-  let ids = if ids = [] then Registry.ids () else ids in
-  if not no_micro then run_micro ();
-  print_endline "== Paper reproduction: every table and figure of the evaluation ==";
-  Printf.printf "(mode: %s)\n\n" (if quick then "quick" else "full");
-  let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun id ->
-      match Registry.find id with
-      | None ->
-        Printf.printf "unknown experiment id %S (try: %s)\n" id
-          (String.concat " " (Registry.ids ()))
-      | Some e ->
-        let t = Unix.gettimeofday () in
-        let r = e.Registry.run ~quick () in
-        Report.print r;
-        Printf.printf "[%.1fs]\n\n%!" (Unix.gettimeofday () -. t))
-    ids;
-  Printf.printf "total: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let json_file = ref None in
+  let quick = ref false in
+  let no_micro = ref false in
+  let micro_only = ref false in
+  let ids = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--no-micro" :: rest ->
+      no_micro := true;
+      parse rest
+    | "--micro-only" :: rest ->
+      micro_only := true;
+      parse rest
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse rest
+    | [ "--json" ] -> failwith "--json requires a file argument"
+    | a :: rest ->
+      if String.length a > 1 && a.[0] = '-' then failwith ("unknown option " ^ a);
+      ids := a :: !ids;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let quick = !quick in
+  let ids = if !ids = [] then Registry.ids () else List.rev !ids in
+  let jobs = Pool.default_jobs () in
+  let micro = if !no_micro then [] else run_micro () in
+  if !micro_only then begin
+    match !json_file with
+    | Some file ->
+      write_json ~file ~mode:(if quick then "quick" else "full") ~jobs ~micro ~experiments:[]
+        ~total_seconds:0.0
+    | None -> ()
+  end
+  else begin
+    print_endline "== Paper reproduction: every table and figure of the evaluation ==";
+    Printf.printf "(mode: %s)\n\n" (if quick then "quick" else "full");
+    let t0 = Unix.gettimeofday () in
+    let collected = ref [] in
+    if jobs <= 1 then
+      (* Sequential streaming loop: byte-identical output to the
+         historical driver. *)
+      List.iter
+        (fun id ->
+          match Registry.find id with
+          | None ->
+            Printf.printf "unknown experiment id %S (try: %s)\n" id
+              (String.concat " " (Registry.ids ()))
+          | Some e ->
+            let t = Unix.gettimeofday () in
+            let r = e.Registry.run ~quick () in
+            Report.print r;
+            let dt = Unix.gettimeofday () -. t in
+            collected := (r, dt) :: !collected;
+            Printf.printf "[%.1fs]\n\n%!" dt)
+        ids
+    else begin
+      (* Fan the known experiments across domains, then print in the
+         requested order — same lines as the sequential path, only the
+         bracketed per-experiment seconds (and interleaving of any
+         "unknown id" lines) can differ. *)
+      let entries = List.filter_map Registry.find ids in
+      let results = Registry.run_many ~jobs ~quick ~clock:Unix.gettimeofday entries in
+      let remaining = ref results in
+      List.iter
+        (fun id ->
+          match Registry.find id with
+          | None ->
+            Printf.printf "unknown experiment id %S (try: %s)\n" id
+              (String.concat " " (Registry.ids ()))
+          | Some _ -> begin
+            match !remaining with
+            | (_, r, dt) :: rest ->
+              remaining := rest;
+              Report.print r;
+              collected := (r, dt) :: !collected;
+              Printf.printf "[%.1fs]\n\n%!" dt
+            | [] -> assert false (* one result per known id, in order *)
+          end)
+        ids
+    end;
+    let total = Unix.gettimeofday () -. t0 in
+    Printf.printf "total: %.1fs\n" total;
+    match !json_file with
+    | Some file ->
+      write_json ~file ~mode:(if quick then "quick" else "full") ~jobs ~micro
+        ~experiments:(List.rev !collected) ~total_seconds:total
+    | None -> ()
+  end

@@ -19,6 +19,31 @@ type saved_ctx = {
   s_spec : Hfi_iface.sandbox_spec;
 }
 
+(* Precomputed summary of the active bank's implicit regions, so the
+   common in-bounds check is a mask-compare instead of a slot walk. The
+   summaries are recomputed after every operation that can change the
+   active bank (region writes, bank swaps, save/restore). *)
+type data_summary =
+  | D_single of { nmask : int; prefix : int; read : bool; write : bool }
+      (* exactly one implicit data region configured *)
+  | D_pair of {
+      nmask1 : int;
+      prefix1 : int;
+      read1 : bool;
+      write1 : bool;
+      nmask2 : int;
+      prefix2 : int;
+      read2 : bool;
+      write2 : bool;
+    }
+      (* exactly two, in slot order — the runtime's usual stack+globals
+         layout; first-match order is preserved *)
+  | D_general  (* zero or 3+ regions: take the first-match walk *)
+
+type code_summary =
+  | C_single of { nmask : int; prefix : int; exec : bool }
+  | C_general
+
 type t = {
   mutable active : Hfi_iface.region option array;
   mutable inactive : Hfi_iface.region option array;
@@ -28,10 +53,59 @@ type t = {
       (* runtime context stashed by a switch-on-exit enter *)
   mutable last_spec : Hfi_iface.sandbox_spec option;  (* for hfi_reenter *)
   mutable msr : Msr.t;
+  mutable dsum : data_summary;
+  mutable csum : code_summary;
   st : stats;
 }
 
 let fresh_bank () = Array.make Hfi_iface.region_count None
+
+let recompute_summaries t =
+  let data =
+    List.filter_map
+      (fun s ->
+        match t.active.(s) with Some (Hfi_iface.Implicit_data r) -> Some r | _ -> None)
+      Hfi_iface.implicit_data_slots
+  in
+  t.dsum <-
+    (match data with
+    | [ r ] ->
+      D_single
+        {
+          nmask = lnot r.Hfi_iface.lsb_mask;
+          prefix = r.Hfi_iface.base_prefix;
+          read = r.Hfi_iface.permission_read;
+          write = r.Hfi_iface.permission_write;
+        }
+    | [ r1; r2 ] ->
+      D_pair
+        {
+          nmask1 = lnot r1.Hfi_iface.lsb_mask;
+          prefix1 = r1.Hfi_iface.base_prefix;
+          read1 = r1.Hfi_iface.permission_read;
+          write1 = r1.Hfi_iface.permission_write;
+          nmask2 = lnot r2.Hfi_iface.lsb_mask;
+          prefix2 = r2.Hfi_iface.base_prefix;
+          read2 = r2.Hfi_iface.permission_read;
+          write2 = r2.Hfi_iface.permission_write;
+        }
+    | _ -> D_general);
+  let code =
+    List.filter_map
+      (fun s ->
+        match t.active.(s) with Some (Hfi_iface.Implicit_code r) -> Some r | _ -> None)
+      Hfi_iface.code_region_slots
+  in
+  t.csum <-
+    (match code with
+    | [ r ] ->
+      C_single
+        {
+          nmask = lnot r.Hfi_iface.lsb_mask;
+          prefix = r.Hfi_iface.base_prefix;
+          exec = r.Hfi_iface.permission_exec;
+        }
+    | _ -> C_general)
 
 let create () =
   {
@@ -42,6 +116,8 @@ let create () =
     soe_saved = None;
     last_spec = None;
     msr = Msr.No_exit;
+    dsum = D_general;
+    csum = C_general;
     st =
       {
         enters = 0;
@@ -72,7 +148,7 @@ let drain t = t.st.drains <- t.st.drains + 1
 let leave_sandbox t reason =
   t.msr <- reason;
   t.last_spec <- t.spec;
-  match t.spec with
+  (match t.spec with
   | Some s when s.Hfi_iface.switch_on_exit -> begin
     match t.soe_saved with
     | Some saved ->
@@ -92,7 +168,8 @@ let leave_sandbox t reason =
   end
   | _ ->
     t.enabled_ <- false;
-    t.spec <- None
+    t.spec <- None);
+  recompute_summaries t
 
 let trap t reason =
   t.st.violations <- t.st.violations + 1;
@@ -112,7 +189,8 @@ let exec_enter t spec =
       (* The child's registers were prepared in the inactive bank. *)
       let child = t.inactive in
       t.inactive <- t.active;
-      t.active <- child
+      t.active <- child;
+      recompute_summaries t
     end;
     t.spec <- Some spec;
     t.enabled_ <- true;
@@ -149,7 +227,8 @@ let exec_reenter t =
         | None -> t.soe_saved <- None);
         let child = t.inactive in
         t.inactive <- t.active;
-        t.active <- child
+        t.active <- child;
+        recompute_summaries t
       end;
       t.spec <- Some spec;
       t.enabled_ <- true;
@@ -175,6 +254,7 @@ let exec_set_region t ~slot region =
         (* §4.3: region updates serialize when HFI is enabled (hybrid). *)
         if t.enabled_ then drain t;
         bank.(s) <- Some region;
+        recompute_summaries t;
         Continue
     end
   end
@@ -188,6 +268,7 @@ let exec_clear_region t ~slot =
       t.st.region_updates <- t.st.region_updates + 1;
       if t.enabled_ then drain t;
       bank.(s) <- None;
+      recompute_summaries t;
       Continue
   end
 
@@ -198,6 +279,7 @@ let exec_clear_all t =
     if t.enabled_ then drain t;
     Array.fill t.active 0 Hfi_iface.region_count None;
     Array.fill t.inactive 0 Hfi_iface.region_count None;
+    recompute_summaries t;
     Continue
   end
 
@@ -238,32 +320,61 @@ let data_byte_allowed t addr access =
   in
   go Hfi_iface.implicit_data_slots
 
+let check_data_slow t ~addr ~bytes access =
+  match data_byte_allowed t addr access with
+  | Error v -> Error v
+  | Ok () -> if bytes > 1 then data_byte_allowed t (addr + bytes - 1) access else Ok ()
+
 let check_data_access t ~addr ~bytes access =
   if not t.enabled_ then Ok ()
   else begin
-    match data_byte_allowed t addr access with
-    | Error v -> Error v
-    | Ok () ->
-      if bytes > 1 then data_byte_allowed t (addr + bytes - 1) access else Ok ()
+    (* Fast path: a single configured region whose prefix covers both
+       endpoints and grants the access. Any miss (including a denied
+       permission) falls back to the walk, which builds the identical
+       violation record. *)
+    match t.dsum with
+    | D_single s
+      when addr land s.nmask = s.prefix
+           && (bytes = 1 || (addr + bytes - 1) land s.nmask = s.prefix)
+           && (match access with `Read -> s.read | `Write -> s.write) ->
+      Ok ()
+    | D_pair s ->
+      (* First-match per endpoint, as in the walk: a matching region with
+         a denied permission stops the search (no fall-through). *)
+      let endpoint_ok e =
+        if e land s.nmask1 = s.prefix1 then
+          match access with `Read -> s.read1 | `Write -> s.write1
+        else if e land s.nmask2 = s.prefix2 then
+          match access with `Read -> s.read2 | `Write -> s.write2
+        else false
+      in
+      if endpoint_ok addr && (bytes = 1 || endpoint_ok (addr + bytes - 1)) then Ok ()
+      else check_data_slow t ~addr ~bytes access
+    | _ -> check_data_slow t ~addr ~bytes access
   end
+
+let check_ifetch_slow t ~addr =
+  let rec go = function
+    | [] -> Error { Msr.addr; access = Msr.Exec; cause = Msr.No_matching_region }
+    | slot :: rest -> begin
+      match t.active.(slot) with
+      | Some (Hfi_iface.Implicit_code r) -> begin
+        match Region.implicit_code_allows r ~addr with
+        | `Hit true -> Ok ()
+        | `Hit false -> Error { Msr.addr; access = Msr.Exec; cause = Msr.Permission }
+        | `Miss -> go rest
+      end
+      | _ -> go rest
+    end
+  in
+  go Hfi_iface.code_region_slots
 
 let check_ifetch t ~addr =
   if not t.enabled_ then Ok ()
   else begin
-    let rec go = function
-      | [] -> Error { Msr.addr; access = Msr.Exec; cause = Msr.No_matching_region }
-      | slot :: rest -> begin
-        match t.active.(slot) with
-        | Some (Hfi_iface.Implicit_code r) -> begin
-          match Region.implicit_code_allows r ~addr with
-          | `Hit true -> Ok ()
-          | `Hit false -> Error { Msr.addr; access = Msr.Exec; cause = Msr.Permission }
-          | `Miss -> go rest
-        end
-        | _ -> go rest
-      end
-    in
-    go Hfi_iface.code_region_slots
+    match t.csum with
+    | C_single s when addr land s.nmask = s.prefix && s.exec -> Ok ()
+    | _ -> check_ifetch_slow t ~addr
   end
 
 let check_hmov t ~region ~index_value ~scale ~disp ~bytes ~write =
@@ -280,6 +391,14 @@ let check_hmov t ~region ~index_value ~scale ~disp ~bytes ~write =
         Error { Msr.addr = r.base_address + (index_value * scale) + disp; access; cause }
     end
     | _ -> Error { Msr.addr = 0; access; cause = Msr.Region_not_configured }
+  end
+
+let check_hmov_ea t ~region ~index_value ~scale ~disp ~bytes ~write =
+  if region < 0 || region > 3 then -1
+  else begin
+    match t.active.(Hfi_iface.slot_of_explicit_index region) with
+    | Some (Hfi_iface.Explicit_data r) -> Region.hmov_ea r ~index_value ~scale ~disp ~bytes ~write
+    | _ -> -1
   end
 
 let record_violation t v =
@@ -338,6 +457,7 @@ let xrstor t saved =
     t.soe_saved <- saved.x_soe_saved;
     t.last_spec <- saved.x_last_spec;
     t.msr <- saved.x_msr;
+    recompute_summaries t;
     Continue
   end
 
@@ -348,4 +468,5 @@ let kernel_xrstor t saved =
   t.spec <- saved.x_spec;
   t.soe_saved <- saved.x_soe_saved;
   t.last_spec <- saved.x_last_spec;
-  t.msr <- saved.x_msr
+  t.msr <- saved.x_msr;
+  recompute_summaries t

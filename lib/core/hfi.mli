@@ -97,6 +97,12 @@ val check_hmov :
 (** [hmov{region}] bounds discipline (§4.2); on success returns the
     effective address. Implicit regions are not consulted (§3.2). *)
 
+val check_hmov_ea :
+  t -> region:int -> index_value:int -> scale:int -> disp:int -> bytes:int -> write:bool -> int
+(** Allocation-free twin of {!check_hmov} for the per-instruction hot
+    path: the effective address on success, [-1] when the access would
+    trap (callers then invoke {!check_hmov} for the violation record). *)
+
 val record_violation : t -> Msr.violation -> effect_
 (** A failed check at commit: disable the sandbox (restoring the runtime
     bank in switch-on-exit mode), set the MSR, deliver the trap. *)

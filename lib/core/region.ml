@@ -86,6 +86,35 @@ let hmov_access (r : Hfi_iface.explicit_data_region) ~index_value ~scale ~disp ~
     end
   end
 
+(* Allocation-free twin of [hmov_access] for the hot path: returns the
+   effective address, or -1 on any failure (callers re-run [hmov_access]
+   to learn the cause — failures are about to trap, so that path is
+   cold). A successful effective address is always >= 0, so -1 is
+   unambiguous. *)
+let hmov_ea (r : Hfi_iface.explicit_data_region) ~index_value ~scale ~disp ~bytes ~write =
+  let scale_fits =
+    (* same predicate as [index_value < overflow_limit / scale] without
+       the hardware divide; scales are the x86 SIB encodings *)
+    match scale with
+    | 1 -> index_value < overflow_limit
+    | 2 -> index_value < overflow_limit lsr 1
+    | 4 -> index_value < overflow_limit lsr 2
+    | 8 -> index_value < overflow_limit lsr 3
+    | _ -> index_value < overflow_limit / scale
+  in
+  if index_value < 0 || disp < 0 || not scale_fits then -1
+  else begin
+    let scaled = index_value * scale in
+    if scaled >= overflow_limit - disp then -1
+    else begin
+      let offset = scaled + disp in
+      if offset >= overflow_limit - r.base_address then -1
+      else if offset + bytes > r.bound then -1
+      else if if write then r.permission_write else r.permission_read then r.base_address + offset
+      else -1
+    end
+  end
+
 let naive_comparator_bits (r : Hfi_iface.explicit_data_region) =
   ignore r;
   (* Base and bound each need a full virtual-address-width compare. *)

@@ -63,6 +63,18 @@ val hmov_access :
     component-wise, must not overflow, and [offset + bytes] must stay
     within the bound; the required permission must be granted. *)
 
+val hmov_ea :
+  Hfi_iface.explicit_data_region ->
+  index_value:int ->
+  scale:int ->
+  disp:int ->
+  bytes:int ->
+  write:bool ->
+  int
+(** Allocation-free twin of {!hmov_access} for the per-instruction hot
+    path: the effective address on success, or [-1] when the access
+    would fault (run {!hmov_access} to obtain the cause). *)
+
 val naive_comparator_bits : Hfi_iface.explicit_data_region -> int
 (** Comparator width a naive (unconstrained base/bound) design would
     need — 48+ bits, twice; used by the hardware-cost ablation. *)

@@ -9,13 +9,15 @@ module Stats = Hfi_util.Stats
 
 type row = { kernel : string; hfi_cycles : float; emulated_cycles : float; ratio : float }
 
-let measure ?(quick = false) () =
+let measure ?(quick = false) ?jobs () =
   let kernels =
     if quick then
       List.filter (fun (n, _) -> List.mem n [ "fib2"; "sieve"; "ctype"; "random" ]) Sightglass.all
     else Sightglass.all
   in
-  List.map
+  (* Each item instantiates its own sandboxes, so kernels are
+     independent and can fan across domains. *)
+  Hfi_util.Pool.map ?jobs
     (fun (kernel, w) ->
       let native = Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi w in
       let rn = Instance.run_cycle native in

@@ -18,12 +18,15 @@ let run_one strategy p ~iters_divisor =
   | _ -> failwith (p.Spec.name ^ " did not halt"));
   r.Cycle_engine.cycles
 
-let measure ?(quick = false) () =
+let measure ?(quick = false) ?jobs () =
   let iters_divisor = if quick then 8 else 1 in
   let profiles =
     if quick then List.filteri (fun k _ -> k < 3) Spec.profiles else Spec.profiles
   in
-  List.map
+  (* The three strategies for one profile share nothing with other
+     profiles (each run instantiates a fresh sandbox), so the profile
+     axis fans across domains. *)
+  Hfi_util.Pool.map ?jobs
     (fun p ->
       {
         bench = p.Spec.name;

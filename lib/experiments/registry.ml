@@ -31,3 +31,17 @@ let all : entry list =
 let find id = List.find_opt (fun e -> e.id = id) all
 
 let ids () = List.map (fun e -> e.id) all
+
+(* Run a batch of experiments, fanning across domains when [jobs] (or
+   HFI_JOBS) allows. Reports come back in the order of [entries]
+   regardless of completion order, so parallel output is identical to
+   sequential output modulo wall-clock. [clock] supplies timestamps
+   (this library does not depend on unix; the bench driver passes
+   [Unix.gettimeofday]) — without it every duration reads 0. *)
+let run_many ?jobs ?quick ?(clock = fun () -> 0.0) entries =
+  Hfi_util.Pool.map ?jobs
+    (fun e ->
+      let t0 = clock () in
+      let report = e.run ?quick () in
+      (e, report, clock () -. t0))
+    entries

@@ -2,6 +2,10 @@ type t = {
   instrs : Instr.t array;
   offsets : int array;  (* byte offset of each instruction *)
   byte_size : int;
+  mutable rev : int array option;
+      (* byte offset -> instruction index (-1 between starts), built on
+         the first decode-address lookup; programs are constructed and
+         consumed within one domain, so plain laziness suffices *)
 }
 
 let of_instrs instrs =
@@ -12,7 +16,7 @@ let of_instrs instrs =
     offsets.(i) <- !off;
     off := !off + Instr.length instrs.(i)
   done;
-  { instrs; offsets; byte_size = !off }
+  { instrs; offsets; byte_size = !off; rev = None }
 
 let instrs t = t.instrs
 let length t = Array.length t.instrs
@@ -20,21 +24,23 @@ let get t i = t.instrs.(i)
 let byte_offset t i = t.offsets.(i)
 let byte_size t = t.byte_size
 
+let rev_table t =
+  match t.rev with
+  | Some r -> r
+  | None ->
+    let r = Array.make t.byte_size (-1) in
+    Array.iteri (fun i o -> r.(o) <- i) t.offsets;
+    t.rev <- Some r;
+    r
+
 let index_of_byte t b =
-  (* Binary search for an instruction starting exactly at byte [b]. *)
-  let lo = ref 0 and hi = ref (Array.length t.offsets - 1) in
-  let found = ref None in
-  while !lo <= !hi do
-    let mid = (!lo + !hi) / 2 in
-    let o = t.offsets.(mid) in
-    if o = b then begin
-      found := Some mid;
-      lo := !hi + 1
-    end
-    else if o < b then lo := mid + 1
-    else hi := mid - 1
-  done;
-  !found
+  (* O(1) lookup in the memoized reverse-offset table (indirect branches
+     and returns resolve a target address on every execution). *)
+  if b < 0 || b >= t.byte_size then None
+  else begin
+    let i = (rev_table t).(b) in
+    if i >= 0 then Some i else None
+  end
 
 let static_stats t ~mem_ops ~branches =
   Array.iter

@@ -13,6 +13,17 @@ type t = {
   mutable reserved : int;
   mutable cursor : int;  (* bump pointer for mmap_anywhere *)
   mutable minor_faults : int;
+  (* Hot-path memoization. [memo_lo, memo_hi) is the extent of the most
+     recently resolved VMA with protection [memo_perm]; [memo_hi = 0]
+     marks the memo invalid. [cached_idx]/[cached_page] hold the last
+     resident page touched ([cached_idx = -1] when invalid). Both caches
+     are invalidated by any mapping or residency mutation (mmap, munmap,
+     mprotect, madvise_dontneed). *)
+  mutable memo_lo : int;
+  mutable memo_hi : int;
+  mutable memo_perm : Perm.t;
+  mutable cached_idx : int;
+  mutable cached_page : Bytes.t;
 }
 
 exception
@@ -31,10 +42,21 @@ let create () =
     reserved = 0;
     cursor = 1 lsl 32;  (* leave low VA for code/stack conventions *)
     minor_faults = 0;
+    memo_lo = 0;
+    memo_hi = 0;
+    memo_perm = Perm.none;
+    cached_idx = -1;
+    cached_page = Bytes.empty;
   }
 
 let page_down a = a land lnot (page_size - 1)
 let page_up a = (a + page_size - 1) land lnot (page_size - 1)
+
+let invalidate_vma_memo t =
+  t.memo_lo <- 0;
+  t.memo_hi <- 0
+
+let invalidate_page_cache t = t.cached_idx <- -1
 
 let check_range addr len =
   if len <= 0 then invalid_arg "Addr_space: non-positive length";
@@ -46,7 +68,8 @@ let find_vma t addr =
   | Some (start, v) when addr < v.stop -> Some (start, v)
   | _ -> None
 
-(* Split any VMA straddling [addr] so that [addr] becomes a boundary. *)
+(* Split any VMA straddling [addr] so that [addr] becomes a boundary.
+   Coverage and protections are unchanged, so the memo stays valid. *)
 let split_at t addr =
   match find_vma t addr with
   | Some (start, v) when start < addr ->
@@ -66,6 +89,7 @@ let overlapping t lo hi =
     t.vmas []
 
 let drop_pages t lo hi =
+  invalidate_page_cache t;
   let first = lo lsr page_shift and last = (hi - 1) lsr page_shift in
   (* Iterate the smaller side: range vs resident table. *)
   if last - first + 1 < Hashtbl.length t.pages then
@@ -80,6 +104,7 @@ let drop_pages t lo hi =
   end
 
 let remove_range t lo hi =
+  invalidate_vma_memo t;
   split_at t lo;
   split_at t hi;
   List.iter
@@ -125,6 +150,7 @@ let munmap t ~addr ~len =
 
 let mprotect t ~addr ~len perm =
   check_range addr len;
+  invalidate_vma_memo t;
   let lo = page_down addr and hi = page_up (addr + len) in
   split_at t lo;
   split_at t hi;
@@ -141,31 +167,76 @@ let madvise_dontneed t ~addr ~len =
   check_range addr len;
   drop_pages t (page_down addr) (page_up (addr + len))
 
-let perm_at t addr = match find_vma t addr with Some (_, v) -> Some v.perm | None -> None
+let perm_at t addr =
+  if addr >= t.memo_lo && addr < t.memo_hi then Some t.memo_perm
+  else begin
+    match find_vma t addr with
+    | Some (start, v) ->
+      t.memo_lo <- start;
+      t.memo_hi <- v.stop;
+      t.memo_perm <- v.perm;
+      Some v.perm
+    | None -> None
+  end
 
 let is_mapped t addr = perm_at t addr <> None
 
 let check_access t addr access =
   match find_vma t addr with
   | None -> raise (Fault { addr; access; reason = `Unmapped })
-  | Some (_, v) ->
+  | Some (start, v) ->
+    t.memo_lo <- start;
+    t.memo_hi <- v.stop;
+    t.memo_perm <- v.perm;
     if not (Perm.allows v.perm access) then raise (Fault { addr; access; reason = `Protection })
 
-let get_page t idx = Hashtbl.find_opt t.pages idx
+(* Permission-check [addr .. last] (both inside the same access, so at
+   most two pages apart). The common case — the whole range inside the
+   memoized VMA — is two compares and a permission-bit read. *)
+let check_access_range t addr last access =
+  if addr >= t.memo_lo && last < t.memo_hi then begin
+    if not (Perm.allows t.memo_perm access) then
+      raise (Fault { addr; access; reason = `Protection })
+  end
+  else begin
+    check_access t addr access;
+    if last > addr then check_access t last access
+  end
+
+(* Resident-page lookup through the one-entry page cache. [Bytes.empty]
+   (length 0, never a real page) stands for "not resident" so the hot
+   path allocates nothing — not even an option. *)
+let page_or_empty t idx =
+  if idx = t.cached_idx then t.cached_page
+  else begin
+    match Hashtbl.find_opt t.pages idx with
+    | Some b ->
+      t.cached_idx <- idx;
+      t.cached_page <- b;
+      b
+    | None -> Bytes.empty
+  end
 
 let ensure_page t idx =
-  match Hashtbl.find_opt t.pages idx with
-  | Some b -> b
-  | None ->
-    let b = Bytes.make page_size '\000' in
-    Hashtbl.replace t.pages idx b;
-    t.minor_faults <- t.minor_faults + 1;
-    b
+  if idx = t.cached_idx then t.cached_page
+  else begin
+    match Hashtbl.find_opt t.pages idx with
+    | Some b ->
+      t.cached_idx <- idx;
+      t.cached_page <- b;
+      b
+    | None ->
+      let b = Bytes.make page_size '\000' in
+      Hashtbl.replace t.pages idx b;
+      t.minor_faults <- t.minor_faults + 1;
+      t.cached_idx <- idx;
+      t.cached_page <- b;
+      b
+  end
 
 let read_byte t addr =
-  match get_page t (addr lsr page_shift) with
-  | None -> 0
-  | Some b -> Char.code (Bytes.get b (addr land (page_size - 1)))
+  let b = page_or_empty t (addr lsr page_shift) in
+  if Bytes.length b = 0 then 0 else Char.code (Bytes.get b (addr land (page_size - 1)))
 
 let write_byte t addr v =
   let b = ensure_page t (addr lsr page_shift) in
@@ -175,33 +246,85 @@ let valid_width bytes =
   if bytes <> 1 && bytes <> 2 && bytes <> 4 && bytes <> 8 then
     invalid_arg "Addr_space: width must be 1, 2, 4 or 8"
 
-let raw_load t addr bytes =
+(* Per-byte assembly, used only when the access straddles a page
+   boundary. Values are little-endian 63-bit patterns: OCaml ints carry
+   up to 62 value bits, which covers all modeled address arithmetic, and
+   the multi-byte fast path below reproduces the same truncation. *)
+let raw_load_straddle t addr bytes =
   let v = ref 0 in
   for i = bytes - 1 downto 0 do
     v := (!v lsl 8) lor read_byte t (addr + i)
   done;
-  (* Sign-agnostic: callers treat values as 64-bit patterns; OCaml ints
-     carry up to 62 bits which covers all modeled address arithmetic. *)
   !v
 
-let raw_store t addr bytes v =
+let raw_store_straddle t addr bytes v =
   for i = 0 to bytes - 1 do
     write_byte t (addr + i) ((v lsr (8 * i)) land 0xff)
   done
 
+(* Unsafe accessors are justified by the guard: [off + bytes <=
+   page_size] and every resident page is exactly [page_size] long
+   (the [Bytes.empty] sentinel is length-checked first). Byte-at-a-time
+   composition rather than [Bytes.get_int64_le] keeps the path
+   allocation-free — boxed [Int64]s would dominate an 8-byte access.
+   The top byte's [lsl 56] drops bit 63 exactly as the per-byte slow
+   loop does, so values agree mod 2^63. *)
+let raw_load t addr bytes =
+  let off = addr land (page_size - 1) in
+  if off + bytes <= page_size then begin
+    let b = page_or_empty t (addr lsr page_shift) in
+    if Bytes.length b = 0 then 0
+    else begin
+      let c i = Char.code (Bytes.unsafe_get b (off + i)) in
+      match bytes with
+      | 1 -> c 0
+      | 2 -> c 0 lor (c 1 lsl 8)
+      | 4 -> c 0 lor (c 1 lsl 8) lor (c 2 lsl 16) lor (c 3 lsl 24)
+      | _ ->
+        c 0 lor (c 1 lsl 8) lor (c 2 lsl 16) lor (c 3 lsl 24) lor (c 4 lsl 32) lor (c 5 lsl 40)
+        lor (c 6 lsl 48) lor (c 7 lsl 56)
+    end
+  end
+  else raw_load_straddle t addr bytes
+
+let raw_store t addr bytes v =
+  let off = addr land (page_size - 1) in
+  if off + bytes <= page_size then begin
+    let b = ensure_page t (addr lsr page_shift) in
+    let s i x = Bytes.unsafe_set b (off + i) (Char.unsafe_chr (x land 0xff)) in
+    match bytes with
+    | 1 -> s 0 v
+    | 2 ->
+      s 0 v;
+      s 1 (v lsr 8)
+    | 4 ->
+      s 0 v;
+      s 1 (v lsr 8);
+      s 2 (v lsr 16);
+      s 3 (v lsr 24)
+    | _ ->
+      s 0 v;
+      s 1 (v lsr 8);
+      s 2 (v lsr 16);
+      s 3 (v lsr 24);
+      s 4 (v lsr 32);
+      s 5 (v lsr 40);
+      s 6 (v lsr 48);
+      s 7 (v lsr 56)
+  end
+  else raw_store_straddle t addr bytes v
+
 let load t ~addr ~bytes =
   valid_width bytes;
-  check_access t addr `Read;
-  if bytes > 1 then check_access t (addr + bytes - 1) `Read;
+  check_access_range t addr (addr + bytes - 1) `Read;
   raw_load t addr bytes
 
 let store t ~addr ~bytes v =
   valid_width bytes;
-  check_access t addr `Write;
-  if bytes > 1 then check_access t (addr + bytes - 1) `Write;
+  check_access_range t addr (addr + bytes - 1) `Write;
   raw_store t addr bytes v
 
-let fetch_check t ~addr = check_access t addr `Exec
+let fetch_check t ~addr = check_access_range t addr addr `Exec
 
 let peek t ~addr ~bytes =
   valid_width bytes;
@@ -213,9 +336,38 @@ let poke t ~addr ~bytes v =
   if not (is_mapped t addr) then raise (Fault { addr; access = `Write; reason = `Unmapped });
   raw_store t addr bytes v
 
-let blit_in t ~addr s = String.iteri (fun i c -> write_byte t (addr + i) (Char.code c)) s
+(* Page-chunked copy-in: same semantics as a write_byte loop (no
+   permission or mapping checks; first touch allocates the page and
+   counts a minor fault), one blit per page. *)
+let blit_in t ~addr s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let off = a land (page_size - 1) in
+    let n = Stdlib.min (len - !pos) (page_size - off) in
+    let b = ensure_page t (a lsr page_shift) in
+    Bytes.blit_string s !pos b off n;
+    pos := !pos + n
+  done
 
-let read_string t ~addr ~len = String.init len (fun i -> Char.chr (read_byte t (addr + i)))
+(* Page-chunked copy-out: non-resident pages read as zeroes and are NOT
+   allocated (residency is unchanged, matching the read_byte loop). *)
+let read_string t ~addr ~len =
+  if len = 0 then ""
+  else begin
+    let out = Bytes.make len '\000' in
+    let pos = ref 0 in
+    while !pos < len do
+      let a = addr + !pos in
+      let off = a land (page_size - 1) in
+      let n = Stdlib.min (len - !pos) (page_size - off) in
+      (let b = page_or_empty t (a lsr page_shift) in
+       if Bytes.length b > 0 then Bytes.blit b off out !pos n);
+      pos := !pos + n
+    done;
+    Bytes.unsafe_to_string out
+  end
 
 let resident_pages_in t ~addr ~len =
   let first = addr lsr page_shift and last = (addr + len - 1) lsr page_shift in

@@ -7,7 +7,17 @@
     resident and consume simulator memory.
 
     This module maintains state and byte-accurate contents; cycle costs of
-    the syscalls that manipulate it are charged by {!Kernel}. *)
+    the syscalls that manipulate it are charged by {!Kernel}.
+
+    {b Hot-path caches.} Accessors are served by two internal one-entry
+    memos: the extent+protection of the most recently resolved VMA, and
+    the most recently touched resident page. Multi-byte accesses that
+    stay inside one page use single [Bytes] reads/writes; page-straddling
+    or unmapped accesses fall back to a per-byte path with identical
+    semantics. Both memos are invalidated by every mapping or residency
+    mutation ({!mmap}, {!munmap}, {!mprotect}, {!madvise_dontneed}), so
+    cached state can never outlive the mapping it describes. A [t] is not
+    thread-safe; confine each address space to one domain. *)
 
 type t
 

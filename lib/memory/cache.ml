@@ -17,14 +17,30 @@ let skylake_l1i =
 type t = {
   cfg : config;
   sets : int;
+  line_shift : int;  (* lsr replacement for [/ line_bytes]; -1 if not a power of two *)
+  set_mask : int;  (* land replacement for [mod sets]; -1 if not a power of two *)
   (* tags.(set).(way) = line tag, or -1 if invalid; lru.(set).(way) =
      recency stamp, larger = more recent. *)
   tags : int array array;
   lru : int array array;
+  (* mru.(set) = way of that set's last hit or fill — purely a lookup
+     hint (sequential fetch and stack traffic re-touch the same line),
+     never consulted for replacement, so modeled behavior is unchanged *)
+  mru : int array;
   mutable stamp : int;
   mutable hits : int;
   mutable misses : int;
 }
+
+let log2_exact n =
+  if n > 0 && n land (n - 1) = 0 then begin
+    let k = ref 0 in
+    while 1 lsl !k < n do
+      incr k
+    done;
+    !k
+  end
+  else -1
 
 let create cfg =
   let sets = cfg.size_bytes / (cfg.ways * cfg.line_bytes) in
@@ -32,51 +48,73 @@ let create cfg =
   {
     cfg;
     sets;
+    line_shift = log2_exact cfg.line_bytes;
+    set_mask = (if log2_exact sets >= 0 then sets - 1 else -1);
     tags = Array.init sets (fun _ -> Array.make cfg.ways (-1));
     lru = Array.init sets (fun _ -> Array.make cfg.ways 0);
+    mru = Array.make sets 0;
     stamp = 0;
     hits = 0;
     misses = 0;
   }
 
-let line_of t addr = addr / t.cfg.line_bytes
-let set_of t line = line mod t.sets
+(* Hot path: both structure geometries are powers of two in practice, so
+   the per-access index math is a shift and a mask, not two divisions. *)
+let line_of t addr = if t.line_shift >= 0 then addr lsr t.line_shift else addr / t.cfg.line_bytes
+let set_of t line = if t.set_mask >= 0 then line land t.set_mask else line mod t.sets
 
+(* Way holding [tag] in [set], or -1. Unsafe indexing throughout this
+   block: [set] comes from [set_of] (always < sets) and way indices
+   stay < ways by construction, and these loops run three times per
+   simulated instruction. *)
 let find_way t set tag =
-  let ways = t.tags.(set) in
-  let rec go i = if i >= t.cfg.ways then None else if ways.(i) = tag then Some i else go (i + 1) in
+  let ways = Array.unsafe_get t.tags set in
+  let n = t.cfg.ways in
+  let rec go i = if i >= n then -1 else if Array.unsafe_get ways i = tag then i else go (i + 1) in
   go 0
 
 let touch t set way =
   t.stamp <- t.stamp + 1;
-  t.lru.(set).(way) <- t.stamp
+  Array.unsafe_set (Array.unsafe_get t.lru set) way t.stamp
 
 let victim_way t set =
-  let lru = t.lru.(set) in
+  let lru = Array.unsafe_get t.lru set in
   let best = ref 0 in
   for i = 1 to t.cfg.ways - 1 do
-    if lru.(i) < lru.(!best) then best := i
+    if Array.unsafe_get lru i < Array.unsafe_get lru !best then best := i
   done;
   !best
 
 let access t addr =
   let tag = line_of t addr in
   let set = set_of t tag in
-  match find_way t set tag with
-  | Some w ->
+  (* Most accesses re-touch the set's last-used way (sequential fetch,
+     stack locality): check it before scanning. A stale hint can only
+     point at a non-matching or invalidated (-1) tag, which real tags
+     (>= 0) never equal, so it falls through to the full scan. *)
+  let hint = Array.unsafe_get t.mru set in
+  let w =
+    if Array.unsafe_get (Array.unsafe_get t.tags set) hint = tag then hint
+    else find_way t set tag
+  in
+  if w >= 0 then begin
+    t.mru.(set) <- w;
     touch t set w;
     t.hits <- t.hits + 1;
     `Hit
-  | None ->
+  end
+  else begin
     let w = victim_way t set in
     t.tags.(set).(w) <- tag;
+    t.mru.(set) <- w;
     touch t set w;
     t.misses <- t.misses + 1;
     `Miss
+  end
 
 let probe t addr =
   let tag = line_of t addr in
-  find_way t (set_of t tag) tag <> None
+  find_way t (set_of t tag) tag >= 0
 
 let latency t = function `Hit -> t.cfg.hit_latency | `Miss -> t.cfg.miss_latency
 
@@ -85,9 +123,8 @@ let timed_access t addr = latency t (access t addr)
 let flush_line t addr =
   let tag = line_of t addr in
   let set = set_of t tag in
-  match find_way t set tag with
-  | Some w -> t.tags.(set).(w) <- -1
-  | None -> ()
+  let w = find_way t set tag in
+  if w >= 0 then t.tags.(set).(w) <- -1
 
 let flush_all t =
   Array.iter (fun ways -> Array.fill ways 0 (Array.length ways) (-1)) t.tags

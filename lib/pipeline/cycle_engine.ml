@@ -254,11 +254,13 @@ let account t (info : Machine.exec_info) =
   t.committed <- t.committed + 1
 
 let run ?(fuel = max_int) t =
+  (* hoisted: [account t] inside the loop would build a closure per step *)
+  let observe = account t in
   let remaining = ref fuel in
   let rec go () =
     if !remaining <= 0 then Machine.status t.m
     else begin
-      match Machine.step t.m (account t) with
+      match Machine.step t.m observe with
       | Machine.Running ->
         decr remaining;
         go ()

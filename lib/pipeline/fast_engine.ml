@@ -61,100 +61,128 @@ let create ?(config = default) m =
   Machine.set_on_flush m (fun addr -> Cache.flush_line t.dcache addr);
   t
 
+(* The accumulator is a chain of let-bound floats rather than a [ref]:
+   without flambda every [:=] on a float ref boxes, and this runs once
+   per simulated instruction. The addition order is exactly the order
+   the old imperative code used, so cycle totals are bit-identical. *)
 let account t (info : Machine.exec_info) =
   let cfg = t.cfg in
-  let c = ref (1.0 /. cfg.issue_width) in
-  (match info.instr with
-  | Instr.Alu (Instr.Mul, _, _) -> c := !c +. cfg.mul_latency
-  | Instr.Alu (Instr.Div, _, _) -> c := !c +. cfg.div_latency
-  | Instr.Alu _ | Instr.Mov _ | Instr.Lea _ | Instr.Cmp _ | Instr.Cmp_mem _ ->
-    c := !c +. cfg.base_alu
-  | Instr.Load _ | Instr.Hload _ | Instr.Pop _ -> c := !c +. cfg.base_load
-  | Instr.Store _ | Instr.Hstore _ | Instr.Push _ -> c := !c +. cfg.base_store
-  | Instr.Jmp _ | Instr.Jcc _ | Instr.Jmp_ind _ | Instr.Call _ | Instr.Call_ind _
-  | Instr.Ret ->
-    c := !c +. cfg.base_branch
-  | _ -> c := !c +. cfg.base_alu);
-  if cfg.model_caches then begin
-    let fetch_addr = Machine.addr_of_index t.m info.index in
-    let line = fetch_addr / 64 in
-    (match Cache.access t.icache fetch_addr with
-    | `Hit ->
-      (* L2 fetch bandwidth while the line streams in: longer encodings
-         consume more of it, for one line's worth of bytes. *)
-      if line = t.l2_stream_line && t.l2_stream_remaining > 0 then begin
-        t.l2_stream_remaining <- t.l2_stream_remaining - Instr.length info.instr;
-        c := !c +. (float_of_int (Instr.length info.instr) /. 16.0)
-      end
-    | `Miss ->
-      t.l2_stream_line <- line;
-      t.l2_stream_remaining <- 64 - Instr.length info.instr;
-      (* Next-line prefetch hides sequential fetch misses; only jumpy
-         fetch patterns expose the full fill latency. *)
-      if line = t.last_fetch_line + 1 then
-        c := !c +. 1.0 +. (float_of_int (Instr.length info.instr) /. 16.0)
-      else c := !c +. (float_of_int (Cache.latency t.icache `Miss) *. cfg.miss_overlap));
-    t.last_fetch_line <- line;
-    match info.mem with
-    | None -> ()
-    | Some a ->
-      (match Tlb.access t.dtlb a.addr with
-      | `Hit -> ()
-      | `Miss -> c := !c +. (float_of_int (Tlb.skylake_dtlb.Tlb.miss_latency) *. cfg.miss_overlap));
-      (match Cache.access t.dcache a.addr with
-      | `Hit -> ()
-      | `Miss ->
-        if not a.write then
-          c := !c +. (float_of_int (Cache.latency t.dcache `Miss) *. cfg.miss_overlap))
-  end;
+  let c = 1.0 /. cfg.issue_width in
+  let c =
+    c
+    +.
+    match info.instr with
+    | Instr.Alu (Instr.Mul, _, _) -> cfg.mul_latency
+    | Instr.Alu (Instr.Div, _, _) -> cfg.div_latency
+    | Instr.Alu _ | Instr.Mov _ | Instr.Lea _ | Instr.Cmp _ | Instr.Cmp_mem _ -> cfg.base_alu
+    | Instr.Load _ | Instr.Hload _ | Instr.Pop _ -> cfg.base_load
+    | Instr.Store _ | Instr.Hstore _ | Instr.Push _ -> cfg.base_store
+    | Instr.Jmp _ | Instr.Jcc _ | Instr.Jmp_ind _ | Instr.Call _ | Instr.Call_ind _
+    | Instr.Ret ->
+      cfg.base_branch
+    | _ -> cfg.base_alu
+  in
+  let c =
+    if not cfg.model_caches then c
+    else begin
+      let fetch_addr = Machine.addr_of_index t.m info.index in
+      let line = fetch_addr / 64 in
+      let c =
+        match Cache.access t.icache fetch_addr with
+        | `Hit ->
+          (* L2 fetch bandwidth while the line streams in: longer encodings
+             consume more of it, for one line's worth of bytes. *)
+          if line = t.l2_stream_line && t.l2_stream_remaining > 0 then begin
+            t.l2_stream_remaining <- t.l2_stream_remaining - Instr.length info.instr;
+            c +. (float_of_int (Instr.length info.instr) /. 16.0)
+          end
+          else c
+        | `Miss ->
+          t.l2_stream_line <- line;
+          t.l2_stream_remaining <- 64 - Instr.length info.instr;
+          (* Next-line prefetch hides sequential fetch misses; only jumpy
+             fetch patterns expose the full fill latency. *)
+          if line = t.last_fetch_line + 1 then
+            c +. 1.0 +. (float_of_int (Instr.length info.instr) /. 16.0)
+          else c +. (float_of_int (Cache.latency t.icache `Miss) *. cfg.miss_overlap)
+      in
+      t.last_fetch_line <- line;
+      match info.mem with
+      | None -> c
+      | Some a ->
+        let c =
+          match Tlb.access t.dtlb a.addr with
+          | `Hit -> c
+          | `Miss -> c +. (float_of_int Tlb.skylake_dtlb.Tlb.miss_latency *. cfg.miss_overlap)
+        in
+        (match Cache.access t.dcache a.addr with
+        | `Hit -> c
+        | `Miss ->
+          if not a.write then c +. (float_of_int (Cache.latency t.dcache `Miss) *. cfg.miss_overlap)
+          else c)
+    end
+  in
   (* Branches: charge mispredicts via the same predictor as the cycle
      engine, but without wrong-path execution. *)
-  (match info.branch with
-  | Some b -> begin
-    match b.kind with
-    | Machine.Cond ->
-      let predicted = Predictor.predict_cond t.pred ~pc:info.index in
-      if predicted <> b.taken then begin
-        Predictor.note_cond_mispredict t.pred;
-        c := !c +. cfg.mispredict_penalty
-      end;
-      Predictor.update_cond t.pred ~pc:info.index ~taken:b.taken
-    | Machine.Indirect -> begin
-      match Predictor.predict_indirect t.pred ~pc:info.index with
-      | Some p when p = b.target -> ()
-      | _ ->
-        Predictor.note_indirect_mispredict t.pred;
-        c := !c +. cfg.mispredict_penalty;
-        Predictor.update_indirect t.pred ~pc:info.index ~target:b.target
+  let c =
+    match info.branch with
+    | Some b -> begin
+      match b.kind with
+      | Machine.Cond ->
+        let predicted = Predictor.predict_cond t.pred ~pc:info.index in
+        let c =
+          if predicted <> b.taken then begin
+            Predictor.note_cond_mispredict t.pred;
+            c +. cfg.mispredict_penalty
+          end
+          else c
+        in
+        Predictor.update_cond t.pred ~pc:info.index ~taken:b.taken;
+        c
+      | Machine.Indirect -> begin
+        match Predictor.predict_indirect t.pred ~pc:info.index with
+        | Some p when p = b.target -> c
+        | _ ->
+          Predictor.note_indirect_mispredict t.pred;
+          Predictor.update_indirect t.pred ~pc:info.index ~target:b.target;
+          c +. cfg.mispredict_penalty
+      end
+      | Machine.Call_k ->
+        Predictor.push_ras t.pred b.fallthrough;
+        c
+      | Machine.Ret_k -> begin
+        match Predictor.pop_ras t.pred with
+        | Some p when p = b.target -> c
+        | _ ->
+          Predictor.note_indirect_mispredict t.pred;
+          c +. cfg.mispredict_penalty
+      end
+      | Machine.Uncond -> c
     end
-    | Machine.Call_k -> Predictor.push_ras t.pred b.fallthrough
-    | Machine.Ret_k -> begin
-      match Predictor.pop_ras t.pred with
-      | Some p when p = b.target -> ()
-      | _ ->
-        Predictor.note_indirect_mispredict t.pred;
-        c := !c +. cfg.mispredict_penalty
-    end
-    | Machine.Uncond -> ()
-  end
-  | None -> ());
-  if info.serializing then
-    c :=
-      !c
-      +. (match info.instr with
-         | Instr.Cpuid -> float_of_int Cost.cpuid_drain
-         | _ -> cfg.drain_penalty);
-  c := !c +. info.kernel_cycles;
-  (match info.signal with Some _ -> c := !c +. float_of_int Cost.signal_delivery | None -> ());
-  t.clock <- t.clock +. !c;
+    | None -> c
+  in
+  let c =
+    if info.serializing then
+      c
+      +.
+      match info.instr with
+      | Instr.Cpuid -> float_of_int Cost.cpuid_drain
+      | _ -> cfg.drain_penalty
+    else c
+  in
+  let c = c +. info.kernel_cycles in
+  let c = match info.signal with Some _ -> c +. float_of_int Cost.signal_delivery | None -> c in
+  t.clock <- t.clock +. c;
   t.committed <- t.committed + 1
 
 let run ?(fuel = max_int) t =
+  (* hoisted: [account t] inside the loop would build a closure per step *)
+  let observe = account t in
   let remaining = ref fuel in
   let rec go () =
     if !remaining <= 0 then Machine.status t.m
     else begin
-      match Machine.step t.m (account t) with
+      match Machine.step t.m observe with
       | Machine.Running ->
         decr remaining;
         go ()

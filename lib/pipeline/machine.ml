@@ -21,12 +21,16 @@ type t = {
   mutable pc : int;
   prog : Program.t;
   code_base : int;
+  addr_tab : int array;  (* instruction index -> fetch byte address *)
   mem_ : Addr_space.t;
   kernel : Kernel.t;
   hfi : Hfi.t;
   signal_handler : int option;
   mutable status_ : status;
-  mutable cmp : int * int;
+  (* last Cmp operands, split into two int fields: a tuple here would
+     cost an allocation plus a write barrier on every compare *)
+  mutable cmp_a : int;
+  mutable cmp_b : int;
   mutable instr_count : int;
   mutable last_signal : Msr.t option;
   mutable now : unit -> int;
@@ -42,12 +46,14 @@ let create ?signal_handler ~prog ~code_base ~mem ~kernel ~hfi ~entry () =
     pc = entry;
     prog;
     code_base;
+    addr_tab = Array.init (Program.length prog) (fun i -> code_base + Program.byte_offset prog i);
     mem_ = mem;
     kernel;
     hfi;
     signal_handler;
     status_ = Running;
-    cmp = (0, 0);
+    cmp_a = 0;
+    cmp_b = 0;
     instr_count = 0;
     last_signal = None;
     now = (fun () -> 0);
@@ -58,8 +64,11 @@ let create ?signal_handler ~prog ~code_base ~mem ~kernel ~hfi ~entry () =
 let set_now t f = t.now <- f
 let set_on_flush t f = t.on_flush <- f
 let regs t = t.regs
-let get_reg t r = t.regs.(Reg.index r)
-let set_reg t r v = t.regs.(Reg.index r) <- v
+(* [Reg.index] is total into [0, Reg.count) and [regs] has exactly
+   [Reg.count] slots, so the bounds checks are provably dead — and these
+   two run several times per simulated instruction. *)
+let get_reg t r = Array.unsafe_get t.regs (Reg.index r)
+let set_reg t r v = Array.unsafe_set t.regs (Reg.index r) v
 let pc t = t.pc
 let set_pc t i = t.pc <- i
 let status t = t.status_
@@ -71,7 +80,7 @@ let code_base t = t.code_base
 let instr_count t = t.instr_count
 let last_signal t = t.last_signal
 
-let addr_of_index t i = t.code_base + Program.byte_offset t.prog i
+let addr_of_index t i = t.addr_tab.(i)
 
 let index_of_addr t a =
   if a < t.code_base then None else Program.index_of_byte t.prog (a - t.code_base)
@@ -127,11 +136,15 @@ let data_access t ~addr ~bytes ~write ~value =
 
 let hmov_resolve t ~region (m : Instr.mem) ~bytes ~write =
   let index_value = match m.index with Some r -> get_reg t r | None -> 0 in
-  match Hfi.check_hmov t.hfi ~region ~index_value ~scale:m.scale ~disp:m.disp ~bytes ~write with
-  | Ok ea -> ea
-  | Error v ->
-    ignore (Hfi.record_violation t.hfi v);
-    raise (Trap_exn (Msr.Bounds_violation v))
+  let ea = Hfi.check_hmov_ea t.hfi ~region ~index_value ~scale:m.scale ~disp:m.disp ~bytes ~write in
+  if ea >= 0 then ea
+  else begin
+    match Hfi.check_hmov t.hfi ~region ~index_value ~scale:m.scale ~disp:m.disp ~bytes ~write with
+    | Ok ea -> ea
+    | Error v ->
+      ignore (Hfi.record_violation t.hfi v);
+      raise (Trap_exn (Msr.Bounds_violation v))
+  end
 
 let hmov_paged_access t ~addr ~bytes ~write ~value =
   try
@@ -198,17 +211,20 @@ let step t (observe : exec_info -> unit) =
                 ~value:(mask_width w (src_value t s)))
          | Instr.Lea (d, m) -> set_reg t d (effective_address t m)
          | Instr.Alu (op, d, s) -> set_reg t d (alu op (get_reg t d) (src_value t s))
-         | Instr.Cmp (d, s) -> t.cmp <- (get_reg t d, src_value t s)
+         | Instr.Cmp (d, s) ->
+           t.cmp_b <- src_value t s;
+           t.cmp_a <- get_reg t d
          | Instr.Cmp_mem (d, m) ->
            let addr = effective_address t m in
            mem_acc := Some { addr; bytes = 8; write = false; via_hmov = false };
-           t.cmp <- (get_reg t d, data_access t ~addr ~bytes:8 ~write:false ~value:0)
+           let b = data_access t ~addr ~bytes:8 ~write:false ~value:0 in
+           t.cmp_b <- b;
+           t.cmp_a <- get_reg t d
          | Instr.Jmp tgt ->
            next := tgt;
            branch := Some { kind = Uncond; taken = true; target = tgt; fallthrough }
          | Instr.Jcc (c, tgt) ->
-           let a, b = t.cmp in
-           let taken = Instr.eval_cond c a b in
+           let taken = Instr.eval_cond c t.cmp_a t.cmp_b in
            if taken then next := tgt;
            branch := Some { kind = Cond; taken; target = !next; fallthrough }
          | Instr.Jmp_ind r -> begin
@@ -410,7 +426,7 @@ let speculate t ~start ~fuel effects =
     let index = match m.index with Some r -> get r | None -> 0 in
     base + (index * m.scale) + m.disp
   in
-  let scmp = ref t.cmp in
+  let scmp_a = ref t.cmp_a and scmp_b = ref t.cmp_b in
   (* Transient view of the HFI enable bit; region registers are read from
      the architectural state (speculation does not retire updates). *)
   let hfi_on = ref (Hfi.enabled t.hfi) in
@@ -472,18 +488,20 @@ let speculate t ~start ~fuel effects =
       | Instr.Div when sval s = 0 -> stop := true
       | _ -> set d (alu op (get d) (sval s))
     end
-    | Instr.Cmp (d, s) -> scmp := (get d, sval s)
+    | Instr.Cmp (d, s) ->
+      scmp_b := sval s;
+      scmp_a := get d
     | Instr.Cmp_mem (d, m) ->
       let addr = ea m in
       if mem_ok addr && check_data addr 8 `Read then begin
         effects.spec_mem ~addr ~write:false;
-        scmp := (get d, Addr_space.peek t.mem_ ~addr ~bytes:8)
+        scmp_b := Addr_space.peek t.mem_ ~addr ~bytes:8;
+        scmp_a := get d
       end
       else stop := true
     | Instr.Jmp tgt -> next := tgt
     | Instr.Jcc (c, tgt) ->
-      let a, b = !scmp in
-      if Instr.eval_cond c a b then next := tgt
+      if Instr.eval_cond c !scmp_a !scmp_b then next := tgt
     | Instr.Jmp_ind r -> begin
       match index_of_addr t (get r) with Some i -> next := i | None -> stop := true
     end

@@ -4,6 +4,8 @@ let default_config = { pht_bits = 12; btb_entries = 512; ras_depth = 16 }
 
 type t = {
   cfg : config;
+  btb_mask : int;  (* land replacement for [mod btb_entries]; -1 if not a power of two *)
+  ras_mask : int;  (* likewise for [mod ras_depth] *)
   pht : int array;  (* 2-bit saturating counters *)
   mutable history : int;
   btb_tags : int array;
@@ -15,9 +17,13 @@ type t = {
   mutable ind_miss : int;
 }
 
+let pow2_mask n = if n > 0 && n land (n - 1) = 0 then n - 1 else -1
+
 let create ?(config = default_config) () =
   {
     cfg = config;
+    btb_mask = pow2_mask config.btb_entries;
+    ras_mask = pow2_mask config.ras_depth;
     pht = Array.make (1 lsl config.pht_bits) 1 (* weakly not-taken *);
     history = 0;
     btb_tags = Array.make config.btb_entries (-1);
@@ -43,7 +49,10 @@ let update_cond t ~pc ~taken =
   t.pht.(i) <- (if taken then Stdlib.min 3 (c + 1) else Stdlib.max 0 (c - 1));
   t.history <- ((t.history lsl 1) lor if taken then 1 else 0) land ((1 lsl t.cfg.pht_bits) - 1)
 
-let btb_index t ~pc = pc mod t.cfg.btb_entries
+(* Index math avoids the divide when the geometry is a power of two —
+   these run on every simulated branch/call/return. *)
+let btb_index t ~pc = if t.btb_mask >= 0 then pc land t.btb_mask else pc mod t.cfg.btb_entries
+let ras_slot t i = if t.ras_mask >= 0 then i land t.ras_mask else i mod t.cfg.ras_depth
 
 let predict_indirect t ~pc =
   let i = btb_index t ~pc in
@@ -55,14 +64,14 @@ let update_indirect t ~pc ~target =
   t.btb_targets.(i) <- target
 
 let push_ras t v =
-  t.ras.(t.ras_top mod t.cfg.ras_depth) <- v;
+  t.ras.(ras_slot t t.ras_top) <- v;
   t.ras_top <- t.ras_top + 1
 
 let pop_ras t =
   if t.ras_top = 0 then None
   else begin
     t.ras_top <- t.ras_top - 1;
-    Some t.ras.(t.ras_top mod t.cfg.ras_depth)
+    Some t.ras.(ras_slot t t.ras_top)
   end
 
 let cond_lookups t = t.cond_lookups

@@ -1,0 +1,87 @@
+(* A small fixed-size domain pool for fanning independent work items
+   across cores. domainslib is not available in this environment, so
+   this is hand-rolled on the stdlib Domain/Atomic primitives.
+
+   Design notes:
+   - Work is distributed by an atomic fetch-and-add over the item index,
+     so scheduling is dynamic (long items do not convoy short ones) but
+     results land in an array slot keyed by the original index — callers
+     always see results in input order regardless of completion order.
+   - The calling domain participates as a worker, so [run ~jobs:n] uses
+     exactly [n] domains ([n - 1] spawned), and [jobs = 1] degenerates
+     to a plain sequential loop with no domain spawns at all.
+   - Nested [run] calls from inside a worker execute sequentially in
+     the calling worker rather than spawning domains: total domain
+     count stays bounded by the outermost [jobs], and OCaml forbids
+     spawning from a domain that is itself being joined elsewhere
+     anyway. The in-worker flag lives in domain-local storage.
+   - The first exception raised by any item is captured (with its
+     backtrace) and re-raised in the caller after all domains join;
+     remaining items still run, which keeps the pool state simple and
+     the cost bounded by one extra pass over the input. *)
+
+let jobs_env_var = "HFI_JOBS"
+
+let default_jobs () =
+  match Sys.getenv_opt jobs_env_var with
+  | None -> 1
+  | Some s -> begin
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1
+  end
+
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+
+type captured = { exn : exn; bt : Printexc.raw_backtrace }
+
+let run_workers ~jobs ~n f =
+  let next = Atomic.make 0 in
+  let failure = Atomic.make (None : captured option) in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= n then continue := false
+      else begin
+        try f i
+        with exn ->
+          let c = { exn; bt = Printexc.get_raw_backtrace () } in
+          ignore (Atomic.compare_and_set failure None (Some c))
+      end
+    done
+  in
+  let spawned =
+    Array.init
+      (min jobs n - 1)
+      (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set in_worker_key true;
+            worker ()))
+  in
+  worker ();
+  Array.iter Domain.join spawned;
+  match Atomic.get failure with
+  | Some { exn; bt } -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
+let iteri ?jobs n f =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  if n <= 0 then ()
+  else if jobs = 1 || n = 1 || Domain.DLS.get in_worker_key then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else run_workers ~jobs ~n f
+
+let map ?jobs f items =
+  match items with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let out = Array.make n None in
+    iteri ?jobs n (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false (* all slots filled *)) out)

@@ -1,0 +1,33 @@
+(** A fixed-size domain pool for running independent work items on
+    multiple cores (OCaml 5 [Domain]s; no external dependencies).
+
+    Results are always delivered in input order, whatever the
+    completion order, so a parallel run is distinguishable from a
+    sequential one only by wall-clock time. With [jobs = 1] (the
+    default unless [HFI_JOBS] says otherwise) no domain is ever
+    spawned and evaluation order is exactly the sequential one.
+
+    Work items must not share mutable state: the simulator confines
+    each sandbox/address space to the domain that created it, which is
+    why experiments parallelise over whole sandbox instantiations, not
+    within one. *)
+
+val jobs_env_var : string
+(** ["HFI_JOBS"]. *)
+
+val default_jobs : unit -> int
+(** Parallelism from the [HFI_JOBS] environment variable; [1] when
+    unset, unparsable, or less than 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item using up to [jobs]
+    domains (the caller participates as one of them) and returns the
+    results in input order. [jobs] defaults to {!default_jobs}. If one
+    or more applications raise, the remaining items still run and the
+    first exception (by completion time) is re-raised with its
+    backtrace. Nested calls from inside a pool worker run
+    sequentially in that worker. *)
+
+val iteri : ?jobs:int -> int -> (int -> unit) -> unit
+(** [iteri ~jobs n f] runs [f 0 .. f (n-1)] with the same scheduling,
+    ordering and exception contract as {!map}. *)

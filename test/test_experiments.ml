@@ -99,9 +99,47 @@ let test_spectre_verdict () =
   check_bool "verdict non-empty" true (String.length r.Report.verdict > 0);
   check_bool "no attack verdict is false" false contains_false
 
+(* --- Determinism under parallel fan-out ---
+
+   Results must not depend on HFI_JOBS: every experiment seeds its PRNGs
+   locally, so a parallel inner matrix must produce the exact rows the
+   sequential one does. *)
+
+let test_fig2_parallel_deterministic () =
+  let seq = Fig2_validation.measure ~quick:true ~jobs:1 () in
+  let par = Fig2_validation.measure ~quick:true ~jobs:4 () in
+  check_int "row count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Fig2_validation.row) (b : Fig2_validation.row) ->
+      check_bool (a.kernel ^ " identical row") true (a = b))
+    seq par
+
+let test_fig3_parallel_deterministic () =
+  let seq = Fig3_spec.measure ~quick:true ~jobs:1 () in
+  let par = Fig3_spec.measure ~quick:true ~jobs:4 () in
+  check_int "row count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Fig3_spec.row) (b : Fig3_spec.row) ->
+      check_bool (a.bench ^ " identical row") true (a = b))
+    seq par
+
+let test_run_many_matches_sequential () =
+  let ids = [ "reg-pressure"; "syscalls"; "teardown" ] in
+  let entries = List.filter_map Registry.find ids in
+  check_int "all ids resolve" (List.length ids) (List.length entries);
+  let seq = List.map (fun (e : Registry.entry) -> e.run ~quick:true ()) entries in
+  let par = Registry.run_many ~jobs:4 ~quick:true entries in
+  List.iter2
+    (fun (r : Report.t) ((e : Registry.entry), (r' : Report.t), _dt) ->
+      check_bool (e.id ^ " identical report") true (r = r'))
+    seq par
+
 let suite =
   [
     Alcotest.test_case "registry complete" `Quick test_registry_complete;
+    Alcotest.test_case "fig2 parallel == sequential" `Quick test_fig2_parallel_deterministic;
+    Alcotest.test_case "fig3 parallel == sequential" `Quick test_fig3_parallel_deterministic;
+    Alcotest.test_case "run_many parallel == sequential" `Quick test_run_many_matches_sequential;
     Alcotest.test_case "all experiments run (quick)" `Slow test_all_run_quick;
     Alcotest.test_case "fig2 emulation accuracy" `Quick test_fig2_emulation_accuracy;
     Alcotest.test_case "fig3 shape" `Quick test_fig3_shape;

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "hfi"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("isa", Test_isa.suite);
       ("memory", Test_memory.suite);
       ("hfi-core", Test_hfi_core.suite);

@@ -1,0 +1,79 @@
+(* The domain pool: results must come back in input order whatever the
+   parallelism, exceptions must propagate, and nested pools must not
+   spawn domains from inside workers. *)
+
+module Pool = Hfi_util.Pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+
+let squares n = List.init n (fun i -> i * i)
+
+let test_map_sequential () =
+  check_ints "jobs=1" (squares 20) (Pool.map ~jobs:1 (fun i -> i * i) (List.init 20 Fun.id))
+
+let test_map_order_preserved () =
+  (* Skew the work so completion order differs from input order. *)
+  let f i =
+    let spin = if i mod 2 = 0 then 10_000 else 10 in
+    let acc = ref 0 in
+    for _ = 1 to spin do
+      incr acc
+    done;
+    ignore !acc;
+    i * i
+  in
+  check_ints "jobs=4" (squares 50) (Pool.map ~jobs:4 f (List.init 50 Fun.id));
+  check_ints "jobs > items" (squares 3) (Pool.map ~jobs:16 f (List.init 3 Fun.id))
+
+let test_map_empty_and_singleton () =
+  check_ints "empty" [] (Pool.map ~jobs:4 (fun i -> i) []);
+  check_ints "singleton" [ 7 ] (Pool.map ~jobs:4 (fun i -> i + 1) [ 6 ])
+
+let test_exception_propagates () =
+  let raised =
+    try
+      ignore (Pool.map ~jobs:4 (fun i -> if i = 13 then failwith "boom" else i) (List.init 32 Fun.id));
+      false
+    with Failure m -> m = "boom"
+  in
+  check_bool "Failure re-raised in caller" true raised
+
+let test_remaining_items_still_run () =
+  (* One failing item must not prevent the others from executing. *)
+  let ran = Array.make 16 false in
+  (try ignore (Pool.map ~jobs:4 (fun i -> ran.(i) <- true; if i = 3 then failwith "x" else i) (List.init 16 Fun.id))
+   with Failure _ -> ());
+  check_int "all items attempted" 16 (Array.fold_left (fun a b -> if b then a + 1 else a) 0 ran)
+
+let test_nested_pool () =
+  (* Inner maps run sequentially inside workers; results still correct. *)
+  let outer =
+    Pool.map ~jobs:3
+      (fun i -> List.fold_left ( + ) 0 (Pool.map ~jobs:3 (fun j -> (i * 10) + j) (List.init 4 Fun.id)))
+      (List.init 6 Fun.id)
+  in
+  check_ints "nested results" (List.init 6 (fun i -> (i * 40) + 6)) outer
+
+let test_iteri_fills_every_slot () =
+  let out = Array.make 100 (-1) in
+  Pool.iteri ~jobs:4 100 (fun i -> out.(i) <- i * 3);
+  check_ints "all slots, in order" (List.init 100 (fun i -> i * 3)) (Array.to_list out)
+
+let test_default_jobs_floor () =
+  (* Whatever HFI_JOBS says in the test environment, the result is a
+     usable parallelism degree. *)
+  check_bool "default_jobs >= 1" true (Pool.default_jobs () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "map jobs=1 is plain map" `Quick test_map_sequential;
+    Alcotest.test_case "map preserves input order under parallelism" `Quick test_map_order_preserved;
+    Alcotest.test_case "map on empty and singleton lists" `Quick test_map_empty_and_singleton;
+    Alcotest.test_case "worker exception re-raised in caller" `Quick test_exception_propagates;
+    Alcotest.test_case "remaining items run after a failure" `Quick test_remaining_items_still_run;
+    Alcotest.test_case "nested pools stay sequential and correct" `Quick test_nested_pool;
+    Alcotest.test_case "iteri covers every index" `Quick test_iteri_fills_every_slot;
+    Alcotest.test_case "default_jobs never below 1" `Quick test_default_jobs_floor;
+  ]

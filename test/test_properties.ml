@@ -371,9 +371,154 @@ let prop_xsave_restores_observables =
       Hfi.kernel_xrstor h saved;
       observe () = before)
 
+(* --- Multi-byte fast path vs the per-byte slow path ---
+
+   Addr_space serves within-page multi-byte accesses with single Bytes
+   reads/writes plus a one-entry VMA memo; page-straddling or faulting
+   accesses take a per-byte path. These properties pin the two paths to
+   identical observable behavior across page boundaries, unmapped holes
+   and permission edges. *)
+
+type mb_layout = { perm0 : Perm.t option; perm1 : Perm.t option }
+(* protections of two adjacent pages; None = unmapped *)
+
+let mb_base = 0x40000 (* page-aligned; page 0 at mb_base, page 1 above *)
+
+let gen_mb_case =
+  let open QCheck.Gen in
+  let perm = oneofl [ None; Some Perm.none; Some Perm.r; Some Perm.rw ] in
+  let width = oneofl [ 1; 2; 4; 8 ] in
+  (* addr within +-16 bytes of the page boundary, so every width lands
+     before, on, straddling, and after the edge *)
+  let delta = int_range (-16) 16 in
+  map2 (fun (p0, p1) (w, d) -> ({ perm0 = p0; perm1 = p1 }, w, d)) (pair perm perm)
+    (pair width delta)
+
+let mb_space layout =
+  let mem = Addr_space.create () in
+  (match layout.perm0 with
+  | Some p -> Addr_space.mmap mem ~addr:mb_base ~len:page p
+  | None -> ());
+  (match layout.perm1 with
+  | Some p -> Addr_space.mmap mem ~addr:(mb_base + page) ~len:page p
+  | None -> ());
+  mem
+
+(* Seed the bytes around the boundary so loads see non-zero data.
+   [poke] ignores permissions but faults on unmapped, so only touch
+   mapped pages. *)
+let mb_seed mem layout =
+  for i = -16 to 15 do
+    let a = mb_base + page + i in
+    let mapped = if i < 0 then layout.perm0 <> None else layout.perm1 <> None in
+    if mapped then Addr_space.poke mem ~addr:a ~bytes:1 ((97 + (i land 0x3f)) land 0xff)
+  done
+
+type mb_result = V of int | F of [ `Unmapped | `Protection ]
+
+let mb_load mem ~addr ~bytes =
+  try V (Addr_space.load mem ~addr ~bytes) with Addr_space.Fault f -> F f.reason
+
+let mb_load_bytewise mem ~addr ~bytes =
+  (* low byte first, like the slow path, so the fault reason comes from
+     the lowest faulting byte; lsl 56 wraps mod 2^63 exactly like the
+     real per-byte composition *)
+  try
+    let v = ref 0 in
+    for i = 0 to bytes - 1 do
+      v := !v lor (Addr_space.load mem ~addr:(addr + i) ~bytes:1 lsl (8 * i))
+    done;
+    V !v
+  with Addr_space.Fault f -> F f.reason
+
+let prop_multibyte_load_matches_bytewise =
+  QCheck.Test.make ~name:"multi-byte load == per-byte loads (boundaries, holes, perms)" ~count:500
+    (QCheck.make gen_mb_case) (fun (layout, bytes, delta) ->
+      let mem = mb_space layout in
+      mb_seed mem layout;
+      let addr = mb_base + page + delta - (bytes / 2) in
+      let fast = mb_load mem ~addr ~bytes in
+      (* fresh space for the byte-wise side so memo/cache state cannot
+         leak between the two measurements *)
+      let mem2 = mb_space layout in
+      mb_seed mem2 layout;
+      let slow = mb_load_bytewise mem2 ~addr ~bytes in
+      match (fast, slow) with
+      | V a, V b -> a = b
+      | F a, F b -> a = b
+      | _ -> false)
+
+let prop_multibyte_store_matches_bytewise =
+  QCheck.Test.make ~name:"multi-byte store == per-byte stores (boundaries, holes, perms)"
+    ~count:500
+    (QCheck.make QCheck.Gen.(pair gen_mb_case (int_bound ((1 lsl 30) - 1))))
+    (fun ((layout, bytes, delta), value) ->
+      let addr = mb_base + page + delta - (bytes / 2) in
+      let mem_fast = mb_space layout in
+      let mem_slow = mb_space layout in
+      let fast =
+        try
+          Addr_space.store mem_fast ~addr ~bytes value;
+          `Ok
+        with Addr_space.Fault f -> `F f.reason
+      in
+      let slow =
+        try
+          for i = 0 to bytes - 1 do
+            Addr_space.store mem_slow ~addr:(addr + i) ~bytes:1 ((value lsr (8 * i)) land 0xff)
+          done;
+          `Ok
+        with Addr_space.Fault f -> `F f.reason
+      in
+      match (fast, slow) with
+      | `Ok, `Ok ->
+        (* identical resulting bytes, read back without permission checks *)
+        List.for_all
+          (fun i ->
+            Addr_space.peek mem_fast ~addr:(addr + i) ~bytes:1
+            = Addr_space.peek mem_slow ~addr:(addr + i) ~bytes:1)
+          (List.init bytes Fun.id)
+      | `F a, `F b -> a = b
+      | _ -> false)
+
+let prop_load_after_remap_sees_new_mapping =
+  (* The one-entry VMA memo and page cache must be invalidated by every
+     mapping mutation: exercise load / munmap / load and load / mprotect
+     / load sequences at the same address. *)
+  QCheck.Test.make ~name:"fast-path caches invalidated by munmap/mprotect/madvise" ~count:200
+    (QCheck.make QCheck.Gen.(oneofl [ `Munmap; `Mprotect_ro; `Madvise ]))
+    (fun mutation ->
+      let mem = Addr_space.create () in
+      Addr_space.mmap mem ~addr:mb_base ~len:page Perm.rw;
+      let addr = mb_base + 128 in
+      Addr_space.store mem ~addr ~bytes:8 0x1234_5678;
+      let warm = Addr_space.load mem ~addr ~bytes:8 in
+      if warm <> 0x1234_5678 then false
+      else begin
+        match mutation with
+        | `Munmap ->
+          Addr_space.munmap mem ~addr:mb_base ~len:page;
+          (try
+             ignore (Addr_space.load mem ~addr ~bytes:8);
+             false
+           with Addr_space.Fault f -> f.reason = `Unmapped)
+        | `Mprotect_ro ->
+          Addr_space.mprotect mem ~addr:mb_base ~len:page Perm.r;
+          (try
+             Addr_space.store mem ~addr ~bytes:8 1;
+             false
+           with Addr_space.Fault f -> f.reason = `Protection)
+        | `Madvise ->
+          Addr_space.madvise_dontneed mem ~addr:mb_base ~len:page;
+          Addr_space.load mem ~addr ~bytes:8 = 0
+      end)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_addr_space_matches_reference;
+    QCheck_alcotest.to_alcotest prop_multibyte_load_matches_bytewise;
+    QCheck_alcotest.to_alcotest prop_multibyte_store_matches_bytewise;
+    QCheck_alcotest.to_alcotest prop_load_after_remap_sees_new_mapping;
     QCheck_alcotest.to_alcotest prop_cache_matches_lru_reference;
     QCheck_alcotest.to_alcotest prop_prng_int_in_range;
     QCheck_alcotest.to_alcotest prop_percentile_monotonic;
