@@ -18,6 +18,7 @@ open Toolkit
 module Registry = Hfi_experiments.Registry
 module Report = Hfi_experiments.Report
 module Pool = Hfi_util.Pool
+module Fault = Hfi_util.Fault
 
 (* One microbenchmark per table/figure: the primitive operation whose
    cost that experiment's result turns on. *)
@@ -150,16 +151,30 @@ let write_json ~file ~mode ~jobs ~micro ~experiments ~total_seconds =
   let exp_json =
     Json.arr
       (List.map
-         (fun (r, seconds) ->
-           Json.obj
-             [
-               ("id", Json.str r.Report.id);
-               ("title", Json.str r.Report.title);
-               ("paper_claim", Json.str r.Report.paper_claim);
-               ("verdict", Json.str r.Report.verdict);
-               ("table", Json.str r.Report.table);
-               ("seconds", Json.num seconds);
-             ])
+         (fun (id, result, seconds) ->
+           match result with
+           | Ok r ->
+             Json.obj
+               [
+                 ("id", Json.str r.Report.id);
+                 ("status", Json.str "ok");
+                 ("title", Json.str r.Report.title);
+                 ("paper_claim", Json.str r.Report.paper_claim);
+                 ("verdict", Json.str r.Report.verdict);
+                 ("table", Json.str r.Report.table);
+                 ("seconds", Json.num seconds);
+               ]
+           | Error f ->
+             (* Partial report: the failed entry is named, with its
+                structured fault, and every other experiment's result
+                is still present. *)
+             Json.obj
+               [
+                 ("id", Json.str id);
+                 ("status", Json.str "failed");
+                 ("fault", Fault.to_json f);
+                 ("seconds", Json.num seconds);
+               ])
          experiments)
   in
   let doc =
@@ -182,6 +197,7 @@ let () =
   let quick = ref false in
   let no_micro = ref false in
   let micro_only = ref false in
+  let inject_failure = ref None in
   let ids = ref [] in
   let rec parse = function
     | [] -> ()
@@ -198,6 +214,10 @@ let () =
       json_file := Some file;
       parse rest
     | [ "--json" ] -> failwith "--json requires a file argument"
+    | "--inject-failure" :: id :: rest ->
+      inject_failure := Some id;
+      parse rest
+    | [ "--inject-failure" ] -> failwith "--inject-failure requires an experiment id"
     | a :: rest ->
       if String.length a > 1 && a.[0] = '-' then failwith ("unknown option " ^ a);
       ids := a :: !ids;
@@ -206,6 +226,16 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let quick = !quick in
   let ids = if !ids = [] then Registry.ids () else List.rev !ids in
+  (* --inject-failure ID: force that experiment to raise, demonstrating
+     the crash-containment path end-to-end (partial report, exit 3). *)
+  let sabotage (e : Registry.entry) =
+    if !inject_failure = Some e.Registry.id then
+      {
+        e with
+        Registry.run = (fun ?quick:_ () -> failwith "injected failure (--inject-failure)");
+      }
+    else e
+  in
   let jobs = Pool.default_jobs () in
   let micro = if !no_micro then [] else run_micro () in
   if !micro_only then begin
@@ -220,9 +250,17 @@ let () =
     Printf.printf "(mode: %s)\n\n" (if quick then "quick" else "full");
     let t0 = Unix.gettimeofday () in
     let collected = ref [] in
+    let emit id result dt =
+      (match result with
+      | Ok r -> Report.print r
+      | Error f -> Printf.printf "== %s: FAILED ==\nfault: %s\n" id (Fault.to_string f));
+      collected := (id, result, dt) :: !collected;
+      Printf.printf "[%.1fs]\n\n%!" dt
+    in
     if jobs <= 1 then
       (* Sequential streaming loop: byte-identical output to the
-         historical driver. *)
+         historical driver while every experiment succeeds; a crashing
+         experiment prints a FAILED block and the loop continues. *)
       List.iter
         (fun id ->
           match Registry.find id with
@@ -230,19 +268,22 @@ let () =
             Printf.printf "unknown experiment id %S (try: %s)\n" id
               (String.concat " " (Registry.ids ()))
           | Some e ->
+            let e = sabotage e in
             let t = Unix.gettimeofday () in
-            let r = e.Registry.run ~quick () in
-            Report.print r;
-            let dt = Unix.gettimeofday () -. t in
-            collected := (r, dt) :: !collected;
-            Printf.printf "[%.1fs]\n\n%!" dt)
+            let result =
+              match e.Registry.run ~quick () with
+              | r -> Ok r
+              | exception exn ->
+                Error (Fault.of_exn ~sandbox:id exn (Printexc.get_raw_backtrace ()))
+            in
+            emit id result (Unix.gettimeofday () -. t))
         ids
     else begin
       (* Fan the known experiments across domains, then print in the
          requested order — same lines as the sequential path, only the
          bracketed per-experiment seconds (and interleaving of any
          "unknown id" lines) can differ. *)
-      let entries = List.filter_map Registry.find ids in
+      let entries = List.map sabotage (List.filter_map Registry.find ids) in
       let results = Registry.run_many ~jobs ~quick ~clock:Unix.gettimeofday entries in
       let remaining = ref results in
       List.iter
@@ -253,20 +294,26 @@ let () =
               (String.concat " " (Registry.ids ()))
           | Some _ -> begin
             match !remaining with
-            | (_, r, dt) :: rest ->
+            | o :: rest ->
               remaining := rest;
-              Report.print r;
-              collected := (r, dt) :: !collected;
-              Printf.printf "[%.1fs]\n\n%!" dt
-            | [] -> assert false (* one result per known id, in order *)
+              emit o.Registry.entry.Registry.id o.Registry.result o.Registry.seconds
+            | [] -> assert false (* one outcome per known id, in order *)
           end)
         ids
     end;
     let total = Unix.gettimeofday () -. t0 in
     Printf.printf "total: %.1fs\n" total;
-    match !json_file with
+    let failures =
+      List.filter (fun (_, result, _) -> Result.is_error result) !collected
+    in
+    (match !json_file with
     | Some file ->
       write_json ~file ~mode:(if quick then "quick" else "full") ~jobs ~micro
         ~experiments:(List.rev !collected) ~total_seconds:total
-    | None -> ()
+    | None -> ());
+    if failures <> [] then begin
+      Printf.eprintf "%d experiment(s) failed: %s\n" (List.length failures)
+        (String.concat " " (List.rev_map (fun (id, _, _) -> id) failures));
+      exit 3
+    end
   end

@@ -11,29 +11,52 @@ open Cmdliner
 module Registry = Hfi_experiments.Registry
 module Report = Hfi_experiments.Report
 
+(* Column width follows the longest id, so adding a long experiment id
+   can never silently break the alignment. *)
+let print_entries () =
+  let width =
+    List.fold_left (fun w e -> max w (String.length e.Registry.id)) 0 Registry.all
+  in
+  List.iter
+    (fun e -> Printf.printf "%-*s  %s\n" width e.Registry.id e.Registry.description)
+    Registry.all
+
 let list_cmd =
   let doc = "List the reproducible tables and figures." in
-  let run () =
-    List.iter
-      (fun e -> Printf.printf "%-18s %s\n" e.Registry.id e.Registry.description)
-      Registry.all
-  in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "list" ~doc) Term.(const print_entries $ const ())
 
 let run_cmd =
   let doc = "Run experiments by id (or 'all')." in
   let ids = Arg.(value & pos_all string [ "all" ] & info [] ~docv:"ID") in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced workload sizes.") in
-  let run quick ids =
+  let fuzz_seed =
+    Arg.(value & opt (some int) None
+         & info [ "fuzz-seed" ] ~docv:"SEED" ~doc:"PRNG seed for the fuzz campaign.")
+  in
+  let fuzz_iters =
+    Arg.(value & opt (some int) None
+         & info [ "fuzz-iters" ] ~docv:"N" ~doc:"Mutated programs per fuzz campaign.")
+  in
+  let run quick fuzz_seed fuzz_iters ids =
+    if fuzz_seed <> None || fuzz_iters <> None then
+      Hfi_experiments.Fuzz.configure ~seed:fuzz_seed ~iters:fuzz_iters;
     let ids = if List.mem "all" ids then Registry.ids () else ids in
+    (* Validate every id up front: a typo should fail loudly before any
+       experiment burns time, not scroll past in the middle of a run. *)
+    let unknown = List.filter (fun id -> Registry.find id = None) ids in
+    if unknown <> [] then begin
+      List.iter (fun id -> Printf.eprintf "unknown experiment %S\n" id) unknown;
+      Printf.eprintf "valid ids: %s\n" (String.concat " " (Registry.ids ()));
+      exit 2
+    end;
     List.iter
       (fun id ->
         match Registry.find id with
-        | None -> Printf.eprintf "unknown experiment %S; see `hfi list`\n" id
+        | None -> assert false (* validated above *)
         | Some e -> Report.print (e.Registry.run ~quick ()))
       ids
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick $ ids)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick $ fuzz_seed $ fuzz_iters $ ids)
 
 let spectre_cmd =
   let doc = "Run the Spectre-PHT/BTB proofs of concept (SS5.3, Fig. 7)." in

@@ -259,6 +259,17 @@ let exec_set_region t ~slot region =
     end
   end
 
+(* Fault-injection hook: overwrite a region register as a hardware
+   bit-flip would — no validation, no serialization, no stats, no trap.
+   Only the derived summaries are refreshed, since real hardware would
+   likewise consult the (corrupted) register file on the next access. *)
+let inject_region t ~slot region =
+  match bank_and_slot t slot with
+  | None -> invalid_arg "Hfi.inject_region: slot out of range"
+  | Some (bank, s) ->
+    bank.(s) <- region;
+    recompute_summaries t
+
 let exec_clear_region t ~slot =
   if in_native_sandbox t then trap t Msr.Privileged_in_native
   else begin

@@ -71,6 +71,14 @@ val exec_set_region : t -> slot:int -> Hfi_iface.region -> effect_
 val exec_clear_region : t -> slot:int -> effect_
 val exec_clear_all : t -> effect_
 
+val inject_region : t -> slot:int -> Hfi_iface.region option -> unit
+(** Fault-injection hook: overwrite slot [slot] (same bank addressing as
+    {!exec_set_region}) with no validation, serialization, stats or
+    trap, as a hardware bit-flip in the register file would. Derived
+    summaries are recomputed. Raises [Invalid_argument] on an
+    out-of-range slot. Test/fuzzing use only — never reachable from
+    simulated programs. *)
+
 val exec_get_region : t -> slot:int -> (int, Msr.t) result
 (** Returns the region's base address (0 for an empty slot). *)
 

@@ -44,6 +44,29 @@ let pp ppf = function
 
 let to_string t = Format.asprintf "%a" pp t
 
+let fault_access = function
+  | Read -> Hfi_util.Fault.Read
+  | Write -> Hfi_util.Fault.Write
+  | Exec -> Hfi_util.Fault.Exec
+
+let to_fault ?pc ?cycle ?sandbox t =
+  let open Hfi_util in
+  let kind =
+    match t with
+    | No_exit -> Fault.Exit "no-exit"
+    | Exit_instruction -> Fault.Exit "hfi_exit"
+    | Syscall_trap n -> Fault.Syscall_trap n
+    | Bounds_violation v ->
+      Fault.Bounds_violation
+        { addr = v.addr; access = fault_access v.access; cause = cause_to_string v.cause }
+    | Privileged_in_native -> Fault.Privileged_op
+    | Hardware_fault a -> Fault.Hardware_fault { addr = a; detail = "" }
+    | Invalid_region_descriptor -> Fault.Invalid_region
+  in
+  Fault.make ?pc ?cycle ?sandbox kind
+
+let to_json t = Hfi_util.Fault.to_json (to_fault t)
+
 let encode = function
   | No_exit -> 0
   | Exit_instruction -> 1

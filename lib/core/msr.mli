@@ -28,6 +28,16 @@ val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 val pp_violation : Format.formatter -> violation -> unit
 
+val to_fault :
+  ?pc:int -> ?cycle:int -> ?sandbox:string -> t -> Hfi_util.Fault.t
+(** Lift the architectural exit reason into the structured fault model:
+    the machine records this (with the faulting PC and committed
+    instruction count) whenever a trap fires. *)
+
+val to_json : t -> string
+(** [Hfi_util.Fault.to_json] of {!to_fault} — the stable JSON rendering
+    the experiment harness emits. *)
+
 val encode : t -> int
 (** Integer encoding read by the [rdmsr] instruction: 0 no-exit, 1
     hfi_exit, 2 bounds violation, 3 privileged-in-native, 4 hardware

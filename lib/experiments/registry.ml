@@ -26,22 +26,57 @@ let all : entry list =
     { id = "ablate-transitions"; description = "ablation: springboard vs zero-cost transitions (SS3.3.1)"; run = Ablations.run_transitions };
     { id = "multi-memory"; description = "multi-memory instance footprint (SS2)"; run = Ablations.run_multi_memory };
     { id = "chaining"; description = "function chaining in-process vs IPC (SS2)"; run = Ablations.run_chaining };
+    { id = "fuzz"; description = "differential fuzzing + fault-injection campaign"; run = Fuzz.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
 let ids () = List.map (fun e -> e.id) all
 
+type outcome = {
+  entry : entry;
+  result : (Report.t, Hfi_util.Fault.t) result;
+  seconds : float;
+  attempts : int;
+}
+
 (* Run a batch of experiments, fanning across domains when [jobs] (or
-   HFI_JOBS) allows. Reports come back in the order of [entries]
+   HFI_JOBS) allows. Outcomes come back in the order of [entries]
    regardless of completion order, so parallel output is identical to
    sequential output modulo wall-clock. [clock] supplies timestamps
    (this library does not depend on unix; the bench driver passes
-   [Unix.gettimeofday]) — without it every duration reads 0. *)
-let run_many ?jobs ?quick ?(clock = fun () -> 0.0) entries =
+   [Unix.gettimeofday]) — without it every duration reads 0.
+
+   Resilience contract: an exception escaping one experiment never
+   takes down the batch — it is captured (with backtrace) as an [Error]
+   outcome and the remaining experiments still run.
+   [Hfi_util.Fault.Transient] failures (injected faults) are retried up
+   to [retries] extra times; anything else is a simulator bug and is
+   reported as a [Crash] fault immediately. The watchdog is cooperative
+   (OCaml domains cannot be preempted): an experiment that finishes
+   after more than [timeout_s] seconds has its result replaced by a
+   [Timeout] fault, so a hung-then-recovered run is visible rather than
+   silently slow. *)
+let run_many ?jobs ?quick ?(clock = fun () -> 0.0) ?(timeout_s = infinity) ?(retries = 1)
+    entries =
+  let module Fault = Hfi_util.Fault in
   Hfi_util.Pool.map ?jobs
     (fun e ->
       let t0 = clock () in
-      let report = e.run ?quick () in
-      (e, report, clock () -. t0))
+      let rec attempt k =
+        match e.run ?quick () with
+        | report ->
+          let dt = clock () -. t0 in
+          if dt > timeout_s then
+            ( Error (Fault.make ~sandbox:e.id (Fault.Timeout { limit_s = timeout_s })),
+              dt, k )
+          else (Ok report, dt, k)
+        | exception exn ->
+          let bt = Printexc.get_raw_backtrace () in
+          let fault = Fault.of_exn ~sandbox:e.id exn bt in
+          if Fault.is_transient fault && k <= retries then attempt (k + 1)
+          else (Error fault, clock () -. t0, k)
+      in
+      let result, seconds, attempts = attempt 1 in
+      { entry = e; result; seconds; attempts })
     entries

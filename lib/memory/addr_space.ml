@@ -35,6 +35,14 @@ exception
 
 exception Out_of_va_space
 
+(* The [access] field is folded into [detail]: the structured-fault
+   [Hardware_fault] kind carries no access, matching real page-fault
+   error codes which encode it as free-form bits. *)
+let fault_to_structured ~addr ~access ~reason =
+  let access = match access with `Read -> "read" | `Write -> "write" | `Exec -> "exec" in
+  let reason = match reason with `Unmapped -> "unmapped" | `Protection -> "protection" in
+  Hfi_util.Fault.make (Hfi_util.Fault.Hardware_fault { addr; detail = reason ^ " " ^ access })
+
 let create () =
   {
     vmas = Imap.empty;

@@ -28,6 +28,14 @@ exception
     reason : [ `Unmapped | `Protection ];
   }
 
+val fault_to_structured :
+  addr:int ->
+  access:[ `Read | `Write | `Exec ] ->
+  reason:[ `Unmapped | `Protection ] ->
+  Hfi_util.Fault.t
+(** Convert a {!Fault} payload into the structured fault model (a
+    [Hardware_fault] whose detail records reason and access). *)
+
 val create : unit -> t
 
 val page_size : int

@@ -78,6 +78,7 @@ let create ?(config = skylake) m =
 
 let cycles t = t.clock
 let dcache t = t.dcache
+let dtlb t = t.dtlb
 let machine t = t.m
 
 let reg_ready t regs =

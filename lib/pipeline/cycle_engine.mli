@@ -56,4 +56,8 @@ val dcache : t -> Cache.t
 (** The modeled d-cache — the Spectre harness probes it for the
     flush+reload measurement. *)
 
+val dtlb : t -> Tlb.t
+(** The modeled d-TLB — fault-injection campaigns flush it mid-run to
+    check that modeled results are state-independent. *)
+
 val machine : t -> Machine.t

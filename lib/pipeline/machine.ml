@@ -33,6 +33,7 @@ type t = {
   mutable cmp_b : int;
   mutable instr_count : int;
   mutable last_signal : Msr.t option;
+  mutable last_fault : Hfi_util.Fault.t option;
   mutable now : unit -> int;
   mutable on_flush : int -> unit;
   mutable resume : int option;
@@ -56,6 +57,7 @@ let create ?signal_handler ~prog ~code_base ~mem ~kernel ~hfi ~entry () =
     cmp_b = 0;
     instr_count = 0;
     last_signal = None;
+    last_fault = None;
     now = (fun () -> 0);
     on_flush = ignore;
     resume = None;
@@ -79,6 +81,7 @@ let program t = t.prog
 let code_base t = t.code_base
 let instr_count t = t.instr_count
 let last_signal t = t.last_signal
+let last_fault t = t.last_fault
 
 let addr_of_index t i = t.addr_tab.(i)
 
@@ -162,7 +165,9 @@ let step t (observe : exec_info -> unit) =
   | Halted | Faulted _ -> t.status_
   | Running ->
     if t.pc < 0 || t.pc >= Program.length t.prog then begin
-      t.status_ <- Faulted (Msr.Hardware_fault (addr_of_index t 0));
+      let reason = Msr.Hardware_fault (addr_of_index t 0) in
+      t.status_ <- Faulted reason;
+      t.last_fault <- Some (Msr.to_fault ~cycle:t.instr_count reason);
       t.status_
     end
     else begin
@@ -367,6 +372,9 @@ let step t (observe : exec_info -> unit) =
        with Trap_exn reason -> begin
          signal := Some reason;
          t.last_signal <- Some reason;
+         (* Fault path only — the no-trap hot path never touches this, so
+            modeled cycle counts are unchanged by the fault plumbing. *)
+         t.last_fault <- Some (Msr.to_fault ~pc:pc_addr ~cycle:t.instr_count reason);
          match t.signal_handler with
          | Some h -> next := h
          | None -> t.status_ <- Faulted reason

@@ -70,6 +70,12 @@ val code_base : t -> int
 val instr_count : t -> int
 val last_signal : t -> Msr.t option
 
+val last_fault : t -> Hfi_util.Fault.t option
+(** Structured record of the most recent trap (modeled or hardware),
+    with the faulting PC and committed-instruction count at the time it
+    fired. [None] until the first trap. Recording happens only on the
+    trap path, so fault-free runs have identical cost. *)
+
 val addr_of_index : t -> int -> int
 (** Byte address of an instruction index. *)
 

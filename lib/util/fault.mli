@@ -1,0 +1,85 @@
+(** Structured fault model.
+
+    Every abnormal outcome in the simulator flows through one typed
+    record: the *modeled* traps of the paper's semantics (bounds
+    violations, trapped syscalls, hardware faults, privileged-instruction
+    traps), the faults a campaign *injects* on purpose, watchdog
+    timeouts, and — kept carefully distinct — *simulator bugs*, i.e.
+    exceptions that escape an experiment and indicate broken simulator
+    code rather than modeled behavior.
+
+    The record is deliberately independent of [Hfi_core]: it lives at the
+    bottom of the dependency stack so the machine, the memory model, the
+    Wasm interpreter and the experiment runner can all speak it.
+    [Hfi_core.Msr.to_fault] converts the architectural exit reason into
+    this type. *)
+
+type access = Read | Write | Exec
+
+type kind =
+  | Bounds_violation of { addr : int; access : access; cause : string }
+      (** an HFI region check rejected the access; [cause] is the stable
+          cause string from [Msr.cause_to_string] *)
+  | Syscall_trap of int  (** syscall number trapped in a native sandbox *)
+  | Hardware_fault of { addr : int; detail : string }
+      (** page fault and friends; [detail] distinguishes unmapped from
+          protection when known, ["" ] otherwise *)
+  | Privileged_op  (** locked HFI instruction in a native sandbox *)
+  | Invalid_region  (** region descriptor failed validation *)
+  | Wasm_trap of string
+      (** reference-interpreter trap (div-by-zero, unreachable, ...) *)
+  | Exit of string  (** non-fault sandbox exit (hfi_exit, no-exit) *)
+  | Injected of { point : string; detail : string }
+      (** a fault-injection campaign planted this one; transient — the
+          resilient runner may retry the experiment *)
+  | Timeout of { limit_s : float }
+      (** the experiment exceeded the runner's watchdog budget *)
+  | Crash of { exn : string; backtrace : string }
+      (** an exception escaped: a simulator bug, not modeled behavior *)
+
+type t = {
+  kind : kind;
+  addr : int option;  (** faulting byte address, when one exists *)
+  region : int option;  (** region register slot involved, if known *)
+  pc : int option;  (** byte address of the faulting instruction *)
+  cycle : int option;  (** committed-instruction count when it fired *)
+  sandbox : string option;  (** sandbox / experiment identifier *)
+}
+
+val make :
+  ?addr:int -> ?region:int -> ?pc:int -> ?cycle:int -> ?sandbox:string -> kind -> t
+
+val kind_name : kind -> string
+(** Stable short tag, e.g. ["bounds-violation"], ["crash"]. *)
+
+val is_modeled : t -> bool
+(** True for the paper-semantics traps (bounds, syscall, hardware,
+    privileged, invalid-region, wasm traps, exits); false for [Injected],
+    [Timeout] and [Crash]. A modeled fault is expected behavior; a
+    non-modeled one means the harness, not the sandbox, had a problem. *)
+
+val is_transient : t -> bool
+(** True only for [Injected] faults — the resilient runner's bounded
+    retry applies to these. *)
+
+val to_string : t -> string
+(** Stable one-line rendering, e.g.
+    ["bounds-violation: no-matching-region at 0x3000 (read) pc=0x400012 cycle=84 sandbox=fuzz"]. *)
+
+val to_json : t -> string
+(** Stable JSON object rendering with fields [kind], [detail], and the
+    optional [addr]/[region]/[pc]/[cycle]/[sandbox]. *)
+
+exception Simulator_bug of string
+(** Raised (never caught silently) when an internal invariant of the
+    simulator breaks — e.g. a fault-injection checker detects an
+    untrapped out-of-region access. *)
+
+exception Transient of string
+(** An injected transient fault. [Registry.run_many] retries experiments
+    that die with this exception, up to its retry budget. *)
+
+val of_exn : ?sandbox:string -> exn -> Printexc.raw_backtrace -> t
+(** Classify an escaped exception: [Transient] becomes [Injected],
+    everything else becomes [Crash] with the printed exception and
+    backtrace. *)

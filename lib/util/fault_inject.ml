@@ -1,0 +1,34 @@
+type point = Region_register | Tlb_state | Cache_state | Instr_stream
+
+let point_name = function
+  | Region_register -> "region-register"
+  | Tlb_state -> "tlb-state"
+  | Cache_state -> "cache-state"
+  | Instr_stream -> "instr-stream"
+
+let all_points = [ Region_register; Tlb_state; Cache_state; Instr_stream ]
+
+type injection = { point : point; step : int; payload : int }
+
+type t = { prng : Prng.t }
+
+let create ~seed = { prng = Prng.create ~seed }
+
+let plan t ~points ~steps ~rate =
+  if rate <= 0.0 || steps <= 0 then []
+  else begin
+    let points = Array.of_list points in
+    if Array.length points = 0 then invalid_arg "Fault_inject.plan: no points";
+    let count = max 1 (int_of_float (rate *. float_of_int steps)) in
+    let injs =
+      List.init count (fun _ ->
+          {
+            point = points.(Prng.int t.prng (Array.length points));
+            step = Prng.int t.prng steps;
+            payload = Prng.next t.prng;
+          })
+    in
+    List.stable_sort (fun a b -> compare a.step b.step) injs
+  end
+
+let split t = { prng = Prng.split t.prng }

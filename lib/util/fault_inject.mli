@@ -1,0 +1,40 @@
+(** Deterministic fault-injection planner.
+
+    A campaign asks this module *where* and *when* to inject faults; the
+    campaign itself owns *how* (corrupting a region register, flushing
+    TLB/cache state, rewriting a decoded instruction). Keeping the
+    planner purely PRNG-driven means a campaign is reproducible from its
+    seed alone: equal seeds yield equal injection plans.
+
+    Points mirror the hook points the simulator exposes:
+    - [Region_register] — rewrite an HFI region register mid-run
+      ({!Hfi_core.Hfi.inject_region});
+    - [Tlb_state] / [Cache_state] — invalidate translation / cache state
+      mid-run (cost-only: must never change architectural results);
+    - [Instr_stream] — replace a decoded instruction with an adversarial
+      out-of-region access (must always trap). *)
+
+type point = Region_register | Tlb_state | Cache_state | Instr_stream
+
+val point_name : point -> string
+val all_points : point list
+
+type injection = {
+  point : point;
+  step : int;  (** committed-instruction index at which to fire *)
+  payload : int;  (** point-specific random material (slot, address bits, ...) *)
+}
+
+type t
+
+val create : seed:int -> t
+
+val plan : t -> points:point list -> steps:int -> rate:float -> injection list
+(** A deterministic plan of injections over a run of [steps] committed
+    instructions: approximately [rate *. steps] injections (at least one
+    when [rate > 0.] and [steps > 0]), each at a uniformly chosen point
+    from [points] and a uniformly chosen step, sorted by step. Raises
+    [Invalid_argument] if [points] is empty with a positive rate. *)
+
+val split : t -> t
+(** Derive an independent planner (one per campaign iteration). *)

@@ -15,12 +15,15 @@
      count stays bounded by the outermost [jobs], and OCaml forbids
      spawning from a domain that is itself being joined elsewhere
      anyway. The in-worker flag lives in domain-local storage.
-   - The first exception raised by any item is captured (with its
-     backtrace) and re-raised in the caller after all domains join;
-     remaining items still run, which keeps the pool state simple and
-     the cost bounded by one extra pass over the input. *)
+   - The sequential and parallel paths share one exception contract: a
+     failing item never prevents the remaining items from running; the
+     first exception (by completion time) is captured with its backtrace
+     and item index, reported on stderr, and re-raised in the caller
+     after the loop / after all domains join. *)
 
 let jobs_env_var = "HFI_JOBS"
+
+let warned_invalid_jobs = Atomic.make false
 
 let default_jobs () =
   match Sys.getenv_opt jobs_env_var with
@@ -28,12 +31,39 @@ let default_jobs () =
   | Some s -> begin
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> n
-    | _ -> 1
+    | _ ->
+      (* A misconfigured parallel run is easy to mistake for a slow
+         sequential one — say so, once per process. *)
+      if not (Atomic.exchange warned_invalid_jobs true) then
+        Printf.eprintf "Pool: ignoring invalid %s=%S (want an integer >= 1); running with 1 job\n%!"
+          jobs_env_var s;
+      1
   end
 
 let in_worker_key = Domain.DLS.new_key (fun () -> false)
 
-type captured = { exn : exn; bt : Printexc.raw_backtrace }
+type captured = { item : int; exn : exn; bt : Printexc.raw_backtrace }
+
+let report_failure { item; exn; _ } =
+  Printf.eprintf "Pool: item %d failed with %s\n%!" item (Printexc.to_string exn)
+
+let reraise { exn; bt; _ } = Printexc.raise_with_backtrace exn bt
+
+(* Sequential loop with the same run-everything-capture-first contract
+   as the parallel path. *)
+let run_sequential ~n f =
+  let failure = ref None in
+  for i = 0 to n - 1 do
+    try f i
+    with exn ->
+      if !failure = None then
+        failure := Some { item = i; exn; bt = Printexc.get_raw_backtrace () }
+  done;
+  match !failure with
+  | Some c ->
+    report_failure c;
+    reraise c
+  | None -> ()
 
 let run_workers ~jobs ~n f =
   let next = Atomic.make 0 in
@@ -46,7 +76,7 @@ let run_workers ~jobs ~n f =
       else begin
         try f i
         with exn ->
-          let c = { exn; bt = Printexc.get_raw_backtrace () } in
+          let c = { item = i; exn; bt = Printexc.get_raw_backtrace () } in
           ignore (Atomic.compare_and_set failure None (Some c))
       end
     done
@@ -62,16 +92,15 @@ let run_workers ~jobs ~n f =
   worker ();
   Array.iter Domain.join spawned;
   match Atomic.get failure with
-  | Some { exn; bt } -> Printexc.raise_with_backtrace exn bt
+  | Some c ->
+    report_failure c;
+    reraise c
   | None -> ()
 
 let iteri ?jobs n f =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   if n <= 0 then ()
-  else if jobs = 1 || n = 1 || Domain.DLS.get in_worker_key then
-    for i = 0 to n - 1 do
-      f i
-    done
+  else if jobs = 1 || n = 1 || Domain.DLS.get in_worker_key then run_sequential ~n f
   else run_workers ~jobs ~n f
 
 let map ?jobs f items =

@@ -17,15 +17,20 @@ val jobs_env_var : string
 
 val default_jobs : unit -> int
 (** Parallelism from the [HFI_JOBS] environment variable; [1] when
-    unset, unparsable, or less than 1. *)
+    unset or less than 1. An unparsable or non-positive value also
+    falls back to [1], with a one-line warning on stderr naming the
+    bad value (so a misconfigured parallel run is not mistaken for a
+    deliberately sequential one). *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f items] applies [f] to every item using up to [jobs]
     domains (the caller participates as one of them) and returns the
     results in input order. [jobs] defaults to {!default_jobs}. If one
-    or more applications raise, the remaining items still run and the
-    first exception (by completion time) is re-raised with its
-    backtrace. Nested calls from inside a pool worker run
+    or more applications raise, the remaining items still run — in the
+    sequential ([jobs = 1]) path exactly as in the parallel one — and
+    the first exception (by completion time) is re-raised with its
+    backtrace after the batch, after a stderr line naming the item
+    index that crashed. Nested calls from inside a pool worker run
     sequentially in that worker. *)
 
 val iteri : ?jobs:int -> int -> (int -> unit) -> unit

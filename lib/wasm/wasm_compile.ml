@@ -191,25 +191,26 @@ let workload (m : Wasm_ir.module_) =
         m.Wasm_ir.globals)
     (fun cg -> compile cg m)
 
+let classify ~results ~rax status =
+  match status with
+  | Machine.Halted ->
+    if rax = unreachable_sentinel then Wasm_interp.Trap Wasm_interp.Unreachable_executed
+    else if rax = Codegen.trap_sentinel then
+      (* the codegen trap block: a software bounds check fired *)
+      Wasm_interp.Trap (Wasm_interp.Out_of_bounds 0)
+    else if results = 1 then Wasm_interp.Value rax
+    else Wasm_interp.No_value
+  | Machine.Faulted (Msr.Hardware_fault 0) -> Wasm_interp.Trap Wasm_interp.Division_by_zero
+  | Machine.Faulted (Msr.Hardware_fault a) -> Wasm_interp.Trap (Wasm_interp.Out_of_bounds a)
+  | Machine.Faulted (Msr.Bounds_violation v) ->
+    Wasm_interp.Trap (Wasm_interp.Out_of_bounds v.Msr.addr)
+  | Machine.Faulted _ -> Wasm_interp.Trap Wasm_interp.Unreachable_executed
+  | Machine.Running -> raise Wasm_interp.Out_of_fuel
+
+let start_results (m : Wasm_ir.module_) = m.Wasm_ir.funcs.(m.Wasm_ir.start).Wasm_ir.results
+
 let run ~strategy (m : Wasm_ir.module_) =
   let inst = Instance.instantiate ~strategy (workload m) in
   let cycles, status = Instance.run_fast ~fuel:30_000_000 inst in
-  let results = m.Wasm_ir.funcs.(m.Wasm_ir.start).Wasm_ir.results in
-  let outcome =
-    match status with
-    | Machine.Halted ->
-      let rax = Instance.result_rax inst in
-      if rax = unreachable_sentinel then Wasm_interp.Trap Wasm_interp.Unreachable_executed
-      else if rax = Codegen.trap_sentinel then
-        (* the codegen trap block: a software bounds check fired *)
-        Wasm_interp.Trap (Wasm_interp.Out_of_bounds 0)
-      else if results = 1 then Wasm_interp.Value rax
-      else Wasm_interp.No_value
-    | Machine.Faulted (Msr.Hardware_fault 0) -> Wasm_interp.Trap Wasm_interp.Division_by_zero
-    | Machine.Faulted (Msr.Hardware_fault a) -> Wasm_interp.Trap (Wasm_interp.Out_of_bounds a)
-    | Machine.Faulted (Msr.Bounds_violation v) ->
-      Wasm_interp.Trap (Wasm_interp.Out_of_bounds v.Msr.addr)
-    | Machine.Faulted _ -> Wasm_interp.Trap Wasm_interp.Unreachable_executed
-    | Machine.Running -> failwith "Wasm_compile.run: out of fuel"
-  in
+  let outcome = classify ~results:(start_results m) ~rax:(Instance.result_rax inst) status in
   (outcome, cycles)

@@ -29,6 +29,18 @@ val workload : Wasm_ir.module_ -> Instance.workload
     heap provision, data segments become heap initializers, globals are
     materialized in the globals area. *)
 
+val classify : results:int -> rax:int -> Machine.status -> Wasm_interp.outcome
+(** Map a finished machine status (plus the RAX value when halted and
+    the start function's result arity) into {!Wasm_interp.outcome}
+    terms: sentinels become unreachable / software-bounds traps, machine
+    faults become the corresponding traps. Raises
+    {!Wasm_interp.Out_of_fuel} on [Running]. Exposed so fault-injection
+    harnesses that drive {!Instance} directly classify identically to
+    {!run}. *)
+
+val start_results : Wasm_ir.module_ -> int
+(** Result arity of the start function ([classify]'s [results]). *)
+
 val run : strategy:Hfi_sfi.Strategy.t -> Wasm_ir.module_ -> Wasm_interp.outcome * float
 (** Compile, instantiate, execute on the fast engine, and classify the
     result in {!Wasm_interp.outcome} terms (machine faults map to the

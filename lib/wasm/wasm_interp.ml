@@ -17,6 +17,16 @@ let pp_outcome ppf = function
 exception Branch of int
 exception Return_exn
 exception Trap_exn of trap
+exception Out_of_fuel
+
+let trap_to_fault t =
+  let open Hfi_util in
+  match t with
+  | Out_of_bounds a ->
+    Fault.make (Fault.Wasm_trap (Printf.sprintf "out-of-bounds:%d" a)) ~addr:a
+  | Division_by_zero -> Fault.make (Fault.Wasm_trap "division-by-zero")
+  | Unreachable_executed -> Fault.make (Fault.Wasm_trap "unreachable")
+  | Call_stack_exhausted -> Fault.make (Fault.Wasm_trap "call-stack-exhausted")
 
 (* Arithmetic mirrors the machine model exactly (OCaml native-int
    semantics, 63-bit): the differential tests depend on both sides
@@ -96,7 +106,7 @@ let rec call st ~depth fidx args =
     List.iter
       (fun ins ->
         st.fuel <- st.fuel - 1;
-        if st.fuel <= 0 then failwith "Wasm_interp: out of fuel";
+        if st.fuel <= 0 then raise Out_of_fuel;
         match (ins : Wasm_ir.instr) with
         | Wasm_ir.Const v -> push v
         | Wasm_ir.Local_get i -> push locals.(i)

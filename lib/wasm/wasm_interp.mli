@@ -11,13 +11,23 @@ type trap =
 
 type outcome = Value of int | No_value | Trap of trap
 
+exception Out_of_fuel
+(** The fuel budget ran out before the program finished — distinct from
+    [Failure] so fuzzing harnesses can discard non-terminating mutants
+    without mistaking them for interpreter bugs. *)
+
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val trap_to_fault : trap -> Hfi_util.Fault.t
+(** The structured-fault rendering of an interpreter trap
+    ([Wasm_trap] kind). *)
 
 val run : ?fuel:int -> Wasm_ir.module_ -> outcome
 (** Execute the start function on a fresh instance. [fuel] bounds the
     interpreted instruction count (default 10M); exhausting it raises
-    [Failure]. The module should be validated first; the interpreter
-    itself raises [Invalid_argument] on malformed programs. *)
+    {!Out_of_fuel}. The module should be validated first; the
+    interpreter itself raises [Invalid_argument] on malformed
+    programs. *)
 
 val memory_byte : ?fuel:int -> Wasm_ir.module_ -> int -> int
 (** Run, then read a byte of the final linear memory (for tests that

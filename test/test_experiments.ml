@@ -12,7 +12,7 @@ let test_registry_complete () =
   let expected =
     [ "fig2"; "fig3"; "heap-growth"; "reg-pressure"; "font"; "fig4"; "teardown"; "scaling";
       "syscalls"; "fig5"; "table1"; "fig7"; "ablate-soe"; "ablate-parallel"; "ablate-comparator";
-      "ablate-transitions"; "multi-memory"; "chaining" ]
+      "ablate-transitions"; "multi-memory"; "chaining"; "fuzz" ]
   in
   List.iter
     (fun id -> check_bool (id ^ " registered") true (Registry.find id <> None))
@@ -130,8 +130,11 @@ let test_run_many_matches_sequential () =
   let seq = List.map (fun (e : Registry.entry) -> e.run ~quick:true ()) entries in
   let par = Registry.run_many ~jobs:4 ~quick:true entries in
   List.iter2
-    (fun (r : Report.t) ((e : Registry.entry), (r' : Report.t), _dt) ->
-      check_bool (e.id ^ " identical report") true (r = r'))
+    (fun (r : Report.t) (o : Registry.outcome) ->
+      match o.Registry.result with
+      | Ok r' -> check_bool (o.Registry.entry.Registry.id ^ " identical report") true (r = r')
+      | Error f ->
+        Alcotest.failf "%s failed: %s" o.Registry.entry.Registry.id (Hfi_util.Fault.to_string f))
     seq par
 
 let suite =

@@ -1,0 +1,241 @@
+(* The structured fault model, the fault-injection planner, the
+   differential fuzz campaign (with its planted-bug negative control),
+   and the resilient experiment runner. *)
+
+module Fault = Hfi_util.Fault
+module Fault_inject = Hfi_util.Fault_inject
+module Registry = Hfi_experiments.Registry
+module Report = Hfi_experiments.Report
+module Fuzz = Hfi_experiments.Fuzz
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- Fault record ------------------------------------------------- *)
+
+let test_fault_rendering () =
+  let f =
+    Fault.make ~region:8 ~pc:0x400012 ~cycle:84 ~sandbox:"fuzz"
+      (Fault.Bounds_violation { addr = 0x3000; access = Fault.Read; cause = "no-matching-region" })
+  in
+  check_string "stable to_string"
+    "bounds-violation: no-matching-region at 0x3000 (read) region=8 pc=0x400012 cycle=84 sandbox=fuzz"
+    (Fault.to_string f);
+  check_string "stable to_json"
+    "{\"kind\":\"bounds-violation\",\"detail\":\"no-matching-region at 0x3000 (read)\",\"addr\":12288,\"region\":8,\"pc\":4194322,\"cycle\":84,\"sandbox\":\"fuzz\"}"
+    (Fault.to_json f)
+
+let test_fault_addr_lifted_from_kind () =
+  let f = Fault.make (Fault.Hardware_fault { addr = 0x9999_0000; detail = "unmapped" }) in
+  check_bool "addr lifted" true (f.Fault.addr = Some 0x9999_0000)
+
+let test_fault_classes () =
+  let modeled = Fault.make (Fault.Syscall_trap 39) in
+  let injected = Fault.make (Fault.Injected { point = "tlb-state"; detail = "" }) in
+  let crash = Fault.make (Fault.Crash { exn = "Failure(\"x\")"; backtrace = "" }) in
+  let timeout = Fault.make (Fault.Timeout { limit_s = 5.0 }) in
+  check_bool "syscall is modeled" true (Fault.is_modeled modeled);
+  check_bool "injected is not modeled" false (Fault.is_modeled injected);
+  check_bool "crash is not modeled" false (Fault.is_modeled crash);
+  check_bool "timeout is not modeled" false (Fault.is_modeled timeout);
+  check_bool "only injected is transient" true
+    (Fault.is_transient injected
+    && (not (Fault.is_transient modeled))
+    && (not (Fault.is_transient crash))
+    && not (Fault.is_transient timeout))
+
+let test_of_exn_classification () =
+  let bt = Printexc.get_raw_backtrace () in
+  let injected = Fault.of_exn ~sandbox:"e1" (Fault.Transient "bit flip") bt in
+  let crash = Fault.of_exn (Failure "broke") bt in
+  check_bool "Transient -> Injected" true (Fault.is_transient injected);
+  check_bool "sandbox recorded" true (injected.Fault.sandbox = Some "e1");
+  check_bool "other exn -> Crash" true
+    (match crash.Fault.kind with Fault.Crash _ -> true | _ -> false)
+
+let test_msr_to_fault () =
+  let f =
+    Hfi_core.Msr.to_fault ~pc:0x400100 ~cycle:7
+      (Hfi_core.Msr.Bounds_violation
+         { Hfi_core.Msr.addr = 0x5000; access = Hfi_core.Msr.Write; cause = Hfi_core.Msr.Out_of_bounds })
+  in
+  check_bool "kind" true
+    (f.Fault.kind
+    = Fault.Bounds_violation { addr = 0x5000; access = Fault.Write; cause = "out-of-bounds" });
+  check_bool "pc carried" true (f.Fault.pc = Some 0x400100);
+  check_bool "cycle carried" true (f.Fault.cycle = Some 7)
+
+(* --- Injection planner -------------------------------------------- *)
+
+let test_plan_deterministic () =
+  let plan seed =
+    Fault_inject.plan (Fault_inject.create ~seed) ~points:Fault_inject.all_points ~steps:1000
+      ~rate:0.1
+  in
+  check_bool "same seed, same plan" true (plan 7 = plan 7);
+  check_bool "different seed, different plan" true (plan 7 <> plan 8)
+
+let test_plan_shape () =
+  let t = Fault_inject.create ~seed:3 in
+  let plan = Fault_inject.plan t ~points:[ Fault_inject.Tlb_state ] ~steps:500 ~rate:0.1 in
+  check_int "rate * steps injections" 50 (List.length plan);
+  check_bool "steps in range and sorted" true
+    (let rec ok last = function
+       | [] -> true
+       | (i : Fault_inject.injection) :: rest ->
+         i.Fault_inject.step >= last && i.Fault_inject.step < 500 && ok i.Fault_inject.step rest
+     in
+     ok 0 plan);
+  check_bool "only requested points" true
+    (List.for_all (fun (i : Fault_inject.injection) -> i.Fault_inject.point = Fault_inject.Tlb_state) plan);
+  check_int "zero rate, empty plan" 0
+    (List.length (Fault_inject.plan t ~points:Fault_inject.all_points ~steps:100 ~rate:0.0));
+  check_bool "no points is an error" true
+    (match Fault_inject.plan t ~points:[] ~steps:100 ~rate:0.1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Fuzz campaign ------------------------------------------------ *)
+
+let test_fuzz_smoke_campaign () =
+  (* Fixed seed, small but real campaign: differential agreement across
+     the three backends, benign/adversarial injections, zero
+     violations. *)
+  let s = Fuzz.campaign ~seed:1234 ~iters:120 () in
+  check_int "no violations" 0 (List.length s.Fuzz.violations);
+  check_bool "most programs checked" true (s.Fuzz.checked > 100);
+  check_bool "differential comparisons happened" true
+    (s.Fuzz.value_agreements > 0 && s.Fuzz.trap_agreements > 0);
+  check_bool "injections exercised" true
+    (s.Fuzz.benign_injections + s.Fuzz.adversarial_injections > 0)
+
+let test_fuzz_planted_bug_detected () =
+  (* Negative control: corrupting the heap region register mid-run —
+     out-of-region accesses completing without a trap — must be caught
+     by the campaign's checker, both variants. *)
+  check_bool "clean detector run is clean" false (Fuzz.plant_detected Fuzz.No_injection);
+  check_bool "canary-directed corruption detected" true
+    (Fuzz.plant_detected Fuzz.Region_corrupt_canary);
+  check_bool "base-shift corruption detected" true
+    (Fuzz.plant_detected (Fuzz.Region_corrupt_shift 0x2000));
+  let s = Fuzz.campaign ~plant:true ~seed:99 ~iters:10 () in
+  check_int "campaign plants both variants" 2 s.Fuzz.plants;
+  check_int "campaign detects both" 2 s.Fuzz.plants_detected
+
+let test_fuzz_benign_rewrite_invisible () =
+  (* A benign same-value region rewrite mid-run must not change the
+     detector's result or touch the canary. *)
+  let outcome, canary_ok, _ =
+    Fuzz.run_machine ~injection:(Fuzz.Region_rewrite 5) ~strategy:Hfi_sfi.Strategy.Hfi
+      Fuzz.detector_module
+  in
+  check_bool "value unchanged" true
+    (outcome = Hfi_wasm.Wasm_interp.Value Fuzz.detector_pattern);
+  check_bool "canary intact" true canary_ok
+
+(* --- Resilient runner --------------------------------------------- *)
+
+let fake_entry ~id run = { Registry.id; description = "test entry"; run }
+
+let ok_report id =
+  { Report.id; title = "t"; paper_claim = "p"; table = "r\n"; verdict = "v" }
+
+let test_run_many_contains_crash () =
+  (* One experiment raising must not take down the batch: the others
+     still report, and the crasher comes back as a Crash fault naming
+     it. Exercise both the sequential and the parallel pool paths. *)
+  List.iter
+    (fun jobs ->
+      let entries =
+        [
+          fake_entry ~id:"good1" (fun ?quick:_ () -> ok_report "good1");
+          fake_entry ~id:"boom" (fun ?quick:_ () -> failwith "deliberate test crash");
+          fake_entry ~id:"good2" (fun ?quick:_ () -> ok_report "good2");
+        ]
+      in
+      let outcomes = Registry.run_many ~jobs entries in
+      check_int "three outcomes" 3 (List.length outcomes);
+      match outcomes with
+      | [ a; b; c ] ->
+        check_bool "good1 ok" true (a.Registry.result = Ok (ok_report "good1"));
+        check_bool "good2 ok" true (c.Registry.result = Ok (ok_report "good2"));
+        (match b.Registry.result with
+        | Error f ->
+          check_bool "crash fault" true
+            (match f.Fault.kind with Fault.Crash _ -> true | _ -> false);
+          check_bool "names the entry" true (f.Fault.sandbox = Some "boom")
+        | Ok _ -> Alcotest.fail "boom should have failed")
+      | _ -> Alcotest.fail "outcome order lost")
+    [ 1; 4 ]
+
+let test_run_many_retries_transient () =
+  (* Injected (transient) faults are retried within the budget; the
+     attempt count is visible. Non-transient crashes are not retried. *)
+  let flaky_runs = ref 0 in
+  let flaky =
+    fake_entry ~id:"flaky" (fun ?quick:_ () ->
+        incr flaky_runs;
+        if !flaky_runs < 3 then raise (Fault.Transient "injected bit flip")
+        else ok_report "flaky")
+  in
+  let crash_runs = ref 0 in
+  let crasher =
+    fake_entry ~id:"crasher" (fun ?quick:_ () ->
+        incr crash_runs;
+        failwith "not transient")
+  in
+  (match Registry.run_many ~jobs:1 ~retries:2 [ flaky; crasher ] with
+  | [ f; c ] ->
+    check_bool "flaky recovered" true (f.Registry.result = Ok (ok_report "flaky"));
+    check_int "flaky took three attempts" 3 f.Registry.attempts;
+    check_bool "crasher still failed" true (Result.is_error c.Registry.result);
+    check_int "crasher not retried" 1 !crash_runs
+  | _ -> Alcotest.fail "expected two outcomes");
+  (* Exhausted retry budget: the transient fault itself is reported. *)
+  let hopeless =
+    fake_entry ~id:"hopeless" (fun ?quick:_ () -> raise (Fault.Transient "always"))
+  in
+  match Registry.run_many ~jobs:1 ~retries:2 [ hopeless ] with
+  | [ h ] ->
+    check_int "budget consumed" 3 h.Registry.attempts;
+    check_bool "transient fault reported" true
+      (match h.Registry.result with Error f -> Fault.is_transient f | Ok _ -> false)
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_run_many_watchdog () =
+  (* The watchdog is cooperative: an experiment whose (clocked) duration
+     exceeds the budget has its result replaced by a Timeout fault. *)
+  let t = ref 0.0 in
+  let clock () =
+    t := !t +. 10.0;
+    !t
+  in
+  let slow = fake_entry ~id:"slow" (fun ?quick:_ () -> ok_report "slow") in
+  match Registry.run_many ~jobs:1 ~clock ~timeout_s:5.0 [ slow ] with
+  | [ o ] ->
+    check_bool "timed out" true
+      (match o.Registry.result with
+      | Error { Fault.kind = Fault.Timeout { limit_s }; _ } -> limit_s = 5.0
+      | _ -> false)
+  | _ -> Alcotest.fail "expected one outcome"
+
+let suite =
+  [
+    Alcotest.test_case "fault rendering is stable" `Quick test_fault_rendering;
+    Alcotest.test_case "fault addr lifted from kind" `Quick test_fault_addr_lifted_from_kind;
+    Alcotest.test_case "modeled vs injected vs crash" `Quick test_fault_classes;
+    Alcotest.test_case "of_exn classifies Transient vs Crash" `Quick test_of_exn_classification;
+    Alcotest.test_case "Msr.to_fault conversion" `Quick test_msr_to_fault;
+    Alcotest.test_case "injection plan deterministic per seed" `Quick test_plan_deterministic;
+    Alcotest.test_case "injection plan shape" `Quick test_plan_shape;
+    Alcotest.test_case "fuzz smoke campaign (seed 1234)" `Quick test_fuzz_smoke_campaign;
+    Alcotest.test_case "planted region corruption is detected" `Quick
+      test_fuzz_planted_bug_detected;
+    Alcotest.test_case "benign region rewrite is invisible" `Quick
+      test_fuzz_benign_rewrite_invisible;
+    Alcotest.test_case "run_many contains a crashing experiment" `Quick
+      test_run_many_contains_crash;
+    Alcotest.test_case "run_many retries transient faults" `Quick test_run_many_retries_transient;
+    Alcotest.test_case "run_many cooperative watchdog" `Quick test_run_many_watchdog;
+  ]

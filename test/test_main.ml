@@ -14,5 +14,6 @@ let () =
       ("runtime", Test_runtime.suite);
       ("spectre", Test_spectre.suite);
       ("experiments", Test_experiments.suite);
+      ("fault", Test_fault.suite);
       ("properties", Test_properties.suite);
     ]

@@ -410,8 +410,87 @@ let test_speculative_ifetch_gated_by_code_region () =
   check_bool "no fetch effect outside the region" true
     (List.for_all (fun a -> a < code_base + 64) !fetched)
 
+(* Satellite: one table covering every Msr trap kind the machine can
+   raise, each asserting Faulted with the exact Msr.t — and a structured
+   last_fault recorded alongside it. *)
+let test_trap_kinds_table () =
+  let open Instr in
+  let code_region =
+    Hfi_iface.Implicit_code { base_prefix = code_base; lsb_mask = 0xfffff; permission_exec = true }
+  in
+  let data_region =
+    Hfi_iface.Implicit_data
+      { base_prefix = 0x2000_0000; lsb_mask = 0xffff; permission_read = true; permission_write = true }
+  in
+  let cases =
+    [
+      ( "division by zero",
+        [ Mov (Reg.RAX, Imm 5); Alu (Div, Reg.RAX, Imm 0); Halt ],
+        Msr.Hardware_fault 0 );
+      ( "bounds violation",
+        [
+          Hfi_set_region (0, code_region);
+          Hfi_set_region (2, data_region);
+          Hfi_enter Hfi_iface.default_hybrid_spec;
+          Load (W8, Reg.RAX, Instr.mem ~disp:0x5000_0000 ());
+          Halt;
+        ],
+        Msr.Bounds_violation
+          { Msr.addr = 0x5000_0000; access = Msr.Read; cause = Msr.No_matching_region } );
+      ( "hardware fault (unmapped page)",
+        [ Load (W8, Reg.RAX, Instr.mem ~disp:0x9999_0000 ()); Halt ],
+        Msr.Hardware_fault 0x9999_0000 );
+      ( "syscall trap in a native sandbox",
+        [
+          Hfi_set_region (0, code_region);
+          Hfi_enter Hfi_iface.default_native_spec;
+          Mov (Reg.RAX, Imm (Syscall.number Syscall.Getpid));
+          Syscall;
+          Halt;
+        ],
+        Msr.Syscall_trap (Syscall.number Syscall.Getpid) );
+      ( "privileged HFI op in a native sandbox",
+        [
+          Hfi_set_region (0, code_region);
+          Hfi_enter Hfi_iface.default_native_spec;
+          Hfi_set_region (2, data_region);
+          Halt;
+        ],
+        Msr.Privileged_in_native );
+      ( "invalid region descriptor",
+        [
+          Hfi_set_region
+            ( 2,
+              Hfi_iface.Implicit_data
+                (* base has bits inside the mask: fails validation *)
+                { base_prefix = 0x2000_0100; lsb_mask = 0xffff; permission_read = true;
+                  permission_write = true } );
+          Halt;
+        ],
+        Msr.Invalid_region_descriptor );
+    ]
+  in
+  List.iter
+    (fun (name, instrs, expected) ->
+      let m = setup instrs in
+      let status, _ = run m in
+      check_bool (name ^ ": Faulted with the exact Msr.t") true
+        (status = Machine.Faulted expected);
+      (* The structured fault record must be populated on every trap
+         path, agree with the Msr, and carry a committed-instruction
+         cycle stamp. *)
+      match Machine.last_fault m with
+      | None -> Alcotest.failf "%s: no structured fault recorded" name
+      | Some f ->
+        check_bool (name ^ ": fault kind matches Msr.to_fault") true
+          (f.Hfi_util.Fault.kind = (Msr.to_fault expected).Hfi_util.Fault.kind);
+        check_bool (name ^ ": modeled fault") true (Hfi_util.Fault.is_modeled f);
+        check_bool (name ^ ": cycle recorded") true (f.Hfi_util.Fault.cycle <> None))
+    cases
+
 let suite =
   [
+    Alcotest.test_case "trap kinds: exact Msr per kind" `Quick test_trap_kinds_table;
     Alcotest.test_case "speculative ifetch gated by code region" `Quick
       test_speculative_ifetch_gated_by_code_region;
     Alcotest.test_case "tracer records commits" `Quick test_tracer;

@@ -47,6 +47,37 @@ let test_remaining_items_still_run () =
    with Failure _ -> ());
   check_int "all items attempted" 16 (Array.fold_left (fun a b -> if b then a + 1 else a) 0 ran)
 
+(* Satellite: the jobs=1 path must share the parallel path's exception
+   contract — run everything, then re-raise the first failure. *)
+let test_sequential_matches_parallel_semantics () =
+  let run jobs =
+    let ran = Array.make 12 false in
+    let raised =
+      try
+        Pool.iteri ~jobs 12 (fun i ->
+            ran.(i) <- true;
+            if i = 2 then failwith "first" else if i = 9 then failwith "second");
+        None
+      with Failure m -> Some m
+    in
+    (Array.for_all Fun.id ran, raised)
+  in
+  let seq = run 1 in
+  check_bool "jobs=1 runs every item" true (fst seq);
+  check_bool "jobs=1 re-raises the first failure" true (snd seq = Some "first");
+  check_bool "jobs=1 runs all items exactly like jobs=4" true (fst (run 4));
+  (* The parallel path re-raises the first failure by completion time;
+     with jobs=1 completion order is input order, so it is exactly the
+     first failing item. *)
+  let bt_preserved =
+    Printexc.record_backtrace true;
+    try
+      Pool.iteri ~jobs:1 3 (fun i -> if i = 1 then failwith "bt");
+      false
+    with Failure _ -> true
+  in
+  check_bool "exception escapes with its backtrace intact" true bt_preserved
+
 let test_nested_pool () =
   (* Inner maps run sequentially inside workers; results still correct. *)
   let outer =
@@ -73,6 +104,8 @@ let suite =
     Alcotest.test_case "map on empty and singleton lists" `Quick test_map_empty_and_singleton;
     Alcotest.test_case "worker exception re-raised in caller" `Quick test_exception_propagates;
     Alcotest.test_case "remaining items run after a failure" `Quick test_remaining_items_still_run;
+    Alcotest.test_case "sequential path matches parallel exception contract" `Quick
+      test_sequential_matches_parallel_semantics;
     Alcotest.test_case "nested pools stay sequential and correct" `Quick test_nested_pool;
     Alcotest.test_case "iteri covers every index" `Quick test_iteri_fills_every_slot;
     Alcotest.test_case "default_jobs never below 1" `Quick test_default_jobs_floor;
