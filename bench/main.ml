@@ -11,7 +11,9 @@
    writes the results as JSON. Set HFI_JOBS=n to fan independent
    experiments (and the fig2/fig3 inner matrices) across n domains —
    with the default HFI_JOBS=1 the output is byte-identical to the
-   historical sequential driver. *)
+   historical sequential driver. Set HFI_RESULT_CACHE=1 to serve
+   unchanged experiments from the persistent result cache
+   (_build/.hfi-cache/); `--no-cache` bypasses it for one run. *)
 
 open Bechamel
 open Toolkit
@@ -136,7 +138,7 @@ module Json = struct
   let arr items = "[" ^ String.concat "," items ^ "]"
 end
 
-let write_json ~file ~mode ~jobs ~micro ~experiments ~total_seconds =
+let write_json ~file ~mode ~jobs ~micro ~outcomes ~total_seconds ~cache_on =
   let micro_json =
     Json.arr
       (List.map
@@ -151,31 +153,61 @@ let write_json ~file ~mode ~jobs ~micro ~experiments ~total_seconds =
   let exp_json =
     Json.arr
       (List.map
-         (fun (id, result, seconds) ->
-           match result with
+         (fun (o : Registry.outcome) ->
+           let common =
+             [
+               ("seconds", Json.num o.Registry.seconds);
+               ("wall_s", Json.num o.Registry.seconds);
+               ("cached", if o.Registry.cached then "true" else "false");
+             ]
+             @
+             match o.Registry.uncached_seconds with
+             | Some s -> [ ("uncached_seconds", Json.num s) ]
+             | None -> []
+           in
+           match o.Registry.result with
            | Ok r ->
              Json.obj
-               [
-                 ("id", Json.str r.Report.id);
-                 ("status", Json.str "ok");
-                 ("title", Json.str r.Report.title);
-                 ("paper_claim", Json.str r.Report.paper_claim);
-                 ("verdict", Json.str r.Report.verdict);
-                 ("table", Json.str r.Report.table);
-                 ("seconds", Json.num seconds);
-               ]
+               ([
+                  ("id", Json.str r.Report.id);
+                  ("status", Json.str "ok");
+                  ("title", Json.str r.Report.title);
+                  ("paper_claim", Json.str r.Report.paper_claim);
+                  ("verdict", Json.str r.Report.verdict);
+                  ("table", Json.str r.Report.table);
+                ]
+               @ common)
            | Error f ->
              (* Partial report: the failed entry is named, with its
                 structured fault, and every other experiment's result
                 is still present. *)
              Json.obj
-               [
-                 ("id", Json.str id);
-                 ("status", Json.str "failed");
-                 ("fault", Fault.to_json f);
-                 ("seconds", Json.num seconds);
-               ])
-         experiments)
+               ([
+                  ("id", Json.str o.Registry.entry.Registry.id);
+                  ("status", Json.str "failed");
+                  ("fault", Fault.to_json f);
+                ]
+               @ common))
+         outcomes)
+  in
+  let hits = List.length (List.filter (fun o -> o.Registry.cached) outcomes) in
+  let uncached_total =
+    List.fold_left
+      (fun acc (o : Registry.outcome) ->
+        acc
+        +. match o.Registry.uncached_seconds with Some s -> s | None -> o.Registry.seconds)
+      0.0 outcomes
+  in
+  let cache_json =
+    Json.obj
+      [
+        ("enabled", if cache_on then "true" else "false");
+        ("hits", string_of_int hits);
+        ("misses", string_of_int (List.length outcomes - hits));
+        ("uncached_total_s", Json.num uncached_total);
+        ( "speedup_vs_uncached",
+          if total_seconds > 0.0 then Json.num (uncached_total /. total_seconds) else "null" );
+      ]
   in
   let doc =
     Json.obj
@@ -184,6 +216,7 @@ let write_json ~file ~mode ~jobs ~micro ~experiments ~total_seconds =
         ("jobs", string_of_int jobs);
         ("micro", micro_json);
         ("experiments", exp_json);
+        ("cache", cache_json);
         ("total_seconds", Json.num total_seconds);
       ]
   in
@@ -197,12 +230,16 @@ let () =
   let quick = ref false in
   let no_micro = ref false in
   let micro_only = ref false in
+  let no_cache = ref false in
   let inject_failure = ref None in
   let ids = ref [] in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
       quick := true;
+      parse rest
+    | "--no-cache" :: rest ->
+      no_cache := true;
       parse rest
     | "--no-micro" :: rest ->
       no_micro := true;
@@ -237,12 +274,17 @@ let () =
     else e
   in
   let jobs = Pool.default_jobs () in
+  (* The result cache only ever stores clean successes, so a sabotaged
+     run must bypass it both ways: a stale hit would mask the injected
+     failure. *)
+  let use_cache = (not !no_cache) && !inject_failure = None in
+  let cache_on = use_cache && Hfi_experiments.Result_cache.enabled () in
   let micro = if !no_micro then [] else run_micro () in
   if !micro_only then begin
     match !json_file with
     | Some file ->
-      write_json ~file ~mode:(if quick then "quick" else "full") ~jobs ~micro ~experiments:[]
-        ~total_seconds:0.0
+      write_json ~file ~mode:(if quick then "quick" else "full") ~jobs ~micro ~outcomes:[]
+        ~total_seconds:0.0 ~cache_on
     | None -> ()
   end
   else begin
@@ -250,17 +292,24 @@ let () =
     Printf.printf "(mode: %s)\n\n" (if quick then "quick" else "full");
     let t0 = Unix.gettimeofday () in
     let collected = ref [] in
-    let emit id result dt =
-      (match result with
+    let emit (o : Registry.outcome) =
+      (match o.Registry.result with
       | Ok r -> Report.print r
-      | Error f -> Printf.printf "== %s: FAILED ==\nfault: %s\n" id (Fault.to_string f));
-      collected := (id, result, dt) :: !collected;
-      Printf.printf "[%.1fs]\n\n%!" dt
+      | Error f ->
+        Printf.printf "== %s: FAILED ==\nfault: %s\n" o.Registry.entry.Registry.id
+          (Fault.to_string f));
+      collected := o :: !collected;
+      if o.Registry.cached then
+        Printf.printf "[cached; uncached run took %.1fs]\n\n%!"
+          (Option.value o.Registry.uncached_seconds ~default:0.0)
+      else Printf.printf "[%.1fs]\n\n%!" o.Registry.seconds
     in
     if jobs <= 1 then
       (* Sequential streaming loop: byte-identical output to the
-         historical driver while every experiment succeeds; a crashing
-         experiment prints a FAILED block and the loop continues. *)
+         historical driver while every experiment succeeds (and the
+         result cache is off); a crashing experiment prints a FAILED
+         block and the loop continues. [retries:0] keeps the historical
+         run-once semantics of this path. *)
       List.iter
         (fun id ->
           match Registry.find id with
@@ -268,15 +317,9 @@ let () =
             Printf.printf "unknown experiment id %S (try: %s)\n" id
               (String.concat " " (Registry.ids ()))
           | Some e ->
-            let e = sabotage e in
-            let t = Unix.gettimeofday () in
-            let result =
-              match e.Registry.run ~quick () with
-              | r -> Ok r
-              | exception exn ->
-                Error (Fault.of_exn ~sandbox:id exn (Printexc.get_raw_backtrace ()))
-            in
-            emit id result (Unix.gettimeofday () -. t))
+            emit
+              (Registry.run_entry ~quick ~clock:Unix.gettimeofday ~retries:0 ~use_cache
+                 (sabotage e)))
         ids
     else begin
       (* Fan the known experiments across domains, then print in the
@@ -284,7 +327,7 @@ let () =
          bracketed per-experiment seconds (and interleaving of any
          "unknown id" lines) can differ. *)
       let entries = List.map sabotage (List.filter_map Registry.find ids) in
-      let results = Registry.run_many ~jobs ~quick ~clock:Unix.gettimeofday entries in
+      let results = Registry.run_many ~jobs ~quick ~clock:Unix.gettimeofday ~use_cache entries in
       let remaining = ref results in
       List.iter
         (fun id ->
@@ -296,24 +339,40 @@ let () =
             match !remaining with
             | o :: rest ->
               remaining := rest;
-              emit o.Registry.entry.Registry.id o.Registry.result o.Registry.seconds
+              emit o
             | [] -> assert false (* one outcome per known id, in order *)
           end)
         ids
     end;
     let total = Unix.gettimeofday () -. t0 in
     Printf.printf "total: %.1fs\n" total;
-    let failures =
-      List.filter (fun (_, result, _) -> Result.is_error result) !collected
-    in
+    let outcomes = List.rev !collected in
+    if cache_on then begin
+      let hits = List.length (List.filter (fun o -> o.Registry.cached) outcomes) in
+      let uncached_total =
+        List.fold_left
+          (fun acc (o : Registry.outcome) ->
+            acc
+            +.
+            match o.Registry.uncached_seconds with Some s -> s | None -> o.Registry.seconds)
+          0.0 outcomes
+      in
+      Printf.printf "result cache: %d hit(s), %d miss(es); wall %.1fs vs %.1fs uncached%s\n"
+        hits
+        (List.length outcomes - hits)
+        total uncached_total
+        (if total > 0.0 && hits > 0 then Printf.sprintf " (%.1fx)" (uncached_total /. total)
+         else "")
+    end;
+    let failures = List.filter (fun o -> Result.is_error o.Registry.result) outcomes in
     (match !json_file with
     | Some file ->
-      write_json ~file ~mode:(if quick then "quick" else "full") ~jobs ~micro
-        ~experiments:(List.rev !collected) ~total_seconds:total
+      write_json ~file ~mode:(if quick then "quick" else "full") ~jobs ~micro ~outcomes
+        ~total_seconds:total ~cache_on
     | None -> ());
     if failures <> [] then begin
       Printf.eprintf "%d experiment(s) failed: %s\n" (List.length failures)
-        (String.concat " " (List.rev_map (fun (id, _, _) -> id) failures));
+        (String.concat " " (List.map (fun o -> o.Registry.entry.Registry.id) failures));
       exit 3
     end
   end

@@ -37,7 +37,11 @@ let run_cmd =
     Arg.(value & opt (some int) None
          & info [ "fuzz-iters" ] ~docv:"N" ~doc:"Mutated programs per fuzz campaign.")
   in
-  let run quick fuzz_seed fuzz_iters ids =
+  let time =
+    Arg.(value & flag
+         & info [ "time" ] ~doc:"Print each experiment's wall-clock seconds after its report.")
+  in
+  let run quick time fuzz_seed fuzz_iters ids =
     if fuzz_seed <> None || fuzz_iters <> None then
       Hfi_experiments.Fuzz.configure ~seed:fuzz_seed ~iters:fuzz_iters;
     let ids = if List.mem "all" ids then Registry.ids () else ids in
@@ -53,10 +57,16 @@ let run_cmd =
       (fun id ->
         match Registry.find id with
         | None -> assert false (* validated above *)
-        | Some e -> Report.print (e.Registry.run ~quick ()))
+        | Some e ->
+          if time then begin
+            let t0 = Unix.gettimeofday () in
+            Report.print (e.Registry.run ~quick ());
+            Printf.printf "[%s: %.1fs]\n" id (Unix.gettimeofday () -. t0)
+          end
+          else Report.print (e.Registry.run ~quick ()))
       ids
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick $ fuzz_seed $ fuzz_iters $ ids)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick $ time $ fuzz_seed $ fuzz_iters $ ids)
 
 let spectre_cmd =
   let doc = "Run the Spectre-PHT/BTB proofs of concept (SS5.3, Fig. 7)." in
@@ -194,4 +204,10 @@ let trace_cmd =
 let () =
   let doc = "Hardware-assisted Fault Isolation (ASPLOS '23) — OCaml reproduction." in
   let info = Cmd.info "hfi" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; spectre_cmd; hw_cmd; sightglass_cmd; wasm_cmd; conformance_cmd; trace_cmd ]))
+  let code =
+    Cmd.eval (Cmd.group info [ list_cmd; run_cmd; spectre_cmd; hw_cmd; sightglass_cmd; wasm_cmd; conformance_cmd; trace_cmd ])
+  in
+  (* Cmdliner reports unknown flags/subcommands as its own cli_error
+     (124); scripts expect the conventional usage-error code 2, matching
+     the unknown-experiment-id path above. Usage is already printed. *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -20,12 +20,13 @@ let measure ?(quick = false) ?jobs () =
   Hfi_util.Pool.map ?jobs
     (fun (kernel, w) ->
       let native = Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi w in
-      let rn = Instance.run_cycle native in
+      let engine = Cycle_engine.create (Instance.machine native) in
+      let rn = Instance.run_cycle ~engine native in
       (match rn.Cycle_engine.status with
       | Machine.Halted -> ()
       | _ -> failwith (kernel ^ ": native HFI run failed"));
       let emu = Instance.instantiate_emulated w in
-      let re = Instance.run_cycle emu in
+      let re = Instance.run_cycle ~engine emu in
       (match re.Cycle_engine.status with
       | Machine.Halted -> ()
       | _ -> failwith (kernel ^ ": emulated run failed"));

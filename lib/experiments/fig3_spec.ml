@@ -9,10 +9,25 @@ module Stats = Hfi_util.Stats
 
 type row = { bench : string; guard : float; bounds : float; hfi : float }
 
-let run_one strategy p ~iters_divisor =
+let run_one ?cell strategy p ~iters_divisor =
   let p = { p with Spec.iters = Stdlib.max 4 (p.Spec.iters / iters_divisor) } in
   let inst = Instance.instantiate ~strategy (Spec.workload p) in
-  let r = Instance.run_cycle inst in
+  let r =
+    match cell with
+    | None -> Instance.run_cycle inst
+    | Some cell ->
+      (* Reuse one engine across the runs sharing this cell (first run
+         creates it; [run_cycle ~engine] resets it per run). *)
+      let e =
+        match !cell with
+        | Some e -> e
+        | None ->
+          let e = Cycle_engine.create (Instance.machine inst) in
+          cell := Some e;
+          e
+      in
+      Instance.run_cycle ~engine:e inst
+  in
   (match r.Cycle_engine.status with
   | Machine.Halted -> ()
   | _ -> failwith (p.Spec.name ^ " did not halt"));
@@ -25,14 +40,16 @@ let measure ?(quick = false) ?jobs () =
   in
   (* The three strategies for one profile share nothing with other
      profiles (each run instantiates a fresh sandbox), so the profile
-     axis fans across domains. *)
+     axis fans across domains. One cycle engine per profile serves all
+     three strategy runs via [Cycle_engine.reset]. *)
   Hfi_util.Pool.map ?jobs
     (fun p ->
+      let cell = ref None in
       {
         bench = p.Spec.name;
-        guard = run_one Hfi_sfi.Strategy.Guard_pages p ~iters_divisor;
-        bounds = run_one Hfi_sfi.Strategy.Bounds_checks p ~iters_divisor;
-        hfi = run_one Hfi_sfi.Strategy.Hfi p ~iters_divisor;
+        guard = run_one ~cell Hfi_sfi.Strategy.Guard_pages p ~iters_divisor;
+        bounds = run_one ~cell Hfi_sfi.Strategy.Bounds_checks p ~iters_divisor;
+        hfi = run_one ~cell Hfi_sfi.Strategy.Hfi p ~iters_divisor;
       })
     profiles
 

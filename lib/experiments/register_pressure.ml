@@ -22,19 +22,33 @@ let profile =
     iters = 150;
   }
 
-let cycles ?(quick = false) ~pool_shrink () =
+let cycles ?(quick = false) ?cell ~pool_shrink () =
   let p = if quick then { profile with Spec.iters = 30 } else profile in
   let inst =
     Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi (Spec.workload ~pool_shrink p)
   in
-  let r = Instance.run_cycle inst in
+  let r =
+    match cell with
+    | None -> Instance.run_cycle inst
+    | Some cell ->
+      let e =
+        match !cell with
+        | Some e -> e
+        | None ->
+          let e = Cycle_engine.create (Instance.machine inst) in
+          cell := Some e;
+          e
+      in
+      Instance.run_cycle ~engine:e inst
+  in
   (match r.Cycle_engine.status with Machine.Halted -> () | _ -> failwith "reg pressure run");
   r.Cycle_engine.cycles
 
 let run ?quick () =
-  let base = cycles ?quick ~pool_shrink:0 () in
-  let one = cycles ?quick ~pool_shrink:1 () in
-  let two = cycles ?quick ~pool_shrink:2 () in
+  let cell = ref None in
+  let base = cycles ?quick ~cell ~pool_shrink:0 () in
+  let one = cycles ?quick ~cell ~pool_shrink:1 () in
+  let two = cycles ?quick ~cell ~pool_shrink:2 () in
   let pct c = (c /. base -. 1.0) *. 100.0 in
   let table =
     Hfi_util.Table.render

@@ -38,6 +38,9 @@ type outcome = {
   result : (Report.t, Hfi_util.Fault.t) result;
   seconds : float;
   attempts : int;
+  cached : bool;  (** served from {!Result_cache} instead of running *)
+  uncached_seconds : float option;
+      (** for cached outcomes: wall-clock of the original uncached run *)
 }
 
 (* Run a batch of experiments, fanning across domains when [jobs] (or
@@ -57,26 +60,45 @@ type outcome = {
    after more than [timeout_s] seconds has its result replaced by a
    [Timeout] fault, so a hung-then-recovered run is visible rather than
    silently slow. *)
-let run_many ?jobs ?quick ?(clock = fun () -> 0.0) ?(timeout_s = infinity) ?(retries = 1)
-    entries =
+let run_entry ?quick ?(clock = fun () -> 0.0) ?(timeout_s = infinity) ?(retries = 1)
+    ?(use_cache = true) e =
   let module Fault = Hfi_util.Fault in
+  let quick_flag = Option.value quick ~default:false in
+  let cache_on = use_cache && Result_cache.enabled () in
+  match if cache_on then Result_cache.find ~id:e.id ~quick:quick_flag else None with
+  | Some (report, uncached) ->
+    {
+      entry = e;
+      result = Ok report;
+      seconds = 0.0;
+      attempts = 0;
+      cached = true;
+      uncached_seconds = Some uncached;
+    }
+  | None ->
+    let t0 = clock () in
+    let rec attempt k =
+      match e.run ?quick () with
+      | report ->
+        let dt = clock () -. t0 in
+        if dt > timeout_s then
+          ( Error (Fault.make ~sandbox:e.id (Fault.Timeout { limit_s = timeout_s })),
+            dt, k )
+        else (Ok report, dt, k)
+      | exception exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        let fault = Fault.of_exn ~sandbox:e.id exn bt in
+        if Fault.is_transient fault && k <= retries then attempt (k + 1)
+        else (Error fault, clock () -. t0, k)
+    in
+    let result, seconds, attempts = attempt 1 in
+    (* Only clean successes are worth remembering; faults should re-run. *)
+    (match result with
+    | Ok report when cache_on -> Result_cache.store ~id:e.id ~quick:quick_flag ~seconds report
+    | Ok _ | Error _ -> ());
+    { entry = e; result; seconds; attempts; cached = false; uncached_seconds = None }
+
+let run_many ?jobs ?quick ?clock ?timeout_s ?retries ?use_cache entries =
   Hfi_util.Pool.map ?jobs
-    (fun e ->
-      let t0 = clock () in
-      let rec attempt k =
-        match e.run ?quick () with
-        | report ->
-          let dt = clock () -. t0 in
-          if dt > timeout_s then
-            ( Error (Fault.make ~sandbox:e.id (Fault.Timeout { limit_s = timeout_s })),
-              dt, k )
-          else (Ok report, dt, k)
-        | exception exn ->
-          let bt = Printexc.get_raw_backtrace () in
-          let fault = Fault.of_exn ~sandbox:e.id exn bt in
-          if Fault.is_transient fault && k <= retries then attempt (k + 1)
-          else (Error fault, clock () -. t0, k)
-      in
-      let result, seconds, attempts = attempt 1 in
-      { entry = e; result; seconds; attempts })
+    (fun e -> run_entry ?quick ?clock ?timeout_s ?retries ?use_cache e)
     entries

@@ -1,0 +1,211 @@
+(** Persistent, content-addressed cache of experiment reports.
+
+    Re-running the bench harness mostly re-derives results that cannot
+    have changed: an experiment's report is a pure function of the
+    simulator code and the (id, quick) configuration. The cache keys
+    each run by a digest of exactly those inputs — the experiment id,
+    the workload mode, and a digest of the running executable itself —
+    so any rebuild that changes behaviour changes the key and the stale
+    entry is simply never looked up again (invalidation by construction;
+    nothing is ever deleted).
+
+    Opt-in via [HFI_RESULT_CACHE]: unset, empty, or ["0"] disables it;
+    ["1"] stores under [_build/.hfi-cache/]; any other value is used as
+    the cache directory. Entries are one flat JSON object per file,
+    written atomically (temp file + rename), carrying the report fields
+    plus the original run's wall-clock seconds so cache hits can report
+    the speedup honestly. A corrupt or unreadable entry behaves as a
+    miss. *)
+
+let default_dir = Filename.concat "_build" ".hfi-cache"
+
+let dir () =
+  match Sys.getenv_opt "HFI_RESULT_CACHE" with
+  | None | Some "" | Some "0" -> None
+  | Some "1" -> Some default_dir
+  | Some d -> Some d
+
+let enabled () = dir () <> None
+
+(* The executable digest covers simulator code, workload definitions and
+   experiment logic in one stroke — they are all compiled in. *)
+let code_version =
+  lazy
+    (try Digest.to_hex (Digest.file Sys.executable_name)
+     with Sys_error _ -> "unknown-executable")
+
+let key ~id ~quick =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [ "hfi-result-v1"; id; (if quick then "quick" else "full"); Lazy.force code_version ]))
+
+(* ---- minimal flat JSON (no dependency; mirrors bench/main.ml's writer) ---- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+exception Malformed
+
+(* Parses the single flat object this module writes: string and number
+   values only, no nesting. Raises [Malformed] on anything else. *)
+let parse_flat (s : string) : (string * [ `Str of string | `Num of float ]) list =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos >= n then raise Malformed else s.[!pos] in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c = if peek () <> c then raise Malformed else advance () in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 32 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char b '"'; advance ()
+        | '\\' -> Buffer.add_char b '\\'; advance ()
+        | '/' -> Buffer.add_char b '/'; advance ()
+        | 'n' -> Buffer.add_char b '\n'; advance ()
+        | 'r' -> Buffer.add_char b '\r'; advance ()
+        | 't' -> Buffer.add_char b '\t'; advance ()
+        | 'u' ->
+          advance ();
+          if !pos + 4 > n then raise Malformed;
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          let code = try int_of_string ("0x" ^ hex) with _ -> raise Malformed in
+          (* this writer only emits \u00XX control escapes *)
+          if code > 0xff then raise Malformed else Buffer.add_char b (Char.chr code)
+        | _ -> raise Malformed);
+        go ()
+      | c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    do
+      advance ()
+    done;
+    if !pos = start then raise Malformed;
+    try float_of_string (String.sub s start (!pos - start)) with _ -> raise Malformed
+  in
+  skip_ws ();
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if peek () = '}' then advance ()
+  else begin
+    let rec members () =
+      skip_ws ();
+      let k = parse_string () in
+      skip_ws ();
+      expect ':';
+      skip_ws ();
+      let v = if peek () = '"' then `Str (parse_string ()) else `Num (parse_number ()) in
+      fields := (k, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | ',' -> advance (); members ()
+      | '}' -> advance ()
+      | _ -> raise Malformed
+    in
+    members ()
+  end;
+  List.rev !fields
+
+(* ---- store / find ---- *)
+
+let entry_path ~dir ~key = Filename.concat dir (key ^ ".json")
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+(* A hit returns the report plus the wall-clock seconds the original
+   (uncached) run took. *)
+let find ~id ~quick : (Report.t * float) option =
+  match dir () with
+  | None -> None
+  | Some dir -> begin
+    let path = entry_path ~dir ~key:(key ~id ~quick) in
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error _ -> None
+    | exception End_of_file -> None
+    | raw -> begin
+      match parse_flat raw with
+      | exception Malformed -> None
+      | fields ->
+        let str k =
+          match List.assoc_opt k fields with Some (`Str v) -> v | _ -> raise Malformed
+        in
+        let num k =
+          match List.assoc_opt k fields with Some (`Num v) -> v | _ -> raise Malformed
+        in
+        (try
+           let report =
+             {
+               Report.id = str "id";
+               title = str "title";
+               paper_claim = str "paper_claim";
+               table = str "table";
+               verdict = str "verdict";
+             }
+           in
+           Some (report, num "uncached_seconds")
+         with Malformed -> None)
+    end
+  end
+
+let store ~id ~quick ~seconds (r : Report.t) =
+  match dir () with
+  | None -> ()
+  | Some dir -> begin
+    try
+      mkdir_p dir;
+      let path = entry_path ~dir ~key:(key ~id ~quick) in
+      let tmp = Printf.sprintf "%s.%d.tmp" path (Domain.self () :> int) in
+      let oc = open_out_bin tmp in
+      let field k v = Printf.sprintf "\"%s\":\"%s\"" k (escape v) in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc
+            (Printf.sprintf "{%s,%s,%s,%s,%s,\"uncached_seconds\":%.6g}\n"
+               (field "id" r.Report.id) (field "title" r.Report.title)
+               (field "paper_claim" r.Report.paper_claim)
+               (field "table" r.Report.table) (field "verdict" r.Report.verdict) seconds));
+      Sys.rename tmp path
+    with Sys_error _ -> ()
+    (* a cache store failure must never fail the experiment *)
+  end

@@ -6,6 +6,12 @@ type t = {
       (* byte offset -> instruction index (-1 between starts), built on
          the first decode-address lookup; programs are constructed and
          consumed within one domain, so plain laziness suffices *)
+  mutable fingerprint_ : string option;
+  mutable decoded : exn option;
+      (* universal slot for a derived decoded form (the pipeline's µop
+         table, carried as an extensible-constructor payload so this
+         module needs no dependency on the pipeline); decode then
+         happens once per program, not once per run *)
 }
 
 let of_instrs instrs =
@@ -16,7 +22,7 @@ let of_instrs instrs =
     offsets.(i) <- !off;
     off := !off + Instr.length instrs.(i)
   done;
-  { instrs; offsets; byte_size = !off; rev = None }
+  { instrs; offsets; byte_size = !off; rev = None; fingerprint_ = None; decoded = None }
 
 let instrs t = t.instrs
 let length t = Array.length t.instrs
@@ -41,6 +47,21 @@ let index_of_byte t b =
     let i = (rev_table t).(b) in
     if i >= 0 then Some i else None
   end
+
+let fingerprint t =
+  match t.fingerprint_ with
+  | Some d -> d
+  | None ->
+    (* Instr.t is pure data (ints, bools, nested records), so its
+       marshaled form is deterministic for a given compiler version —
+       which the result cache already folds in via the executable
+       digest. *)
+    let d = Digest.to_hex (Digest.string (Marshal.to_string t.instrs [])) in
+    t.fingerprint_ <- Some d;
+    d
+
+let decoded t = t.decoded
+let set_decoded t payload = t.decoded <- Some payload
 
 let static_stats t ~mem_ops ~branches =
   Array.iter

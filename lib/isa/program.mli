@@ -23,6 +23,18 @@ val byte_size : t -> int
 val index_of_byte : t -> int -> int option
 (** Instruction index starting exactly at the given byte offset. *)
 
+val fingerprint : t -> string
+(** Content digest of the instruction sequence (hex), memoized. Two
+    programs with identical instructions share a fingerprint; used to
+    key the persistent experiment-result cache. *)
+
+val decoded : t -> exn option
+(** Universal cache slot for a derived decoded form of the program. The
+    pipeline stores its µop table here wrapped in its own extensible
+    constructor; this module never inspects the payload. *)
+
+val set_decoded : t -> exn -> unit
+
 val static_stats : t -> mem_ops:int ref -> branches:int ref -> unit
 (** Count static memory ops and branches (for workload reporting). *)
 

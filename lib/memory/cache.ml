@@ -131,3 +131,14 @@ let flush_all t =
 
 let hits t = t.hits
 let misses t = t.misses
+
+(* Back to the post-[create] state without reallocating the tag/lru
+   arrays — repeated simulations (fig2/fig3 matrices, fuzz) reuse one
+   cache per worker instead of churning the allocator. *)
+let reset t =
+  Array.iter (fun ways -> Array.fill ways 0 (Array.length ways) (-1)) t.tags;
+  Array.iter (fun stamps -> Array.fill stamps 0 (Array.length stamps) 0) t.lru;
+  Array.fill t.mru 0 (Array.length t.mru) 0;
+  t.stamp <- 0;
+  t.hits <- 0;
+  t.misses <- 0

@@ -42,3 +42,8 @@ val flush_all : t -> unit
 
 val hits : t -> int
 val misses : t -> int
+
+val reset : t -> unit
+(** Return to the post-[create] state (all lines invalid, counters and
+    recency zeroed) without reallocating — repeated simulations reuse
+    one cache instead of churning the allocator. *)

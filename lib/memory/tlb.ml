@@ -23,3 +23,4 @@ let flush_all t = Cache.flush_all t.cache
 let flush_page t addr = Cache.flush_line t.cache addr
 let hits t = Cache.hits t.cache
 let misses t = Cache.misses t.cache
+let reset t = Cache.reset t.cache

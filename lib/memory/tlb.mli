@@ -29,3 +29,6 @@ val flush_page : t -> int -> unit
 
 val hits : t -> int
 val misses : t -> int
+
+val reset : t -> unit
+(** Post-[create] state without reallocating (see {!Cache.reset}). *)

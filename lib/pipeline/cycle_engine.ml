@@ -36,11 +36,14 @@ type result = {
 
 type t = {
   cfg : config;
-  m : Machine.t;
+  mutable m : Machine.t;  (* mutable so [reset] can rebind to a new run *)
   icache : Cache.t;
   dcache : Cache.t;
   dtlb : Tlb.t;
   pred : Predictor.t;
+  spec_fx : Machine.spec_effects;
+      (* wrong-path cache-effect callbacks, built once over the engine's
+         own caches — allocated at [create], not per mispredict *)
   (* scoreboard: cycle at which each architectural register's value is
      available to consumers *)
   ready : float array;
@@ -53,15 +56,33 @@ type t = {
   mutable l2_stream_remaining : int;  (* bytes of that line still in flight *)
 }
 
+let attach t m =
+  Machine.set_now m (fun () -> int_of_float t.clock);
+  Machine.set_on_flush m (fun addr -> Cache.flush_line t.dcache addr)
+
 let create ?(config = skylake) m =
+  let icache = Cache.create config.icache in
+  let dcache = Cache.create config.dcache in
+  let dtlb = Tlb.create config.dtlb in
+  let spec_fx =
+    {
+      Machine.spec_fetch = (fun addr -> ignore (Cache.access icache addr));
+      Machine.spec_mem =
+        (fun ~addr ~write ->
+          ignore write;
+          ignore (Tlb.access dtlb addr);
+          ignore (Cache.access dcache addr));
+    }
+  in
   let t =
     {
       cfg = config;
       m;
-      icache = Cache.create config.icache;
-      dcache = Cache.create config.dcache;
-      dtlb = Tlb.create config.dtlb;
+      icache;
+      dcache;
+      dtlb;
       pred = Predictor.create ();
+      spec_fx;
       ready = Array.make Reg.count 0.0;
       clock = 0.0;
       committed = 0;
@@ -72,8 +93,28 @@ let create ?(config = skylake) m =
       l2_stream_remaining = 0;
     }
   in
-  Machine.set_now m (fun () -> int_of_float t.clock);
-  Machine.set_on_flush m (fun addr -> Cache.flush_line t.dcache addr);
+  attach t m;
+  t
+
+(* Rebind to a fresh machine with all timing state back at zero. The
+   caches, TLB, predictor, scoreboard and closures are reused, so inner
+   experiment loops (fig2/fig3 matrices, fuzz) stop re-running [create]
+   per simulation. *)
+let reset t m =
+  t.m <- m;
+  Cache.reset t.icache;
+  Cache.reset t.dcache;
+  Tlb.reset t.dtlb;
+  Predictor.reset t.pred;
+  Array.fill t.ready 0 (Array.length t.ready) 0.0;
+  t.clock <- 0.0;
+  t.committed <- 0;
+  t.drains <- 0;
+  t.transient <- 0;
+  t.last_fetch_line <- -10;
+  t.l2_stream_line <- -10;
+  t.l2_stream_remaining <- 0;
+  attach t m;
   t
 
 let cycles t = t.clock
@@ -81,27 +122,44 @@ let dcache t = t.dcache
 let dtlb t = t.dtlb
 let machine t = t.m
 
-let reg_ready t regs =
-  List.fold_left (fun acc r -> Float.max acc t.ready.(Reg.index r)) t.clock regs
+(* Pre-resolved register indices from the µop; the fold is a recursion on
+   unboxed floats (a float ref would box per iteration). Order matches
+   the old List.fold_left over [Instr.reads], so totals are
+   bit-identical. *)
+let reg_ready t (srcs : int array) =
+  let ready = t.ready in
+  let n = Array.length srcs in
+  let rec go i acc =
+    if i >= n then acc
+    else go (i + 1) (Float.max acc (Array.unsafe_get ready (Array.unsafe_get srcs i)))
+  in
+  go 0 t.clock
 
-let set_ready t regs at = List.iter (fun r -> t.ready.(Reg.index r) <- at) regs
+let set_ready t (dsts : int array) at =
+  for i = 0 to Array.length dsts - 1 do
+    Array.unsafe_set t.ready (Array.unsafe_get dsts i) at
+  done
 
-let spec_effects t =
-  {
-    Machine.spec_fetch = (fun addr -> ignore (Cache.access t.icache addr));
-    Machine.spec_mem =
-      (fun ~addr ~write ->
-        ignore write;
-        ignore (Tlb.access t.dtlb addr);
-        ignore (Cache.access t.dcache addr));
-  }
+(* Squash and wrong-path execution after a mispredicted transfer. A
+   top-level function (not a closure in [account]) so branch-heavy
+   workloads do not allocate per committed branch. *)
+let wrong_path_from t ~done_at ~actual predicted =
+  if predicted <> actual then begin
+    t.transient <-
+      t.transient + Machine.speculate t.m ~start:predicted ~fuel:t.cfg.spec_window t.spec_fx;
+    t.clock <- done_at +. float_of_int t.cfg.mispredict_penalty
+  end
 
 (* Timing for one committed instruction, given what architecturally
-   happened. *)
+   happened. All static properties (length, operand registers, latency,
+   criticality) come pre-decoded from [info.uop]; the dynamic hooks
+   (caches, TLB, predictor, wrong-path speculation) still fire per
+   committed instruction, so modeled cycles are unchanged. *)
 let account t (info : Machine.exec_info) =
+  let u = info.uop in
   let issue_step = 1.0 /. t.cfg.issue_width in
   (* Fetch: i-cache miss stalls the front end. *)
-  let fetch_addr = Machine.addr_of_index t.m info.index in
+  let fetch_addr = u.Uop.fetch_addr in
   let fetch_line = fetch_addr / 64 in
   let fetch_penalty =
     match Cache.access t.icache fetch_addr with
@@ -111,15 +169,15 @@ let account t (info : Machine.exec_info) =
          445.gobmk effect for hmov, §6.1). The charge lasts one line's
          worth of bytes, then the line is fully resident. *)
       if fetch_line = t.l2_stream_line && t.l2_stream_remaining > 0 then begin
-        t.l2_stream_remaining <- t.l2_stream_remaining - Instr.length info.instr;
-        float_of_int (Instr.length info.instr) /. 16.0
+        t.l2_stream_remaining <- t.l2_stream_remaining - u.Uop.length;
+        float_of_int u.Uop.length /. 16.0
       end
       else 0.0
     | `Miss ->
       t.l2_stream_line <- fetch_line;
-      t.l2_stream_remaining <- 64 - Instr.length info.instr;
+      t.l2_stream_remaining <- 64 - u.Uop.length;
       (* Next-line prefetch hides sequential fetch misses. *)
-      if fetch_line = t.last_fetch_line + 1 then 1.0 +. (float_of_int (Instr.length info.instr) /. 16.0)
+      if fetch_line = t.last_fetch_line + 1 then 1.0 +. (float_of_int u.Uop.length /. 16.0)
       else float_of_int t.cfg.icache.Cache.miss_latency
   in
   t.last_fetch_line <- fetch_line;
@@ -128,29 +186,12 @@ let account t (info : Machine.exec_info) =
      them off the critical path (their results gate nothing until
      retirement) — this is why a predicted-not-taken bounds check is
      cheap while a pointer-chasing load chain is not. *)
-  let srcs = Instr.reads info.instr in
-  let off_critical_path =
-    match info.instr with
-    | Instr.Cmp _ | Instr.Cmp_mem _ | Instr.Jcc _ | Instr.Store _ | Instr.Hstore _
-    | Instr.Push _ ->
-      true
-    | _ -> false
-  in
   let issue =
-    if off_critical_path then t.clock +. issue_step +. fetch_penalty
-    else Float.max (t.clock +. issue_step) (reg_ready t srcs) +. fetch_penalty
+    if u.Uop.off_critical then t.clock +. issue_step +. fetch_penalty
+    else Float.max (t.clock +. issue_step) (reg_ready t u.Uop.reads) +. fetch_penalty
   in
-  (* Execution latency. *)
-  let latency =
-    match info.instr with
-    | Instr.Alu (Instr.Mul, _, _) -> 3.0
-    | Instr.Alu (Instr.Div, _, _) -> 20.0
-    | Instr.Alu (_, _, _) | Instr.Mov _ | Instr.Lea _ | Instr.Cmp _ | Instr.Cmp_mem _ -> 1.0
-    | Instr.Load _ | Instr.Hload _ | Instr.Pop _ | Instr.Ret -> 1.0 (* + memory below *)
-    | Instr.Store _ | Instr.Hstore _ | Instr.Push _ -> 1.0
-    | Instr.Rdtsc _ | Instr.Rdmsr _ -> 2.0
-    | _ -> 1.0
-  in
+  (* Execution latency (pre-decoded per static instruction). *)
+  let latency = u.Uop.latency in
   let mem_latency =
     match info.mem with
     | None -> 0.0
@@ -169,20 +210,12 @@ let account t (info : Machine.exec_info) =
       else float_of_int (tlb_cycles + cache_cycles) +. hfi_extra
   in
   let done_at = issue +. latency +. mem_latency in
-  set_ready t (Instr.writes info.instr) done_at;
+  set_ready t u.Uop.writes done_at;
   t.clock <- issue;
   (* Branch prediction and wrong-path execution. *)
   (match info.branch with
   | None -> ()
   | Some b -> begin
-    let wrong_path_from predicted =
-      if predicted <> b.target then begin
-        t.transient <-
-          t.transient
-          + Machine.speculate t.m ~start:predicted ~fuel:t.cfg.spec_window (spec_effects t);
-        t.clock <- done_at +. float_of_int t.cfg.mispredict_penalty
-      end
-    in
     match b.kind with
     | Machine.Cond ->
       let predicted_taken = Predictor.predict_cond t.pred ~pc:info.index in
@@ -194,18 +227,18 @@ let account t (info : Machine.exec_info) =
         if predicted_taken && not b.taken then
           (* predicted taken, actually fell through: wrong path = the
              encoded target *)
-          (match info.instr with Instr.Jcc (_, tgt) -> tgt | _ -> predicted)
+          (match u.Uop.op with Uop.Ojcc { target; _ } -> target | _ -> predicted)
         else predicted
       in
       if predicted_taken <> b.taken then Predictor.note_cond_mispredict t.pred;
-      wrong_path_from predicted;
+      wrong_path_from t ~done_at ~actual:b.target predicted;
       Predictor.update_cond t.pred ~pc:info.index ~taken:b.taken
     | Machine.Uncond -> ()
     | Machine.Indirect -> begin
       match Predictor.predict_indirect t.pred ~pc:info.index with
       | Some predicted ->
         if predicted <> b.target then Predictor.note_indirect_mispredict t.pred;
-        wrong_path_from predicted;
+        wrong_path_from t ~done_at ~actual:b.target predicted;
         Predictor.update_indirect t.pred ~pc:info.index ~target:b.target
       | None ->
         (* BTB miss: the front end waits for resolution — a stall but no
@@ -217,12 +250,12 @@ let account t (info : Machine.exec_info) =
       Predictor.push_ras t.pred b.fallthrough;
       (* Indirect calls are BTB-predicted: a mistrained BTB sends the
          front end down an attacker-chosen path (Spectre-BTB). *)
-      (match info.instr with
-      | Instr.Call_ind _ -> begin
+      (match u.Uop.op with
+      | Uop.Ocall_ind _ -> begin
         match Predictor.predict_indirect t.pred ~pc:info.index with
         | Some predicted ->
           if predicted <> b.target then Predictor.note_indirect_mispredict t.pred;
-          wrong_path_from predicted
+          wrong_path_from t ~done_at ~actual:b.target predicted
         | None -> t.clock <- done_at +. float_of_int (t.cfg.mispredict_penalty / 2)
       end
       | _ -> ());
@@ -233,7 +266,7 @@ let account t (info : Machine.exec_info) =
       | Some predicted when predicted = b.target -> ()
       | Some predicted ->
         Predictor.note_indirect_mispredict t.pred;
-        wrong_path_from predicted
+        wrong_path_from t ~done_at ~actual:b.target predicted
       | None -> t.clock <- done_at +. float_of_int (t.cfg.mispredict_penalty / 2)
     end
   end);
@@ -241,9 +274,7 @@ let account t (info : Machine.exec_info) =
      the drain penalty. *)
   if info.serializing then begin
     t.drains <- t.drains + 1;
-    let penalty =
-      match info.instr with Instr.Cpuid -> Cost.cpuid_drain | _ -> t.cfg.drain_penalty
-    in
+    let penalty = if u.Uop.is_cpuid then Cost.cpuid_drain else t.cfg.drain_penalty in
     let all_done = Array.fold_left Float.max t.clock t.ready in
     t.clock <- Float.max t.clock all_done +. float_of_int penalty
   end;
@@ -255,20 +286,9 @@ let account t (info : Machine.exec_info) =
   t.committed <- t.committed + 1
 
 let run ?(fuel = max_int) t =
-  (* hoisted: [account t] inside the loop would build a closure per step *)
-  let observe = account t in
-  let remaining = ref fuel in
-  let rec go () =
-    if !remaining <= 0 then Machine.status t.m
-    else begin
-      match Machine.step t.m observe with
-      | Machine.Running ->
-        decr remaining;
-        go ()
-      | (Machine.Halted | Machine.Faulted _) as s -> s
-    end
-  in
-  go ()
+  (* Machine.run picks per-block µop dispatch or the reference AST loop
+     (HFI_DECODE_CACHE); accounting is identical either way. *)
+  Machine.run ~fuel t.m (account t)
 
 let result t =
   {

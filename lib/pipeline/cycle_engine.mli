@@ -45,6 +45,13 @@ val create : ?config:config -> Machine.t -> t
 (** Attach an engine to a machine: installs the rdtsc clock and clflush
     callback. *)
 
+val reset : t -> Machine.t -> t
+(** Rebind the engine to a fresh machine with all timing state back at
+    its post-[create] zero, reusing the cache/TLB/predictor structures
+    and callbacks. Equivalent to [create ~config m] for modeled results;
+    inner experiment loops use it to avoid per-run allocation churn.
+    Returns the engine for call-site convenience. *)
+
 val run : ?fuel:int -> t -> Machine.status
 (** Simulate until halt/fault or [fuel] committed instructions. May be
     called repeatedly; time accumulates. *)

@@ -29,7 +29,7 @@ let default =
 
 type t = {
   cfg : config;
-  m : Machine.t;
+  mutable m : Machine.t;  (* mutable so [reset] can rebind to a new run *)
   icache : Cache.t;
   dcache : Cache.t;
   dtlb : Tlb.t;
@@ -40,6 +40,10 @@ type t = {
   mutable l2_stream_line : int;
   mutable l2_stream_remaining : int;
 }
+
+let attach t m =
+  Machine.set_now m (fun () -> int_of_float t.clock);
+  Machine.set_on_flush m (fun addr -> Cache.flush_line t.dcache addr)
 
 let create ?(config = default) m =
   let t =
@@ -57,35 +61,50 @@ let create ?(config = default) m =
       l2_stream_remaining = 0;
     }
   in
-  Machine.set_now m (fun () -> int_of_float t.clock);
-  Machine.set_on_flush m (fun addr -> Cache.flush_line t.dcache addr);
+  attach t m;
+  t
+
+(* Rebind to a fresh machine with timing state zeroed, reusing the
+   cache/TLB/predictor structures (see Cycle_engine.reset). *)
+let reset t m =
+  t.m <- m;
+  Cache.reset t.icache;
+  Cache.reset t.dcache;
+  Tlb.reset t.dtlb;
+  Predictor.reset t.pred;
+  t.clock <- 0.0;
+  t.committed <- 0;
+  t.last_fetch_line <- -10;
+  t.l2_stream_line <- -10;
+  t.l2_stream_remaining <- 0;
+  attach t m;
   t
 
 (* The accumulator is a chain of let-bound floats rather than a [ref]:
    without flambda every [:=] on a float ref boxes, and this runs once
    per simulated instruction. The addition order is exactly the order
-   the old imperative code used, so cycle totals are bit-identical. *)
+   the old imperative code used, so cycle totals are bit-identical.
+   Static cost properties come pre-decoded from [info.uop]. *)
 let account t (info : Machine.exec_info) =
   let cfg = t.cfg in
+  let u = info.uop in
   let c = 1.0 /. cfg.issue_width in
   let c =
     c
     +.
-    match info.instr with
-    | Instr.Alu (Instr.Mul, _, _) -> cfg.mul_latency
-    | Instr.Alu (Instr.Div, _, _) -> cfg.div_latency
-    | Instr.Alu _ | Instr.Mov _ | Instr.Lea _ | Instr.Cmp _ | Instr.Cmp_mem _ -> cfg.base_alu
-    | Instr.Load _ | Instr.Hload _ | Instr.Pop _ -> cfg.base_load
-    | Instr.Store _ | Instr.Hstore _ | Instr.Push _ -> cfg.base_store
-    | Instr.Jmp _ | Instr.Jcc _ | Instr.Jmp_ind _ | Instr.Call _ | Instr.Call_ind _
-    | Instr.Ret ->
-      cfg.base_branch
-    | _ -> cfg.base_alu
+    match u.Uop.cost_class with
+    | Uop.Cmul -> cfg.mul_latency
+    | Uop.Cdiv -> cfg.div_latency
+    | Uop.Calu -> cfg.base_alu
+    | Uop.Cload -> cfg.base_load
+    | Uop.Cstore -> cfg.base_store
+    | Uop.Cbranch -> cfg.base_branch
+    | Uop.Cother -> cfg.base_alu
   in
   let c =
     if not cfg.model_caches then c
     else begin
-      let fetch_addr = Machine.addr_of_index t.m info.index in
+      let fetch_addr = u.Uop.fetch_addr in
       let line = fetch_addr / 64 in
       let c =
         match Cache.access t.icache fetch_addr with
@@ -93,17 +112,17 @@ let account t (info : Machine.exec_info) =
           (* L2 fetch bandwidth while the line streams in: longer encodings
              consume more of it, for one line's worth of bytes. *)
           if line = t.l2_stream_line && t.l2_stream_remaining > 0 then begin
-            t.l2_stream_remaining <- t.l2_stream_remaining - Instr.length info.instr;
-            c +. (float_of_int (Instr.length info.instr) /. 16.0)
+            t.l2_stream_remaining <- t.l2_stream_remaining - u.Uop.length;
+            c +. (float_of_int u.Uop.length /. 16.0)
           end
           else c
         | `Miss ->
           t.l2_stream_line <- line;
-          t.l2_stream_remaining <- 64 - Instr.length info.instr;
+          t.l2_stream_remaining <- 64 - u.Uop.length;
           (* Next-line prefetch hides sequential fetch misses; only jumpy
              fetch patterns expose the full fill latency. *)
           if line = t.last_fetch_line + 1 then
-            c +. 1.0 +. (float_of_int (Instr.length info.instr) /. 16.0)
+            c +. 1.0 +. (float_of_int u.Uop.length /. 16.0)
           else c +. (float_of_int (Cache.latency t.icache `Miss) *. cfg.miss_overlap)
       in
       t.last_fetch_line <- line;
@@ -163,11 +182,7 @@ let account t (info : Machine.exec_info) =
   in
   let c =
     if info.serializing then
-      c
-      +.
-      match info.instr with
-      | Instr.Cpuid -> float_of_int Cost.cpuid_drain
-      | _ -> cfg.drain_penalty
+      c +. (if u.Uop.is_cpuid then float_of_int Cost.cpuid_drain else cfg.drain_penalty)
     else c
   in
   let c = c +. info.kernel_cycles in
@@ -176,20 +191,9 @@ let account t (info : Machine.exec_info) =
   t.committed <- t.committed + 1
 
 let run ?(fuel = max_int) t =
-  (* hoisted: [account t] inside the loop would build a closure per step *)
-  let observe = account t in
-  let remaining = ref fuel in
-  let rec go () =
-    if !remaining <= 0 then Machine.status t.m
-    else begin
-      match Machine.step t.m observe with
-      | Machine.Running ->
-        decr remaining;
-        go ()
-      | (Machine.Halted | Machine.Faulted _) as s -> s
-    end
-  in
-  go ()
+  (* Machine.run picks per-block µop dispatch or the reference AST loop
+     (HFI_DECODE_CACHE); accounting is identical either way. *)
+  Machine.run ~fuel t.m (account t)
 
 let cycles t = t.clock
 let instrs t = t.committed

@@ -27,6 +27,10 @@ type t
 
 val create : ?config:config -> Machine.t -> t
 
+val reset : t -> Machine.t -> t
+(** Rebind to a fresh machine with timing state zeroed, reusing the
+    cache/TLB/predictor structures (see {!Cycle_engine.reset}). *)
+
 val run : ?fuel:int -> t -> Machine.status
 val cycles : t -> float
 val instrs : t -> int

@@ -7,6 +7,7 @@ type branch_info = { kind : branch_kind; taken : bool; target : int; fallthrough
 type exec_info = {
   index : int;
   instr : Instr.t;
+  uop : Uop.t;
   mem : access option;
   branch : branch_info option;
   serializing : bool;
@@ -21,7 +22,7 @@ type t = {
   mutable pc : int;
   prog : Program.t;
   code_base : int;
-  addr_tab : int array;  (* instruction index -> fetch byte address *)
+  uops : Uop.t array;  (* pre-decoded, shared per program via Uop.decode *)
   mem_ : Addr_space.t;
   kernel : Kernel.t;
   hfi : Hfi.t;
@@ -41,13 +42,20 @@ type t = {
          is redirected to the exit handler) *)
 }
 
+(* When true (the default), [run] executes the pre-decoded µop form with
+   basic-block dispatch; when false ([HFI_DECODE_CACHE=0]) it runs the
+   original match-on-AST interpreter. Both must produce bit-identical
+   modeled results — the equivalence tests flip this in-process. *)
+let decode_dispatch =
+  ref (match Sys.getenv_opt "HFI_DECODE_CACHE" with Some "0" -> false | _ -> true)
+
 let create ?signal_handler ~prog ~code_base ~mem ~kernel ~hfi ~entry () =
   {
     regs = Array.make Reg.count 0;
     pc = entry;
     prog;
     code_base;
-    addr_tab = Array.init (Program.length prog) (fun i -> code_base + Program.byte_offset prog i);
+    uops = Uop.decode prog ~code_base;
     mem_ = mem;
     kernel;
     hfi;
@@ -83,7 +91,7 @@ let instr_count t = t.instr_count
 let last_signal t = t.last_signal
 let last_fault t = t.last_fault
 
-let addr_of_index t i = t.addr_tab.(i)
+let addr_of_index t i = t.uops.(i).Uop.fetch_addr
 
 let index_of_addr t a =
   if a < t.code_base then None else Program.index_of_byte t.prog (a - t.code_base)
@@ -160,16 +168,28 @@ let hmov_paged_access t ~addr ~bytes ~write ~value =
     Hfi.on_hardware_fault t.hfi ~addr:f.addr;
     raise (Trap_exn (Msr.Hardware_fault f.addr))
 
+let out_of_range_fault t =
+  let reason = Msr.Hardware_fault (addr_of_index t 0) in
+  t.status_ <- Faulted reason;
+  t.last_fault <- Some (Msr.to_fault ~cycle:t.instr_count reason);
+  t.status_
+
+let check_ifetch t ~addr =
+  match Hfi.check_ifetch t.hfi ~addr with
+  | Ok () -> ()
+  | Error v ->
+    ignore (Hfi.record_violation t.hfi v);
+    raise (Trap_exn (Msr.Bounds_violation v))
+
+(* ------------------------------------------------------------------ *)
+(* Reference interpreter: match on the instruction AST. Kept verbatim as
+   the semantic baseline the µop path is tested against. *)
+
 let step t (observe : exec_info -> unit) =
   match t.status_ with
   | Halted | Faulted _ -> t.status_
   | Running ->
-    if t.pc < 0 || t.pc >= Program.length t.prog then begin
-      let reason = Msr.Hardware_fault (addr_of_index t 0) in
-      t.status_ <- Faulted reason;
-      t.last_fault <- Some (Msr.to_fault ~cycle:t.instr_count reason);
-      t.status_
-    end
+    if t.pc < 0 || t.pc >= Program.length t.prog then out_of_range_fault t
     else begin
       let index = t.pc in
       let ins = Program.get t.prog index in
@@ -184,11 +204,7 @@ let step t (observe : exec_info -> unit) =
       t.instr_count <- t.instr_count + 1;
       (try
          (* Decode-stage code-region check (§4.1). *)
-         (match Hfi.check_ifetch t.hfi ~addr:pc_addr with
-         | Ok () -> ()
-         | Error v ->
-           ignore (Hfi.record_violation t.hfi v);
-           raise (Trap_exn (Msr.Bounds_violation v)));
+         check_ifetch t ~addr:pc_addr;
          match ins with
          | Instr.Mov (d, s) -> set_reg t d (src_value t s)
          | Instr.Load (w, d, m) ->
@@ -383,14 +399,19 @@ let step t (observe : exec_info -> unit) =
       let serializing =
         drains > 0 || (match ins with Instr.Cpuid | Instr.Mfence -> true | _ -> false)
       in
+      (* Only syscalls (and signal delivery) charge kernel time; when the
+         boxed cycles field is physically unchanged, skip the float
+         subtraction — it would allocate a fresh box every step. *)
+      let kcycles1 = Kernel.cycles t.kernel in
       let info =
         {
           index;
           instr = ins;
+          uop = Array.unsafe_get t.uops index;
           mem = !mem_acc;
           branch = !branch;
           serializing;
-          kernel_cycles = Kernel.cycles t.kernel -. kcycles0;
+          kernel_cycles = (if kcycles1 = kcycles0 then 0.0 else kcycles1 -. kcycles0);
           signal = !signal;
         }
       in
@@ -399,7 +420,302 @@ let step t (observe : exec_info -> unit) =
       t.status_
     end
 
-let run ?(fuel = max_int) t observe =
+(* ------------------------------------------------------------------ *)
+(* µop interpreter: same semantics as [step], dispatching on the
+   pre-decoded form — operands are already resolved to register indices
+   and immediates, so the hot path does no option matches, no
+   [Reg.index] calls, and no width decoding. *)
+
+let rsp_i = Reg.index Reg.RSP
+let rax_i = Reg.index Reg.RAX
+let rbx_i = Reg.index Reg.RBX
+let rcx_i = Reg.index Reg.RCX
+let rdx_i = Reg.index Reg.RDX
+let rdi_i = Reg.index Reg.RDI
+let rsi_i = Reg.index Reg.RSI
+
+(* Decoded register slots come from [Reg.index], so unsafe access is as
+   provably in-bounds as in [get_reg]/[set_reg]; -1 (absent operand) is
+   always guarded before use. *)
+let[@inline] rget t i = Array.unsafe_get t.regs i
+let[@inline] rset t i v = Array.unsafe_set t.regs i v
+let[@inline] srcv t sreg simm = if sreg >= 0 then rget t sreg else simm
+
+let[@inline] ea_parts t ~mbase ~midx ~mscale ~mdisp =
+  (if mbase >= 0 then rget t mbase else 0)
+  + ((if midx >= 0 then rget t midx else 0) * mscale)
+  + mdisp
+
+let hmov_resolve_idx t ~region ~midx ~mscale ~mdisp ~bytes ~write =
+  let index_value = if midx >= 0 then rget t midx else 0 in
+  let ea =
+    Hfi.check_hmov_ea t.hfi ~region ~index_value ~scale:mscale ~disp:mdisp ~bytes ~write
+  in
+  if ea >= 0 then ea
+  else begin
+    match Hfi.check_hmov t.hfi ~region ~index_value ~scale:mscale ~disp:mdisp ~bytes ~write with
+    | Ok ea -> ea
+    | Error v ->
+      ignore (Hfi.record_violation t.hfi v);
+      raise (Trap_exn (Msr.Bounds_violation v))
+  end
+
+(* One fused step over a µop (the caller validated the pc). Mirrors
+   [step] case-for-case; the same per-step event record is built, from
+   the same young allocations, so observers and GC behavior match. *)
+let step_uop t (u : Uop.t) (observe : exec_info -> unit) =
+  let index = u.Uop.index in
+  let pc_addr = u.Uop.fetch_addr in
+  let mem_acc = ref None in
+  let branch = ref None in
+  let signal = ref None in
+  let kcycles0 = Kernel.cycles t.kernel in
+  let drains0 = (Hfi.stats t.hfi).Hfi.drains in
+  let fallthrough = index + 1 in
+  let next = ref fallthrough in
+  t.instr_count <- t.instr_count + 1;
+  (try
+     check_ifetch t ~addr:pc_addr;
+     match u.Uop.op with
+     | Uop.Omov { d; sreg; simm } -> rset t d (srcv t sreg simm)
+     | Uop.Oload { bytes; d; mbase; midx; mscale; mdisp } ->
+       let addr = ea_parts t ~mbase ~midx ~mscale ~mdisp in
+       mem_acc := Some { addr; bytes; write = false; via_hmov = false };
+       rset t d (data_access t ~addr ~bytes ~write:false ~value:0)
+     | Uop.Ostore { bytes; mask; mbase; midx; mscale; mdisp; sreg; simm } ->
+       let addr = ea_parts t ~mbase ~midx ~mscale ~mdisp in
+       mem_acc := Some { addr; bytes; write = true; via_hmov = false };
+       ignore (data_access t ~addr ~bytes ~write:true ~value:(srcv t sreg simm land mask))
+     | Uop.Ohload { region; bytes; d; midx; mscale; mdisp } ->
+       let addr = hmov_resolve_idx t ~region ~midx ~mscale ~mdisp ~bytes ~write:false in
+       mem_acc := Some { addr; bytes; write = false; via_hmov = true };
+       rset t d (hmov_paged_access t ~addr ~bytes ~write:false ~value:0)
+     | Uop.Ohstore { region; bytes; mask; midx; mscale; mdisp; sreg; simm } ->
+       let addr = hmov_resolve_idx t ~region ~midx ~mscale ~mdisp ~bytes ~write:true in
+       mem_acc := Some { addr; bytes; write = true; via_hmov = true };
+       ignore
+         (hmov_paged_access t ~addr ~bytes ~write:true ~value:(srcv t sreg simm land mask))
+     | Uop.Olea { d; mbase; midx; mscale; mdisp } ->
+       rset t d (ea_parts t ~mbase ~midx ~mscale ~mdisp)
+     | Uop.Oalu { op; d; sreg; simm } -> rset t d (alu op (rget t d) (srcv t sreg simm))
+     | Uop.Ocmp { d; sreg; simm } ->
+       t.cmp_b <- srcv t sreg simm;
+       t.cmp_a <- rget t d
+     | Uop.Ocmp_mem { d; mbase; midx; mscale; mdisp } ->
+       let addr = ea_parts t ~mbase ~midx ~mscale ~mdisp in
+       mem_acc := Some { addr; bytes = 8; write = false; via_hmov = false };
+       let b = data_access t ~addr ~bytes:8 ~write:false ~value:0 in
+       t.cmp_b <- b;
+       t.cmp_a <- rget t d
+     | Uop.Ojmp tgt ->
+       next := tgt;
+       branch := Some { kind = Uncond; taken = true; target = tgt; fallthrough }
+     | Uop.Ojcc { cond; target } ->
+       let taken = Instr.eval_cond cond t.cmp_a t.cmp_b in
+       if taken then next := target;
+       branch := Some { kind = Cond; taken; target = !next; fallthrough }
+     | Uop.Ojmp_ind r -> begin
+       let a = rget t r in
+       match index_of_addr t a with
+       | Some i ->
+         next := i;
+         branch := Some { kind = Indirect; taken = true; target = i; fallthrough }
+       | None -> raise (Trap_exn (Msr.Hardware_fault a))
+     end
+     | Uop.Ocall tgt ->
+       let rsp = rget t rsp_i - 8 in
+       rset t rsp_i rsp;
+       mem_acc := Some { addr = rsp; bytes = 8; write = true; via_hmov = false };
+       ignore
+         (data_access t ~addr:rsp ~bytes:8 ~write:true ~value:(addr_of_index t fallthrough));
+       next := tgt;
+       branch := Some { kind = Call_k; taken = true; target = tgt; fallthrough }
+     | Uop.Ocall_ind r -> begin
+       let a = rget t r in
+       match index_of_addr t a with
+       | Some i ->
+         let rsp = rget t rsp_i - 8 in
+         rset t rsp_i rsp;
+         mem_acc := Some { addr = rsp; bytes = 8; write = true; via_hmov = false };
+         ignore
+           (data_access t ~addr:rsp ~bytes:8 ~write:true
+              ~value:(addr_of_index t fallthrough));
+         next := i;
+         branch := Some { kind = Call_k; taken = true; target = i; fallthrough }
+       | None -> raise (Trap_exn (Msr.Hardware_fault a))
+     end
+     | Uop.Oret -> begin
+       let rsp = rget t rsp_i in
+       mem_acc := Some { addr = rsp; bytes = 8; write = false; via_hmov = false };
+       let ra = data_access t ~addr:rsp ~bytes:8 ~write:false ~value:0 in
+       rset t rsp_i (rsp + 8);
+       match index_of_addr t ra with
+       | Some i ->
+         next := i;
+         branch := Some { kind = Ret_k; taken = true; target = i; fallthrough }
+       | None -> raise (Trap_exn (Msr.Hardware_fault ra))
+     end
+     | Uop.Opush r ->
+       let rsp = rget t rsp_i - 8 in
+       rset t rsp_i rsp;
+       mem_acc := Some { addr = rsp; bytes = 8; write = true; via_hmov = false };
+       ignore (data_access t ~addr:rsp ~bytes:8 ~write:true ~value:(rget t r))
+     | Uop.Opop r ->
+       let rsp = rget t rsp_i in
+       mem_acc := Some { addr = rsp; bytes = 8; write = false; via_hmov = false };
+       rset t r (data_access t ~addr:rsp ~bytes:8 ~write:false ~value:0);
+       rset t rsp_i (rsp + 8)
+     | Uop.Osyscall -> begin
+       let number = rget t rax_i in
+       match Hfi.on_syscall t.hfi ~number with
+       | `Allow ->
+         let result =
+           Kernel.dispatch t.kernel ~number ~arg0:(rget t rdi_i) ~arg1:(rget t rsi_i)
+             ~arg2:(rget t rdx_i)
+         in
+         rset t rax_i result
+       | `Redirect h -> begin
+         t.resume <- Some fallthrough;
+         match index_of_addr t h with
+         | Some i -> next := i
+         | None -> raise (Trap_exn (Msr.Hardware_fault h))
+       end
+       | `Fault -> raise (Trap_exn (Msr.Syscall_trap number))
+     end
+     | Uop.Ohfi_enter spec -> begin
+       match Hfi.exec_enter t.hfi spec with
+       | Hfi.Continue -> ()
+       | Hfi.Jump a -> begin
+         match index_of_addr t a with
+         | Some i -> next := i
+         | None -> raise (Trap_exn (Msr.Hardware_fault a))
+       end
+       | Hfi.Trap r -> raise (Trap_exn r)
+     end
+     | Uop.Ohfi_exit -> begin
+       match Hfi.exec_exit t.hfi with
+       | Hfi.Continue -> ()
+       | Hfi.Jump a -> begin
+         match index_of_addr t a with
+         | Some i -> next := i
+         | None -> raise (Trap_exn (Msr.Hardware_fault a))
+       end
+       | Hfi.Trap r -> raise (Trap_exn r)
+     end
+     | Uop.Ohfi_reenter -> begin
+       match Hfi.exec_reenter t.hfi with
+       | Hfi.Continue -> begin
+         match t.resume with
+         | Some i ->
+           next := i;
+           t.resume <- None
+         | None -> ()
+       end
+       | Hfi.Jump a -> begin
+         match index_of_addr t a with
+         | Some i -> next := i
+         | None -> raise (Trap_exn (Msr.Hardware_fault a))
+       end
+       | Hfi.Trap r -> raise (Trap_exn r)
+     end
+     | Uop.Ohfi_set_region { slot; region } -> begin
+       match Hfi.exec_set_region t.hfi ~slot region with
+       | Hfi.Continue -> ()
+       | Hfi.Jump _ -> ()
+       | Hfi.Trap reason -> raise (Trap_exn reason)
+     end
+     | Uop.Ohfi_clear_region slot -> begin
+       match Hfi.exec_clear_region t.hfi ~slot with
+       | Hfi.Continue | Hfi.Jump _ -> ()
+       | Hfi.Trap reason -> raise (Trap_exn reason)
+     end
+     | Uop.Ohfi_clear_all -> begin
+       match Hfi.exec_clear_all t.hfi with
+       | Hfi.Continue | Hfi.Jump _ -> ()
+       | Hfi.Trap reason -> raise (Trap_exn reason)
+     end
+     | Uop.Ohfi_get_region { slot; d } -> begin
+       match Hfi.exec_get_region t.hfi ~slot with
+       | Ok v -> rset t d v
+       | Error reason -> raise (Trap_exn reason)
+     end
+     | Uop.Ocpuid ->
+       rset t rax_i 0;
+       rset t rbx_i 0;
+       rset t rcx_i 0;
+       rset t rdx_i 0
+     | Uop.Ordtsc d -> rset t d (t.now ())
+     | Uop.Ordmsr d -> rset t d (Msr.encode (Hfi.exit_reason t.hfi))
+     | Uop.Oclflush { mbase; midx; mscale; mdisp } ->
+       t.on_flush (ea_parts t ~mbase ~midx ~mscale ~mdisp)
+     | Uop.Omfence | Uop.Onop -> ()
+     | Uop.Ohalt -> t.status_ <- Halted
+   with Trap_exn reason -> begin
+     signal := Some reason;
+     t.last_signal <- Some reason;
+     t.last_fault <- Some (Msr.to_fault ~pc:pc_addr ~cycle:t.instr_count reason);
+     match t.signal_handler with
+     | Some h -> next := h
+     | None -> t.status_ <- Faulted reason
+   end);
+  let drains = (Hfi.stats t.hfi).Hfi.drains - drains0 in
+  let serializing = drains > 0 || u.Uop.base_serializing in
+  (* Same boxed-cycles fast path as [step]. *)
+  let kcycles1 = Kernel.cycles t.kernel in
+  let info =
+    {
+      index;
+      instr = u.Uop.instr;
+      uop = u;
+      mem = !mem_acc;
+      branch = !branch;
+      serializing;
+      kernel_cycles = (if kcycles1 = kcycles0 then 0.0 else kcycles1 -. kcycles0);
+      signal = !signal;
+    }
+  in
+  (match t.status_ with Running -> t.pc <- !next | Halted | Faulted _ -> ());
+  observe info;
+  t.status_
+
+(* Basic-block dispatch: fetch the block extent once, then run straight-
+   line instructions in a tight inner loop that only re-checks block
+   membership — not the status match, pc bounds, or the AST — per
+   instruction. Any divergence (branch, trap redirect, halt, fuel) falls
+   back to the outer loop. *)
+let run_uop t ~fuel observe =
+  let uops = t.uops in
+  let len = Array.length uops in
+  let remaining = ref fuel in
+  let rec outer () =
+    if !remaining <= 0 then t.status_
+    else begin
+      match t.status_ with
+      | (Halted | Faulted _) as s -> s
+      | Running ->
+        if t.pc < 0 || t.pc >= len then out_of_range_fault t
+        else begin
+          (* t.pc is validated above and the inner loop only advances to
+             indices <= block_last < len, so unsafe_get is in bounds. *)
+          let last = (Array.unsafe_get uops t.pc).Uop.block_last in
+          let i = ref t.pc in
+          let inner = ref true in
+          while !inner do
+            let u = Array.unsafe_get uops !i in
+            match step_uop t u observe with
+            | Running ->
+              decr remaining;
+              if !remaining > 0 && !i < last && t.pc = !i + 1 then incr i
+              else inner := false
+            | Halted | Faulted _ -> inner := false
+          done;
+          outer ()
+        end
+    end
+  in
+  outer ()
+
+let run_ast t ~fuel observe =
   let remaining = ref fuel in
   let rec go () =
     if !remaining <= 0 then t.status_
@@ -413,6 +729,9 @@ let run ?(fuel = max_int) t observe =
   in
   go ()
 
+let run ?(fuel = max_int) t observe =
+  if !decode_dispatch then run_uop t ~fuel observe else run_ast t ~fuel observe
+
 type spec_effects = {
   spec_fetch : int -> unit;
   spec_mem : addr:int -> write:bool -> unit;
@@ -423,17 +742,37 @@ type spec_effects = {
    hardware would: a failed check produces no cache-visible access. A
    transient hfi_exit in an *unserialized* sandbox disables checking for
    the remainder of the window — the attack §3.4's serialization (and the
-   switch-on-exit extension) exists to prevent. *)
+   switch-on-exit extension) exists to prevent.
+
+   Runs on the µop form: mispredicts spawn up to a full ROB window of
+   wrong-path instructions, so this loop is as hot as the committed
+   path. Module-level helpers over the shadow array (not closures) keep
+   it allocation-free after the register copy. *)
+
+let[@inline] sget (sregs : int array) i = Array.unsafe_get sregs i
+let[@inline] sset (sregs : int array) i v = Array.unsafe_set sregs i v
+let[@inline] ssrc sregs sreg simm = if sreg >= 0 then sget sregs sreg else simm
+
+let[@inline] sea sregs ~mbase ~midx ~mscale ~mdisp =
+  (if mbase >= 0 then sget sregs mbase else 0)
+  + ((if midx >= 0 then sget sregs midx else 0) * mscale)
+  + mdisp
+
+let ifetch_ok t ~addr =
+  match Hfi.check_ifetch t.hfi ~addr with Ok () -> true | Error _ -> false
+
+let mem_ok t addr = match Addr_space.perm_at t.mem_ addr with Some _ -> true | None -> false
+
+let spec_check_data t ~on ~addr ~bytes acc =
+  if not on then true
+  else begin
+    match Hfi.check_data_access t.hfi ~addr ~bytes acc with Ok () -> true | Error _ -> false
+  end
+
 let speculate t ~start ~fuel effects =
   let sregs = Array.copy t.regs in
-  let get r = sregs.(Reg.index r) in
-  let set r v = sregs.(Reg.index r) <- v in
-  let sval = function Instr.Imm i -> i | Instr.Reg r -> get r in
-  let ea (m : Instr.mem) =
-    let base = match m.base with Some r -> get r | None -> 0 in
-    let index = match m.index with Some r -> get r | None -> 0 in
-    base + (index * m.scale) + m.disp
-  in
+  let uops = t.uops in
+  let len = Array.length uops in
   let scmp_a = ref t.cmp_a and scmp_b = ref t.cmp_b in
   (* Transient view of the HFI enable bit; region registers are read from
      the architectural state (speculation does not retire updates). *)
@@ -447,121 +786,111 @@ let speculate t ~start ~fuel effects =
   let executed = ref 0 in
   let pc = ref start in
   let stop = ref false in
-  let check_data addr bytes acc =
-    if not !hfi_on then true
-    else begin
-      match Hfi.check_data_access t.hfi ~addr ~bytes acc with Ok () -> true | Error _ -> false
-    end
-  in
-  let mem_ok addr = Addr_space.perm_at t.mem_ addr <> None in
-  while (not !stop) && !executed < fuel && !pc >= 0 && !pc < Program.length t.prog do
-    let ins = Program.get t.prog !pc in
+  while (not !stop) && !executed < fuel && !pc >= 0 && !pc < len do
+    let u = Array.unsafe_get uops !pc in
     (* Decode-stage code-region gate (§4.1): out-of-region transient
        instructions become faulting NOPs and never execute. *)
-    if !hfi_on && Hfi.check_ifetch t.hfi ~addr:(addr_of_index t !pc) <> Ok () then stop := true
+    if !hfi_on && not (ifetch_ok t ~addr:u.Uop.fetch_addr) then stop := true
     else begin
-    effects.spec_fetch (addr_of_index t !pc);
-    incr executed;
-    let next = ref (!pc + 1) in
-    (match ins with
-    | Instr.Mov (d, s) -> set d (sval s)
-    | Instr.Load (w, d, m) ->
-      let addr = ea m in
-      let bytes = Instr.width_bytes w in
-      if check_data addr bytes `Read && mem_ok addr then begin
-        effects.spec_mem ~addr ~write:false;
-        set d (Addr_space.peek t.mem_ ~addr ~bytes)
+      effects.spec_fetch u.Uop.fetch_addr;
+      incr executed;
+      let next = ref (!pc + 1) in
+      (match u.Uop.op with
+      | Uop.Omov { d; sreg; simm } -> sset sregs d (ssrc sregs sreg simm)
+      | Uop.Oload { bytes; d; mbase; midx; mscale; mdisp } ->
+        let addr = sea sregs ~mbase ~midx ~mscale ~mdisp in
+        if spec_check_data t ~on:!hfi_on ~addr ~bytes `Read && mem_ok t addr then begin
+          effects.spec_mem ~addr ~write:false;
+          sset sregs d (Addr_space.peek t.mem_ ~addr ~bytes)
+        end
+        else stop := true (* faulting transient load yields no value *)
+      | Uop.Ostore { mbase; midx; mscale; mdisp; _ } ->
+        let addr = sea sregs ~mbase ~midx ~mscale ~mdisp in
+        (* Stores sit in the store buffer; no cache update pre-commit. *)
+        if not (spec_check_data t ~on:!hfi_on ~addr ~bytes:1 `Write) then stop := true
+      | Uop.Ohload { region; bytes; d; midx; mscale; mdisp } -> begin
+        let index_value = if midx >= 0 then sget sregs midx else 0 in
+        match
+          Hfi.check_hmov t.hfi ~region ~index_value ~scale:mscale ~disp:mdisp ~bytes
+            ~write:false
+        with
+        | Ok addr when mem_ok t addr ->
+          effects.spec_mem ~addr ~write:false;
+          sset sregs d (Addr_space.peek t.mem_ ~addr ~bytes)
+        | Ok _ | Error _ -> stop := true
       end
-      else stop := true (* faulting transient load yields no value *)
-    | Instr.Store (_, m, _) ->
-      let addr = ea m in
-      (* Stores sit in the store buffer; no cache update pre-commit. *)
-      if not (check_data addr 1 `Write) then stop := true
-    | Instr.Hload (n, w, d, m) -> begin
-      let bytes = Instr.width_bytes w in
-      let index_value = match m.index with Some r -> get r | None -> 0 in
-      match
-        Hfi.check_hmov t.hfi ~region:n ~index_value ~scale:m.scale ~disp:m.disp ~bytes
-          ~write:false
-      with
-      | Ok addr when mem_ok addr ->
-        effects.spec_mem ~addr ~write:false;
-        set d (Addr_space.peek t.mem_ ~addr ~bytes)
-      | Ok _ | Error _ -> stop := true
-    end
-    | Instr.Hstore (_, _, _, _) -> ()
-    | Instr.Lea (d, m) -> set d (ea m)
-    | Instr.Alu (op, d, s) -> begin
-      match op with
-      | Instr.Div when sval s = 0 -> stop := true
-      | _ -> set d (alu op (get d) (sval s))
-    end
-    | Instr.Cmp (d, s) ->
-      scmp_b := sval s;
-      scmp_a := get d
-    | Instr.Cmp_mem (d, m) ->
-      let addr = ea m in
-      if mem_ok addr && check_data addr 8 `Read then begin
-        effects.spec_mem ~addr ~write:false;
-        scmp_b := Addr_space.peek t.mem_ ~addr ~bytes:8;
-        scmp_a := get d
+      | Uop.Ohstore _ -> ()
+      | Uop.Olea { d; mbase; midx; mscale; mdisp } ->
+        sset sregs d (sea sregs ~mbase ~midx ~mscale ~mdisp)
+      | Uop.Oalu { op; d; sreg; simm } -> begin
+        match op with
+        | Instr.Div when ssrc sregs sreg simm = 0 -> stop := true
+        | _ -> sset sregs d (alu op (sget sregs d) (ssrc sregs sreg simm))
       end
-      else stop := true
-    | Instr.Jmp tgt -> next := tgt
-    | Instr.Jcc (c, tgt) ->
-      if Instr.eval_cond c !scmp_a !scmp_b then next := tgt
-    | Instr.Jmp_ind r -> begin
-      match index_of_addr t (get r) with Some i -> next := i | None -> stop := true
-    end
-    | Instr.Call tgt ->
-      set Reg.RSP (get Reg.RSP - 8);
-      next := tgt
-    | Instr.Call_ind r -> begin
-      set Reg.RSP (get Reg.RSP - 8);
-      match index_of_addr t (get r) with Some i -> next := i | None -> stop := true
-    end
-    | Instr.Ret -> begin
-      let rsp = get Reg.RSP in
-      if mem_ok rsp && check_data rsp 8 `Read then begin
-        effects.spec_mem ~addr:rsp ~write:false;
-        let ra = Addr_space.peek t.mem_ ~addr:rsp ~bytes:8 in
-        set Reg.RSP (rsp + 8);
-        match index_of_addr t ra with Some i -> next := i | None -> stop := true
+      | Uop.Ocmp { d; sreg; simm } ->
+        scmp_b := ssrc sregs sreg simm;
+        scmp_a := sget sregs d
+      | Uop.Ocmp_mem { d; mbase; midx; mscale; mdisp } ->
+        let addr = sea sregs ~mbase ~midx ~mscale ~mdisp in
+        if mem_ok t addr && spec_check_data t ~on:!hfi_on ~addr ~bytes:8 `Read then begin
+          effects.spec_mem ~addr ~write:false;
+          scmp_b := Addr_space.peek t.mem_ ~addr ~bytes:8;
+          scmp_a := sget sregs d
+        end
+        else stop := true
+      | Uop.Ojmp tgt -> next := tgt
+      | Uop.Ojcc { cond; target } ->
+        if Instr.eval_cond cond !scmp_a !scmp_b then next := target
+      | Uop.Ojmp_ind r -> begin
+        match index_of_addr t (sget sregs r) with Some i -> next := i | None -> stop := true
       end
-      else stop := true
-    end
-    | Instr.Push r ->
-      ignore r;
-      set Reg.RSP (get Reg.RSP - 8)
-    | Instr.Pop r ->
-      let rsp = get Reg.RSP in
-      if mem_ok rsp && check_data rsp 8 `Read then begin
-        effects.spec_mem ~addr:rsp ~write:false;
-        set r (Addr_space.peek t.mem_ ~addr:rsp ~bytes:8);
-        set Reg.RSP (rsp + 8)
+      | Uop.Ocall tgt ->
+        sset sregs rsp_i (sget sregs rsp_i - 8);
+        next := tgt
+      | Uop.Ocall_ind r -> begin
+        sset sregs rsp_i (sget sregs rsp_i - 8);
+        match index_of_addr t (sget sregs r) with Some i -> next := i | None -> stop := true
       end
-      else stop := true
-    | Instr.Syscall ->
-      (* Syscalls do not execute speculatively. *)
-      stop := true
-    | Instr.Hfi_enter spec ->
-      if spec.Hfi_iface.is_serialized then stop := true else hfi_on := true
-    | Instr.Hfi_exit ->
-      (* The §3.4 risk: an unserialized transient hfi_exit disables
-         checking on the wrong path. Serialization (or switch-on-exit)
-         stops speculation here instead. *)
-      if serialized_sandbox then stop := true else hfi_on := false
-    | Instr.Hfi_reenter -> stop := true
-    | Instr.Hfi_set_region _ | Instr.Hfi_clear_region _ | Instr.Hfi_clear_all_regions ->
-      stop := true
-    | Instr.Hfi_get_region (_, d) -> set d 0
-    | Instr.Cpuid | Instr.Mfence -> stop := true
-    | Instr.Rdtsc d -> set d (t.now ())
-    | Instr.Rdmsr d -> set d (Msr.encode (Hfi.exit_reason t.hfi))
-    | Instr.Clflush _ -> ()
-    | Instr.Nop -> ()
-    | Instr.Halt -> stop := true);
-    if not !stop then pc := !next
+      | Uop.Oret -> begin
+        let rsp = sget sregs rsp_i in
+        if mem_ok t rsp && spec_check_data t ~on:!hfi_on ~addr:rsp ~bytes:8 `Read then begin
+          effects.spec_mem ~addr:rsp ~write:false;
+          let ra = Addr_space.peek t.mem_ ~addr:rsp ~bytes:8 in
+          sset sregs rsp_i (rsp + 8);
+          match index_of_addr t ra with Some i -> next := i | None -> stop := true
+        end
+        else stop := true
+      end
+      | Uop.Opush _ -> sset sregs rsp_i (sget sregs rsp_i - 8)
+      | Uop.Opop r ->
+        let rsp = sget sregs rsp_i in
+        if mem_ok t rsp && spec_check_data t ~on:!hfi_on ~addr:rsp ~bytes:8 `Read then begin
+          effects.spec_mem ~addr:rsp ~write:false;
+          sset sregs r (Addr_space.peek t.mem_ ~addr:rsp ~bytes:8);
+          sset sregs rsp_i (rsp + 8)
+        end
+        else stop := true
+      | Uop.Osyscall ->
+        (* Syscalls do not execute speculatively. *)
+        stop := true
+      | Uop.Ohfi_enter spec ->
+        if spec.Hfi_iface.is_serialized then stop := true else hfi_on := true
+      | Uop.Ohfi_exit ->
+        (* The §3.4 risk: an unserialized transient hfi_exit disables
+           checking on the wrong path. Serialization (or switch-on-exit)
+           stops speculation here instead. *)
+        if serialized_sandbox then stop := true else hfi_on := false
+      | Uop.Ohfi_reenter -> stop := true
+      | Uop.Ohfi_set_region _ | Uop.Ohfi_clear_region _ | Uop.Ohfi_clear_all ->
+        stop := true
+      | Uop.Ohfi_get_region { d; _ } -> sset sregs d 0
+      | Uop.Ocpuid | Uop.Omfence -> stop := true
+      | Uop.Ordtsc d -> sset sregs d (t.now ())
+      | Uop.Ordmsr d -> sset sregs d (Msr.encode (Hfi.exit_reason t.hfi))
+      | Uop.Oclflush _ -> ()
+      | Uop.Onop -> ()
+      | Uop.Ohalt -> stop := true);
+      if not !stop then pc := !next
     end
   done;
   !executed

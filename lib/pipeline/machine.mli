@@ -27,12 +27,20 @@ type branch_info = {
 type exec_info = {
   index : int;  (** index of the instruction that just executed *)
   instr : Instr.t;
+  uop : Uop.t;  (** pre-decoded form of [instr] (cost metadata) *)
   mem : access option;
   branch : branch_info option;
   serializing : bool;  (** pipeline drain required (cpuid/mfence/HFI) *)
   kernel_cycles : float;  (** kernel time consumed by this instruction *)
   signal : Msr.t option;  (** a trap was delivered to the signal handler *)
 }
+
+val decode_dispatch : bool ref
+(** When true (default; [HFI_DECODE_CACHE=0] flips it at startup), [run]
+    dispatches on the pre-decoded µop form with basic-block inner loops;
+    when false it runs the reference match-on-AST interpreter. Both
+    produce bit-identical architectural and modeled results — tests flip
+    this in-process to prove it. *)
 
 type status = Running | Halted | Faulted of Msr.t
 
@@ -85,11 +93,13 @@ val effective_address : t -> Instr.mem -> int
 (** Evaluate a memory operand against the current register file. *)
 
 val step : t -> (exec_info -> unit) -> status
-(** Execute one instruction; the callback observes what happened before
-    the status is returned. No-op when already halted or faulted. *)
+(** Execute one instruction via the reference AST interpreter; the
+    callback observes what happened before the status is returned. No-op
+    when already halted or faulted. *)
 
 val run : ?fuel:int -> t -> (exec_info -> unit) -> status
-(** Step until [Halted], [Faulted], or [fuel] instructions. *)
+(** Step until [Halted], [Faulted], or [fuel] instructions. Dispatches
+    per {!decode_dispatch}; both paths observe identical events. *)
 
 (** {1 Wrong-path speculation support}
 

@@ -74,6 +74,18 @@ let pop_ras t =
     Some t.ras.(ras_slot t t.ras_top)
   end
 
+(* Back to the post-[create] state without reallocating the tables. *)
+let reset t =
+  Array.fill t.pht 0 (Array.length t.pht) 1 (* weakly not-taken *);
+  t.history <- 0;
+  Array.fill t.btb_tags 0 (Array.length t.btb_tags) (-1);
+  Array.fill t.btb_targets 0 (Array.length t.btb_targets) 0;
+  Array.fill t.ras 0 (Array.length t.ras) 0;
+  t.ras_top <- 0;
+  t.cond_lookups <- 0;
+  t.cond_miss <- 0;
+  t.ind_miss <- 0
+
 let cond_lookups t = t.cond_lookups
 let cond_mispredicts t = t.cond_miss
 let note_cond_mispredict t = t.cond_miss <- t.cond_miss + 1

@@ -30,6 +30,10 @@ val update_indirect : t -> pc:int -> target:int -> unit
 val push_ras : t -> int -> unit
 val pop_ras : t -> int option
 
+val reset : t -> unit
+(** Return to the post-[create] state (PHT weakly not-taken, BTB and RAS
+    empty, counters zeroed) without reallocating the tables. *)
+
 val cond_lookups : t -> int
 val cond_mispredicts : t -> int
 val note_cond_mispredict : t -> unit

@@ -72,13 +72,21 @@ let kernel t = t.kernel
 let hfi t = t.hfi
 let program t = t.program
 
-let run_fast ?fuel t =
-  let e = Fast_engine.create t.machine in
+let run_fast ?fuel ?engine t =
+  let e =
+    match engine with
+    | Some e -> Fast_engine.reset e t.machine
+    | None -> Fast_engine.create t.machine
+  in
   let status = Fast_engine.run ?fuel e in
   (Fast_engine.cycles e, status)
 
-let run_cycle ?fuel ?config t =
-  let e = Cycle_engine.create ?config t.machine in
+let run_cycle ?fuel ?config ?engine t =
+  let e =
+    match engine with
+    | Some e -> Cycle_engine.reset e t.machine
+    | None -> Cycle_engine.create ?config t.machine
+  in
   ignore (Cycle_engine.run ?fuel e);
   Cycle_engine.result e
 

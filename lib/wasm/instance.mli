@@ -51,11 +51,17 @@ val kernel : t -> Kernel.t
 val hfi : t -> Hfi.t
 val program : t -> Program.t
 
-val run_fast : ?fuel:int -> t -> float * Machine.status
+val run_fast : ?fuel:int -> ?engine:Fast_engine.t -> t -> float * Machine.status
 (** Execute on the fast engine; returns total cycles (engine + kernel
-    time is already folded in) and the final status. *)
+    time is already folded in) and the final status. Passing [engine]
+    rebinds it to this instance via {!Fast_engine.reset} instead of
+    allocating a fresh one — modeled results are identical; experiment
+    inner loops use it to avoid per-run cache/predictor allocation. *)
 
-val run_cycle : ?fuel:int -> ?config:Cycle_engine.config -> t -> Cycle_engine.result
+val run_cycle :
+  ?fuel:int -> ?config:Cycle_engine.config -> ?engine:Cycle_engine.t -> t -> Cycle_engine.result
+(** Execute on the cycle engine. [engine] as in {!run_fast} (it keeps its
+    own config; [config] only applies when no engine is passed). *)
 
 val result_rax : t -> int
 (** RAX after the run — the module's return value. *)

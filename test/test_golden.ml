@@ -1,0 +1,59 @@
+(* Golden modeled-cycle counts for the Fig. 3 synthetic SPEC workloads.
+
+   These pin the cycle engine's exact output (hex float literals, so the
+   comparison is bit-exact) for the three quick-mode profiles under all
+   three isolation schemes. Any change to decode, dispatch, caches, TLB,
+   predictor, or cost tables that moves a single modeled cycle fails
+   here — performance work on the simulator must be behaviour-preserving.
+
+   To regenerate after an *intentional* model change:
+     HFI_GOLDEN_PRINT=1 dune exec test/test_main.exe -- test golden
+   and paste the printed rows over [golden] below. *)
+
+module Strategy = Hfi_sfi.Strategy
+module Spec = Hfi_workloads.Spec
+module Fig3 = Hfi_experiments.Fig3_spec
+
+let schemes = [ Strategy.Guard_pages; Strategy.Bounds_checks; Strategy.Hfi ]
+
+(* Same workloads as `bench --quick fig3`: first three profiles, iters
+   divided by 8. *)
+let compute () =
+  let profiles = List.filteri (fun k _ -> k < 3) Spec.profiles in
+  List.concat_map
+    (fun (p : Spec.profile) ->
+      List.map
+        (fun s ->
+          (p.Spec.name, Strategy.to_string s, Fig3.run_one s p ~iters_divisor:8))
+        schemes)
+    profiles
+
+let golden =
+  [
+    ("400.perlbench", "guard-pages", 0x1.420284p+18); (* 329738.1 *)
+    ("400.perlbench", "bounds-checks", 0x1.8bed3p+18); (* 405428.8 *)
+    ("400.perlbench", "hfi", 0x1.3a25c4p+18); (* 321687.1 *)
+    ("401.bzip2", "guard-pages", 0x1.35042p+18); (* 316432.5 *)
+    ("401.bzip2", "bounds-checks", 0x1.8eb048p+18); (* 408257.1 *)
+    ("401.bzip2", "hfi", 0x1.2f75dp+18); (* 310743.2 *)
+    ("403.gcc", "guard-pages", 0x1.974918p+18); (* 417060.4 *)
+    ("403.gcc", "bounds-checks", 0x1.020f2p+19); (* 528505.0 *)
+    ("403.gcc", "hfi", 0x1.900de8p+18); (* 409655.6 *)
+  ]
+
+let test_golden_cycles () =
+  let actual = compute () in
+  if Sys.getenv_opt "HFI_GOLDEN_PRINT" <> None then begin
+    print_newline ();
+    List.iter
+      (fun (b, s, c) -> Printf.printf "    (%S, %S, %h); (* %.1f *)\n" b s c c)
+      actual
+  end;
+  List.iter2
+    (fun (gb, gs, gc) (ab, as_, ac) ->
+      Alcotest.(check string) "bench order" gb ab;
+      Alcotest.(check string) "scheme order" gs as_;
+      Alcotest.(check (float 0.0)) (Printf.sprintf "%s/%s cycles" gb gs) gc ac)
+    golden actual
+
+let suite = [ Alcotest.test_case "fig3 golden cycle counts" `Quick test_golden_cycles ]

@@ -7,6 +7,8 @@ let () =
       ("memory", Test_memory.suite);
       ("hfi-core", Test_hfi_core.suite);
       ("pipeline", Test_pipeline.suite);
+      ("uop", Test_uop.suite);
+      ("golden", Test_golden.suite);
       ("sfi", Test_sfi.suite);
       ("wasm", Test_wasm.suite);
       ("wasm-ir", Test_wasm_ir.suite);
@@ -14,6 +16,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("spectre", Test_spectre.suite);
       ("experiments", Test_experiments.suite);
+      ("result-cache", Test_result_cache.suite);
       ("fault", Test_fault.suite);
       ("properties", Test_properties.suite);
     ]

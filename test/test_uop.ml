@@ -1,0 +1,174 @@
+(* The µop decode layer (lib/pipeline/uop.ml): pre-decoded metadata must
+   agree with the Instr functions it mirrors, and µop/basic-block
+   dispatch must be observationally identical to the reference AST
+   interpreter — bit-identical modeled cycles, registers, and status on
+   both engines (this is what makes HFI_DECODE_CACHE a pure
+   performance switch). *)
+
+open Hfi_isa
+open Hfi_pipeline
+module Instance = Hfi_wasm.Instance
+module Strategy = Hfi_sfi.Strategy
+module Sightglass = Hfi_workloads.Sightglass
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let exact_float = Alcotest.(check (float 0.0))
+
+let with_dispatch flag f =
+  let saved = !Machine.decode_dispatch in
+  Machine.decode_dispatch := flag;
+  Fun.protect ~finally:(fun () -> Machine.decode_dispatch := saved) f
+
+(* Every Sightglass kernel under every strategy: a varied mix of loads,
+   stores, hmovs, bounds checks, transitions, calls, and branches. *)
+let sample_instances () =
+  List.concat_map
+    (fun (name, w) ->
+      List.map
+        (fun s ->
+          (Printf.sprintf "%s/%s" name (Strategy.to_string s),
+           Instance.instantiate ~strategy:s w))
+        Strategy.all)
+    Sightglass.all
+
+let test_decode_metadata () =
+  List.iter
+    (fun (name, inst) ->
+      let m = Instance.machine inst in
+      let prog = Instance.program inst in
+      let code_base = Machine.code_base m in
+      let uops = Uop.decode_fresh prog ~code_base in
+      let n = Array.length uops in
+      check_int (name ^ ": count") (Program.length prog) n;
+      let addr = ref code_base in
+      Array.iteri
+        (fun i (u : Uop.t) ->
+          let ins = u.Uop.instr in
+          check_int (name ^ ": index") i u.Uop.index;
+          check_int (name ^ ": length") (Instr.length ins) u.Uop.length;
+          check_int (name ^ ": fetch_addr") !addr u.Uop.fetch_addr;
+          check_int (name ^ ": addr_of_index") (Machine.addr_of_index m i) u.Uop.fetch_addr;
+          addr := !addr + u.Uop.length;
+          let idxs l = List.map Reg.index l in
+          Alcotest.(check (list int))
+            (name ^ ": reads") (idxs (Instr.reads ins)) (Array.to_list u.Uop.reads);
+          Alcotest.(check (list int))
+            (name ^ ": writes") (idxs (Instr.writes ins)) (Array.to_list u.Uop.writes);
+          check_bool (name ^ ": block_last in range") true
+            (u.Uop.block_last >= i && u.Uop.block_last < n);
+          (* A branch can leave the block, so it must end one. *)
+          if Instr.is_branch ins then check_int (name ^ ": branch ends block") i u.Uop.block_last;
+          (* Instructions inside a block share its last index. *)
+          if i < u.Uop.block_last then
+            check_int (name ^ ": shared block_last") u.Uop.block_last
+              uops.(i + 1).Uop.block_last)
+        uops)
+    (sample_instances ())
+
+let test_decode_memoized () =
+  let inst = Instance.instantiate ~strategy:Strategy.Hfi (Sightglass.find "gimli") in
+  let prog = Instance.program inst in
+  let code_base = Machine.code_base (Instance.machine inst) in
+  let a = Uop.decode prog ~code_base in
+  let b = Uop.decode prog ~code_base in
+  check_bool "same physical array" true (a == b)
+
+(* Fast engine: cycles, rax, and status identical in both dispatch modes. *)
+let test_fast_engine_equivalence () =
+  List.iter
+    (fun (name, w) ->
+      List.iter
+        (fun s ->
+          let run () =
+            let inst = Instance.instantiate ~strategy:s w in
+            let cycles, status = Instance.run_fast inst in
+            (cycles, status, Instance.result_rax inst)
+          in
+          let c_on, st_on, rax_on = with_dispatch true run in
+          let c_off, st_off, rax_off = with_dispatch false run in
+          let id = Printf.sprintf "%s/%s" name (Strategy.to_string s) in
+          check_bool (id ^ ": status") true (st_on = st_off);
+          check_int (id ^ ": rax") rax_off rax_on;
+          exact_float (id ^ ": fast cycles") c_off c_on)
+        Strategy.all)
+    Sightglass.all
+
+(* Cycle engine: every counter of the result record must match exactly,
+   not just total cycles — the dynamic hooks (caches, TLB, predictor,
+   wrong-path speculation) fire identically per committed instruction. *)
+let test_cycle_engine_equivalence () =
+  List.iter
+    (fun (name, w) ->
+      List.iter
+        (fun s ->
+          let run () =
+            let inst = Instance.instantiate ~strategy:s w in
+            (Instance.run_cycle inst, Instance.result_rax inst)
+          in
+          let r_on, rax_on = with_dispatch true run in
+          let r_off, rax_off = with_dispatch false run in
+          let id = Printf.sprintf "%s/%s" name (Strategy.to_string s) in
+          exact_float (id ^ ": cycles") r_off.Cycle_engine.cycles r_on.Cycle_engine.cycles;
+          check_int (id ^ ": instrs") r_off.Cycle_engine.instrs r_on.Cycle_engine.instrs;
+          check_int (id ^ ": icache") r_off.Cycle_engine.icache_misses r_on.Cycle_engine.icache_misses;
+          check_int (id ^ ": dcache") r_off.Cycle_engine.dcache_misses r_on.Cycle_engine.dcache_misses;
+          check_int (id ^ ": dtlb") r_off.Cycle_engine.dtlb_misses r_on.Cycle_engine.dtlb_misses;
+          check_int (id ^ ": cond-mispredicts") r_off.Cycle_engine.cond_mispredicts
+            r_on.Cycle_engine.cond_mispredicts;
+          check_int (id ^ ": indirect-mispredicts") r_off.Cycle_engine.indirect_mispredicts
+            r_on.Cycle_engine.indirect_mispredicts;
+          check_int (id ^ ": drains") r_off.Cycle_engine.drains r_on.Cycle_engine.drains;
+          check_int (id ^ ": transient") r_off.Cycle_engine.transient_instrs
+            r_on.Cycle_engine.transient_instrs;
+          check_bool (id ^ ": status") true
+            (r_on.Cycle_engine.status = r_off.Cycle_engine.status);
+          check_int (id ^ ": rax") rax_off rax_on)
+        Strategy.all)
+    Sightglass.all
+
+(* Fig. 3 synthetic SPEC profiles on the cycle engine: the exact floats
+   that feed the paper's headline table must not move with the dispatch
+   mode. *)
+let test_fig3_equivalence () =
+  let profiles = List.filteri (fun k _ -> k < 2) Hfi_workloads.Spec.profiles in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun s ->
+          let run () = Hfi_experiments.Fig3_spec.run_one s p ~iters_divisor:16 in
+          let on = with_dispatch true run in
+          let off = with_dispatch false run in
+          exact_float
+            (Printf.sprintf "%s/%s" p.Hfi_workloads.Spec.name (Strategy.to_string s))
+            off on)
+        Strategy.all)
+    profiles
+
+(* Seeded differential fuzzing: generated Wasm modules, compiled under a
+   rotating strategy, must produce the same outcome and the same modeled
+   cycles in both dispatch modes. *)
+let test_fuzz_differential () =
+  let outcome_t = Alcotest.testable Hfi_wasm.Wasm_interp.pp_outcome ( = ) in
+  let rng = Hfi_util.Prng.create ~seed:0xC0FFEE in
+  let strategies = Array.of_list Strategy.all in
+  for k = 1 to 50 do
+    let m = Hfi_experiments.Fuzz.generate rng in
+    let strategy = strategies.(k mod Array.length strategies) in
+    let run () = Hfi_wasm.Wasm_compile.run ~strategy m in
+    let o_on, c_on = with_dispatch true run in
+    let o_off, c_off = with_dispatch false run in
+    let id = Printf.sprintf "fuzz #%d (%s)" k (Strategy.to_string strategy) in
+    Alcotest.check outcome_t (id ^ ": outcome") o_off o_on;
+    exact_float (id ^ ": cycles") c_off c_on
+  done
+
+let suite =
+  [
+    Alcotest.test_case "decode metadata matches Instr" `Quick test_decode_metadata;
+    Alcotest.test_case "decode is memoized per program" `Quick test_decode_memoized;
+    Alcotest.test_case "fast engine: dispatch on/off identical" `Quick test_fast_engine_equivalence;
+    Alcotest.test_case "cycle engine: dispatch on/off identical" `Quick test_cycle_engine_equivalence;
+    Alcotest.test_case "fig3 cycles: dispatch on/off identical" `Slow test_fig3_equivalence;
+    Alcotest.test_case "fuzz differential: dispatch on/off" `Slow test_fuzz_differential;
+  ]
