@@ -160,10 +160,17 @@ let write_json ~file ~mode ~jobs ~micro ~outcomes ~total_seconds ~cache_on =
                ("wall_s", Json.num o.Registry.seconds);
                ("cached", if o.Registry.cached then "true" else "false");
              ]
+             @ (match o.Registry.uncached_seconds with
+               | Some s -> [ ("uncached_seconds", Json.num s) ]
+               | None -> [])
              @
-             match o.Registry.uncached_seconds with
-             | Some s -> [ ("uncached_seconds", Json.num s) ]
-             | None -> []
+             (* Per-experiment metric deltas (HFI_OBS=metrics); absent
+                entirely when observability is off so the schema without
+                it stays byte-stable. *)
+             match o.Registry.metrics with
+             | [] -> []
+             | ms ->
+               [ ("metrics", Json.obj (List.map (fun (k, v) -> (k, Json.num v)) ms)) ]
            in
            match o.Registry.result with
            | Ok r ->
@@ -212,6 +219,9 @@ let write_json ~file ~mode ~jobs ~micro ~outcomes ~total_seconds ~cache_on =
   let doc =
     Json.obj
       [
+        (* Version of this JSON layout; bump alongside
+           Result_cache.schema_version when fields change shape. *)
+        ("schema_version", string_of_int 2);
         ("mode", Json.str mode);
         ("jobs", string_of_int jobs);
         ("micro", micro_json);
@@ -363,6 +373,10 @@ let () =
         total uncached_total
         (if total > 0.0 && hits > 0 then Printf.sprintf " (%.1fx)" (uncached_total /. total)
          else "")
+    end;
+    if Hfi_obs.Obs.metrics_on () then begin
+      print_endline "\n== metrics (HFI_OBS) ==";
+      print_string (Hfi_obs.Metrics.to_text ())
     end;
     let failures = List.filter (fun o -> Result.is_error o.Registry.result) outcomes in
     (match !json_file with

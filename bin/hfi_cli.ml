@@ -179,13 +179,26 @@ let conformance_cmd =
   Cmd.v (Cmd.info "conformance" ~doc) Term.(const run $ const ())
 
 let trace_cmd =
-  let doc = "Trace a Sightglass kernel's first N instructions, then print cycle statistics." in
+  let doc =
+    "Trace a Sightglass kernel's first N instructions, then print cycle statistics. With \
+     $(b,--chrome) or $(b,--jsonl), also record the full structured event trace of the \
+     cycle-engine run and write it to a file (the Chrome form loads directly in \
+     chrome://tracing / Perfetto)."
+  in
   let kernel = Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL") in
   let limit = Arg.(value & opt int 60 & info [ "limit"; "n" ] ~docv:"N") in
   let strategy =
     Arg.(value & opt strategy_conv Hfi_sfi.Strategy.Hfi & info [ "strategy" ] ~docv:"STRATEGY")
   in
-  let run kernel limit strategy =
+  let chrome =
+    Arg.(value & opt (some string) None
+         & info [ "chrome" ] ~docv:"FILE" ~doc:"Write a Chrome trace_event JSON file.")
+  in
+  let jsonl =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE" ~doc:"Write the event stream as JSON lines.")
+  in
+  let run kernel limit strategy chrome jsonl =
     match List.assoc_opt kernel Hfi_workloads.Sightglass.all with
     | None ->
       Printf.eprintf "unknown kernel %S\n" kernel;
@@ -195,17 +208,69 @@ let trace_cmd =
       let entries = Hfi_pipeline.Tracer.trace ~limit (Hfi_wasm.Instance.machine inst) in
       List.iter (fun e -> Format.printf "%a@." Hfi_pipeline.Tracer.pp_entry e) entries;
       Format.printf "... (continuing to completion on the cycle engine)@.";
+      (* Event collection covers only the timed cycle-engine run below,
+         not the architectural pre-trace above. *)
+      if chrome <> None || jsonl <> None then begin
+        Hfi_obs.Obs.set_trace true;
+        Hfi_obs.Trace.clear ()
+      end;
       let inst2 = Hfi_wasm.Instance.instantiate ~strategy w in
       let r = Hfi_wasm.Instance.run_cycle inst2 in
-      Format.printf "@[<v>%a@]@." Hfi_pipeline.Tracer.pp_result r
+      Format.printf "@[<v>%a@]@." Hfi_pipeline.Tracer.pp_result r;
+      let report file what =
+        Printf.printf "wrote %s: %s (%d events, %d dropped)\n" what file
+          (Hfi_obs.Trace.length ()) (Hfi_obs.Trace.dropped ())
+      in
+      (match chrome with
+      | Some file ->
+        Hfi_obs.Trace.write_chrome ~file;
+        report file "Chrome trace"
+      | None -> ());
+      match jsonl with
+      | Some file ->
+        Hfi_obs.Trace.write_jsonl ~file;
+        report file "JSONL trace"
+      | None -> ()
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ kernel $ limit $ strategy)
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ kernel $ limit $ strategy $ chrome $ jsonl)
+
+let profile_cmd =
+  let doc =
+    "Run one experiment with cycle-attribution profiling on and print the stall breakdown \
+     (where every modeled cycle of the cycle engine went)."
+  in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT") in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced workload sizes.") in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Also write the breakdown as JSON to $(docv).")
+  in
+  let run id quick json =
+    match Registry.find id with
+    | None ->
+      Printf.eprintf "unknown experiment %S\nvalid ids: %s\n" id
+        (String.concat " " (Registry.ids ()));
+      exit 2
+    | Some e ->
+      Hfi_obs.Obs.set_profile true;
+      Hfi_obs.Profile.(reset global);
+      Report.print (e.Registry.run ~quick ());
+      Format.printf "== stall breakdown (cycle-engine modeled cycles) ==@.%a@." Hfi_obs.Profile.pp
+        Hfi_obs.Profile.global;
+      match json with
+      | Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            output_string oc Hfi_obs.Profile.(to_json global);
+            output_char oc '\n')
+      | None -> ()
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ id $ quick $ json)
 
 let () =
   let doc = "Hardware-assisted Fault Isolation (ASPLOS '23) — OCaml reproduction." in
   let info = Cmd.info "hfi" ~version:"1.0.0" ~doc in
   let code =
-    Cmd.eval (Cmd.group info [ list_cmd; run_cmd; spectre_cmd; hw_cmd; sightglass_cmd; wasm_cmd; conformance_cmd; trace_cmd ])
+    Cmd.eval (Cmd.group info [ list_cmd; run_cmd; spectre_cmd; hw_cmd; sightglass_cmd; wasm_cmd; conformance_cmd; trace_cmd; profile_cmd ])
   in
   (* Cmdliner reports unknown flags/subcommands as its own cli_error
      (124); scripts expect the conventional usage-error code 2, matching

@@ -41,7 +41,20 @@ type outcome = {
   cached : bool;  (** served from {!Result_cache} instead of running *)
   uncached_seconds : float option;
       (** for cached outcomes: wall-clock of the original uncached run *)
+  metrics : (string * float) list;
+      (** metric deltas attributable to this run (empty unless HFI_OBS
+          enables metrics; always empty for cached outcomes) *)
 }
+
+(* Batch-level counters; experiment ids ride on a label so the per-id
+   split survives in one snapshot. *)
+let runs_counter id = Hfi_obs.Metrics.counter "hfi_experiment_runs_total" ~labels:[ ("id", id) ]
+
+let failures_counter id =
+  Hfi_obs.Metrics.counter "hfi_experiment_failures_total" ~labels:[ ("id", id) ]
+
+let cache_counter outcome =
+  Hfi_obs.Metrics.counter "hfi_result_cache_total" ~labels:[ ("outcome", outcome) ]
 
 (* Run a batch of experiments, fanning across domains when [jobs] (or
    HFI_JOBS) allows. Outcomes come back in the order of [entries]
@@ -65,8 +78,10 @@ let run_entry ?quick ?(clock = fun () -> 0.0) ?(timeout_s = infinity) ?(retries 
   let module Fault = Hfi_util.Fault in
   let quick_flag = Option.value quick ~default:false in
   let cache_on = use_cache && Result_cache.enabled () in
+  let metrics_on = Hfi_obs.Obs.metrics_on () in
   match if cache_on then Result_cache.find ~id:e.id ~quick:quick_flag else None with
   | Some (report, uncached) ->
+    if metrics_on then Hfi_obs.Metrics.inc (cache_counter "hit");
     {
       entry = e;
       result = Ok report;
@@ -74,8 +89,11 @@ let run_entry ?quick ?(clock = fun () -> 0.0) ?(timeout_s = infinity) ?(retries 
       attempts = 0;
       cached = true;
       uncached_seconds = Some uncached;
+      metrics = [];
     }
   | None ->
+    if metrics_on && cache_on then Hfi_obs.Metrics.inc (cache_counter "miss");
+    let before = if metrics_on then Hfi_obs.Metrics.snapshot () else [] in
     let t0 = clock () in
     let rec attempt k =
       match e.run ?quick () with
@@ -96,7 +114,17 @@ let run_entry ?quick ?(clock = fun () -> 0.0) ?(timeout_s = infinity) ?(retries 
     (match result with
     | Ok report when cache_on -> Result_cache.store ~id:e.id ~quick:quick_flag ~seconds report
     | Ok _ | Error _ -> ());
-    { entry = e; result; seconds; attempts; cached = false; uncached_seconds = None }
+    let metrics =
+      if not metrics_on then []
+      else begin
+        (* Count the run itself inside the window so the per-run delta
+           self-describes which experiment produced it. *)
+        Hfi_obs.Metrics.inc (runs_counter e.id);
+        if Result.is_error result then Hfi_obs.Metrics.inc (failures_counter e.id);
+        Hfi_obs.Metrics.delta (Hfi_obs.Metrics.snapshot ()) before
+      end
+    in
+    { entry = e; result; seconds; attempts; cached = false; uncached_seconds = None; metrics }
 
 let run_many ?jobs ?quick ?clock ?timeout_s ?retries ?use_cache entries =
   Hfi_util.Pool.map ?jobs

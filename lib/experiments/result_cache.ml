@@ -34,11 +34,23 @@ let code_version =
     (try Digest.to_hex (Digest.file Sys.executable_name)
      with Sys_error _ -> "unknown-executable")
 
+(* Entry-layout version. Bumping it both changes every key (old entries
+   are never looked up again) and is checked against the
+   [schema_version] field on read, so an entry written under a different
+   layout is a miss even if it somehow shares a key. v2 added
+   [schema_version] itself. *)
+let schema_version = 2
+
 let key ~id ~quick =
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
-          [ "hfi-result-v1"; id; (if quick then "quick" else "full"); Lazy.force code_version ]))
+          [
+            Printf.sprintf "hfi-result-v%d" schema_version;
+            id;
+            (if quick then "quick" else "full");
+            Lazy.force code_version;
+          ]))
 
 (* ---- minimal flat JSON (no dependency; mirrors bench/main.ml's writer) ---- *)
 
@@ -173,6 +185,7 @@ let find ~id ~quick : (Report.t * float) option =
           match List.assoc_opt k fields with Some (`Num v) -> v | _ -> raise Malformed
         in
         (try
+           if int_of_float (num "schema_version") <> schema_version then raise Malformed;
            let report =
              {
                Report.id = str "id";
@@ -201,8 +214,8 @@ let store ~id ~quick ~seconds (r : Report.t) =
         ~finally:(fun () -> close_out_noerr oc)
         (fun () ->
           output_string oc
-            (Printf.sprintf "{%s,%s,%s,%s,%s,\"uncached_seconds\":%.6g}\n"
-               (field "id" r.Report.id) (field "title" r.Report.title)
+            (Printf.sprintf "{\"schema_version\":%d,%s,%s,%s,%s,%s,\"uncached_seconds\":%.6g}\n"
+               schema_version (field "id" r.Report.id) (field "title" r.Report.title)
                (field "paper_claim" r.Report.paper_claim)
                (field "table" r.Report.table) (field "verdict" r.Report.verdict) seconds));
       Sys.rename tmp path

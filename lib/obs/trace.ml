@@ -1,0 +1,185 @@
+type kind = Commit | Squash | Drain | Fault | Transition | Syscall
+
+let kind_name = function
+  | Commit -> "commit"
+  | Squash -> "squash"
+  | Drain -> "drain"
+  | Fault -> "fault"
+  | Transition -> "transition"
+  | Syscall -> "syscall"
+
+let kind_code = function
+  | Commit -> 0
+  | Squash -> 1
+  | Drain -> 2
+  | Fault -> 3
+  | Transition -> 4
+  | Syscall -> 5
+
+let kind_of_code = [| Commit; Squash; Drain; Fault; Transition; Syscall |]
+
+type event = { kind : kind; ts : float; dur : float; a : int; b : int }
+
+(* Struct-of-arrays ring: no per-event allocation once created. *)
+type ring = {
+  cap : int;
+  kinds : int array;
+  tss : float array;
+  durs : float array;
+  aas : int array;
+  bbs : int array;
+  mutable head : int;  (* next write slot *)
+  mutable count : int;  (* total emitted since clear *)
+}
+
+let default_capacity =
+  match Sys.getenv_opt "HFI_OBS_TRACE_CAP" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 65536)
+  | None -> 65536
+
+let make_ring cap =
+  {
+    cap;
+    kinds = Array.make cap 0;
+    tss = Array.make cap 0.0;
+    durs = Array.make cap 0.0;
+    aas = Array.make cap 0;
+    bbs = Array.make cap 0;
+    head = 0;
+    count = 0;
+  }
+
+(* Created lazily on the first emit so a run that never traces pays no
+   ring allocation. *)
+let ring = ref None
+
+let capacity = ref default_capacity
+
+let the_ring () =
+  match !ring with
+  | Some r -> r
+  | None ->
+    let r = make_ring !capacity in
+    ring := Some r;
+    r
+
+let on () = !Obs.trace_enabled
+
+let emit ?(dur = 0.0) ?(a = -1) ?(b = -1) kind ~ts =
+  if !Obs.trace_enabled then begin
+    let r = the_ring () in
+    let i = r.head in
+    r.kinds.(i) <- kind_code kind;
+    r.tss.(i) <- ts;
+    r.durs.(i) <- dur;
+    r.aas.(i) <- a;
+    r.bbs.(i) <- b;
+    r.head <- (if i + 1 = r.cap then 0 else i + 1);
+    r.count <- r.count + 1
+  end
+
+let length () =
+  match !ring with None -> 0 | Some r -> if r.count > r.cap then r.cap else r.count
+
+let dropped () =
+  match !ring with None -> 0 | Some r -> if r.count > r.cap then r.count - r.cap else 0
+
+let clear () =
+  match !ring with
+  | None -> ()
+  | Some r ->
+    r.head <- 0;
+    r.count <- 0
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity";
+  capacity := n;
+  ring := Some (make_ring n)
+
+let events () =
+  match !ring with
+  | None -> []
+  | Some r ->
+    let n = if r.count > r.cap then r.cap else r.count in
+    let start = if r.count > r.cap then r.head else 0 in
+    List.init n (fun k ->
+        let i = (start + k) mod r.cap in
+        {
+          kind = kind_of_code.(r.kinds.(i));
+          ts = r.tss.(i);
+          dur = r.durs.(i);
+          a = r.aas.(i);
+          b = r.bbs.(i);
+        })
+
+(* ---- export ---- *)
+
+let transition_name = function
+  | 0 -> "hfi_enter"
+  | 1 -> "hfi_exit"
+  | 2 -> "hfi_reenter"
+  | _ -> "transition"
+
+let chrome_name e =
+  match e.kind with Transition -> transition_name e.a | k -> kind_name k
+
+let chrome_cat = function
+  | Commit | Fault -> "machine"
+  | Squash | Drain -> "pipeline"
+  | Transition -> "transition"
+  | Syscall -> "kernel"
+
+let chrome_args e =
+  match e.kind with
+  | Commit -> Printf.sprintf "{\"index\":%d}" e.a
+  | Squash -> Printf.sprintf "{\"transient_instrs\":%d}" e.a
+  | Drain -> Printf.sprintf "{\"hfi_caused\":%s}" (if e.b = 1 then "true" else "false")
+  | Fault -> Printf.sprintf "{\"msr\":%d}" e.a
+  | Transition -> "{}"
+  | Syscall -> Printf.sprintf "{\"rax\":%d}" e.a
+
+(* Instant events use ph:"i" (scope thread); everything with a duration
+   is a complete event ph:"X". *)
+let chrome_event buf e =
+  let instant = e.dur = 0.0 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",%s\"ts\":%.3f,\"pid\":1,\"tid\":1,\"args\":%s}"
+       (chrome_name e) (chrome_cat e.kind)
+       (if instant then "i" else "X")
+       (if instant then "\"s\":\"t\"," else Printf.sprintf "\"dur\":%.3f," e.dur)
+       e.ts (chrome_args e))
+
+let to_chrome_string () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      chrome_event buf e)
+    (events ());
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"modeled cycles (1 cycle = 1 trace us)\"}}";
+  Buffer.contents buf
+
+let write_file file s =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc s;
+      output_char oc '\n')
+
+let write_chrome ~file = write_file file (to_chrome_string ())
+
+let write_jsonl ~file =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"kind\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,\"a\":%d,\"b\":%d}\n"
+           (kind_name e.kind) e.ts e.dur e.a e.b))
+    (events ());
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf)

@@ -24,10 +24,15 @@ let skylake =
 type result = {
   cycles : float;
   instrs : int;
+  icache_hits : int;
   icache_misses : int;
+  dcache_hits : int;
   dcache_misses : int;
+  dtlb_hits : int;
   dtlb_misses : int;
+  cond_lookups : int;
   cond_mispredicts : int;
+  indirect_lookups : int;
   indirect_mispredicts : int;
   drains : int;
   transient_instrs : int;
@@ -47,6 +52,13 @@ type t = {
   (* scoreboard: cycle at which each architectural register's value is
      available to consumers *)
   ready : float array;
+  (* stall-attribution cause (a Profile bucket code) of each register's
+     producer; only written while profiling is on *)
+  blame : int array;
+  (* scratch for [account]'s per-instruction memory-stall cause — a
+     field rather than a local [ref] so the profiling-off hot path
+     allocates nothing *)
+  mutable mem_blame : int;
   mutable clock : float;  (* issue front: time the next uop can issue *)
   mutable committed : int;
   mutable drains : int;
@@ -84,6 +96,8 @@ let create ?(config = skylake) m =
       pred = Predictor.create ();
       spec_fx;
       ready = Array.make Reg.count 0.0;
+      blame = Array.make Reg.count 0;
+      mem_blame = 0;
       clock = 0.0;
       committed = 0;
       drains = 0;
@@ -107,6 +121,8 @@ let reset t m =
   Tlb.reset t.dtlb;
   Predictor.reset t.pred;
   Array.fill t.ready 0 (Array.length t.ready) 0.0;
+  Array.fill t.blame 0 (Array.length t.blame) 0;
+  t.mem_blame <- 0;
   t.clock <- 0.0;
   t.committed <- 0;
   t.drains <- 0;
@@ -140,14 +156,62 @@ let set_ready t (dsts : int array) at =
     Array.unsafe_set t.ready (Array.unsafe_get dsts i) at
   done
 
+(* ---- observability hooks (Hfi_obs) -------------------------------- *)
+
+module Obs = Hfi_obs.Obs
+module Profile = Hfi_obs.Profile
+module Trace = Hfi_obs.Trace
+
+(* Per-register producer blame, stored as small ints so the scoreboard
+   sidecar stays a flat array. Only meaningful while profiling. *)
+let blame_exec = 0
+let blame_dcache = 1
+let blame_dtlb = 2
+let blame_hfi = 3
+
+let cause_of_blame = function
+  | 1 -> Profile.Dcache_miss
+  | 2 -> Profile.Dtlb_miss
+  | 3 -> Profile.Hfi_serialization
+  | _ -> Profile.Exec_dep
+
+let set_blame t (dsts : int array) code =
+  for i = 0 to Array.length dsts - 1 do
+    Array.unsafe_set t.blame (Array.unsafe_get dsts i) code
+  done
+
+(* ------------------------------------------------------------------- *)
+
 (* Squash and wrong-path execution after a mispredicted transfer. A
    top-level function (not a closure in [account]) so branch-heavy
    workloads do not allocate per committed branch. *)
 let wrong_path_from t ~done_at ~actual predicted =
   if predicted <> actual then begin
-    t.transient <-
-      t.transient + Machine.speculate t.m ~start:predicted ~fuel:t.cfg.spec_window t.spec_fx;
-    t.clock <- done_at +. float_of_int t.cfg.mispredict_penalty
+    let clock0 = t.clock in
+    let transient = Machine.speculate t.m ~start:predicted ~fuel:t.cfg.spec_window t.spec_fx in
+    t.transient <- t.transient + transient;
+    t.clock <- done_at +. float_of_int t.cfg.mispredict_penalty;
+    if !Obs.profile_enabled then begin
+      let pen = float_of_int t.cfg.mispredict_penalty in
+      Profile.note Profile.global Profile.Mispredict_refill pen;
+      Profile.note Profile.global Profile.Wrong_path (t.clock -. clock0 -. pen)
+    end;
+    if !Obs.trace_enabled then
+      Trace.emit Trace.Squash ~ts:done_at
+        ~dur:(float_of_int t.cfg.mispredict_penalty)
+        ~a:transient
+  end
+
+(* Front-end stall on a BTB/RAS miss: the pipeline waits for the branch
+   to resolve (no wrong path), then pays half a refill. The [Wrong_path]
+   bucket also carries this resolution wait. *)
+let btb_stall t ~done_at =
+  let clock0 = t.clock in
+  t.clock <- done_at +. float_of_int (t.cfg.mispredict_penalty / 2);
+  if !Obs.profile_enabled then begin
+    let pen = float_of_int (t.cfg.mispredict_penalty / 2) in
+    Profile.note Profile.global Profile.Mispredict_refill pen;
+    Profile.note Profile.global Profile.Wrong_path (t.clock -. clock0 -. pen)
   end
 
 (* Timing for one committed instruction, given what architecturally
@@ -157,6 +221,12 @@ let wrong_path_from t ~done_at ~actual predicted =
    committed instruction, so modeled cycles are unchanged. *)
 let account t (info : Machine.exec_info) =
   let u = info.uop in
+  (* One flag load each per committed instruction; with observability off
+     everything below behaves exactly as before (same arithmetic, same
+     order), so modeled cycles are bit-identical either way. *)
+  let profiling = !Obs.profile_enabled in
+  let tracing = !Obs.trace_enabled in
+  let clock0 = t.clock in
   let issue_step = 1.0 /. t.cfg.issue_width in
   (* Fetch: i-cache miss stalls the front end. *)
   let fetch_addr = u.Uop.fetch_addr in
@@ -190,8 +260,28 @@ let account t (info : Machine.exec_info) =
     if u.Uop.off_critical then t.clock +. issue_step +. fetch_penalty
     else Float.max (t.clock +. issue_step) (reg_ready t u.Uop.reads) +. fetch_penalty
   in
+  (* Profiling: find the binding source register (the one whose ready
+     time gated issue) *before* set_ready may overwrite its slot — its
+     recorded producer blame classifies the stall. *)
+  let wait_blame =
+    if not profiling || u.Uop.off_critical then blame_exec
+    else begin
+      let srcs = u.Uop.reads in
+      let best = ref (-1) and best_t = ref clock0 in
+      for i = 0 to Array.length srcs - 1 do
+        let r = Array.unsafe_get srcs i in
+        let rt = Array.unsafe_get t.ready r in
+        if rt > !best_t then begin
+          best_t := rt;
+          best := r
+        end
+      done;
+      if !best >= 0 then Array.unsafe_get t.blame !best else blame_exec
+    end
+  in
   (* Execution latency (pre-decoded per static instruction). *)
   let latency = u.Uop.latency in
+  if profiling then t.mem_blame <- blame_exec;
   let mem_latency =
     match info.mem with
     | None -> 0.0
@@ -206,12 +296,29 @@ let account t (info : Machine.exec_info) =
         else if Hfi.enabled (Machine.hfi t.m) || a.via_hmov then 1.0
         else 0.0
       in
+      if profiling then
+        t.mem_blame <-
+          (if tlb_cycles > t.cfg.dtlb.Tlb.hit_latency then blame_dtlb
+           else if (not a.write) && cache_cycles > t.cfg.dcache.Cache.hit_latency then
+             blame_dcache
+           else if hfi_extra > 0.0 then blame_hfi
+           else blame_exec);
       if a.write then float_of_int tlb_cycles +. hfi_extra
       else float_of_int (tlb_cycles + cache_cycles) +. hfi_extra
   in
   let done_at = issue +. latency +. mem_latency in
   set_ready t u.Uop.writes done_at;
+  if profiling then set_blame t u.Uop.writes t.mem_blame;
   t.clock <- issue;
+  if profiling then begin
+    (* Decompose this instruction's front-end advance exactly: the issue
+       slot, the fetch penalty, and whatever remains is the wait on the
+       binding producer, classified by its recorded blame. *)
+    Profile.note Profile.global Profile.Issue issue_step;
+    if fetch_penalty <> 0.0 then Profile.note Profile.global Profile.Icache_miss fetch_penalty;
+    let wait = issue -. clock0 -. issue_step -. fetch_penalty in
+    if wait <> 0.0 then Profile.note Profile.global (cause_of_blame wait_blame) wait
+  end;
   (* Branch prediction and wrong-path execution. *)
   (match info.branch with
   | None -> ()
@@ -243,7 +350,7 @@ let account t (info : Machine.exec_info) =
       | None ->
         (* BTB miss: the front end waits for resolution — a stall but no
            wrong-path execution. *)
-        t.clock <- done_at +. float_of_int (t.cfg.mispredict_penalty / 2);
+        btb_stall t ~done_at;
         Predictor.update_indirect t.pred ~pc:info.index ~target:b.target
     end
     | Machine.Call_k -> begin
@@ -256,7 +363,7 @@ let account t (info : Machine.exec_info) =
         | Some predicted ->
           if predicted <> b.target then Predictor.note_indirect_mispredict t.pred;
           wrong_path_from t ~done_at ~actual:b.target predicted
-        | None -> t.clock <- done_at +. float_of_int (t.cfg.mispredict_penalty / 2)
+        | None -> btb_stall t ~done_at
       end
       | _ -> ());
       Predictor.update_indirect t.pred ~pc:info.index ~target:b.target
@@ -267,7 +374,7 @@ let account t (info : Machine.exec_info) =
       | Some predicted ->
         Predictor.note_indirect_mispredict t.pred;
         wrong_path_from t ~done_at ~actual:b.target predicted
-      | None -> t.clock <- done_at +. float_of_int (t.cfg.mispredict_penalty / 2)
+      | None -> btb_stall t ~done_at
     end
   end);
   (* Serialization: drain — all in-flight results must complete, then pay
@@ -276,12 +383,30 @@ let account t (info : Machine.exec_info) =
     t.drains <- t.drains + 1;
     let penalty = if u.Uop.is_cpuid then Cost.cpuid_drain else t.cfg.drain_penalty in
     let all_done = Array.fold_left Float.max t.clock t.ready in
-    t.clock <- Float.max t.clock all_done +. float_of_int penalty
+    let drain_from = t.clock in
+    t.clock <- Float.max t.clock all_done +. float_of_int penalty;
+    (* Drains the HFI transition machinery forced are the §3.4
+       serialization cost; cpuid/mfence drains are architectural. *)
+    let hfi_caused = not u.Uop.base_serializing in
+    if profiling then
+      Profile.note Profile.global
+        (if hfi_caused then Profile.Hfi_serialization else Profile.Drain)
+        (t.clock -. drain_from);
+    if tracing then
+      Trace.emit Trace.Drain ~ts:drain_from
+        ~dur:(t.clock -. drain_from)
+        ~b:(if hfi_caused then 1 else 0)
   end;
   (* Kernel time and signal delivery are serial. *)
-  if info.kernel_cycles > 0.0 then t.clock <- t.clock +. info.kernel_cycles;
+  if info.kernel_cycles > 0.0 then begin
+    t.clock <- t.clock +. info.kernel_cycles;
+    if profiling then Profile.note Profile.global Profile.Kernel info.kernel_cycles
+  end;
   (match info.signal with
-  | Some _ -> t.clock <- t.clock +. float_of_int Cost.signal_delivery
+  | Some _ ->
+    t.clock <- t.clock +. float_of_int Cost.signal_delivery;
+    if profiling then
+      Profile.note Profile.global Profile.Signal (float_of_int Cost.signal_delivery)
   | None -> ());
   t.committed <- t.committed + 1
 
@@ -294,10 +419,15 @@ let result t =
   {
     cycles = t.clock;
     instrs = t.committed;
+    icache_hits = Cache.hits t.icache;
     icache_misses = Cache.misses t.icache;
+    dcache_hits = Cache.hits t.dcache;
     dcache_misses = Cache.misses t.dcache;
+    dtlb_hits = Tlb.hits t.dtlb;
     dtlb_misses = Tlb.misses t.dtlb;
+    cond_lookups = Predictor.cond_lookups t.pred;
     cond_mispredicts = Predictor.cond_mispredicts t.pred;
+    indirect_lookups = Predictor.indirect_lookups t.pred;
     indirect_mispredicts = Predictor.indirect_mispredicts t.pred;
     drains = t.drains;
     transient_instrs = t.transient;

@@ -29,10 +29,15 @@ val skylake : config
 type result = {
   cycles : float;
   instrs : int;
+  icache_hits : int;
   icache_misses : int;
+  dcache_hits : int;
   dcache_misses : int;
+  dtlb_hits : int;
   dtlb_misses : int;
+  cond_lookups : int;
   cond_mispredicts : int;
+  indirect_lookups : int;
   indirect_mispredicts : int;
   drains : int;
   transient_instrs : int;  (** wrong-path instructions executed *)

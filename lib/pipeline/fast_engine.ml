@@ -142,7 +142,9 @@ let account t (info : Machine.exec_info) =
     end
   in
   (* Branches: charge mispredicts via the same predictor as the cycle
-     engine, but without wrong-path execution. *)
+     engine, but without wrong-path execution. Squash/drain trace events
+     mirror the cycle engine's (no transient count, dur = the analytic
+     penalty); emission never touches the accumulator. *)
   let c =
     match info.branch with
     | Some b -> begin
@@ -152,6 +154,8 @@ let account t (info : Machine.exec_info) =
         let c =
           if predicted <> b.taken then begin
             Predictor.note_cond_mispredict t.pred;
+            if !Hfi_obs.Obs.trace_enabled then
+              Hfi_obs.Trace.(emit Squash ~ts:t.clock ~dur:cfg.mispredict_penalty);
             c +. cfg.mispredict_penalty
           end
           else c
@@ -164,6 +168,8 @@ let account t (info : Machine.exec_info) =
         | _ ->
           Predictor.note_indirect_mispredict t.pred;
           Predictor.update_indirect t.pred ~pc:info.index ~target:b.target;
+          if !Hfi_obs.Obs.trace_enabled then
+            Hfi_obs.Trace.(emit Squash ~ts:t.clock ~dur:cfg.mispredict_penalty);
           c +. cfg.mispredict_penalty
       end
       | Machine.Call_k ->
@@ -174,6 +180,8 @@ let account t (info : Machine.exec_info) =
         | Some p when p = b.target -> c
         | _ ->
           Predictor.note_indirect_mispredict t.pred;
+          if !Hfi_obs.Obs.trace_enabled then
+            Hfi_obs.Trace.(emit Squash ~ts:t.clock ~dur:cfg.mispredict_penalty);
           c +. cfg.mispredict_penalty
       end
       | Machine.Uncond -> c
@@ -181,8 +189,13 @@ let account t (info : Machine.exec_info) =
     | None -> c
   in
   let c =
-    if info.serializing then
-      c +. (if u.Uop.is_cpuid then float_of_int Cost.cpuid_drain else cfg.drain_penalty)
+    if info.serializing then begin
+      let pen = if u.Uop.is_cpuid then float_of_int Cost.cpuid_drain else cfg.drain_penalty in
+      if !Hfi_obs.Obs.trace_enabled then
+        Hfi_obs.Trace.(
+          emit Drain ~ts:t.clock ~dur:pen ~b:(if u.Uop.base_serializing then 0 else 1));
+      c +. pen
+    end
     else c
   in
   let c = c +. info.kernel_cycles in

@@ -182,6 +182,22 @@ let check_ifetch t ~addr =
     raise (Trap_exn (Msr.Bounds_violation v))
 
 (* ------------------------------------------------------------------ *)
+(* Structured event trace: one event per committed instruction when
+   tracing is on. Out of line so the hot path pays only the flag test at
+   the call site; [ts] is the modeled clock via the installed rdtsc. *)
+let trace_commit t (info : exec_info) =
+  let ts = float_of_int (t.now ()) in
+  (match info.instr with
+   | Instr.Hfi_enter _ -> Hfi_obs.Trace.(emit Transition ~ts ~a:0)
+   | Instr.Hfi_exit -> Hfi_obs.Trace.(emit Transition ~ts ~a:1)
+   | Instr.Hfi_reenter -> Hfi_obs.Trace.(emit Transition ~ts ~a:2)
+   | Instr.Syscall -> Hfi_obs.Trace.(emit Syscall ~ts ~a:info.index)
+   | _ -> Hfi_obs.Trace.(emit Commit ~ts ~a:info.index));
+  match info.signal with
+  | Some reason -> Hfi_obs.Trace.(emit Fault ~ts ~a:(Msr.encode reason))
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Reference interpreter: match on the instruction AST. Kept verbatim as
    the semantic baseline the µop path is tested against. *)
 
@@ -416,6 +432,7 @@ let step t (observe : exec_info -> unit) =
         }
       in
       (match t.status_ with Running -> t.pc <- !next | Halted | Faulted _ -> ());
+      if !Hfi_obs.Obs.trace_enabled then trace_commit t info;
       observe info;
       t.status_
     end
@@ -675,6 +692,7 @@ let step_uop t (u : Uop.t) (observe : exec_info -> unit) =
     }
   in
   (match t.status_ with Running -> t.pc <- !next | Halted | Faulted _ -> ());
+  if !Hfi_obs.Obs.trace_enabled then trace_commit t info;
   observe info;
   t.status_
 

@@ -14,6 +14,7 @@ type t = {
   mutable ras_top : int;
   mutable cond_lookups : int;
   mutable cond_miss : int;
+  mutable ind_lookups : int;
   mutable ind_miss : int;
 }
 
@@ -32,6 +33,7 @@ let create ?(config = default_config) () =
     ras_top = 0;
     cond_lookups = 0;
     cond_miss = 0;
+    ind_lookups = 0;
     ind_miss = 0;
   }
 
@@ -55,6 +57,7 @@ let btb_index t ~pc = if t.btb_mask >= 0 then pc land t.btb_mask else pc mod t.c
 let ras_slot t i = if t.ras_mask >= 0 then i land t.ras_mask else i mod t.cfg.ras_depth
 
 let predict_indirect t ~pc =
+  t.ind_lookups <- t.ind_lookups + 1;
   let i = btb_index t ~pc in
   if t.btb_tags.(i) = pc then Some t.btb_targets.(i) else None
 
@@ -68,6 +71,7 @@ let push_ras t v =
   t.ras_top <- t.ras_top + 1
 
 let pop_ras t =
+  t.ind_lookups <- t.ind_lookups + 1;
   if t.ras_top = 0 then None
   else begin
     t.ras_top <- t.ras_top - 1;
@@ -84,10 +88,12 @@ let reset t =
   t.ras_top <- 0;
   t.cond_lookups <- 0;
   t.cond_miss <- 0;
+  t.ind_lookups <- 0;
   t.ind_miss <- 0
 
 let cond_lookups t = t.cond_lookups
 let cond_mispredicts t = t.cond_miss
 let note_cond_mispredict t = t.cond_miss <- t.cond_miss + 1
+let indirect_lookups t = t.ind_lookups
 let indirect_mispredicts t = t.ind_miss
 let note_indirect_mispredict t = t.ind_miss <- t.ind_miss + 1

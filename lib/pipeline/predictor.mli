@@ -37,5 +37,10 @@ val reset : t -> unit
 val cond_lookups : t -> int
 val cond_mispredicts : t -> int
 val note_cond_mispredict : t -> unit
+
+val indirect_lookups : t -> int
+(** BTB lookups plus RAS pops — the denominator for the indirect
+    mispredict rate (ret mispredicts count against it too). *)
+
 val indirect_mispredicts : t -> int
 val note_indirect_mispredict : t -> unit

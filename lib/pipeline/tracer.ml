@@ -55,16 +55,37 @@ let trace ?(limit = 200) m =
   done;
   List.rev !entries
 
+(* hits / (hits + misses) as a percentage; 100% when the structure was
+   never exercised so idle structures don't read as pathological. *)
+let rate_pct hits misses =
+  let total = hits + misses in
+  if total = 0 then 100.0 else 100.0 *. float_of_int hits /. float_of_int total
+
 let pp_result ppf (r : Cycle_engine.result) =
   let ipc = if r.Cycle_engine.cycles > 0.0 then float_of_int r.Cycle_engine.instrs /. r.Cycle_engine.cycles else 0.0 in
+  let mispredict_pct miss lookups =
+    if lookups = 0 then 0.0 else 100.0 *. float_of_int miss /. float_of_int lookups
+  in
+  let transient_per_instr =
+    if r.Cycle_engine.instrs = 0 then 0.0
+    else float_of_int r.Cycle_engine.transient_instrs /. float_of_int r.Cycle_engine.instrs
+  in
   Format.fprintf ppf
-    "cycles: %s@ instructions: %d (IPC %.2f)@ i-cache misses: %d@ d-cache misses: %d@ dTLB \
-     misses: %d@ mispredicts: %d cond + %d indirect@ drains: %d@ transient instructions: %d@ \
-     status: %s"
+    "cycles: %s@ instructions: %d (IPC %.2f)@ i-cache misses: %d (%.1f%% hit)@ d-cache misses: \
+     %d (%.1f%% hit)@ dTLB misses: %d (%.1f%% hit)@ mispredicts: %d cond (%.1f%%) + %d indirect \
+     (%.1f%%)@ drains: %d@ transient instructions: %d (%.2f per committed)@ status: %s"
     (Hfi_util.Units.pp_cycles r.Cycle_engine.cycles)
-    r.Cycle_engine.instrs ipc r.Cycle_engine.icache_misses r.Cycle_engine.dcache_misses
-    r.Cycle_engine.dtlb_misses r.Cycle_engine.cond_mispredicts r.Cycle_engine.indirect_mispredicts
-    r.Cycle_engine.drains r.Cycle_engine.transient_instrs
+    r.Cycle_engine.instrs ipc r.Cycle_engine.icache_misses
+    (rate_pct r.Cycle_engine.icache_hits r.Cycle_engine.icache_misses)
+    r.Cycle_engine.dcache_misses
+    (rate_pct r.Cycle_engine.dcache_hits r.Cycle_engine.dcache_misses)
+    r.Cycle_engine.dtlb_misses
+    (rate_pct r.Cycle_engine.dtlb_hits r.Cycle_engine.dtlb_misses)
+    r.Cycle_engine.cond_mispredicts
+    (mispredict_pct r.Cycle_engine.cond_mispredicts r.Cycle_engine.cond_lookups)
+    r.Cycle_engine.indirect_mispredicts
+    (mispredict_pct r.Cycle_engine.indirect_mispredicts r.Cycle_engine.indirect_lookups)
+    r.Cycle_engine.drains r.Cycle_engine.transient_instrs transient_per_instr
     (match r.Cycle_engine.status with
     | Machine.Halted -> "halted"
     | Machine.Running -> "running"

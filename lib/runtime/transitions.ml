@@ -37,6 +37,19 @@ let emit_exit b kind =
 
 let code_base = 0x40_0000
 
+(* Observability: how often each harness runs and what per-transition
+   cost it measured. Registration is idempotent (keyed by name+labels),
+   so building these per call is fine; increments are no-ops with
+   metrics off. *)
+let measure_count kind =
+  Hfi_obs.Metrics.counter "hfi_transition_measurements_total"
+    ~labels:[ ("kind", kind_name kind) ]
+
+let measure_hist kind =
+  Hfi_obs.Metrics.histogram "hfi_transition_cycles"
+    ~buckets:[| 25.0; 50.0; 100.0; 200.0; 400.0; 800.0 |]
+    ~labels:[ ("kind", kind_name kind) ]
+
 let measure ?(iterations = 2000) kind =
   let b = Program.Asm.create () in
   let open Instr in
@@ -75,4 +88,12 @@ let measure ?(iterations = 2000) kind =
   (match Cycle_engine.run e with
   | Machine.Halted -> ()
   | _ -> failwith "Transitions.measure: did not halt");
-  Cycle_engine.cycles e /. float_of_int iterations
+  let per_transition = Cycle_engine.cycles e /. float_of_int iterations in
+  if Hfi_obs.Obs.metrics_on () then begin
+    Hfi_obs.Metrics.inc (measure_count kind);
+    Hfi_obs.Metrics.observe (measure_hist kind) per_transition
+  end;
+  (* a:3 marks a harness-level span (0/1/2 are enter/exit/reenter). *)
+  if !Hfi_obs.Obs.trace_enabled then
+    Hfi_obs.Trace.(emit Transition ~ts:0.0 ~dur:(Cycle_engine.cycles e) ~a:3);
+  per_transition

@@ -9,6 +9,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("uop", Test_uop.suite);
       ("golden", Test_golden.suite);
+      ("obs", Test_obs.suite);
       ("sfi", Test_sfi.suite);
       ("wasm", Test_wasm.suite);
       ("wasm-ir", Test_wasm_ir.suite);

@@ -127,6 +127,54 @@ let test_table_render () =
   let lines = String.split_on_char '\n' s in
   check_int "4 lines + trailing" 5 (List.length lines)
 
+(* Fixed-bucket metric histograms (Hfi_obs): boundary values go in the
+   first bucket whose upper bound is >= the sample; everything above the
+   last bound lands in the overflow slot. *)
+let test_obs_histogram_buckets () =
+  let module Obs = Hfi_obs.Obs in
+  let module Metrics = Hfi_obs.Metrics in
+  let was = !Obs.metrics_enabled in
+  Obs.set_metrics true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_metrics was)
+    (fun () ->
+      let h =
+        Metrics.histogram "test_util_obs_hist" ~buckets:[| 1.0; 2.0; 4.0 |]
+          ~labels:[ ("case", "buckets") ]
+      in
+      List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 3.0; 100.0 ];
+      check_int "count" 5 (Metrics.hist_count h);
+      check_float "sum" 106.0 (Metrics.hist_sum h);
+      let counts = Metrics.bucket_counts h in
+      check_int "bucket slots" 4 (Array.length counts);
+      check_int "le=1 (0.5 and the 1.0 boundary)" 2 counts.(0);
+      check_int "le=2" 1 counts.(1);
+      check_int "le=4" 1 counts.(2);
+      check_int "overflow" 1 counts.(3);
+      (* snapshot expands the histogram into _bucket/_count/_sum rows,
+         suffixed after the rendered name{labels} key *)
+      let snap = Metrics.snapshot () in
+      let base = "test_util_obs_hist{case=\"buckets\"}" in
+      let row suffix = List.exists (fun (k, _) -> k = base ^ suffix) snap in
+      check_bool "bucket row" true (row "_bucket{le=\"1\"}");
+      check_bool "overflow row" true (row "_bucket{le=\"+Inf\"}");
+      check_bool "count row" true (row "_count");
+      check_bool "sum row" true (row "_sum"))
+
+let test_obs_histogram_reregister_keeps_bounds () =
+  let module Obs = Hfi_obs.Obs in
+  let module Metrics = Hfi_obs.Metrics in
+  let was = !Obs.metrics_enabled in
+  Obs.set_metrics true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_metrics was)
+    (fun () ->
+      let h1 = Metrics.histogram "test_util_obs_hist2" ~buckets:[| 10.0 |] in
+      let h2 = Metrics.histogram "test_util_obs_hist2" ~buckets:[| 99.0; 100.0 |] in
+      Metrics.observe h1 5.0;
+      check_int "same instrument" 1 (Metrics.hist_count h2);
+      check_int "original bounds kept" 1 (Array.length (Metrics.bucket_bounds h2)))
+
 let suite =
   [
     Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
@@ -144,6 +192,9 @@ let suite =
     Alcotest.test_case "stats median/stddev" `Quick test_stats_median_stddev;
     Alcotest.test_case "latency accumulator" `Quick test_latency_acc;
     Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "obs metric histogram buckets" `Quick test_obs_histogram_buckets;
+    Alcotest.test_case "obs metric histogram re-registration" `Quick
+      test_obs_histogram_reregister_keeps_bounds;
     Alcotest.test_case "units bytes" `Quick test_units_bytes;
     Alcotest.test_case "units cycles/time" `Quick test_units_cycles_time;
     Alcotest.test_case "units comma grouping" `Quick test_units_pp_cycles_commas;
