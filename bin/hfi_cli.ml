@@ -5,7 +5,9 @@
      run <ids..|all>      run experiments (full or --quick)
      spectre [--kind]     run the Spectre PoCs and show the probe plots
      hw                   print HFI's hardware budget (SS4)
-     sightglass <kernel>  run one Sightglass kernel under every strategy *)
+     sightglass <kernel>  run one Sightglass kernel under every strategy
+     verify <kernel..>    statically verify compiled kernels (exit 0 safe,
+                          1 unsafe, 2 usage, 3 unknown-only) *)
 
 open Cmdliner
 module Registry = Hfi_experiments.Registry
@@ -162,6 +164,56 @@ let wasm_cmd =
   in
   Cmd.v (Cmd.info "wasm" ~doc) Term.(const run $ file $ strategy $ interp_only)
 
+let verify_cmd =
+  let doc =
+    "Statically verify sandbox safety of compiled Sightglass kernels: SFI discipline, HFI \
+     region invariants, and CFI, via abstract interpretation over the decoded program. Exit \
+     status: 0 when everything is $(b,safe), 1 when anything is $(b,unsafe), 3 when nothing \
+     is unsafe but some verdict is $(b,unknown)."
+  in
+  let kernels = Arg.(value & pos_all string [ "all" ] & info [] ~docv:"KERNEL") in
+  let strategy =
+    Arg.(value & opt (some strategy_conv) None
+         & info [ "strategy" ] ~docv:"STRATEGY"
+             ~doc:"Verify under one isolation strategy only (default: all four).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print the reports as a JSON array.") in
+  let run kernels strategy json =
+    let names =
+      if List.mem "all" kernels then List.map fst Hfi_workloads.Sightglass.all else kernels
+    in
+    (* Validate up front, like `run`: a typo exits 2 before any work. *)
+    let unknown =
+      List.filter (fun k -> List.assoc_opt k Hfi_workloads.Sightglass.all = None) names
+    in
+    if unknown <> [] then begin
+      List.iter (fun k -> Printf.eprintf "unknown kernel %S\n" k) unknown;
+      Printf.eprintf "kernels: %s\n"
+        (String.concat " " (List.map fst Hfi_workloads.Sightglass.all));
+      exit 2
+    end;
+    let strategies =
+      match strategy with Some s -> [ s ] | None -> Hfi_sfi.Strategy.all
+    in
+    let reports =
+      List.concat_map
+        (fun k ->
+          let w = List.assoc k Hfi_workloads.Sightglass.all in
+          List.map (fun s -> Hfi_verify.Checks.verify_workload ~strategy:s w) strategies)
+        names
+    in
+    if json then
+      Printf.printf "[%s]\n" (String.concat ",\n " (List.map Hfi_verify.Report.to_json reports))
+    else List.iter (fun r -> print_endline (Hfi_verify.Report.to_string r)) reports;
+    let has name =
+      List.exists
+        (fun r -> Hfi_verify.Report.verdict_name r.Hfi_verify.Report.verdict = name)
+        reports
+    in
+    if has "unsafe" then exit 1 else if has "unknown" then exit 3
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ kernels $ strategy $ json)
+
 let conformance_cmd =
   let doc = "Run the appendix-A.1 interface conformance checks (SS5.3)." in
   let run () =
@@ -270,7 +322,7 @@ let () =
   let doc = "Hardware-assisted Fault Isolation (ASPLOS '23) — OCaml reproduction." in
   let info = Cmd.info "hfi" ~version:"1.0.0" ~doc in
   let code =
-    Cmd.eval (Cmd.group info [ list_cmd; run_cmd; spectre_cmd; hw_cmd; sightglass_cmd; wasm_cmd; conformance_cmd; trace_cmd; profile_cmd ])
+    Cmd.eval (Cmd.group info [ list_cmd; run_cmd; spectre_cmd; hw_cmd; sightglass_cmd; wasm_cmd; verify_cmd; conformance_cmd; trace_cmd; profile_cmd ])
   in
   (* Cmdliner reports unknown flags/subcommands as its own cli_error
      (124); scripts expect the conventional usage-error code 2, matching

@@ -20,11 +20,22 @@
       sandbox region must be byte-identical after every run. No
       injected out-of-region access ever completes untrapped.
 
+    - {b Static verification}: every generated program's compiled form
+      is also fed to the {!Hfi_verify} abstract interpreter (under the
+      HFI and bounds-checks strategies). The generator emits only
+      guarded heap accesses, so any non-[Safe] verdict is a verifier or
+      compiler bug — the execution legs act as a differential oracle
+      for the verifier and vice versa.
+
     A deliberately planted injector bug — the heap region register
     corrupted mid-run so accesses land outside the sandbox without a
     trap — serves as the negative control: the campaign must detect it
     (via the canary or a value mismatch), proving the checker can see
-    real isolation failures. *)
+    real isolation failures. A second, {e static} negative control
+    plants an in-sandbox [hfi_set_region] that repoints the heap region
+    at the canary page: the verifier must call it [Unsafe] naming the
+    offending instruction, and running it must really corrupt the
+    canary (the hybrid sandbox does not trap region writes). *)
 
 module Wasm_ir = Hfi_wasm.Wasm_ir
 module Wasm_interp = Hfi_wasm.Wasm_interp
@@ -36,6 +47,8 @@ module Prng = Hfi_util.Prng
 module Fault = Hfi_util.Fault
 module Fault_inject = Hfi_util.Fault_inject
 module Strategy = Hfi_sfi.Strategy
+module Verify = Hfi_verify.Checks
+module Vreport = Hfi_verify.Report
 
 (* ------------------------------------------------------------------ *)
 (* Program generation                                                  *)
@@ -365,8 +378,11 @@ type stats = {
   value_agreements : int;
   benign_injections : int;
   adversarial_injections : int;
+  verified : int;  (** programs the static verifier proved Safe *)
   plants : int;
   plants_detected : int;
+  static_plants : int;
+  static_plants_detected : int;
   violations : Fault.t list;
 }
 
@@ -379,8 +395,11 @@ let no_stats =
     value_agreements = 0;
     benign_injections = 0;
     adversarial_injections = 0;
+    verified = 0;
     plants = 0;
     plants_detected = 0;
+    static_plants = 0;
+    static_plants_detected = 0;
     violations = [];
   }
 
@@ -403,6 +422,79 @@ let detector_module =
           Wasm_ir.Load { bytes = 8; offset = 0 };
         ];
     |]
+
+(* ------------------------------------------------------------------ *)
+(* Static verification oracle                                          *)
+(* ------------------------------------------------------------------ *)
+
+let verify_strategies = [ Strategy.Hfi; Strategy.Bounds_checks ]
+
+(* The compiled form of a generated module must verify Safe: every heap
+   access the compiler emits is guarded (bounds-checks) or confined by
+   the sandbox regions (HFI), and the generator emits no indirect
+   control flow. A non-Safe verdict is a verifier false positive or a
+   compiler hole — either way a bug worth failing loudly on. *)
+let verify_generated ~add_violation i (m : Wasm_ir.module_) =
+  let wl = Wasm_compile.workload m in
+  List.for_all
+    (fun strategy ->
+      let r = Verify.verify_workload ~strategy wl in
+      match r.Vreport.verdict with
+      | Vreport.Safe -> true
+      | v ->
+        add_violation
+          (violation ~point:"static-verifier"
+             (Printf.sprintf "iter %d: %s verdict on a generator program under %s:\n%s" i
+                (Vreport.verdict_name v) (Strategy.to_string strategy) (Vreport.to_string r)));
+        false)
+    verify_strategies
+
+(* The static negative control: from *inside* the hybrid sandbox,
+   repoint the heap region at the canary page and store through it.
+   [exec_set_region] does not trap in a hybrid sandbox, so the store
+   really lands on the canary — an isolation escape only the static
+   verifier sees coming. *)
+let escape_region : Hfi_iface.region =
+  Hfi_iface.Explicit_data
+    {
+      base_address = canary_base - 16;
+      bound = canary_len + 16;
+      permission_read = true;
+      permission_write = true;
+      is_large_region = false;
+    }
+
+let escape_workload =
+  Instance.workload ~name:"region-escape" (fun c ->
+      let module Codegen = Hfi_wasm.Codegen in
+      Codegen.emit c (Instr.Hfi_set_region (Layout.heap_region_slot, escape_region));
+      Codegen.emit c
+        (Instr.Hstore
+           (Layout.heap_hmov_region, Instr.W8, Instr.mem ~disp:16 (), Instr.Imm 0xDEAD));
+      Codegen.emit c (Instr.Mov (Reg.RAX, Instr.Imm 0)))
+
+(* True iff (a) the verifier reports Unsafe and the violation names the
+   in-sandbox region write, and (b) the escape is real: running the
+   program corrupts the canary without a trap. *)
+let static_plant_detected () =
+  let r = Verify.verify_workload ~strategy:Strategy.Hfi escape_workload in
+  let flagged =
+    match r.Vreport.verdict with
+    | Vreport.Unsafe vs ->
+      List.exists
+        (fun (v : Vreport.violation) ->
+          v.Vreport.property = Vreport.Hfi_invariant
+          && v.Vreport.detail = "region register written inside the sandbox")
+        vs
+    | _ -> false
+  in
+  let inst = Instance.instantiate ~strategy:Strategy.Hfi escape_workload in
+  let machine = Instance.machine inst in
+  let mem = Machine.mem machine in
+  Addr_space.mmap mem ~addr:canary_base ~len:canary_len Perm.rw;
+  fill_canary mem;
+  let status = Machine.run ~fuel:machine_fuel machine (fun _ -> ()) in
+  flagged && status = Machine.Halted && not (canary_intact mem)
 
 (* Run one planted-corruption experiment; true iff the checker caught
    it (wrong value, trap, or canary hit). *)
@@ -469,6 +561,7 @@ let campaign ?(plant = false) ~seed ~iters () =
       if not canary_ok then
         add_violation
           (violation ~point:"canary" (Printf.sprintf "iter %d: canary page modified" i));
+      if verify_generated ~add_violation i m then s := { !s with verified = !s.verified + 1 };
       s := { !s with checked = !s.checked + 1 };
       (* Scheduled fault injections for this iteration. *)
       List.iter
@@ -545,7 +638,10 @@ let campaign ?(plant = false) ~seed ~iters () =
         s := { !s with plants = !s.plants + 1 };
         if plant_detected injection then
           s := { !s with plants_detected = !s.plants_detected + 1 })
-      variants
+      variants;
+    s := { !s with static_plants = !s.static_plants + 1 };
+    if static_plant_detected () then
+      s := { !s with static_plants_detected = !s.static_plants_detected + 1 }
   end;
   { !s with violations = List.rev !s.violations }
 
@@ -592,9 +688,20 @@ let run ?(quick = false) () =
           "all trapped";
         ];
         [
+          "static verification (hfi + bounds-checks)";
+          string_of_int stats.verified;
+          "all safe";
+        ];
+        [
           "planted region corruption (negative control)";
           string_of_int stats.plants;
           Printf.sprintf "%d/%d detected" stats.plants_detected stats.plants;
+        ];
+        [
+          "in-sandbox region write (static negative control)";
+          string_of_int stats.static_plants;
+          Printf.sprintf "%d/%d unsafe + canary hit" stats.static_plants_detected
+            stats.static_plants;
         ];
         [ "non-terminating mutants skipped"; string_of_int stats.skipped; "-" ];
         [ "isolation violations"; string_of_int nviol; (if nviol = 0 then "none" else "FAIL") ];
@@ -612,6 +719,13 @@ let run ?(quick = false) () =
       (Fault.Simulator_bug
          (Printf.sprintf "fuzz: planted region corruption went undetected (%d/%d)"
             stats.plants_detected stats.plants));
+  if stats.static_plants_detected <> stats.static_plants then
+    raise
+      (Fault.Simulator_bug
+         (Printf.sprintf
+            "fuzz: static negative control missed (%d/%d): in-sandbox region write \
+             not flagged Unsafe or escape did not reach the canary"
+            stats.static_plants_detected stats.static_plants));
   {
     Report.id = "fuzz";
     title = "differential fuzzing + fault injection";
@@ -621,8 +735,9 @@ let run ?(quick = false) () =
     table;
     verdict =
       Printf.sprintf
-        "seed %#x: %d mutated programs, 0 violations; %d benign + %d adversarial \
-         injections; planted corruption detected %d/%d"
-        seed stats.checked stats.benign_injections stats.adversarial_injections
-        stats.plants_detected stats.plants;
+        "seed %#x: %d mutated programs, 0 violations; %d verified safe; %d benign + %d \
+         adversarial injections; planted corruption detected %d/%d (+%d/%d static)"
+        seed stats.checked stats.verified stats.benign_injections
+        stats.adversarial_injections stats.plants_detected stats.plants
+        stats.static_plants_detected stats.static_plants;
   }

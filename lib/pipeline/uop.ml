@@ -314,6 +314,57 @@ let decode_fresh prog ~code_base =
       })
     instrs
 
+(* ------------------------------------------------------------------ *)
+(* Read-only control-flow view (for the static verifier).              *)
+
+type flow =
+  | Seq
+  | Jump of int
+  | Cond_jump of int
+  | Indirect_jump
+  | Direct_call of int
+  | Indirect_call
+  | Return
+  | Syscall_flow
+  | Transition_flow
+  | Stop
+
+let flow_of u =
+  match u.op with
+  | Ojmp t -> Jump t
+  | Ojcc { target; _ } -> Cond_jump target
+  | Ojmp_ind _ -> Indirect_jump
+  | Ocall t -> Direct_call t
+  | Ocall_ind _ -> Indirect_call
+  | Oret -> Return
+  | Osyscall -> Syscall_flow
+  | Ohfi_enter _ | Ohfi_exit | Ohfi_reenter -> Transition_flow
+  | Ohalt -> Stop
+  | _ -> Seq
+
+let static_successors uops i =
+  let n = Array.length uops in
+  let in_range t = t >= 0 && t < n in
+  let keep = List.filter in_range in
+  match flow_of uops.(i) with
+  | Seq | Syscall_flow | Transition_flow -> keep [ i + 1 ]
+  | Jump t -> keep [ t ]
+  | Cond_jump t -> keep [ t; i + 1 ]
+  | Direct_call t -> keep [ t ]
+  | Indirect_jump | Indirect_call | Return | Stop -> []
+
+(* i is a leader iff it starts the program or the previous instruction
+   closed its block ([block_last] extents and leaders agree by
+   construction in [block_lasts]). *)
+let is_block_head uops i =
+  if i < 0 || i >= Array.length uops then invalid_arg "Uop.is_block_head";
+  i = 0 || uops.(i - 1).block_last = i - 1
+
+let block_head uops i =
+  if i < 0 || i >= Array.length uops then invalid_arg "Uop.block_head";
+  let rec back j = if is_block_head uops j then j else back (j - 1) in
+  back i
+
 (* Per-program decode cache, stored on the program itself through
    [Program.set_decoded]'s universal slot. fetch_addr bakes in the code
    base, so the cache is keyed by it (a different base re-decodes). *)

@@ -96,3 +96,47 @@ val decode : Program.t -> code_base:int -> t array
 
 val decode_fresh : Program.t -> code_base:int -> t array
 (** Always re-decode, bypassing the memo (tests). *)
+
+(** {1 Control-flow metadata — read-only view}
+
+    The block extents and statically resolved branch targets the
+    dispatch loop uses internally, exported for pre-execution analyses
+    (the static verifier in [lib/verify]). Everything here is derived
+    from the same decoded array the engines execute, so an analysis over
+    this view reasons about exactly the program the machine runs. *)
+
+(** How control leaves an instruction. Targets are instruction indices
+    (not byte addresses) and are reported even when out of program
+    range — consumers decide whether that is a fault or a violation. *)
+type flow =
+  | Seq  (** falls through to [index + 1] only *)
+  | Jump of int  (** unconditional direct jump *)
+  | Cond_jump of int  (** taken target; falls through otherwise *)
+  | Indirect_jump  (** target read from a register at runtime *)
+  | Direct_call of int  (** pushes a return address, jumps to the target *)
+  | Indirect_call
+  | Return  (** target read from the stack *)
+  | Syscall_flow  (** falls through, or redirects to the exit handler *)
+  | Transition_flow
+      (** hfi_enter/exit/reenter: falls through, or jumps to the
+          configured exit handler *)
+  | Stop  (** halt *)
+
+val flow_of : t -> flow
+
+val static_successors : t array -> int -> int list
+(** Indices execution can transfer to from instruction [i] along
+    statically resolvable edges. Excludes targets read from registers or
+    the stack (indirect jumps/calls, returns), trap redirections, and
+    exit-handler jumps; out-of-range direct targets are dropped. For the
+    fully static flows ([Seq], [Jump], [Cond_jump], [Direct_call]) the
+    interpreter's actual successor is always a member of this list
+    unless the instruction trapped. *)
+
+val is_block_head : t array -> int -> bool
+(** True when instruction [i] starts a basic block (the entry, a static
+    branch target, or the fallthrough of a block-ending instruction) —
+    the leaders matching the [block_last] extents. *)
+
+val block_head : t array -> int -> int
+(** Leader index of the basic block containing instruction [i]. *)

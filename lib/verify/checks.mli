@@ -1,0 +1,44 @@
+(** The verifier proper: fixpoint abstract interpretation over the
+    {!Cfg} with the {!Domain} value lattice, discharging three
+    properties per program:
+
+    {ol
+    {- {b SFI discipline} — every plain memory operand of a
+       software-sandboxed program is confined to the sandbox data
+       windows (stack, globals, heap plus the strategy's guard slack)
+       by a dominating mask/bounds sequence, or is stack-disciplined
+       ([Domain.Stackish]).}
+    {- {b HFI invariants} — region-configuration registers are written
+       only outside the sandbox (the trusted enter/exit sequences),
+       with descriptors that pass {!Hfi_core.Region.validate}; every
+       [hmov] names a declared explicit region whose permissions admit
+       the access.}
+    {- {b CFI} — every static branch target lands inside the program,
+       and every indirect target the analysis can resolve lands on a
+       basic-block head; unresolved indirects and returns reachable
+       with an empty call stack degrade the verdict to [Unknown].}}
+
+    Trusted assumptions, deliberately mirroring the software rewriter
+    and the modeled runtime: stack traffic through a stack-derived
+    pointer is exempt (protected-stack / frame-discipline assumption);
+    the heap bound cell holds at most [Layout.heap_max] (it is written
+    by the trusted prologue and memory.grow only); code reached only
+    through unresolved control flow is not analyzed — but any
+    unresolved control flow already forces [Unknown]. *)
+
+type spec = {
+  strategy : Hfi_sfi.Strategy.t;
+  code_base : int;  (** where the program's instruction 0 is fetched *)
+}
+
+val verify : ?name:string -> spec -> Program.t -> Report.t
+(** Decode, build the CFG, run the fixpoint (with widening after
+    repeated visits and a bounded narrowing phase to recover loop
+    bounds), then re-walk every reachable block recording each
+    discharged or failed obligation. Pure: never touches machine,
+    memory or HFI device state. *)
+
+val verify_workload :
+  strategy:Hfi_sfi.Strategy.t -> Hfi_wasm.Instance.workload -> Report.t
+(** Compile the workload exactly as {!Hfi_wasm.Instance.build_program}
+    does and verify the result under the standard {!Hfi_wasm.Layout}. *)

@@ -1,0 +1,251 @@
+type t =
+  | Bot
+  | Itv of { lo : int; hi : int }
+  | Masked of { base : int; mask : int }
+  | Stackish
+
+let top = Itv { lo = min_int; hi = max_int }
+let const n = Itv { lo = n; hi = n }
+let itv lo hi = if lo > hi then Bot else Itv { lo; hi }
+
+let masked ~base ~mask =
+  if base < 0 || mask < 0 then top
+  else
+    let mask = mask land lnot base in
+    if mask = 0 then const base else Masked { base; mask }
+
+let is_bot d = d = Bot
+let equal (a : t) (b : t) = a = b
+
+let singleton = function
+  | Itv { lo; hi } when lo = hi -> Some lo
+  | Masked { base; mask } when mask = 0 -> Some base
+  | _ -> None
+
+let bounds = function
+  | Bot | Stackish -> None
+  | Itv { lo; hi } -> Some (lo, hi)
+  (* base and mask have disjoint bits, so base + mask = base lor mask:
+     never overflows *)
+  | Masked { base; mask } -> Some (base, base + mask)
+
+let sat_add a b =
+  let s = a + b in
+  if a > 0 && b > 0 && s < 0 then max_int
+  else if a < 0 && b < 0 && s >= 0 then min_int
+  else s
+
+let sat_neg a = if a = min_int then max_int else -a
+let sat_sub a b = sat_add a (sat_neg b)
+
+let hull a b =
+  match (bounds a, bounds b) with
+  | Some (l1, h1), Some (l2, h2) -> Itv { lo = min l1 l2; hi = max h1 h2 }
+  | _ -> top
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Stackish, Stackish -> Stackish
+  | Stackish, _ | _, Stackish -> top
+  | Masked m1, Masked m2 ->
+    (* a bit is certain iff certain on both sides with the same value;
+       disagreeing certain bits become possible *)
+    let base = m1.base land m2.base in
+    let mask = m1.mask lor m2.mask lor (m1.base lxor m2.base) in
+    masked ~base ~mask
+  | _ -> hull a b
+
+let widen old next =
+  match (old, next) with
+  | Itv a, Itv b ->
+    let lo = if b.lo < a.lo then min_int else a.lo in
+    let hi = if b.hi > a.hi then max_int else a.hi in
+    Itv { lo; hi }
+  | _ -> join old next
+
+let meet_itv d ~lo ~hi =
+  match d with
+  | Bot -> Bot
+  | Stackish -> Stackish
+  | Itv { lo = l; hi = h } -> itv (max l lo) (min h hi)
+  | Masked { base; mask } ->
+    if base >= lo && base + mask <= hi then d else itv (max base lo) (min (base + mask) hi)
+
+let within d ~lo ~hi =
+  match bounds d with Some (l, h) -> l >= lo && h <= hi | None -> d = Bot
+
+let disjoint d ~lo ~hi =
+  match bounds d with Some (l, h) -> h < lo || l > hi | None -> d = Bot
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Stackish, Stackish -> top
+  | Stackish, x | x, Stackish -> if singleton x <> None then Stackish else top
+  | _ -> (
+    match (bounds a, bounds b) with
+    | Some (l1, h1), Some (l2, h2) -> itv (sat_add l1 l2) (sat_add h1 h2)
+    | _ -> top)
+
+let sub a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Stackish, x when singleton x <> None -> Stackish
+  | Stackish, _ | _, Stackish -> top
+  | _ -> (
+    match (bounds a, bounds b) with
+    | Some (l1, h1), Some (l2, h2) -> itv (sat_sub l1 h2) (sat_sub h1 l2)
+    | _ -> top)
+
+(* Bitset view of a value: [Some (certain, possible-but-uncertain)]
+   with disjoint components, both non-negative. *)
+let to_bits = function
+  | Masked { base; mask } -> Some (base, mask)
+  | Itv { lo; hi } when lo = hi && lo >= 0 -> Some (lo, 0)
+  | _ -> None
+
+let band a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+    match (to_bits a, to_bits b) with
+    | Some (b1, m1), Some (b2, m2) ->
+      let certain = b1 land b2 in
+      let possible = (b1 lor m1) land (b2 lor m2) in
+      masked ~base:certain ~mask:(possible land lnot certain)
+    | Some (bb, mm), None | None, Some (bb, mm) ->
+      (* one side is a non-negative bitset: the result can only keep its
+         bits, whatever the other side is — this is the SFI masking step *)
+      masked ~base:0 ~mask:(bb lor mm)
+    | None, None -> top)
+
+let bor a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+    match (to_bits a, to_bits b) with
+    | Some (b1, m1), Some (b2, m2) ->
+      let certain = b1 lor b2 in
+      let possible = b1 lor m1 lor b2 lor m2 in
+      masked ~base:certain ~mask:(possible land lnot certain)
+    | _ -> top)
+
+let bxor a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+    match (to_bits a, to_bits b) with
+    | Some (b1, m1), Some (b2, m2) ->
+      (* a result bit is certainly 1 iff exactly one side has it
+         certainly 1 and neither side is uncertain about it *)
+      let uncertain = m1 lor m2 in
+      let base = b1 lxor b2 land lnot uncertain in
+      masked ~base ~mask:((b1 lor m1 lor b2 lor m2) land lnot base)
+    | _ -> top)
+
+let shift_count b = match singleton b with Some c when c >= 0 && c < 62 -> Some c | _ -> None
+
+let shl a b =
+  match shift_count b with
+  | None -> ( match (a, b) with Bot, _ | _, Bot -> Bot | _ -> top)
+  | Some c -> (
+    match a with
+    | Bot -> Bot
+    | Masked { base; mask } when base lor mask <= max_int asr c ->
+      masked ~base:(base lsl c) ~mask:(mask lsl c)
+    | Itv { lo; hi } when lo >= 0 && hi <= max_int asr c -> Itv { lo = lo lsl c; hi = hi lsl c }
+    | _ -> top)
+
+let shr a b =
+  match shift_count b with
+  | None -> ( match (a, b) with Bot, _ | _, Bot -> Bot | _ -> top)
+  | Some c -> (
+    match a with
+    | Bot -> Bot
+    | Masked { base; mask } -> masked ~base:(base lsr c) ~mask:(mask lsr c)
+    | Itv { lo; hi } when lo >= 0 -> itv (lo lsr c) (hi lsr c)
+    | _ -> top)
+
+let sar a b =
+  match shift_count b with
+  | None -> ( match (a, b) with Bot, _ | _, Bot -> Bot | _ -> top)
+  | Some c -> (
+    match a with
+    | Bot -> Bot
+    | Masked { base; mask } -> masked ~base:(base asr c) ~mask:(mask asr c)
+    | Itv { lo; hi } -> itv (lo asr c) (hi asr c)
+    | Stackish -> top)
+
+let mul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+    match (singleton a, singleton b) with
+    (* native wrap-around multiply, matching the machine *)
+    | Some x, Some y -> const (x * y)
+    | _ -> (
+      match (bounds a, bounds b) with
+      | Some (l1, h1), Some (l2, h2) when l1 >= 0 && l2 >= 0 && (h2 = 0 || h1 <= max_int / h2)
+        -> Itv { lo = l1 * l2; hi = h1 * h2 }
+      | _ -> top))
+
+let div a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+    match (bounds a, bounds b) with
+    | Some (l1, h1), Some (l2, h2) when l1 >= 0 && l2 >= 1 -> Itv { lo = l1 / h2; hi = h1 / l2 }
+    | _ -> top)
+
+let alu (op : Instr.alu_op) a b =
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | And -> band a b
+  | Or -> bor a b
+  | Xor -> bxor a b
+  | Shl -> shl a b
+  | Shr -> shr a b
+  | Sar -> sar a b
+  | Mul -> mul a b
+  | Div -> div a b
+
+let load_result ~bytes =
+  match bytes with
+  | 1 -> masked ~base:0 ~mask:0xff
+  | 2 -> masked ~base:0 ~mask:0xffff
+  | 4 -> masked ~base:0 ~mask:0xffff_ffff
+  | _ -> top
+
+let refine (c : Instr.cond) x ~rhs =
+  match bounds rhs with
+  | None -> x
+  | Some (rlo, rhi) -> (
+    match c with
+    | Eq -> meet_itv x ~lo:rlo ~hi:rhi
+    | Ne -> x
+    | Lt -> if rhi = min_int then Bot else meet_itv x ~lo:min_int ~hi:(rhi - 1)
+    | Le -> meet_itv x ~lo:min_int ~hi:rhi
+    | Gt -> if rlo = max_int then Bot else meet_itv x ~lo:(rlo + 1) ~hi:max_int
+    | Ge -> meet_itv x ~lo:rlo ~hi:max_int
+    | Ult ->
+      (* unsigned x < rhs with rhs provably non-negative: any negative x
+         would have an unsigned value above every non-negative bound *)
+      if rlo >= 0 then (if rhi <= 0 then Bot else meet_itv x ~lo:0 ~hi:(rhi - 1)) else x
+    | Ule -> if rlo >= 0 then meet_itv x ~lo:0 ~hi:rhi else x
+    | Ugt | Uge -> x)
+
+let hex n = if n < 0 then Printf.sprintf "-0x%x" (-n) else Printf.sprintf "0x%x" n
+
+let pp ppf = function
+  | Bot -> Format.pp_print_string ppf "bot"
+  | Itv { lo; hi } when lo = min_int && hi = max_int -> Format.pp_print_string ppf "top"
+  | Itv { lo; hi } when lo = hi -> Format.pp_print_string ppf (hex lo)
+  | Itv { lo; hi } ->
+    let side n = if n = min_int then "-inf" else if n = max_int then "+inf" else hex n in
+    Format.fprintf ppf "[%s..%s]" (side lo) (side hi)
+  | Masked { base; mask } -> Format.fprintf ppf "0x%x|m:0x%x" base mask
+  | Stackish -> Format.pp_print_string ppf "stack"
+
+let to_string d = Format.asprintf "%a" pp d

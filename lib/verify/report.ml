@@ -1,0 +1,94 @@
+type property = Sfi_discipline | Hfi_invariant | Cfi
+
+let property_name = function
+  | Sfi_discipline -> "sfi-discipline"
+  | Hfi_invariant -> "hfi-invariant"
+  | Cfi -> "cfi"
+
+type violation = {
+  property : property;
+  index : int;
+  addr : int;
+  instr : string;
+  detail : string;
+}
+
+type reason = { r_index : int option; what : string }
+
+type verdict = Safe | Unsafe of violation list | Unknown of reason list
+
+type t = {
+  target : string;
+  strategy : string;
+  verdict : verdict;
+  blocks : int;
+  instrs : int;
+  checked_mem : int;
+  checked_branches : int;
+  iterations : int;
+}
+
+let verdict_name = function Safe -> "safe" | Unsafe _ -> "unsafe" | Unknown _ -> "unknown"
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] #%d @@ 0x%x `%s`: %s" (property_name v.property) v.index v.addr
+    v.instr v.detail
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v
+
+let pp_reason ppf (r : reason) =
+  match r.r_index with
+  | Some i -> Format.fprintf ppf "#%d: %s" i r.what
+  | None -> Format.fprintf ppf "%s" r.what
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "%s/%s: %s (%d blocks, %d instrs, %d mem + %d branch obligations, %d passes)"
+    t.target t.strategy (verdict_name t.verdict) t.blocks t.instrs t.checked_mem
+    t.checked_branches t.iterations;
+  (match t.verdict with
+  | Safe -> ()
+  | Unsafe vs -> List.iter (fun v -> Format.fprintf ppf "@\n  %a" pp_violation v) vs
+  | Unknown rs -> List.iter (fun r -> Format.fprintf ppf "@\n  ? %a" pp_reason r) rs);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* Minimal JSON string escaping, matching Fault.to_json's style. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let violation_json v =
+  Printf.sprintf
+    {|{"property":"%s","index":%d,"addr":%d,"instr":"%s","detail":"%s"}|}
+    (property_name v.property) v.index v.addr (escape v.instr) (escape v.detail)
+
+let reason_json (r : reason) =
+  match r.r_index with
+  | Some i -> Printf.sprintf {|{"index":%d,"what":"%s"}|} i (escape r.what)
+  | None -> Printf.sprintf {|{"what":"%s"}|} (escape r.what)
+
+let to_json t =
+  let details =
+    match t.verdict with
+    | Safe -> ""
+    | Unsafe vs ->
+      Printf.sprintf {|,"violations":[%s]|} (String.concat "," (List.map violation_json vs))
+    | Unknown rs ->
+      Printf.sprintf {|,"reasons":[%s]|} (String.concat "," (List.map reason_json rs))
+  in
+  Printf.sprintf
+    {|{"target":"%s","strategy":"%s","verdict":"%s","blocks":%d,"instrs":%d,"checked_mem":%d,"checked_branches":%d,"iterations":%d%s}|}
+    (escape t.target) (escape t.strategy) (verdict_name t.verdict) t.blocks t.instrs
+    t.checked_mem t.checked_branches t.iterations details

@@ -74,6 +74,50 @@ let test_decode_memoized () =
   let b = Uop.decode prog ~code_base in
   check_bool "same physical array" true (a == b)
 
+(* The read-only control-flow view (flow_of/static_successors/
+   is_block_head) must agree with the reference AST interpreter: every
+   transition between committed instructions is one the static view
+   predicts — a static successor where the flow is static, a block head
+   where it is indirect. Runs on every example program under every
+   strategy. *)
+let test_static_successors_agree () =
+  List.iter
+    (fun (name, inst) ->
+      let m = Instance.machine inst in
+      let prog = Instance.program inst in
+      let uops = Uop.decode prog ~code_base:(Machine.code_base m) in
+      let prev = ref None in
+      let observe (info : Machine.exec_info) =
+        let j = info.Machine.index in
+        (match !prev with
+        | Some (p : Machine.exec_info) when p.Machine.signal = None ->
+          let i = p.Machine.index in
+          (match Uop.flow_of uops.(i) with
+          | Uop.Indirect_jump | Uop.Indirect_call | Uop.Return ->
+            check_bool
+              (Printf.sprintf "%s: #%d indirect/ret lands on a block head" name i)
+              true (Uop.is_block_head uops j)
+          | Uop.Stop -> Alcotest.failf "%s: executed past halt at #%d" name i
+          | _ ->
+            check_bool
+              (Printf.sprintf "%s: #%d -> #%d statically predicted" name i j)
+              true
+              (List.mem j (Uop.static_successors uops i)))
+        | _ -> ());
+        (* a delivered signal redirects control to the handler: the next
+           transition is the kernel's, not the program's *)
+        prev := Some info;
+        let h = Uop.block_head uops j in
+        check_bool
+          (Printf.sprintf "%s: #%d head #%d is a head at or before it" name j h)
+          true
+          (h <= j && Uop.is_block_head uops h && uops.(h).Uop.block_last >= j)
+      in
+      match Machine.run ~fuel:30_000_000 m observe with
+      | Machine.Running -> Alcotest.failf "%s: out of fuel" name
+      | Machine.Halted | Machine.Faulted _ -> ())
+    (sample_instances ())
+
 (* Fast engine: cycles, rax, and status identical in both dispatch modes. *)
 let test_fast_engine_equivalence () =
   List.iter
@@ -167,6 +211,8 @@ let suite =
   [
     Alcotest.test_case "decode metadata matches Instr" `Quick test_decode_metadata;
     Alcotest.test_case "decode is memoized per program" `Quick test_decode_memoized;
+    Alcotest.test_case "static successors agree with execution" `Quick
+      test_static_successors_agree;
     Alcotest.test_case "fast engine: dispatch on/off identical" `Quick test_fast_engine_equivalence;
     Alcotest.test_case "cycle engine: dispatch on/off identical" `Quick test_cycle_engine_equivalence;
     Alcotest.test_case "fig3 cycles: dispatch on/off identical" `Slow test_fig3_equivalence;

@@ -1,0 +1,378 @@
+(* Static sandbox-safety verifier (lib/verify): domain lattice algebra,
+   CFG edge cases, fixpoint verdicts over the Sightglass corpus, the
+   planted in-sandbox region write (negative control), and the golden
+   guard — verification is pure, so running it (with observability on)
+   must not move a single modeled cycle. *)
+
+open Hfi_isa
+module Domain = Hfi_verify.Domain
+module Cfg = Hfi_verify.Cfg
+module Checks = Hfi_verify.Checks
+module Vreport = Hfi_verify.Report
+module Uop = Hfi_pipeline.Uop
+module Strategy = Hfi_sfi.Strategy
+module Layout = Hfi_wasm.Layout
+module Instance = Hfi_wasm.Instance
+module Sightglass = Hfi_workloads.Sightglass
+module Obs = Hfi_obs.Obs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let dom = Alcotest.testable Domain.pp Domain.equal
+
+(* ------------------------------------------------------------------ *)
+(* Domain unit suite                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_domain_masked () =
+  (* disagreeing certain bits of a join become uncertain bits *)
+  Alcotest.check dom "join folds disagreement into the mask"
+    (Domain.masked ~base:0 ~mask:0x33)
+    (Domain.join (Domain.masked ~base:0x10 ~mask:0x3) (Domain.masked ~base:0x20 ~mask:0x3));
+  (* the normalizing constructor folds overlapping bits *)
+  Alcotest.check dom "masked normalizes base bits out of the mask"
+    (Domain.masked ~base:0x40 ~mask:0x0f)
+    (Domain.masked ~base:0x40 ~mask:0x4f);
+  check_bool "masked hull" true
+    (Domain.bounds (Domain.masked ~base:0x100 ~mask:0xff) = Some (0x100, 0x1ff));
+  (* And with a non-negative bitset confines ANY value — the SFI
+     masking discharge, from top and even from a stack taint *)
+  Alcotest.check dom "And #top confines"
+    (Domain.masked ~base:0 ~mask:0xffff)
+    (Domain.alu Instr.And Domain.top (Domain.const 0xffff));
+  Alcotest.check dom "And stackish confines"
+    (Domain.masked ~base:0 ~mask:0xffff)
+    (Domain.alu Instr.And Domain.Stackish (Domain.const 0xffff));
+  (* joining with an interval falls back to the hull *)
+  Alcotest.check dom "masked/interval join hulls"
+    (Domain.itv 0 0x200)
+    (Domain.join (Domain.masked ~base:0 ~mask:0xff) (Domain.itv 0x100 0x200))
+
+let test_domain_widen () =
+  Alcotest.check dom "growing hi widens to +inf"
+    (Domain.itv 0 max_int)
+    (Domain.widen (Domain.itv 0 10) (Domain.itv 0 20));
+  Alcotest.check dom "shrinking lo widens to -inf"
+    (Domain.itv min_int 10)
+    (Domain.widen (Domain.itv 0 10) (Domain.itv (-1) 10));
+  Alcotest.check dom "stable interval does not widen"
+    (Domain.itv 0 10)
+    (Domain.widen (Domain.itv 0 10) (Domain.itv 2 8));
+  (* the Masked lattice is finite: widening is just the join *)
+  Alcotest.check dom "masked widens by join"
+    (Domain.masked ~base:0 ~mask:0x3)
+    (Domain.widen (Domain.masked ~base:0 ~mask:0x1) (Domain.masked ~base:0 ~mask:0x3))
+
+(* Saturating arithmetic at the region boundary: overflow must never
+   wrap an effective address back inside a window. *)
+let test_domain_overflow_at_boundary () =
+  let heap_lo = Layout.heap_base and heap_hi = Layout.heap_base + Layout.heap_max - 1 in
+  (* index that would wrap past max_int saturates instead *)
+  let ea = Domain.add (Domain.const max_int) (Domain.const Layout.heap_base) in
+  check_bool "saturated add stays at max_int" true (Domain.bounds ea = Some (max_int, max_int));
+  check_bool "saturated ea is not within the heap" false
+    (Domain.within ea ~lo:heap_lo ~hi:heap_hi);
+  (* a full-range index pushed to the heap base keeps the hull honest *)
+  let ea = Domain.add (Domain.itv 0 max_int) (Domain.const Layout.heap_base) in
+  check_bool "wide ea hull" true (Domain.bounds ea = Some (Layout.heap_base, max_int));
+  check_bool "wide ea not provably confined" false (Domain.within ea ~lo:heap_lo ~hi:heap_hi);
+  (* shifts and multiplies that could overflow degrade to top, they
+     never produce a tight-but-wrong interval *)
+  Alcotest.check dom "overflowing shl is top" Domain.top
+    (Domain.alu Instr.Shl (Domain.itv 1 (1 lsl 40)) (Domain.const 30));
+  Alcotest.check dom "overflowing mul is top" Domain.top
+    (Domain.alu Instr.Mul (Domain.itv 0 (1 lsl 40)) (Domain.const (1 lsl 30)));
+  (* in-range scaled index stays exact: the bounds-check shape *)
+  Alcotest.check dom "exact scaled index"
+    (Domain.itv 0 (1023 * 8))
+    (Domain.alu Instr.Mul (Domain.itv 0 1023) (Domain.const 8))
+
+let test_domain_refine () =
+  (* the wasm2c bounds-check shape: jae @trap, fall edge refines Ult *)
+  Alcotest.check dom "Ult refines top"
+    (Domain.itv 0 99)
+    (Domain.refine Instr.Ult Domain.top ~rhs:(Domain.itv 0 100));
+  Alcotest.check dom "Ult cuts negatives"
+    (Domain.itv 0 50)
+    (Domain.refine Instr.Ult (Domain.itv (-5) 50) ~rhs:(Domain.itv 0 100));
+  (* an unsigned compare against an unknown bound proves nothing *)
+  Alcotest.check dom "Ult against top is a no-op" Domain.top
+    (Domain.refine Instr.Ult Domain.top ~rhs:Domain.top);
+  Alcotest.check dom "Lt trims the high side only"
+    (Domain.itv 0 9)
+    (Domain.refine Instr.Lt (Domain.itv 0 100) ~rhs:(Domain.const 10));
+  Alcotest.check dom "contradiction refines to bot" Domain.Bot
+    (Domain.refine Instr.Ult (Domain.itv 5 9) ~rhs:(Domain.const 0));
+  (* stack taint is exempt from numeric refinement and confinement *)
+  Alcotest.check dom "stackish survives meet" Domain.Stackish
+    (Domain.meet_itv Domain.Stackish ~lo:0 ~hi:10);
+  Alcotest.check dom "stackish + const stays stackish" Domain.Stackish
+    (Domain.add Domain.Stackish (Domain.const 8));
+  check_bool "stackish never provably within" false (Domain.within Domain.Stackish ~lo:min_int ~hi:max_int)
+
+(* ------------------------------------------------------------------ *)
+(* CFG edge cases                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let spec = { Checks.strategy = Strategy.Guard_pages; code_base = Layout.code_base }
+
+let build instrs =
+  let prog = Program.of_instrs instrs in
+  (prog, Cfg.build (Uop.decode_fresh prog ~code_base:Layout.code_base))
+
+let verdict_of instrs =
+  let prog = Program.of_instrs instrs in
+  (Checks.verify spec prog).Vreport.verdict
+
+let test_cfg_self_loop () =
+  let _, cfg = build [| Instr.Jmp 0 |] in
+  check_int "one block" 1 (Array.length cfg.Cfg.blocks);
+  check_bool "self edge" true (cfg.Cfg.blocks.(0).Cfg.succs = [ 0 ]);
+  (* the fixpoint terminates on the cycle and proves it safe *)
+  check_str "verdict" "safe"
+    (Vreport.verdict_name (verdict_of [| Instr.Alu (Instr.Add, Reg.RCX, Instr.Imm 1); Instr.Jmp 0 |]))
+
+let test_cfg_back_edge () =
+  let instrs =
+    [|
+      Instr.Mov (Reg.RCX, Instr.Imm 0);
+      Instr.Alu (Instr.Add, Reg.RCX, Instr.Imm 1);
+      Instr.Cmp (Reg.RCX, Instr.Imm 10);
+      Instr.Jcc (Instr.Lt, 1);
+      Instr.Halt;
+    |]
+  in
+  let _, cfg = build instrs in
+  check_int "three blocks" 3 (Array.length cfg.Cfg.blocks);
+  let body = cfg.Cfg.blocks.(cfg.Cfg.block_of_instr.(1)) in
+  check_bool "back edge to itself" true (List.mem body.Cfg.id body.Cfg.succs);
+  check_str "verdict" "safe" (Vreport.verdict_name (verdict_of instrs))
+
+let test_cfg_unreachable_block () =
+  let instrs = [| Instr.Jmp 2; Instr.Alu (Instr.Add, Reg.RAX, Instr.Imm 1); Instr.Halt |] in
+  let _, cfg = build instrs in
+  check_int "three blocks" 3 (Array.length cfg.Cfg.blocks);
+  let r = Cfg.reachable cfg in
+  check_bool "skipped block is unreachable" false r.(cfg.Cfg.block_of_instr.(1));
+  check_bool "landing block is reachable" true r.(cfg.Cfg.block_of_instr.(2));
+  (* unreachable code is never analyzed and never degrades the verdict *)
+  check_str "verdict" "safe" (Vreport.verdict_name (verdict_of instrs))
+
+let test_cfg_ret_without_call () =
+  match verdict_of [| Instr.Ret |] with
+  | Vreport.Unknown rs ->
+    check_bool "names the empty call stack" true
+      (List.exists (fun (r : Vreport.reason) -> r.Vreport.what = "ret reachable with an empty call stack") rs)
+  | v -> Alcotest.failf "expected unknown, got %s" (Vreport.verdict_name v)
+
+let test_cfg_ret_with_call () =
+  (* call 2; halt; ret — the ret always has a frame, so no degradation *)
+  check_str "verdict" "safe"
+    (Vreport.verdict_name (verdict_of [| Instr.Call 2; Instr.Halt; Instr.Ret |]))
+
+let test_cfg_indirect_unresolved () =
+  (* rdtsc leaves RAX unconstrained: the indirect target set is empty *)
+  match verdict_of [| Instr.Rdtsc Reg.RAX; Instr.Jmp_ind Reg.RAX |] with
+  | Vreport.Unknown rs ->
+    check_bool "names the unresolved branch" true
+      (List.exists (fun (r : Vreport.reason) -> r.Vreport.what = "unresolved indirect branch target") rs)
+  | v -> Alcotest.failf "expected unknown, got %s" (Vreport.verdict_name v)
+
+(* Indirect jump through a constant: resolvable to a block head (safe),
+   to a mid-block boundary (unknown), or to a non-boundary (unsafe). *)
+let test_cfg_indirect_resolved () =
+  let prog_for target =
+    [| Instr.Mov (Reg.RAX, Instr.Imm target); Instr.Jmp_ind Reg.RAX; Instr.Halt |]
+  in
+  (* immediates are variable-length, so the target address feeds back
+     into the layout: iterate to a fixed point *)
+  let offset_of k target = Program.byte_offset (Program.of_instrs (prog_for target)) k in
+  let rec settle k guess =
+    let addr = Layout.code_base + offset_of k guess in
+    if addr = guess then addr else settle k addr
+  in
+  let head_addr = settle 2 0 in
+  let p1 = Program.of_instrs (prog_for head_addr) in
+  check_int "stable layout" (head_addr - Layout.code_base) (Program.byte_offset p1 2);
+  check_str "block-head target is safe" "safe"
+    (Vreport.verdict_name (Checks.verify spec p1).Vreport.verdict);
+  let mid_addr = settle 1 0 in
+  (match (Checks.verify spec (Program.of_instrs (prog_for mid_addr))).Vreport.verdict with
+  | Vreport.Unknown rs ->
+    check_bool "mid-block target degrades" true
+      (List.exists
+         (fun (r : Vreport.reason) -> r.Vreport.what = "indirect target lands mid-block (not analyzed)")
+         rs)
+  | v -> Alcotest.failf "expected unknown, got %s" (Vreport.verdict_name v));
+  match (Checks.verify spec (Program.of_instrs (prog_for (Layout.code_base + 1)))).Vreport.verdict with
+  | Vreport.Unsafe vs ->
+    check_bool "non-boundary target is a CFI violation" true
+      (List.exists (fun (v : Vreport.violation) -> v.Vreport.property = Vreport.Cfi) vs)
+  | v -> Alcotest.failf "expected unsafe, got %s" (Vreport.verdict_name v)
+
+(* Direct branch out of the program: always a CFI violation. *)
+let test_cfg_branch_out () =
+  match verdict_of [| Instr.Jmp 99 |] with
+  | Vreport.Unsafe vs ->
+    check_bool "out-of-program branch" true
+      (List.exists (fun (v : Vreport.violation) -> v.Vreport.property = Vreport.Cfi) vs)
+  | v -> Alcotest.failf "expected unsafe, got %s" (Vreport.verdict_name v)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus verdicts and the SFI discipline                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every Sightglass kernel under every strategy. Two guard-pages cases
+   are honest Unknowns of the non-relational domain (EXPERIMENTS.md):
+   base64's output cursor has no in-loop check at all, and sieve's
+   scaled index goes through a potentially-overflowing multiply that a
+   signed compare cannot re-bound. *)
+let expected_unknown = [ ("base64", Strategy.Guard_pages); ("sieve", Strategy.Guard_pages) ]
+
+let test_corpus_verdicts () =
+  List.iter
+    (fun (name, w) ->
+      List.iter
+        (fun s ->
+          let r = Checks.verify_workload ~strategy:s w in
+          let expect = if List.mem (name, s) expected_unknown then "unknown" else "safe" in
+          check_str
+            (Printf.sprintf "%s/%s" name (Strategy.to_string s))
+            expect
+            (Vreport.verdict_name r.Vreport.verdict))
+        Strategy.all)
+    Sightglass.all
+
+(* A raw store outside every sandbox window under a software scheme is
+   an SFI-discipline violation, not an Unknown. *)
+let test_sfi_escape_unsafe () =
+  let instrs =
+    [|
+      Instr.Store (Instr.W8, Instr.mem ~disp:0x3000_0000 (), Instr.Imm 1);
+      Instr.Halt;
+    |]
+  in
+  match (Checks.verify { spec with Checks.strategy = Strategy.Bounds_checks }
+           (Program.of_instrs instrs)).Vreport.verdict
+  with
+  | Vreport.Unsafe vs ->
+    let v = List.hd vs in
+    check_bool "sfi property" true (v.Vreport.property = Vreport.Sfi_discipline);
+    check_int "names instruction 0" 0 v.Vreport.index
+  | v -> Alcotest.failf "expected unsafe, got %s" (Vreport.verdict_name v)
+
+(* ------------------------------------------------------------------ *)
+(* Negative control: in-sandbox region write                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_workload =
+  let region : Hfi_iface.region =
+    Hfi_iface.Explicit_data
+      {
+        base_address = 0x3000_0000 - 16;
+        bound = 4096 + 16;
+        permission_read = true;
+        permission_write = true;
+        is_large_region = false;
+      }
+  in
+  Instance.workload ~name:"escape" (fun c ->
+      Hfi_wasm.Codegen.emit c (Instr.Hfi_set_region (Layout.heap_region_slot, region));
+      Hfi_wasm.Codegen.emit c
+        (Instr.Hstore (Layout.heap_hmov_region, Instr.W8, Instr.mem ~disp:16 (), Instr.Imm 0xBAD));
+      Hfi_wasm.Codegen.emit c (Instr.Mov (Reg.RAX, Instr.Imm 0)))
+
+let test_negative_control () =
+  let r = Checks.verify_workload ~strategy:Strategy.Hfi escape_workload in
+  match r.Vreport.verdict with
+  | Vreport.Unsafe vs ->
+    let v =
+      try
+        List.find
+          (fun (v : Vreport.violation) ->
+            v.Vreport.property = Vreport.Hfi_invariant
+            && v.Vreport.detail = "region register written inside the sandbox")
+          vs
+      with Not_found -> Alcotest.fail "no region-write violation reported"
+    in
+    (* the violation names the offending instruction *)
+    let prog = Instance.build_program ~strategy:Strategy.Hfi escape_workload in
+    (match (Program.instrs prog).(v.Vreport.index) with
+    | Instr.Hfi_set_region (slot, _) -> check_int "offending slot" Layout.heap_region_slot slot
+    | other ->
+      Alcotest.failf "violation points at %s, not the set_region" (Instr.to_string other))
+  | v -> Alcotest.failf "expected unsafe, got %s" (Vreport.verdict_name v)
+
+(* Report rendering must stay stable: the CLI, the fuzz harness, and CI
+   all dispatch on these strings. *)
+let test_report_format () =
+  let r = Checks.verify_workload ~strategy:Strategy.Hfi (Sightglass.find "fib2") in
+  check_str "verdict name" "safe" (Vreport.verdict_name r.Vreport.verdict);
+  let s = Vreport.to_string r in
+  check_bool "to_string carries target" true
+    (String.length s >= 4 && String.sub s 0 4 = "fib2");
+  let j = Vreport.to_json r in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "json verdict" true (contains {|"verdict":"safe"|} j);
+  check_bool "json target" true (contains {|"target":"fib2"|} j)
+
+(* ------------------------------------------------------------------ *)
+(* Golden guard: verification is pure                                   *)
+(* ------------------------------------------------------------------ *)
+
+let with_obs f =
+  let m0 = !Obs.metrics_enabled and t0 = !Obs.trace_enabled and p0 = !Obs.profile_enabled in
+  Obs.set_metrics true;
+  Obs.set_trace true;
+  Obs.set_profile true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_metrics m0;
+      Obs.set_trace t0;
+      Obs.set_profile p0)
+    f
+
+(* With all observability on AND verifier runs interleaved before the
+   measurement, the Fig. 3 golden cycle pins must stay bit-identical:
+   the verifier never touches machine, memory, HFI, or engine state. *)
+let test_golden_with_verifier () =
+  with_obs (fun () ->
+      List.iter
+        (fun (_, w) ->
+          List.iter (fun s -> ignore (Checks.verify_workload ~strategy:s w)) Strategy.all)
+        [ ("gimli", Sightglass.find "gimli"); ("keccak", Sightglass.find "keccak") ];
+      let actual = Test_golden.compute () in
+      List.iter2
+        (fun (gb, gs, gc) (ab, as_, ac) ->
+          check_str "bench order" gb ab;
+          check_str "scheme order" gs as_;
+          Alcotest.(check (float 0.0)) (Printf.sprintf "%s/%s cycles" gb gs) gc ac)
+        Test_golden.golden actual)
+
+let suite =
+  [
+    Alcotest.test_case "domain: masked join/normalize/And" `Quick test_domain_masked;
+    Alcotest.test_case "domain: widening" `Quick test_domain_widen;
+    Alcotest.test_case "domain: overflow at the region boundary" `Quick
+      test_domain_overflow_at_boundary;
+    Alcotest.test_case "domain: branch refinement" `Quick test_domain_refine;
+    Alcotest.test_case "cfg: self-loop" `Quick test_cfg_self_loop;
+    Alcotest.test_case "cfg: back edge" `Quick test_cfg_back_edge;
+    Alcotest.test_case "cfg: unreachable block" `Quick test_cfg_unreachable_block;
+    Alcotest.test_case "cfg: ret without call" `Quick test_cfg_ret_without_call;
+    Alcotest.test_case "cfg: ret with call" `Quick test_cfg_ret_with_call;
+    Alcotest.test_case "cfg: unresolved indirect" `Quick test_cfg_indirect_unresolved;
+    Alcotest.test_case "cfg: resolved indirect (head/mid/non-boundary)" `Quick
+      test_cfg_indirect_resolved;
+    Alcotest.test_case "cfg: direct branch out of program" `Quick test_cfg_branch_out;
+    Alcotest.test_case "corpus: verdicts across strategies" `Quick test_corpus_verdicts;
+    Alcotest.test_case "sfi: raw out-of-window store is unsafe" `Quick test_sfi_escape_unsafe;
+    Alcotest.test_case "negative control: in-sandbox region write" `Quick test_negative_control;
+    Alcotest.test_case "report: stable strings and json" `Quick test_report_format;
+    Alcotest.test_case "golden pins with verifier + obs on" `Quick test_golden_with_verifier;
+  ]
