@@ -89,6 +89,63 @@ let micro_tests () =
            ignore (Hfi_wasm.Instance.run_fast i)));
   ]
 
+(* Per-tier timings: the same Sightglass kernel end-to-end (fast engine)
+   under each dispatch tier, so every BENCH_*.json records not just
+   which tier produced it but what the other tiers would have cost. One
+   warm-up round per tier charges the decode/compile caches exactly as
+   a real campaign's first instantiation would. *)
+module Machine = Hfi_pipeline.Machine
+
+let tier_flags = [ ("ast", false, false); ("uop", true, false); ("block", true, true) ]
+
+let tier_timings () =
+  (* gimli: long straight-line permutation rounds, the shape the block
+     tier is built for (suffixes >= min_compile_len that actually
+     chain). Branch-dense kernels have 1-3 µop blocks that pin to the
+     interpreter and show parity, not spread. The warm-up round's
+     repeated instantiations push the round loop past the hotness
+     threshold, so the measured round runs fully compiled. *)
+  let w = Hfi_workloads.Sightglass.find "gimli" in
+  let reps = 10 in
+  let time_once () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      let i = Hfi_wasm.Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi w in
+      ignore (Hfi_wasm.Instance.run_fast i)
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let saved_dispatch = !Machine.decode_dispatch in
+  let saved_block = !Machine.block_compile in
+  Fun.protect
+    ~finally:(fun () ->
+      Machine.decode_dispatch := saved_dispatch;
+      Machine.block_compile := saved_block)
+    (fun () ->
+      List.map
+        (fun (name, dispatch, block) ->
+          Machine.decode_dispatch := dispatch;
+          Machine.block_compile := block;
+          ignore (time_once ());
+          (* Best of three: a single round is at the mercy of the host
+             scheduler and major-GC slices on shared runners. *)
+          let best = ref (time_once ()) in
+          for _ = 1 to 2 do
+            let t = time_once () in
+            if t < !best then best := t
+          done;
+          (name, !best))
+        tier_flags)
+
+let print_tiers tiers =
+  print_endline "== dispatch tiers (gimli end-to-end, fast engine) ==";
+  List.iter
+    (fun (name, s) ->
+      Printf.printf "  %-8s %10.1f us/run%s\n" name (s *. 1e6)
+        (if name = Machine.dispatch_tier () then "   <- selected" else ""))
+    tiers;
+  print_newline ()
+
 (* Prints each estimate as it lands and returns them for the JSON dump. *)
 let run_micro () =
   print_endline "== Bechamel microbenchmarks (host-time of simulator primitives) ==";
@@ -138,7 +195,7 @@ module Json = struct
   let arr items = "[" ^ String.concat "," items ^ "]"
 end
 
-let write_json ~file ~mode ~jobs ~micro ~outcomes ~total_seconds ~cache_on =
+let write_json ~file ~mode ~jobs ~micro ~tiers ~outcomes ~total_seconds ~cache_on =
   let micro_json =
     Json.arr
       (List.map
@@ -216,14 +273,26 @@ let write_json ~file ~mode ~jobs ~micro ~outcomes ~total_seconds ~cache_on =
           if total_seconds > 0.0 then Json.num (uncached_total /. total_seconds) else "null" );
       ]
   in
+  let tiers_json =
+    Json.arr
+      (List.map
+         (fun (name, s) ->
+           Json.obj [ ("tier", Json.str name); ("seconds_per_run", Json.num s) ])
+         tiers)
+  in
   let doc =
     Json.obj
       [
         (* Version of this JSON layout; bump alongside
            Result_cache.schema_version when fields change shape. *)
-        ("schema_version", string_of_int 2);
+        ("schema_version", string_of_int 3);
         ("mode", Json.str mode);
         ("jobs", string_of_int jobs);
+        (* Which execution tier produced the numbers below, plus the
+           measured cost of each tier on a reference kernel — makes
+           BENCH_*.json trajectories self-describing across PRs. *)
+        ("dispatch_tier", Json.str (Machine.dispatch_tier ()));
+        ("tiers", tiers_json);
         ("micro", micro_json);
         ("experiments", exp_json);
         ("cache", cache_json);
@@ -290,11 +359,13 @@ let () =
   let use_cache = (not !no_cache) && !inject_failure = None in
   let cache_on = use_cache && Hfi_experiments.Result_cache.enabled () in
   let micro = if !no_micro then [] else run_micro () in
+  let tiers = tier_timings () in
+  print_tiers tiers;
   if !micro_only then begin
     match !json_file with
     | Some file ->
-      write_json ~file ~mode:(if quick then "quick" else "full") ~jobs ~micro ~outcomes:[]
-        ~total_seconds:0.0 ~cache_on
+      write_json ~file ~mode:(if quick then "quick" else "full") ~jobs ~micro ~tiers
+        ~outcomes:[] ~total_seconds:0.0 ~cache_on
     | None -> ()
   end
   else begin
@@ -381,8 +452,8 @@ let () =
     let failures = List.filter (fun o -> Result.is_error o.Registry.result) outcomes in
     (match !json_file with
     | Some file ->
-      write_json ~file ~mode:(if quick then "quick" else "full") ~jobs ~micro ~outcomes
-        ~total_seconds:total ~cache_on
+      write_json ~file ~mode:(if quick then "quick" else "full") ~jobs ~micro ~tiers
+        ~outcomes ~total_seconds:total ~cache_on
     | None -> ());
     if failures <> [] then begin
       Printf.eprintf "%d experiment(s) failed: %s\n" (List.length failures)

@@ -43,7 +43,26 @@ let run_cmd =
     Arg.(value & flag
          & info [ "time" ] ~doc:"Print each experiment's wall-clock seconds after its report.")
   in
-  let run quick time fuzz_seed fuzz_iters ids =
+  let tier =
+    Arg.(value
+         & opt (some (enum [ ("ast", `Ast); ("uop", `Uop); ("block", `Block) ])) None
+         & info [ "tier" ] ~docv:"TIER"
+             ~doc:
+               "Force the simulator execution tier: $(b,ast) (reference interpreter), \
+                $(b,uop) (pre-decoded \xc2\xb5op dispatch) or $(b,block) (block-compiled \
+                threaded dispatch, the default). Overrides HFI_DECODE_CACHE / \
+                HFI_BLOCK_COMPILE; results are identical across tiers.")
+  in
+  let run quick time tier fuzz_seed fuzz_iters ids =
+    (match tier with
+    | None -> ()
+    | Some `Ast -> Hfi_pipeline.Machine.decode_dispatch := false
+    | Some `Uop ->
+      Hfi_pipeline.Machine.decode_dispatch := true;
+      Hfi_pipeline.Machine.block_compile := false
+    | Some `Block ->
+      Hfi_pipeline.Machine.decode_dispatch := true;
+      Hfi_pipeline.Machine.block_compile := true);
     if fuzz_seed <> None || fuzz_iters <> None then
       Hfi_experiments.Fuzz.configure ~seed:fuzz_seed ~iters:fuzz_iters;
     let ids = if List.mem "all" ids then Registry.ids () else ids in
@@ -68,7 +87,8 @@ let run_cmd =
           else Report.print (e.Registry.run ~quick ()))
       ids
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick $ time $ fuzz_seed $ fuzz_iters $ ids)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ quick $ time $ tier $ fuzz_seed $ fuzz_iters $ ids)
 
 let spectre_cmd =
   let doc = "Run the Spectre-PHT/BTB proofs of concept (SS5.3, Fig. 7)." in

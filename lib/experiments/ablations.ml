@@ -68,8 +68,18 @@ let run_transition_loop ~iterations ~use_soe =
 
 let run_switch_on_exit ?(quick = false) () =
   let iterations = if quick then 500 else 10_000 in
-  let ser_cycles, ser_drains = run_transition_loop ~iterations ~use_soe:false in
-  let soe_cycles, soe_drains = run_transition_loop ~iterations ~use_soe:true in
+  (* Both protocol variants build fresh machines/engines, so the sweep
+     fans over the HFI_JOBS pool; Pool.map keeps input order, making the
+     report identical at any job count. *)
+  let ser, soe =
+    match
+      Hfi_util.Pool.map (fun use_soe -> run_transition_loop ~iterations ~use_soe) [ false; true ]
+    with
+    | [ ser; soe ] -> (ser, soe)
+    | _ -> assert false (* Pool.map is length-preserving *)
+  in
+  let ser_cycles, ser_drains = ser in
+  let soe_cycles, soe_drains = soe in
   let per x = x /. float_of_int iterations in
   let table =
     Hfi_util.Table.render
@@ -98,8 +108,14 @@ let run_parallel_checks ?quick () =
     let inst = Hfi_wasm.Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi w in
     (Hfi_wasm.Instance.run_cycle ~config inst).Cycle_engine.cycles
   in
-  let parallel = run Cycle_engine.skylake in
-  let serial = run { Cycle_engine.skylake with hfi_checks_in_parallel = false } in
+  let parallel, serial =
+    match
+      Hfi_util.Pool.map run
+        [ Cycle_engine.skylake; { Cycle_engine.skylake with hfi_checks_in_parallel = false } ]
+    with
+    | [ parallel; serial ] -> (parallel, serial)
+    | _ -> assert false (* Pool.map is length-preserving *)
+  in
   let table =
     Hfi_util.Table.render
       ~header:[ "check placement"; "cycles (xchacha20)"; "normalized" ]

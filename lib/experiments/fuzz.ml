@@ -520,12 +520,61 @@ let injection_table ~seed ~iters =
     plan;
   tbl
 
-let campaign ?(plant = false) ~seed ~iters () =
-  let rng = Prng.create ~seed in
-  let injections = injection_table ~seed ~iters in
-  let s = ref { no_stats with iterations = iters } in
+(* ------------------------------------------------------------------ *)
+(* Sharded campaigns: iterations are split into fixed-size shards, each
+   with its own PRNG stream and injection plan seeded by a sequential
+   draw off the master seed. The shard decomposition depends only on
+   [iters] — never on the job count — and [Pool.map] returns results in
+   input order, so the merged aggregate is a pure function of
+   [(seed, iters)]: jobs=1 and jobs=N produce byte-identical stats.
+   Shards share no mutable simulator state (each iteration instantiates
+   fresh machines; lib/obs counters are atomics that accumulate across
+   domains), which is what makes the domain fan-out sound. *)
+
+let shard_len = 50
+
+type shard = { shard_seed : int; iter_base : int; shard_iters : int }
+
+let shards ~seed ~iters =
+  let master = Prng.create ~seed in
+  let rec go k acc =
+    let base = k * shard_len in
+    if base >= iters then List.rev acc
+    else
+      (* Drawn sequentially so shard k's seed never depends on how many
+         shards run or where. *)
+      let shard_seed = Prng.next master in
+      go (k + 1)
+        ({ shard_seed; iter_base = base; shard_iters = min shard_len (iters - base) } :: acc)
+  in
+  go 0 []
+
+let merge_stats a b =
+  {
+    iterations = a.iterations + b.iterations;
+    checked = a.checked + b.checked;
+    skipped = a.skipped + b.skipped;
+    trap_agreements = a.trap_agreements + b.trap_agreements;
+    value_agreements = a.value_agreements + b.value_agreements;
+    benign_injections = a.benign_injections + b.benign_injections;
+    adversarial_injections = a.adversarial_injections + b.adversarial_injections;
+    verified = a.verified + b.verified;
+    plants = a.plants + b.plants;
+    plants_detected = a.plants_detected + b.plants_detected;
+    static_plants = a.static_plants + b.static_plants;
+    static_plants_detected = a.static_plants_detected + b.static_plants_detected;
+    violations = a.violations @ b.violations;
+  }
+
+(* One shard of the campaign; [i] below is the global iteration index,
+   so violation messages read the same regardless of sharding. *)
+let run_shard { shard_seed; iter_base; shard_iters } =
+  let rng = Prng.create ~seed:shard_seed in
+  let injections = injection_table ~seed:shard_seed ~iters:shard_iters in
+  let s = ref { no_stats with iterations = shard_iters } in
   let add_violation f = s := { !s with violations = f :: !s.violations } in
-  for i = 0 to iters - 1 do
+  for local = 0 to shard_iters - 1 do
+    let i = iter_base + local in
     (* Fresh program, then a mutant half the time. *)
     let m0 = generate rng in
     let m = if Prng.bool rng then mutate rng m0 else m0 in
@@ -627,10 +676,16 @@ let campaign ?(plant = false) ~seed ~iters () =
                       "iter %d: injected OOB load at %#x completed untrapped (outcome %s%s)" i
                       oob (outcome_str got)
                       (if canary_ok then "" else ", canary modified"))))
-        (Option.value ~default:[] (Hashtbl.find_opt injections i))
+        (Option.value ~default:[] (Hashtbl.find_opt injections local))
   done;
+  { !s with violations = List.rev !s.violations }
+
+let campaign ?(plant = false) ?jobs ~seed ~iters () =
+  let per_shard = Hfi_util.Pool.map ?jobs run_shard (shards ~seed ~iters) in
+  let s = ref (List.fold_left merge_stats no_stats per_shard) in
   (* Negative control: the planted injector bug — region base corrupted
-     without a trap — must be caught by the same checks. *)
+     without a trap — must be caught by the same checks. Runs once per
+     campaign, after the merge, on the calling domain. *)
   if plant then begin
     let variants = [ Region_corrupt_canary; Region_corrupt_shift 0x2000 ] in
     List.iter
@@ -643,7 +698,9 @@ let campaign ?(plant = false) ~seed ~iters () =
     if static_plant_detected () then
       s := { !s with static_plants_detected = !s.static_plants_detected + 1 }
   end;
-  { !s with violations = List.rev !s.violations }
+  (* Per-shard violation lists are already in program order; the merge
+     concatenated them in shard order. *)
+  !s
 
 (* ------------------------------------------------------------------ *)
 (* Registry entry                                                      *)

@@ -45,10 +45,16 @@ let cycles ?(quick = false) ?cell ~pool_shrink () =
   r.Cycle_engine.cycles
 
 let run ?quick () =
-  let cell = ref None in
-  let base = cycles ?quick ~cell ~pool_shrink:0 () in
-  let one = cycles ?quick ~cell ~pool_shrink:1 () in
-  let two = cycles ?quick ~cell ~pool_shrink:2 () in
+  (* The three shrink configurations are independent runs, fanned over
+     the HFI_JOBS pool. Each item builds its own engine ([reset] is
+     result-equivalent to [create], so dropping the shared engine cell
+     changes no modeled cycle), and [Pool.map] preserves input order:
+     jobs=1 and jobs=N render the identical table. *)
+  let base, one, two =
+    match Hfi_util.Pool.map (fun pool_shrink -> cycles ?quick ~pool_shrink ()) [ 0; 1; 2 ] with
+    | [ base; one; two ] -> (base, one, two)
+    | _ -> assert false (* Pool.map is length-preserving *)
+  in
   let pct c = (c /. base -. 1.0) *. 100.0 in
   let table =
     Hfi_util.Table.render

@@ -126,7 +126,14 @@ let run_entry ?quick ?(clock = fun () -> 0.0) ?(timeout_s = infinity) ?(retries 
     in
     { entry = e; result; seconds; attempts; cached = false; uncached_seconds = None; metrics }
 
+(* HFI_JOBS is resolved — and any invalid-value warning printed — once
+   per process, not once per batch or entry: repeated [run_many] calls
+   without an explicit [jobs] reuse this memo instead of re-parsing the
+   environment every time. *)
+let env_jobs = lazy (Hfi_util.Pool.default_jobs ())
+
 let run_many ?jobs ?quick ?clock ?timeout_s ?retries ?use_cache entries =
-  Hfi_util.Pool.map ?jobs
+  let jobs = match jobs with Some j -> j | None -> Lazy.force env_jobs in
+  Hfi_util.Pool.map ~jobs
     (fun e -> run_entry ?quick ?clock ?timeout_s ?retries ?use_cache e)
     entries

@@ -123,6 +123,23 @@ let test_fig3_parallel_deterministic () =
       check_bool (a.bench ^ " identical row") true (a = b))
     seq par
 
+(* The fuzz campaign shards its iteration space over the pool with one
+   splitmix64 seed per shard, so the merged stats — counters, and the
+   violation list with its global iteration indices — must be identical
+   at any job count, byte for byte once rendered. *)
+let test_fuzz_campaign_jobs_deterministic () =
+  let iters = 120 (* three shards: exercises the merge across shard boundaries *) in
+  let render (s : Fuzz.stats) =
+    Printf.sprintf "%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d|%s" s.Fuzz.iterations s.Fuzz.checked
+      s.Fuzz.skipped s.Fuzz.trap_agreements s.Fuzz.value_agreements s.Fuzz.benign_injections
+      s.Fuzz.adversarial_injections s.Fuzz.verified s.Fuzz.plants s.Fuzz.plants_detected
+      s.Fuzz.static_plants s.Fuzz.static_plants_detected
+      (String.concat "; " (List.map Hfi_util.Fault.to_string s.Fuzz.violations))
+  in
+  let seq = Fuzz.campaign ~plant:true ~jobs:1 ~seed:0xFEED5EED ~iters () in
+  let par = Fuzz.campaign ~plant:true ~jobs:4 ~seed:0xFEED5EED ~iters () in
+  Alcotest.(check string) "jobs=1 == jobs=4" (render seq) (render par)
+
 let test_run_many_matches_sequential () =
   let ids = [ "reg-pressure"; "syscalls"; "teardown" ] in
   let entries = List.filter_map Registry.find ids in
@@ -143,6 +160,7 @@ let suite =
     Alcotest.test_case "fig2 parallel == sequential" `Quick test_fig2_parallel_deterministic;
     Alcotest.test_case "fig3 parallel == sequential" `Quick test_fig3_parallel_deterministic;
     Alcotest.test_case "run_many parallel == sequential" `Quick test_run_many_matches_sequential;
+    Alcotest.test_case "fuzz campaign: jobs=1 == jobs=4" `Slow test_fuzz_campaign_jobs_deterministic;
     Alcotest.test_case "all experiments run (quick)" `Slow test_all_run_quick;
     Alcotest.test_case "fig2 emulation accuracy" `Quick test_fig2_emulation_accuracy;
     Alcotest.test_case "fig3 shape" `Quick test_fig3_shape;

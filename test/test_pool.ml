@@ -97,6 +97,53 @@ let test_default_jobs_floor () =
      usable parallelism degree. *)
   check_bool "default_jobs >= 1" true (Pool.default_jobs () >= 1)
 
+(* An invalid HFI_JOBS falls back to 1 and complains on stderr at most
+   once per process, however many times the environment is re-read
+   (batches call default_jobs on every run_many without an explicit
+   jobs). *)
+let test_invalid_jobs_warns_once () =
+  let capture f =
+    let tmp = Filename.temp_file "pool_warn" ".err" in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+    let saved = Unix.dup Unix.stderr in
+    flush stderr;
+    Unix.dup2 fd Unix.stderr;
+    Unix.close fd;
+    Fun.protect
+      ~finally:(fun () ->
+        flush stderr;
+        Unix.dup2 saved Unix.stderr;
+        Unix.close saved)
+      f;
+    let s = In_channel.with_open_text tmp In_channel.input_all in
+    Sys.remove tmp;
+    s
+  in
+  let saved_jobs = Sys.getenv_opt Pool.jobs_env_var in
+  Unix.putenv Pool.jobs_env_var "banana";
+  let out =
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv Pool.jobs_env_var (Option.value saved_jobs ~default:""))
+      (fun () ->
+        capture (fun () ->
+            for _ = 1 to 5 do
+              check_int "invalid value falls back to 1 job" 1 (Pool.default_jobs ())
+            done))
+  in
+  let occurrences needle hay =
+    let n = String.length hay and m = String.length needle in
+    let rec go i acc =
+      if i + m > n then acc
+      else go (i + 1) (if String.sub hay i m = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  (* At most once per PROCESS: an earlier test (or a prior call of this
+     one in a looped runner) may already have burned the warning. *)
+  check_bool "warning printed at most once across five reads" true
+    (occurrences "ignoring invalid" out <= 1)
+
 let suite =
   [
     Alcotest.test_case "map jobs=1 is plain map" `Quick test_map_sequential;
@@ -109,4 +156,5 @@ let suite =
     Alcotest.test_case "nested pools stay sequential and correct" `Quick test_nested_pool;
     Alcotest.test_case "iteri covers every index" `Quick test_iteri_fills_every_slot;
     Alcotest.test_case "default_jobs never below 1" `Quick test_default_jobs_floor;
+    Alcotest.test_case "invalid HFI_JOBS warns once per process" `Quick test_invalid_jobs_warns_once;
   ]

@@ -1,9 +1,10 @@
 (* The µop decode layer (lib/pipeline/uop.ml): pre-decoded metadata must
-   agree with the Instr functions it mirrors, and µop/basic-block
-   dispatch must be observationally identical to the reference AST
-   interpreter — bit-identical modeled cycles, registers, and status on
-   both engines (this is what makes HFI_DECODE_CACHE a pure
-   performance switch). *)
+   agree with the Instr functions it mirrors, and every execution tier —
+   µop dispatch and block-compiled threaded dispatch — must be
+   observationally identical to the reference AST interpreter:
+   bit-identical modeled cycles, registers, and status on both engines
+   (this is what makes HFI_DECODE_CACHE / HFI_BLOCK_COMPILE pure
+   performance switches). *)
 
 open Hfi_isa
 open Hfi_pipeline
@@ -15,10 +16,35 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let exact_float = Alcotest.(check (float 0.0))
 
-let with_dispatch flag f =
-  let saved = !Machine.decode_dispatch in
-  Machine.decode_dispatch := flag;
-  Fun.protect ~finally:(fun () -> Machine.decode_dispatch := saved) f
+type tier = Ast | Uop_dispatch | Block
+
+let tier_name = function Ast -> "ast" | Uop_dispatch -> "uop" | Block -> "block"
+let tiers = [ Ast; Uop_dispatch; Block ]
+
+let with_tier tier f =
+  let saved_d = !Machine.decode_dispatch in
+  let saved_b = !Machine.block_compile in
+  (match tier with
+  | Ast -> Machine.decode_dispatch := false
+  | Uop_dispatch ->
+    Machine.decode_dispatch := true;
+    Machine.block_compile := false
+  | Block ->
+    Machine.decode_dispatch := true;
+    Machine.block_compile := true);
+  Fun.protect
+    ~finally:(fun () ->
+      Machine.decode_dispatch := saved_d;
+      Machine.block_compile := saved_b)
+    f
+
+let test_dispatch_tier_names () =
+  List.iter
+    (fun t ->
+      Alcotest.(check string)
+        "dispatch_tier reflects the flags" (tier_name t)
+        (with_tier t Machine.dispatch_tier))
+    tiers
 
 (* Every Sightglass kernel under every strategy: a varied mix of loads,
    stores, hmovs, bounds checks, transitions, calls, and branches. *)
@@ -118,7 +144,8 @@ let test_static_successors_agree () =
       | Machine.Halted | Machine.Faulted _ -> ())
     (sample_instances ())
 
-(* Fast engine: cycles, rax, and status identical in both dispatch modes. *)
+(* Fast engine: cycles, rax, and status identical across all three
+   tiers, with the AST interpreter as the reference. *)
 let test_fast_engine_equivalence () =
   List.iter
     (fun (name, w) ->
@@ -129,12 +156,17 @@ let test_fast_engine_equivalence () =
             let cycles, status = Instance.run_fast inst in
             (cycles, status, Instance.result_rax inst)
           in
-          let c_on, st_on, rax_on = with_dispatch true run in
-          let c_off, st_off, rax_off = with_dispatch false run in
-          let id = Printf.sprintf "%s/%s" name (Strategy.to_string s) in
-          check_bool (id ^ ": status") true (st_on = st_off);
-          check_int (id ^ ": rax") rax_off rax_on;
-          exact_float (id ^ ": fast cycles") c_off c_on)
+          let c_ref, st_ref, rax_ref = with_tier Ast run in
+          List.iter
+            (fun t ->
+              let c, st, rax = with_tier t run in
+              let id =
+                Printf.sprintf "%s/%s/%s" name (Strategy.to_string s) (tier_name t)
+              in
+              check_bool (id ^ ": status") true (st = st_ref);
+              check_int (id ^ ": rax") rax_ref rax;
+              exact_float (id ^ ": fast cycles") c_ref c)
+            [ Uop_dispatch; Block ])
         Strategy.all)
     Sightglass.all
 
@@ -150,24 +182,29 @@ let test_cycle_engine_equivalence () =
             let inst = Instance.instantiate ~strategy:s w in
             (Instance.run_cycle inst, Instance.result_rax inst)
           in
-          let r_on, rax_on = with_dispatch true run in
-          let r_off, rax_off = with_dispatch false run in
-          let id = Printf.sprintf "%s/%s" name (Strategy.to_string s) in
-          exact_float (id ^ ": cycles") r_off.Cycle_engine.cycles r_on.Cycle_engine.cycles;
-          check_int (id ^ ": instrs") r_off.Cycle_engine.instrs r_on.Cycle_engine.instrs;
-          check_int (id ^ ": icache") r_off.Cycle_engine.icache_misses r_on.Cycle_engine.icache_misses;
-          check_int (id ^ ": dcache") r_off.Cycle_engine.dcache_misses r_on.Cycle_engine.dcache_misses;
-          check_int (id ^ ": dtlb") r_off.Cycle_engine.dtlb_misses r_on.Cycle_engine.dtlb_misses;
-          check_int (id ^ ": cond-mispredicts") r_off.Cycle_engine.cond_mispredicts
-            r_on.Cycle_engine.cond_mispredicts;
-          check_int (id ^ ": indirect-mispredicts") r_off.Cycle_engine.indirect_mispredicts
-            r_on.Cycle_engine.indirect_mispredicts;
-          check_int (id ^ ": drains") r_off.Cycle_engine.drains r_on.Cycle_engine.drains;
-          check_int (id ^ ": transient") r_off.Cycle_engine.transient_instrs
-            r_on.Cycle_engine.transient_instrs;
-          check_bool (id ^ ": status") true
-            (r_on.Cycle_engine.status = r_off.Cycle_engine.status);
-          check_int (id ^ ": rax") rax_off rax_on)
+          let r_ref, rax_ref = with_tier Ast run in
+          List.iter
+            (fun t ->
+              let r, rax = with_tier t run in
+              let id =
+                Printf.sprintf "%s/%s/%s" name (Strategy.to_string s) (tier_name t)
+              in
+              exact_float (id ^ ": cycles") r_ref.Cycle_engine.cycles r.Cycle_engine.cycles;
+              check_int (id ^ ": instrs") r_ref.Cycle_engine.instrs r.Cycle_engine.instrs;
+              check_int (id ^ ": icache") r_ref.Cycle_engine.icache_misses r.Cycle_engine.icache_misses;
+              check_int (id ^ ": dcache") r_ref.Cycle_engine.dcache_misses r.Cycle_engine.dcache_misses;
+              check_int (id ^ ": dtlb") r_ref.Cycle_engine.dtlb_misses r.Cycle_engine.dtlb_misses;
+              check_int (id ^ ": cond-mispredicts") r_ref.Cycle_engine.cond_mispredicts
+                r.Cycle_engine.cond_mispredicts;
+              check_int (id ^ ": indirect-mispredicts") r_ref.Cycle_engine.indirect_mispredicts
+                r.Cycle_engine.indirect_mispredicts;
+              check_int (id ^ ": drains") r_ref.Cycle_engine.drains r.Cycle_engine.drains;
+              check_int (id ^ ": transient") r_ref.Cycle_engine.transient_instrs
+                r.Cycle_engine.transient_instrs;
+              check_bool (id ^ ": status") true
+                (r.Cycle_engine.status = r_ref.Cycle_engine.status);
+              check_int (id ^ ": rax") rax_ref rax)
+            [ Uop_dispatch; Block ])
         Strategy.all)
     Sightglass.all
 
@@ -181,40 +218,47 @@ let test_fig3_equivalence () =
       List.iter
         (fun s ->
           let run () = Hfi_experiments.Fig3_spec.run_one s p ~iters_divisor:16 in
-          let on = with_dispatch true run in
-          let off = with_dispatch false run in
-          exact_float
-            (Printf.sprintf "%s/%s" p.Hfi_workloads.Spec.name (Strategy.to_string s))
-            off on)
+          let reference = with_tier Ast run in
+          List.iter
+            (fun t ->
+              exact_float
+                (Printf.sprintf "%s/%s/%s" p.Hfi_workloads.Spec.name
+                   (Strategy.to_string s) (tier_name t))
+                reference (with_tier t run))
+            [ Uop_dispatch; Block ])
         Strategy.all)
     profiles
 
 (* Seeded differential fuzzing: generated Wasm modules, compiled under a
    rotating strategy, must produce the same outcome and the same modeled
-   cycles in both dispatch modes. *)
+   cycles under every tier. *)
 let test_fuzz_differential () =
   let outcome_t = Alcotest.testable Hfi_wasm.Wasm_interp.pp_outcome ( = ) in
   let rng = Hfi_util.Prng.create ~seed:0xC0FFEE in
   let strategies = Array.of_list Strategy.all in
-  for k = 1 to 50 do
+  for k = 1 to 200 do
     let m = Hfi_experiments.Fuzz.generate rng in
     let strategy = strategies.(k mod Array.length strategies) in
     let run () = Hfi_wasm.Wasm_compile.run ~strategy m in
-    let o_on, c_on = with_dispatch true run in
-    let o_off, c_off = with_dispatch false run in
-    let id = Printf.sprintf "fuzz #%d (%s)" k (Strategy.to_string strategy) in
-    Alcotest.check outcome_t (id ^ ": outcome") o_off o_on;
-    exact_float (id ^ ": cycles") c_off c_on
+    let o_ref, c_ref = with_tier Ast run in
+    List.iter
+      (fun t ->
+        let o, c = with_tier t run in
+        let id = Printf.sprintf "fuzz #%d (%s, %s)" k (Strategy.to_string strategy) (tier_name t) in
+        Alcotest.check outcome_t (id ^ ": outcome") o_ref o;
+        exact_float (id ^ ": cycles") c_ref c)
+      [ Uop_dispatch; Block ]
   done
 
 let suite =
   [
+    Alcotest.test_case "dispatch_tier names the active tier" `Quick test_dispatch_tier_names;
     Alcotest.test_case "decode metadata matches Instr" `Quick test_decode_metadata;
     Alcotest.test_case "decode is memoized per program" `Quick test_decode_memoized;
     Alcotest.test_case "static successors agree with execution" `Quick
       test_static_successors_agree;
-    Alcotest.test_case "fast engine: dispatch on/off identical" `Quick test_fast_engine_equivalence;
-    Alcotest.test_case "cycle engine: dispatch on/off identical" `Quick test_cycle_engine_equivalence;
-    Alcotest.test_case "fig3 cycles: dispatch on/off identical" `Slow test_fig3_equivalence;
-    Alcotest.test_case "fuzz differential: dispatch on/off" `Slow test_fuzz_differential;
+    Alcotest.test_case "fast engine: all tiers identical" `Quick test_fast_engine_equivalence;
+    Alcotest.test_case "cycle engine: all tiers identical" `Quick test_cycle_engine_equivalence;
+    Alcotest.test_case "fig3 cycles: all tiers identical" `Slow test_fig3_equivalence;
+    Alcotest.test_case "fuzz differential: all tiers" `Slow test_fuzz_differential;
   ]
