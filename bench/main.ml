@@ -215,6 +215,9 @@ let write_json ~file ~mode ~jobs ~micro ~tiers ~outcomes ~total_seconds ~cache_o
              [
                ("seconds", Json.num o.Registry.seconds);
                ("wall_s", Json.num o.Registry.seconds);
+               ("attempts", string_of_int o.Registry.attempts);
+               ("retried", if o.Registry.retried then "true" else "false");
+               ("timed_out", if o.Registry.timed_out then "true" else "false");
                ("cached", if o.Registry.cached then "true" else "false");
              ]
              @ (match o.Registry.uncached_seconds with
@@ -285,7 +288,7 @@ let write_json ~file ~mode ~jobs ~micro ~tiers ~outcomes ~total_seconds ~cache_o
       [
         (* Version of this JSON layout; bump alongside
            Result_cache.schema_version when fields change shape. *)
-        ("schema_version", string_of_int 3);
+        ("schema_version", string_of_int 4);
         ("mode", Json.str mode);
         ("jobs", string_of_int jobs);
         (* Which execution tier produced the numbers below, plus the

@@ -6,6 +6,7 @@
      spectre [--kind]     run the Spectre PoCs and show the probe plots
      hw                   print HFI's hardware budget (SS4)
      sightglass <kernel>  run one Sightglass kernel under every strategy
+     serve [--scenario]   run a resilient multi-tenant serving campaign
      verify <kernel..>    statically verify compiled kernels (exit 0 safe,
                           1 unsafe, 2 usage, 3 unknown-only) *)
 
@@ -338,11 +339,52 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ id $ quick $ json)
 
+let serve_cmd =
+  let doc =
+    "Run a resilient multi-tenant serving campaign: verified admission, retry/backoff, \
+     circuit breakers, load shedding and HFI-budget graceful degradation, under \
+     deterministic injected faults."
+  in
+  let scenario =
+    Arg.(value
+         & opt (enum [ ("steady", `Steady); ("burst", `Burst); ("chaos", `Chaos) ]) `Steady
+         & info [ "scenario" ] ~docv:"SCENARIO"
+             ~doc:
+               "$(b,steady) (Poisson load, no hazards), $(b,burst) (bursty arrivals, \
+                exercises shedding) or $(b,chaos) (full injected-fault mix).")
+  in
+  let tenants =
+    Arg.(value & opt (some int) None
+         & info [ "tenants" ] ~docv:"N" ~doc:"Tenant count (default per scenario).")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for the campaign.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced tenant/request counts.") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit per-strategy counters as JSON.")
+  in
+  let run scenario tenants seed quick json =
+    if seed <> None || tenants <> None then
+      Hfi_experiments.Serving.configure ~seed ~tenants;
+    let sc =
+      match scenario with
+      | `Steady -> Hfi_serving.Server.Steady
+      | `Burst -> Hfi_serving.Server.Burst
+      | `Chaos -> Hfi_serving.Server.Chaos
+    in
+    if json then print_endline (Hfi_experiments.Serving.run_json ~quick sc)
+    else Report.print (Hfi_experiments.Serving.run_scenario ~quick sc)
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ scenario $ tenants $ seed $ quick $ json)
+
 let () =
   let doc = "Hardware-assisted Fault Isolation (ASPLOS '23) — OCaml reproduction." in
   let info = Cmd.info "hfi" ~version:"1.0.0" ~doc in
   let code =
-    Cmd.eval (Cmd.group info [ list_cmd; run_cmd; spectre_cmd; hw_cmd; sightglass_cmd; wasm_cmd; verify_cmd; conformance_cmd; trace_cmd; profile_cmd ])
+    Cmd.eval (Cmd.group info [ list_cmd; run_cmd; serve_cmd; spectre_cmd; hw_cmd; sightglass_cmd; wasm_cmd; verify_cmd; conformance_cmd; trace_cmd; profile_cmd ])
   in
   (* Cmdliner reports unknown flags/subcommands as its own cli_error
      (124); scripts expect the conventional usage-error code 2, matching

@@ -22,6 +22,15 @@ let components =
 
 let total_region_registers = 2 * Hfi_isa.Hfi_iface.region_count
 
+(** How many HFI-backed sandbox contexts the modeled platform keeps
+    resident per serving shard before the kernel's xsave-area pool for
+    the extended register state is exhausted. Each context pins
+    [total_region_registers] 64-bit registers' worth of save area plus
+    the exit-handler/config pair; beyond the budget a serving layer must
+    degrade new instances to a software strategy (see
+    {!Hfi_serving.Instance_pool}). *)
+let hfi_context_budget = 64
+
 (** Comparator bits needed per explicit-region check under the HFI
     discipline (single 32-bit compare plus sign/overflow bit checks). *)
 let hfi_comparator_bits = 32

@@ -27,6 +27,9 @@ let all : entry list =
     { id = "multi-memory"; description = "multi-memory instance footprint (SS2)"; run = Ablations.run_multi_memory };
     { id = "chaining"; description = "function chaining in-process vs IPC (SS2)"; run = Ablations.run_chaining };
     { id = "fuzz"; description = "differential fuzzing + fault-injection campaign"; run = Fuzz.run };
+    { id = "serve_steady"; description = "multi-tenant FaaS serving, steady load (robustness)"; run = Serving.run_steady };
+    { id = "serve_burst"; description = "multi-tenant FaaS serving, bursty load + shedding"; run = Serving.run_burst };
+    { id = "serve_chaos"; description = "multi-tenant FaaS serving under injected faults"; run = Serving.run_chaos };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
@@ -38,6 +41,8 @@ type outcome = {
   result : (Report.t, Hfi_util.Fault.t) result;
   seconds : float;
   attempts : int;
+  retried : bool;  (** at least one transient-fault retry happened *)
+  timed_out : bool;  (** the result is a watchdog [Timeout] fault *)
   cached : bool;  (** served from {!Result_cache} instead of running *)
   uncached_seconds : float option;
       (** for cached outcomes: wall-clock of the original uncached run *)
@@ -87,6 +92,8 @@ let run_entry ?quick ?(clock = fun () -> 0.0) ?(timeout_s = infinity) ?(retries 
       result = Ok report;
       seconds = 0.0;
       attempts = 0;
+      retried = false;
+      timed_out = false;
       cached = true;
       uncached_seconds = Some uncached;
       metrics = [];
@@ -124,7 +131,22 @@ let run_entry ?quick ?(clock = fun () -> 0.0) ?(timeout_s = infinity) ?(retries 
         Hfi_obs.Metrics.delta (Hfi_obs.Metrics.snapshot ()) before
       end
     in
-    { entry = e; result; seconds; attempts; cached = false; uncached_seconds = None; metrics }
+    let timed_out =
+      match result with
+      | Error { Fault.kind = Fault.Timeout _; _ } -> true
+      | Ok _ | Error _ -> false
+    in
+    {
+      entry = e;
+      result;
+      seconds;
+      attempts;
+      retried = attempts > 1;
+      timed_out;
+      cached = false;
+      uncached_seconds = None;
+      metrics;
+    }
 
 (* HFI_JOBS is resolved — and any invalid-value warning printed — once
    per process, not once per batch or entry: repeated [run_many] calls

@@ -8,8 +8,15 @@ type process = {
   mutable status : process_status;
 }
 
+(* Processes live in a growable array (spawn order preserved, amortized
+   O(1) append) with a name table alongside, so spawn-heavy serving
+   runs — thousands of instances per chaos campaign — cost O(n) total
+   instead of the O(n^2) of the old [procs @ [p]] list append, and
+   [find] is a hash lookup instead of a linear scan. *)
 type t = {
-  mutable procs : process list;  (* in spawn order *)
+  mutable procs : process array;  (* slots [0, count) are live, in spawn order *)
+  mutable count : int;
+  by_name : (string, process) Hashtbl.t;
   mutable switches : int;
   mutable switch_cycles_ : float;
   blank : Hfi.saved;
@@ -19,27 +26,56 @@ type t = {
    order of a cache line of register file traffic. *)
 let xsave_hfi_cycles = 60.0
 
-let create () = { procs = []; switches = 0; switch_cycles_ = 0.0; blank = Hfi.xsave (Hfi.create ()) }
+let create () =
+  {
+    procs = [||];
+    count = 0;
+    by_name = Hashtbl.create 64;
+    switches = 0;
+    switch_cycles_ = 0.0;
+    blank = Hfi.xsave (Hfi.create ());
+  }
 
 let spawn t ~name machine =
   let engine = Fast_engine.create machine in
-  t.procs <- t.procs @ [ { name; machine; engine; saved = None; status = Ready } ]
+  let p = { name; machine; engine; saved = None; status = Ready } in
+  let cap = Array.length t.procs in
+  if t.count = cap then begin
+    let grown = Array.make (max 8 (2 * cap)) p in
+    Array.blit t.procs 0 grown 0 t.count;
+    t.procs <- grown
+  end;
+  t.procs.(t.count) <- p;
+  t.count <- t.count + 1;
+  (* First spawn wins a duplicated name, matching the old list [find]. *)
+  if not (Hashtbl.mem t.by_name name) then Hashtbl.add t.by_name name p
 
 let spawn_instance t ~name inst = spawn t ~name (Hfi_wasm.Instance.machine inst)
 
 let find t name =
-  match List.find_opt (fun p -> p.name = name) t.procs with
+  match Hashtbl.find_opt t.by_name name with
   | Some p -> p
   | None -> invalid_arg ("Scheduler: unknown process " ^ name)
 
 let run ?(quantum = 1000) ?(max_switches = 1_000_000) t =
+  let any_ready () =
+    let rec go i = i < t.count && (t.procs.(i).status = Ready || go (i + 1)) in
+    go 0
+  in
   let rec loop budget =
-    if budget <= 0 then failwith "Scheduler.run: switch budget exhausted";
-    match List.filter (fun p -> p.status = Ready) t.procs with
-    | [] -> ()
-    | ready ->
-      List.iter
-        (fun p ->
+    if not (any_ready ()) then Ok ()
+    else if budget <= 0 then
+      (* A typed, recoverable outcome: still-Ready processes keep their
+         state and a later [run] can continue them — a serving layer
+         degrades (counts the fault, sheds load) instead of crashing. *)
+      Error
+        (Hfi_util.Fault.make ~sandbox:"scheduler"
+           (Hfi_util.Fault.Resource_exhausted
+              { resource = "context-switch budget"; limit = max_switches }))
+    else begin
+      for i = 0 to t.count - 1 do
+        let p = t.procs.(i) in
+        if p.status = Ready then begin
           (* Switch in: the kernel restores this process's HFI registers
              over whatever the previous process left in them (§3.3.3). *)
           t.switches <- t.switches + 1;
@@ -48,16 +84,18 @@ let run ?(quantum = 1000) ?(max_switches = 1_000_000) t =
           (match p.saved with
           | Some s -> Hfi.kernel_xrstor (Machine.hfi p.machine) s
           | None -> ());
-          (match Fast_engine.run ~fuel:quantum p.engine with
+          match Fast_engine.run ~fuel:quantum p.engine with
           | Machine.Running ->
             (* Switch out: save HFI registers and surrender the core —
                model the next process clobbering them. *)
             p.saved <- Some (Hfi.xsave (Machine.hfi p.machine));
             Hfi.kernel_xrstor (Machine.hfi p.machine) t.blank
           | Machine.Halted -> p.status <- Finished
-          | Machine.Faulted reason -> p.status <- Killed reason))
-        ready;
+          | Machine.Faulted reason -> p.status <- Killed reason
+        end
+      done;
       loop (budget - 1)
+    end
   in
   loop max_switches
 
@@ -70,6 +108,10 @@ let result t ~name =
   | Ready -> invalid_arg "Scheduler.result: still running"
   | Killed r -> invalid_arg ("Scheduler.result: killed: " ^ Msr.to_string r)
 
+let cycles t ~name = Fast_engine.cycles (find t name).engine
 let context_switches t = t.switches
 let switch_cycles t = t.switch_cycles_
-let processes t = List.map (fun p -> p.name) t.procs
+
+let processes t =
+  let rec go i = if i >= t.count then [] else t.procs.(i).name :: go (i + 1) in
+  go 0

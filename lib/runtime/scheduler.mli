@@ -8,7 +8,12 @@
     instructions, performs the §3.3.3 save (xsave with save-hfi-regs),
     switches, and restores the next process's HFI registers before
     resuming it. A process that faults is terminated; the others keep
-    running — in-process isolation composes with process isolation. *)
+    running — in-process isolation composes with process isolation.
+
+    Processes are held in a growable array plus a name table: spawning
+    [n] processes is O(n) total and name lookup is O(1), so serving
+    simulations can multiplex thousands of instances without the
+    quadratic spawn cost of a list-append scheduler. *)
 
 type t
 
@@ -17,17 +22,29 @@ type process_status = Ready | Finished | Killed of Msr.t
 val create : unit -> t
 
 val spawn : t -> name:string -> Machine.t -> unit
-(** Register a process around an existing machine. *)
+(** Register a process around an existing machine. Amortized O(1). *)
 
 val spawn_instance : t -> name:string -> Hfi_wasm.Instance.t -> unit
 
-val run : ?quantum:int -> ?max_switches:int -> t -> unit
+val run : ?quantum:int -> ?max_switches:int -> t -> (unit, Hfi_util.Fault.t) result
 (** Round-robin until every process finishes or is killed.
-    [quantum] is committed instructions per slice (default 1000). *)
+    [quantum] is committed instructions per slice (default 1000).
+
+    [Ok ()] when every process reached [Finished] or [Killed].
+    [Error fault] — a typed [Resource_exhausted] fault — when the
+    switch budget ran out first; still-[Ready] processes keep their
+    saved state, so the caller can degrade gracefully (count the fault,
+    shed the work, or call [run] again with a fresh budget) instead of
+    unwinding the whole simulation. *)
 
 val status : t -> name:string -> process_status
 val result : t -> name:string -> int
 (** Final RAX of a finished process. *)
+
+val cycles : t -> name:string -> float
+(** Modeled engine cycles the named process has consumed so far
+    (excluding the shared context-switch overhead — see
+    {!switch_cycles}). *)
 
 val context_switches : t -> int
 
@@ -36,3 +53,4 @@ val switch_cycles : t -> float
     the xsave/xrstor of HFI state). *)
 
 val processes : t -> string list
+(** Names in spawn order. *)

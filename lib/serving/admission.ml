@@ -1,0 +1,92 @@
+module Strategy = Hfi_sfi.Strategy
+module Instance = Hfi_wasm.Instance
+module Checks = Hfi_verify.Checks
+module Vreport = Hfi_verify.Report
+
+type decision =
+  | Admitted
+  | Rejected of { verdict : string; detail : string }
+
+type entry = { decision : decision; fingerprint : string }
+
+type t = {
+  cache : (string, entry) Hashtbl.t;  (* fingerprint/strategy -> verdict *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { cache = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let decision_of_report (r : Vreport.t) =
+  match r.Vreport.verdict with
+  | Vreport.Safe -> Admitted
+  | Vreport.Unsafe (v :: _) ->
+    Rejected { verdict = "unsafe"; detail = Vreport.violation_to_string v }
+  | Vreport.Unsafe [] -> Rejected { verdict = "unsafe"; detail = "" }
+  | Vreport.Unknown reasons ->
+    (* The gate is load => verify => admit: an undischarged obligation is
+       not proof of safety, so Unknown is rejected, never executed. *)
+    let detail =
+      match reasons with r0 :: _ -> r0.Vreport.what | [] -> "undischarged obligation"
+    in
+    Rejected { verdict = "unknown"; detail }
+
+(* Verify the compiled form of [workload] under [strategy], memoized
+   content-addressed: the key is the program fingerprint (a digest of
+   the exact instruction sequence) plus the strategy, so two tenants
+   sharing a module image share one verification, and any change to the
+   module or the compiler changes the key. Compilation itself is pure
+   and cheap relative to verification; the abstract-interpretation
+   fixpoint is what the cache elides. *)
+let check t ~strategy (w : Instance.workload) =
+  let program = Instance.build_program ~strategy w in
+  let fingerprint = Program.fingerprint program in
+  let key = fingerprint ^ "/" ^ Strategy.to_string strategy in
+  match Hashtbl.find_opt t.cache key with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    e.decision
+  | None ->
+    t.misses <- t.misses + 1;
+    let report =
+      Checks.verify ~name:w.Instance.name
+        { Checks.strategy; code_base = Hfi_wasm.Layout.code_base }
+        program
+    in
+    let decision = decision_of_report report in
+    Hashtbl.replace t.cache key { decision; fingerprint };
+    decision
+
+let hits t = t.hits
+let misses t = t.misses
+
+(* A deliberately unverifiable module: from inside the sandbox it
+   repoints the heap region register at memory it does not own, stores
+   through it, and also stores through a raw absolute address that
+   escapes every sandbox window. The first refutes the HFI invariant
+   (region registers are written only by the trusted runtime, outside
+   the sandbox); the second refutes SFI discipline under the software
+   strategies — so admission rejects the module under *every* strategy,
+   before a single instruction runs. Serving campaigns use it as the
+   poison-tenant image. *)
+let escape_region : Hfi_isa.Hfi_iface.region =
+  Hfi_isa.Hfi_iface.Explicit_data
+    {
+      base_address = 0x3000_0000 - 16;
+      bound = 4096 + 16;
+      permission_read = true;
+      permission_write = true;
+      is_large_region = false;
+    }
+
+let poison_workload =
+  Instance.workload ~name:"poison-region-escape" (fun c ->
+      let module Codegen = Hfi_wasm.Codegen in
+      Codegen.emit c
+        (Instr.Hfi_set_region (Hfi_wasm.Layout.heap_region_slot, escape_region));
+      Codegen.emit c
+        (Instr.Hstore
+           (Hfi_wasm.Layout.heap_hmov_region, Instr.W8, Instr.mem ~disp:16 (), Instr.Imm 0xBAD));
+      Codegen.emit c
+        (Instr.Store (Instr.W8, Instr.mem ~disp:0x3000_0000 (), Instr.Imm 0x5A));
+      Codegen.emit c (Instr.Mov (Reg.RAX, Instr.Imm 0)))

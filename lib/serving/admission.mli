@@ -1,0 +1,37 @@
+(** The verified-load admission gate (load ⇒ verify ⇒ admit).
+
+    Every module entering the serving layer is compiled and fed to the
+    {!Hfi_verify} static verifier before any instance of it may
+    execute; only a [Safe] verdict admits it. [Unsafe] *and* [Unknown]
+    are rejected — an obligation the verifier could not discharge is
+    not proof of safety, so the LFI-style gate refuses to run it.
+
+    Verdicts are cached content-addressed: keyed by the compiled
+    program's {!Program.fingerprint} plus the strategy, so identical
+    module images verify once per process however many tenants share
+    them, and any compiler or module change invalidates by
+    construction. *)
+
+type t
+(** The verdict cache. *)
+
+val create : unit -> t
+
+type decision =
+  | Admitted
+  | Rejected of { verdict : string; detail : string }
+      (** [verdict] is ["unsafe"] or ["unknown"]; [detail] names the
+          first violation or undischarged obligation *)
+
+val check : t -> strategy:Hfi_sfi.Strategy.t -> Hfi_wasm.Instance.workload -> decision
+(** Compile, look up the fingerprint, verify on a miss. Never
+    instantiates or executes the module. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val poison_workload : Hfi_wasm.Instance.workload
+(** A region-escape module (writes a region register from inside the
+    sandbox, then stores through it): verifiably [Unsafe], used as the
+    poison-tenant image in chaos campaigns and as the admission-gate
+    negative control. *)

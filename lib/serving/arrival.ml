@@ -1,0 +1,58 @@
+module Prng = Hfi_util.Prng
+
+type process =
+  | Poisson of { rate : float }
+  | Bursty of { base_rate : float; burst_rate : float; mean_on_s : float; mean_off_s : float }
+
+let process_name = function Poisson _ -> "poisson" | Bursty _ -> "bursty"
+
+(* Exponential inter-arrival times at [rate] until [until], appended in
+   increasing order starting strictly after [from]. *)
+let poisson_segment rng ~rate ~from ~until acc =
+  if rate <= 0.0 then (acc, until)
+  else begin
+    let acc = ref acc in
+    let t = ref from in
+    let continue_ = ref true in
+    while !continue_ do
+      let t' = !t +. Prng.exponential rng ~mean:(1.0 /. rate) in
+      if t' >= until then continue_ := false
+      else begin
+        t := t';
+        acc := t' :: !acc
+      end
+    done;
+    (!acc, until)
+  end
+
+let generate ~rng ~horizon_s process =
+  let times =
+    match process with
+    | Poisson { rate } -> fst (poisson_segment rng ~rate ~from:0.0 ~until:horizon_s [])
+    | Bursty { base_rate; burst_rate; mean_on_s; mean_off_s } ->
+      (* Alternating on/off phases, starting off: the off phase trickles
+         at [base_rate], the on phase fires at [burst_rate]. Phase
+         boundaries are exponential, so the process is memoryless at
+         every scale and two tenants never synchronize by construction
+         (their generators are split streams). *)
+      let acc = ref [] in
+      let t = ref 0.0 in
+      let on = ref false in
+      while !t < horizon_s do
+        let mean = if !on then mean_on_s else mean_off_s in
+        let rate = if !on then burst_rate else base_rate in
+        let phase_end = min horizon_s (!t +. Prng.exponential rng ~mean) in
+        let segment, _ = poisson_segment rng ~rate ~from:!t ~until:phase_end [] in
+        acc := segment @ !acc;
+        t := phase_end;
+        on := not !on
+      done;
+      !acc
+  in
+  List.rev times
+
+let mean_rate = function
+  | Poisson { rate } -> rate
+  | Bursty { base_rate; burst_rate; mean_on_s; mean_off_s } ->
+    let cycle = mean_on_s +. mean_off_s in
+    ((burst_rate *. mean_on_s) +. (base_rate *. mean_off_s)) /. cycle

@@ -1,0 +1,26 @@
+(** Open-loop arrival processes for the serving simulation.
+
+    Every request stream is generated up front from an explicit
+    {!Hfi_util.Prng.t}, so a (seed, horizon, process) triple always
+    yields the same arrival times — the foundation of the serving
+    layer's replayability contract. *)
+
+type process =
+  | Poisson of { rate : float }  (** memoryless arrivals at [rate] req/s *)
+  | Bursty of {
+      base_rate : float;  (** req/s during off (quiet) phases *)
+      burst_rate : float;  (** req/s during on (burst) phases *)
+      mean_on_s : float;  (** mean burst duration (exponential) *)
+      mean_off_s : float;  (** mean quiet duration (exponential) *)
+    }
+      (** A two-state modulated Poisson process: exponential on/off
+          phases starting off, firing at [burst_rate] while on. *)
+
+val process_name : process -> string
+(** ["poisson"] or ["bursty"]. *)
+
+val generate : rng:Hfi_util.Prng.t -> horizon_s:float -> process -> float list
+(** Arrival times in [\[0, horizon_s)], strictly increasing. *)
+
+val mean_rate : process -> float
+(** Long-run mean request rate (req/s) of the process. *)

@@ -1,0 +1,27 @@
+module Prng = Hfi_util.Prng
+
+type policy = {
+  base_s : float;
+  multiplier : float;
+  max_s : float;
+  jitter : float;
+}
+
+let default = { base_s = 0.010; multiplier = 2.0; max_s = 1.0; jitter = 0.5 }
+
+let ceiling policy ~attempt =
+  if attempt < 1 then invalid_arg "Backoff.ceiling: attempt must be >= 1";
+  let raw = policy.base_s *. (policy.multiplier ** float_of_int (attempt - 1)) in
+  Float.min policy.max_s raw
+
+let delay policy ~rng ~attempt =
+  let cap = ceiling policy ~attempt in
+  if policy.jitter <= 0.0 then cap
+  else begin
+    (* Deterministic "equal jitter": half the ceiling is kept, the rest
+       is a seeded uniform draw — retries decorrelate across tenants
+       without ever exceeding the ceiling, and the same seed replays
+       the same schedule. *)
+    let fixed = cap *. (1.0 -. policy.jitter) in
+    fixed +. Prng.float rng (cap *. policy.jitter)
+  end

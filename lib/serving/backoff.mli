@@ -1,0 +1,25 @@
+(** Bounded exponential backoff with deterministic jitter.
+
+    The delay before retry [attempt] (1-based) has ceiling
+    [min max_s (base_s * multiplier^(attempt-1))]; a [jitter] fraction
+    of the ceiling is replaced by a seeded uniform draw from the
+    caller's {!Hfi_util.Prng.t} ("equal jitter"), so retry storms
+    decorrelate while the whole schedule stays replayable. *)
+
+type policy = {
+  base_s : float;  (** first-retry delay ceiling *)
+  multiplier : float;  (** exponential growth per attempt *)
+  max_s : float;  (** delay ceiling *)
+  jitter : float;  (** fraction of the ceiling randomized, in [0, 1] *)
+}
+
+val default : policy
+(** 10 ms base, doubling, 1 s cap, half jittered. *)
+
+val ceiling : policy -> attempt:int -> float
+(** Jitter-free ceiling for the given 1-based attempt. Raises
+    [Invalid_argument] when [attempt < 1]. *)
+
+val delay : policy -> rng:Hfi_util.Prng.t -> attempt:int -> float
+(** Jittered delay in seconds; always in
+    [\[ceiling * (1 - jitter), ceiling\]]. *)

@@ -1,0 +1,83 @@
+type policy = {
+  failure_threshold : int;
+  cooldown_s : float;
+  half_open_successes : int;
+}
+
+let default = { failure_threshold = 5; cooldown_s = 1.0; half_open_successes = 2 }
+
+type state =
+  | Closed of { consecutive_failures : int }
+  | Open of { until : float }
+  | Half_open of { successes : int; probe_in_flight : bool }
+
+type t = {
+  policy : policy;
+  mutable state : state;
+  mutable trips : int;
+  mutable rejected : int;
+}
+
+let create policy = { policy; state = Closed { consecutive_failures = 0 }; trips = 0; rejected = 0 }
+
+let state_name t =
+  match t.state with
+  | Closed _ -> "closed"
+  | Open _ -> "open"
+  | Half_open _ -> "half-open"
+
+type decision = Allow | Allow_probe | Reject
+
+let decide t ~now =
+  match t.state with
+  | Closed _ -> Allow
+  | Open { until } ->
+    if now >= until then begin
+      (* Cooldown elapsed: move to half-open and admit one probe. *)
+      t.state <- Half_open { successes = 0; probe_in_flight = true };
+      Allow_probe
+    end
+    else begin
+      t.rejected <- t.rejected + 1;
+      Reject
+    end
+  | Half_open { successes; probe_in_flight } ->
+    if probe_in_flight then begin
+      (* One probe at a time: everything else fast-fails until the
+         in-flight probe reports back. *)
+      t.rejected <- t.rejected + 1;
+      Reject
+    end
+    else begin
+      t.state <- Half_open { successes; probe_in_flight = true };
+      Allow_probe
+    end
+
+let trip t ~now =
+  t.trips <- t.trips + 1;
+  t.state <- Open { until = now +. t.policy.cooldown_s }
+
+let record_success t ~now =
+  ignore now;
+  match t.state with
+  | Closed _ -> t.state <- Closed { consecutive_failures = 0 }
+  | Open _ -> ()
+  | Half_open { successes; _ } ->
+    let successes = successes + 1 in
+    if successes >= t.policy.half_open_successes then
+      t.state <- Closed { consecutive_failures = 0 }
+    else t.state <- Half_open { successes; probe_in_flight = false }
+
+let record_failure t ~now =
+  match t.state with
+  | Closed { consecutive_failures } ->
+    let n = consecutive_failures + 1 in
+    if n >= t.policy.failure_threshold then trip t ~now
+    else t.state <- Closed { consecutive_failures = n }
+  | Open _ -> ()
+  | Half_open _ ->
+    (* A failed probe re-opens immediately: the tenant is still sick. *)
+    trip t ~now
+
+let trips t = t.trips
+let rejected t = t.rejected

@@ -1,0 +1,43 @@
+(** Per-tenant circuit breaker: closed → open → half-open.
+
+    Closed counts consecutive failures; at [failure_threshold] the
+    breaker trips open for [cooldown_s] of virtual time, during which
+    every request fast-fails without touching an instance. After the
+    cooldown the first request becomes a half-open probe (one in flight
+    at a time); [half_open_successes] consecutive probe successes close
+    the breaker again, any probe failure re-opens it for a fresh
+    cooldown. All transitions are driven by the caller's virtual clock,
+    so breaker behavior is replayable. *)
+
+type policy = {
+  failure_threshold : int;  (** consecutive failures that trip the breaker *)
+  cooldown_s : float;  (** open duration before probing *)
+  half_open_successes : int;  (** probe successes required to close *)
+}
+
+val default : policy
+(** 5 consecutive failures, 1 s cooldown, 2 probe successes. *)
+
+type t
+
+val create : policy -> t
+
+type decision =
+  | Allow  (** closed: proceed normally *)
+  | Allow_probe  (** half-open: proceed, but this is the one probe *)
+  | Reject  (** open (or probe already in flight): fast-fail *)
+
+val decide : t -> now:float -> decision
+(** May transition open → half-open when the cooldown has elapsed. *)
+
+val record_success : t -> now:float -> unit
+val record_failure : t -> now:float -> unit
+
+val state_name : t -> string
+(** ["closed"], ["open"] or ["half-open"]. *)
+
+val trips : t -> int
+(** How many times the breaker has opened. *)
+
+val rejected : t -> int
+(** Requests fast-failed while open / probing. *)

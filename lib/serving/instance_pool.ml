@@ -1,0 +1,73 @@
+module Strategy = Hfi_sfi.Strategy
+
+type policy = { keep_alive_s : float; hfi_budget : int }
+
+let default_policy =
+  { keep_alive_s = 10.0; hfi_budget = Hfi_core.Hw_budget.hfi_context_budget }
+
+type slot = { mutable strategy : Strategy.t; mutable warm_until : float }
+
+type t = {
+  policy : policy;
+  slots : (int, slot) Hashtbl.t;  (* tenant -> its (single) pooled instance *)
+  mutable cold_starts : int;
+  mutable warm_hits : int;
+  mutable degraded : int;
+  mutable evictions : int;
+}
+
+let create ?(policy = default_policy) () =
+  {
+    policy;
+    slots = Hashtbl.create 64;
+    cold_starts = 0;
+    warm_hits = 0;
+    degraded = 0;
+    evictions = 0;
+  }
+
+(* Resident HFI contexts right now: warm HFI-strategy instances whose
+   keep-alive has not lapsed. Tenant counts are bounded per shard, so a
+   scan is simpler than a decay queue and exactly as deterministic. *)
+let hfi_resident t ~now =
+  Hashtbl.fold
+    (fun _ s acc -> if s.strategy = Strategy.Hfi && s.warm_until >= now then acc + 1 else acc)
+    t.slots 0
+
+type acquired = { strategy : Strategy.t; warm : bool; degraded : bool }
+
+let acquire t ~now ~tenant ~preferred =
+  match Hashtbl.find_opt t.slots tenant with
+  | Some s when s.warm_until >= now ->
+    t.warm_hits <- t.warm_hits + 1;
+    { strategy = s.strategy; warm = true; degraded = s.strategy <> preferred }
+  | _ ->
+    t.cold_starts <- t.cold_starts + 1;
+    let strategy, degraded =
+      (* Graceful degradation: a cold HFI instance past the platform's
+         resident-context budget falls back to software bounds checks
+         instead of failing the request — slower, still isolated. *)
+      if preferred = Strategy.Hfi && hfi_resident t ~now >= t.policy.hfi_budget then begin
+        t.degraded <- t.degraded + 1;
+        (Strategy.Bounds_checks, true)
+      end
+      else (preferred, false)
+    in
+    Hashtbl.replace t.slots tenant { strategy; warm_until = now };
+    { strategy; warm = false; degraded }
+
+let release t ~now ~tenant =
+  match Hashtbl.find_opt t.slots tenant with
+  | Some s -> s.warm_until <- now +. t.policy.keep_alive_s
+  | None -> ()
+
+let evict t ~tenant =
+  if Hashtbl.mem t.slots tenant then begin
+    Hashtbl.remove t.slots tenant;
+    t.evictions <- t.evictions + 1
+  end
+
+let cold_starts t = t.cold_starts
+let warm_hits t = t.warm_hits
+let degraded (t : t) = t.degraded
+let evictions t = t.evictions

@@ -1,0 +1,42 @@
+(** Per-tenant instance pools with warm/cold/reuse policies and HFI
+    budget-driven graceful degradation.
+
+    Each tenant owns at most one pooled instance. A request within the
+    instance's keep-alive window is a warm hit (no instantiate cost); a
+    lapsed or missing instance is a cold start. Cold HFI starts past the
+    platform's resident-context budget
+    ({!Hfi_core.Hw_budget.hfi_context_budget} by default) degrade to
+    [Bounds_checks] — the request still runs isolated, just under the
+    software scheme, which is the serving layer's graceful-degradation
+    path. A sandbox crash evicts the instance so the next request pays a
+    fresh cold start. *)
+
+type policy = {
+  keep_alive_s : float;  (** warm window after a release *)
+  hfi_budget : int;  (** resident HFI contexts before degradation *)
+}
+
+val default_policy : policy
+(** 10 s keep-alive, {!Hfi_core.Hw_budget.hfi_context_budget} contexts. *)
+
+type t
+
+val create : ?policy:policy -> unit -> t
+
+type acquired = {
+  strategy : Hfi_sfi.Strategy.t;  (** what the instance actually runs under *)
+  warm : bool;
+  degraded : bool;  (** [strategy] differs from the preferred one *)
+}
+
+val acquire : t -> now:float -> tenant:int -> preferred:Hfi_sfi.Strategy.t -> acquired
+val release : t -> now:float -> tenant:int -> unit
+(** Return the instance to the pool, warm until [now + keep_alive_s]. *)
+
+val evict : t -> tenant:int -> unit
+(** Discard the tenant's instance (sandbox crash): next acquire is cold. *)
+
+val cold_starts : t -> int
+val warm_hits : t -> int
+val degraded : t -> int
+val evictions : t -> int

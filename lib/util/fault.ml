@@ -10,6 +10,7 @@ type kind =
   | Exit of string
   | Injected of { point : string; detail : string }
   | Timeout of { limit_s : float }
+  | Resource_exhausted of { resource : string; limit : int }
   | Crash of { exn : string; backtrace : string }
 
 type t = {
@@ -43,6 +44,7 @@ let kind_name = function
   | Exit _ -> "exit"
   | Injected _ -> "injected"
   | Timeout _ -> "timeout"
+  | Resource_exhausted _ -> "resource-exhausted"
   | Crash _ -> "crash"
 
 let is_modeled t =
@@ -50,7 +52,7 @@ let is_modeled t =
   | Bounds_violation _ | Syscall_trap _ | Hardware_fault _ | Privileged_op
   | Invalid_region | Wasm_trap _ | Exit _ ->
     true
-  | Injected _ | Timeout _ | Crash _ -> false
+  | Injected _ | Timeout _ | Resource_exhausted _ | Crash _ -> false
 
 let is_transient t = match t.kind with Injected _ -> true | _ -> false
 
@@ -71,6 +73,8 @@ let kind_detail = function
   | Injected { point; detail } ->
     if detail = "" then point else Printf.sprintf "%s: %s" point detail
   | Timeout { limit_s } -> Printf.sprintf "exceeded %gs watchdog budget" limit_s
+  | Resource_exhausted { resource; limit } ->
+    Printf.sprintf "%s exhausted (limit %d)" resource limit
   | Crash { exn; _ } -> exn
 
 let to_string t =

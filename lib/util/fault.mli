@@ -34,6 +34,10 @@ type kind =
           resilient runner may retry the experiment *)
   | Timeout of { limit_s : float }
       (** the experiment exceeded the runner's watchdog budget *)
+  | Resource_exhausted of { resource : string; limit : int }
+      (** a bounded harness resource ran out (context-switch budget,
+          HFI instance budget, ...) — the simulation degrades instead of
+          tearing down; distinct from both modeled traps and crashes *)
   | Crash of { exn : string; backtrace : string }
       (** an exception escaped: a simulator bug, not modeled behavior *)
 

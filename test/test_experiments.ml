@@ -12,7 +12,8 @@ let test_registry_complete () =
   let expected =
     [ "fig2"; "fig3"; "heap-growth"; "reg-pressure"; "font"; "fig4"; "teardown"; "scaling";
       "syscalls"; "fig5"; "table1"; "fig7"; "ablate-soe"; "ablate-parallel"; "ablate-comparator";
-      "ablate-transitions"; "multi-memory"; "chaining"; "fuzz" ]
+      "ablate-transitions"; "multi-memory"; "chaining"; "fuzz"; "serve_steady";
+      "serve_burst"; "serve_chaos" ]
   in
   List.iter
     (fun id -> check_bool (id ^ " registered") true (Registry.find id <> None))

@@ -96,6 +96,108 @@ let test_plan_shape () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* --- Injection planner edge cases --------------------------------- *)
+
+let test_plan_zero_steps () =
+  (* A zero-iteration run yields an empty plan (no "at least one"
+     injection is conjured out of nothing), and an empty plan never
+     trips the no-points check. *)
+  let t = Fault_inject.create ~seed:11 in
+  check_int "zero steps, empty plan" 0
+    (List.length (Fault_inject.plan t ~points:Fault_inject.all_points ~steps:0 ~rate:0.5));
+  check_int "zero steps with no points is fine" 0
+    (List.length (Fault_inject.plan t ~points:[] ~steps:0 ~rate:0.5));
+  (* ...but any positive rate on a real run injects at least once. *)
+  check_bool "tiny rate still injects once" true
+    (Fault_inject.plan t ~points:Fault_inject.all_points ~steps:10 ~rate:0.0001 <> [])
+
+let test_plan_injection_at_cycle_zero () =
+  (* A one-step run forces every injection onto committed-instruction
+     index 0: the hook must fire before/at the first commit, and a
+     benign rewrite there must be architecturally invisible. *)
+  let t = Fault_inject.create ~seed:12 in
+  let plan = Fault_inject.plan t ~points:Fault_inject.all_points ~steps:1 ~rate:3.0 in
+  check_bool "plan not empty" true (plan <> []);
+  check_bool "every step is 0" true
+    (List.for_all (fun (i : Fault_inject.injection) -> i.Fault_inject.step = 0) plan);
+  let outcome, canary_ok, _ =
+    Fuzz.run_machine ~injection:(Fuzz.Region_rewrite 0) ~strategy:Hfi_sfi.Strategy.Hfi
+      Fuzz.detector_module
+  in
+  check_bool "cycle-0 benign rewrite invisible" true
+    (outcome = Hfi_wasm.Wasm_interp.Value Fuzz.detector_pattern);
+  check_bool "canary intact" true canary_ok
+
+let test_plan_injection_past_halt () =
+  (* An injection scheduled beyond the program's committed-instruction
+     count simply never fires: the run completes normally rather than
+     erroring on an unconsumed plan entry. *)
+  let outcome, canary_ok, fault =
+    Fuzz.run_machine
+      ~injection:(Fuzz.Region_rewrite max_int)
+      ~strategy:Hfi_sfi.Strategy.Hfi Fuzz.detector_module
+  in
+  check_bool "outcome unchanged" true
+    (outcome = Hfi_wasm.Wasm_interp.Value Fuzz.detector_pattern);
+  check_bool "canary intact" true canary_ok;
+  check_bool "no fault recorded" true (fault = None)
+
+let test_plan_overlap_benign_adversarial () =
+  (* A campaign runs a benign plan (TLB/cache perturbations) and an
+     adversarial plan (planted instruction-stream accesses) over the
+     same step range. The merged schedule must be deterministic, keep
+     every injection from both plans, and — via the stable sort — keep
+     benign entries ahead of adversarial ones that share a step. *)
+  let mk () =
+    let t = Fault_inject.create ~seed:21 in
+    let benign =
+      Fault_inject.plan t
+        ~points:[ Fault_inject.Tlb_state; Fault_inject.Cache_state ]
+        ~steps:40 ~rate:0.5
+    in
+    let adversarial =
+      Fault_inject.plan (Fault_inject.split t) ~points:[ Fault_inject.Instr_stream ]
+        ~steps:40 ~rate:0.5
+    in
+    (benign, adversarial)
+  in
+  let benign, adversarial = mk () in
+  let merged =
+    List.stable_sort
+      (fun (a : Fault_inject.injection) b -> compare a.Fault_inject.step b.Fault_inject.step)
+      (benign @ adversarial)
+  in
+  check_int "no injection lost in the merge"
+    (List.length benign + List.length adversarial)
+    (List.length merged);
+  check_bool "steps overlap across the two plans" true
+    (List.exists
+       (fun (b : Fault_inject.injection) ->
+         List.exists
+           (fun (a : Fault_inject.injection) -> a.Fault_inject.step = b.Fault_inject.step)
+           adversarial)
+       benign);
+  check_bool "benign precedes adversarial on shared steps" true
+    (List.for_all
+       (fun (b : Fault_inject.injection) ->
+         List.for_all
+           (fun (a : Fault_inject.injection) ->
+             a.Fault_inject.step <> b.Fault_inject.step
+             ||
+             let pos x =
+               let rec go i = function
+                 | [] -> assert false
+                 | y :: rest -> if y == x then i else go (i + 1) rest
+               in
+               go 0 merged
+             in
+             pos b < pos a)
+           adversarial)
+       benign);
+  let benign', adversarial' = mk () in
+  check_bool "replayable from the seed" true
+    (benign = benign' && adversarial = adversarial')
+
 (* --- Fuzz campaign ------------------------------------------------ *)
 
 let test_fuzz_smoke_campaign () =
@@ -229,6 +331,11 @@ let suite =
     Alcotest.test_case "Msr.to_fault conversion" `Quick test_msr_to_fault;
     Alcotest.test_case "injection plan deterministic per seed" `Quick test_plan_deterministic;
     Alcotest.test_case "injection plan shape" `Quick test_plan_shape;
+    Alcotest.test_case "zero-iteration plan is empty" `Quick test_plan_zero_steps;
+    Alcotest.test_case "injection at cycle 0" `Quick test_plan_injection_at_cycle_zero;
+    Alcotest.test_case "injection past program halt" `Quick test_plan_injection_past_halt;
+    Alcotest.test_case "overlapping benign+adversarial plans" `Quick
+      test_plan_overlap_benign_adversarial;
     Alcotest.test_case "fuzz smoke campaign (seed 1234)" `Quick test_fuzz_smoke_campaign;
     Alcotest.test_case "planted region corruption is detected" `Quick
       test_fuzz_planted_bug_detected;

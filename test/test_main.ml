@@ -16,6 +16,7 @@ let () =
       ("wasm-ir", Test_wasm_ir.suite);
       ("workloads", Test_workloads.suite);
       ("runtime", Test_runtime.suite);
+      ("serving", Test_serving.suite);
       ("spectre", Test_spectre.suite);
       ("experiments", Test_experiments.suite);
       ("result-cache", Test_result_cache.suite);

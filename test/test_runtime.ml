@@ -141,7 +141,7 @@ let test_scheduler_multiplexes_hfi_processes () =
     (Hfi_wasm.Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi w2);
   Scheduler.spawn_instance sched ~name:"guard"
     (Hfi_wasm.Instance.instantiate ~strategy:Hfi_sfi.Strategy.Guard_pages w2);
-  Scheduler.run ~quantum:700 sched;
+  check_bool "run completed" true (Scheduler.run ~quantum:700 sched = Ok ());
   check_bool "sieve finished" true (Scheduler.status sched ~name:"sieve" = Scheduler.Finished);
   check_int "sieve correct across switches" 1028 (Scheduler.result sched ~name:"sieve");
   check_int "fib correct" 2584 (Scheduler.result sched ~name:"fib");
@@ -161,7 +161,7 @@ let test_scheduler_kills_faulting_process_only () =
   Scheduler.spawn_instance sched ~name:"good"
     (Hfi_wasm.Instance.instantiate ~strategy:Hfi_sfi.Strategy.Hfi
        (Hfi_workloads.Sightglass.find "nestedloop"));
-  Scheduler.run ~quantum:200 sched;
+  check_bool "run completed" true (Scheduler.run ~quantum:200 sched = Ok ());
   check_bool "bad killed" true
     (match Scheduler.status sched ~name:"bad" with Scheduler.Killed _ -> true | _ -> false);
   check_int "good unaffected" 64000 (Scheduler.result sched ~name:"good")
