@@ -287,10 +287,24 @@ let write_json ~file ~mode ~jobs ~micro ~tiers ~outcomes ~total_seconds ~cache_o
     Json.obj
       [
         (* Version of this JSON layout; bump alongside
-           Result_cache.schema_version when fields change shape. *)
-        ("schema_version", string_of_int 4);
+           Result_cache.schema_version when fields change shape. v5
+           added [wasm_opt]. *)
+        ("schema_version", string_of_int 5);
         ("mode", Json.str mode);
         ("jobs", string_of_int jobs);
+        (* The optimizing-middle-end configuration these numbers were
+           produced under: opt-backend/opt-passes (and anything compiled
+           through Instance without a pinned lowering) depend on it. *)
+        ( "wasm_opt",
+          Json.obj
+            [
+              ("enabled", if !Hfi_opt.Driver.enabled then "true" else "false");
+              ( "regpressure_model",
+                Json.str
+                  (match Hfi_experiments.Register_pressure.model () with
+                  | Hfi_experiments.Register_pressure.Allocator -> "allocator"
+                  | Hfi_experiments.Register_pressure.Reserve -> "reserve") );
+            ] );
         (* Which execution tier produced the numbers below, plus the
            measured cost of each tier on a reference kernel — makes
            BENCH_*.json trajectories self-describing across PRs. *)

@@ -54,7 +54,17 @@ let run_cmd =
                 threaded dispatch, the default). Overrides HFI_DECODE_CACHE / \
                 HFI_BLOCK_COMPILE; results are identical across tiers.")
   in
-  let run quick time tier fuzz_seed fuzz_iters ids =
+  let opt =
+    Arg.(value
+         & opt (some (enum [ ("on", true); ("off", false) ])) None
+         & info [ "opt" ] ~docv:"on|off"
+             ~doc:
+               "Force the optimizing Wasm middle-end $(b,on) or $(b,off) for every \
+                experiment that follows the global switch. Overrides HFI_WASM_OPT; \
+                experiments that pin a lowering (e.g. the Fig. 3 wasm2c model) are \
+                unaffected.")
+  in
+  let run quick time tier opt fuzz_seed fuzz_iters ids =
     (match tier with
     | None -> ()
     | Some `Ast -> Hfi_pipeline.Machine.decode_dispatch := false
@@ -64,6 +74,7 @@ let run_cmd =
     | Some `Block ->
       Hfi_pipeline.Machine.decode_dispatch := true;
       Hfi_pipeline.Machine.block_compile := true);
+    (match opt with None -> () | Some v -> Hfi_opt.Driver.enabled := v);
     if fuzz_seed <> None || fuzz_iters <> None then
       Hfi_experiments.Fuzz.configure ~seed:fuzz_seed ~iters:fuzz_iters;
     let ids = if List.mem "all" ids then Registry.ids () else ids in
@@ -89,7 +100,7 @@ let run_cmd =
       ids
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ quick $ time $ tier $ fuzz_seed $ fuzz_iters $ ids)
+    Term.(const run $ quick $ time $ tier $ opt $ fuzz_seed $ fuzz_iters $ ids)
 
 let spectre_cmd =
   let doc = "Run the Spectre-PHT/BTB proofs of concept (SS5.3, Fig. 7)." in
@@ -152,6 +163,61 @@ let sightglass_cmd =
 let strategy_conv =
   Arg.enum
     (List.map (fun s -> (Hfi_sfi.Strategy.to_string s, s)) Hfi_sfi.Strategy.all)
+
+let opt_cmd =
+  let doc =
+    "Show the optimizing Wasm\xe2\x86\x92ISA middle-end's work on one Sightglass kernel, pass \
+     by pass: instruction count and rewrite count after each pass (elide, reuse, hoist, \
+     rewrite, dce), then the static verifier's verdict on the final program. With \
+     $(b,--dump), also print each pass's full program listing."
+  in
+  let kernel = Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL") in
+  let strategy =
+    Arg.(value & opt strategy_conv Hfi_sfi.Strategy.Bounds_checks
+         & info [ "strategy" ] ~docv:"STRATEGY"
+             ~doc:
+               "Isolation strategy to lower under (default bounds-checks; the SFI passes \
+                only fire for bounds-checks and masking).")
+  in
+  let dump =
+    Arg.(value & flag
+         & info [ "dump" ] ~doc:"Print every pass's full program, not just the summary line.")
+  in
+  let run kernel strategy dump =
+    match List.assoc_opt kernel Hfi_workloads.Sightglass.all with
+    | None ->
+      Printf.eprintf "unknown kernel %S; kernels: %s\n" kernel
+        (String.concat " " (List.map fst Hfi_workloads.Sightglass.all));
+      exit 2
+    | Some w ->
+      let module I = Hfi_wasm.Instance in
+      let reference = I.build_program ~strategy ~optimize:false w in
+      let heap_size = I.round_to_wasm_page w.I.heap_bytes in
+      let conv = I.opt_conv ~strategy ~heap_size in
+      let print_stage name prog changes =
+        Printf.printf "%-9s %5d instrs%s\n" name (Hfi_isa.Program.length prog) changes;
+        if dump then Format.printf "@[<v>%a@]@." Hfi_isa.Program.pp prog
+      in
+      Printf.printf "%s under %s\n" kernel (Hfi_sfi.Strategy.to_string strategy);
+      print_stage "reference" reference "";
+      (match Hfi_opt.Driver.passes conv reference with
+      | [] -> print_endline "indirect control flow: optimizer returns the program untouched"
+      | results ->
+        List.iter
+          (fun (r : Hfi_opt.Driver.pass_result) ->
+            print_stage r.Hfi_opt.Driver.pass r.Hfi_opt.Driver.prog
+              (Printf.sprintf "  %4d changes" r.Hfi_opt.Driver.changed))
+          results;
+        let final = (List.nth results (List.length results - 1)).Hfi_opt.Driver.prog in
+        let report =
+          Hfi_verify.Checks.verify ~name:kernel
+            { Hfi_verify.Checks.strategy; code_base = Hfi_wasm.Layout.code_base }
+            final
+        in
+        print_endline (Hfi_verify.Report.to_string report);
+        if Hfi_verify.Report.verdict_name report.Hfi_verify.Report.verdict = "unsafe" then exit 1)
+  in
+  Cmd.v (Cmd.info "opt" ~doc) Term.(const run $ kernel $ strategy $ dump)
 
 let wasm_cmd =
   let doc = "Validate and run a textual Wasm module (see Wasm_text for the grammar)." in
@@ -384,7 +450,7 @@ let () =
   let doc = "Hardware-assisted Fault Isolation (ASPLOS '23) — OCaml reproduction." in
   let info = Cmd.info "hfi" ~version:"1.0.0" ~doc in
   let code =
-    Cmd.eval (Cmd.group info [ list_cmd; run_cmd; serve_cmd; spectre_cmd; hw_cmd; sightglass_cmd; wasm_cmd; verify_cmd; conformance_cmd; trace_cmd; profile_cmd ])
+    Cmd.eval (Cmd.group info [ list_cmd; run_cmd; serve_cmd; spectre_cmd; hw_cmd; sightglass_cmd; opt_cmd; wasm_cmd; verify_cmd; conformance_cmd; trace_cmd; profile_cmd ])
   in
   (* Cmdliner reports unknown flags/subcommands as its own cli_error
      (124); scripts expect the conventional usage-error code 2, matching

@@ -11,7 +11,11 @@ type row = { bench : string; guard : float; bounds : float; hfi : float }
 
 let run_one ?cell strategy p ~iters_divisor =
   let p = { p with Spec.iters = Stdlib.max 4 (p.Spec.iters / iters_divisor) } in
-  let inst = Instance.instantiate ~strategy (Spec.workload p) in
+  (* Fig. 3 models the paper's wasm2c-style reference lowering: the
+     optimizing middle-end stays off so the golden pins are identical
+     under any HFI_WASM_OPT setting. The opt-backend experiment measures
+     the middle-end explicitly. *)
+  let inst = Instance.instantiate ~strategy ~optimize:false (Spec.workload p) in
   let r =
     match cell with
     | None -> Instance.run_cycle inst

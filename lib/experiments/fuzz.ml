@@ -376,6 +376,10 @@ type stats = {
   skipped : int;  (** non-terminating mutants discarded (interp fuel) *)
   trap_agreements : int;
   value_agreements : int;
+  opt_agreements : int;
+      (** programs whose optimized and reference lowerings agreed
+          byte-for-byte on result/trap under both software check
+          schemes *)
   benign_injections : int;
   adversarial_injections : int;
   verified : int;  (** programs the static verifier proved Safe *)
@@ -393,6 +397,7 @@ let no_stats =
     skipped = 0;
     trap_agreements = 0;
     value_agreements = 0;
+    opt_agreements = 0;
     benign_injections = 0;
     adversarial_injections = 0;
     verified = 0;
@@ -556,6 +561,7 @@ let merge_stats a b =
     skipped = a.skipped + b.skipped;
     trap_agreements = a.trap_agreements + b.trap_agreements;
     value_agreements = a.value_agreements + b.value_agreements;
+    opt_agreements = a.opt_agreements + b.opt_agreements;
     benign_injections = a.benign_injections + b.benign_injections;
     adversarial_injections = a.adversarial_injections + b.adversarial_injections;
     verified = a.verified + b.verified;
@@ -607,6 +613,36 @@ let run_shard { shard_seed; iter_base; shard_iters } =
       in
       record "hfi" hfi_outcome;
       record "bounds-checks" sw_outcome;
+      (* Opt-vs-reference differential: the same module compiled with
+         the optimizing middle-end forced on and forced off must agree
+         on result and trap kind under both software check schemes —
+         translation validation by execution, independent of what
+         HFI_WASM_OPT says in the environment. Masking has no trap
+         semantics — a module that traps under the reference semantics
+         may legitimately spin in-bounds under masking until the engine
+         fuel runs dry — so, like the wasm-ir differential, the masking
+         leg only compares modules whose reference outcome is not a
+         trap. *)
+      let opt_strategies =
+        match reference with
+        | Wasm_interp.Trap _ -> [ Strategy.Bounds_checks ]
+        | _ -> [ Strategy.Bounds_checks; Strategy.Masking ]
+      in
+      let opt_ok =
+        List.for_all
+          (fun strategy ->
+            let opt_o, _ = Wasm_compile.run ~strategy ~optimize:true m in
+            let ref_o, _ = Wasm_compile.run ~strategy ~optimize:false m in
+            outcomes_agree ref_o opt_o
+            ||
+            (add_violation
+               (violation ~point:"opt-differential"
+                  (Printf.sprintf "iter %d: %s optimized lowering diverged: ref=%s opt=%s" i
+                     (Strategy.to_string strategy) (outcome_str ref_o) (outcome_str opt_o)));
+             false))
+          opt_strategies
+      in
+      if opt_ok then s := { !s with opt_agreements = !s.opt_agreements + 1 };
       if not canary_ok then
         add_violation
           (violation ~point:"canary" (Printf.sprintf "iter %d: canary page modified" i));
@@ -735,6 +771,11 @@ let run ?(quick = false) () =
         ]
         ;
         [
+          "optimized vs reference lowering (bounds-checks + masking)";
+          string_of_int stats.opt_agreements;
+          "identical results and traps";
+        ];
+        [
           "benign injections (region rewrite, tlb/cache flush)";
           string_of_int stats.benign_injections;
           "outcome unchanged";
@@ -792,9 +833,10 @@ let run ?(quick = false) () =
     table;
     verdict =
       Printf.sprintf
-        "seed %#x: %d mutated programs, 0 violations; %d verified safe; %d benign + %d \
-         adversarial injections; planted corruption detected %d/%d (+%d/%d static)"
-        seed stats.checked stats.verified stats.benign_injections
+        "seed %#x: %d mutated programs, 0 violations; %d opt==ref; %d verified safe; %d \
+         benign + %d adversarial injections; planted corruption detected %d/%d (+%d/%d \
+         static)"
+        seed stats.checked stats.opt_agreements stats.verified stats.benign_injections
         stats.adversarial_injections stats.plants_detected stats.plants
         stats.static_plants_detected stats.static_plants;
   }

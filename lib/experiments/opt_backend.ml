@@ -1,0 +1,164 @@
+(** The optimizing middle-end, measured: opt-on vs opt-off modeled
+    dynamic instructions and fast-engine cycles per isolation strategy
+    over the loop-heavy Sightglass kernels, plus a static pass-by-pass
+    account of what the pipeline rewrote.
+
+    Both programs of every pair run to completion and must produce the
+    same RAX — the experiment itself is one more differential check on
+    the optimizer, on top of the fuzz harness and the verifier sweep. *)
+
+module Instance = Hfi_wasm.Instance
+module Sightglass = Hfi_workloads.Sightglass
+module Driver = Hfi_opt.Driver
+
+(* Kernels dominated by loops over heap data — where check hoisting,
+   elision, and reuse have something to work on. *)
+let quick_kernels = [ "gimli"; "memmove"; "keccak"; "ctype"; "fib2"; "blake3-scalar" ]
+let kernels ~quick = if quick then quick_kernels else List.map fst Sightglass.all
+
+let strategies = Hfi_sfi.Strategy.all
+
+type run = { instrs : int; cycles : float; rax : int }
+
+let run_one ~strategy ~optimize name =
+  let w = Sightglass.find name in
+  let inst = Instance.instantiate ~strategy ~optimize w in
+  let e = Fast_engine.create (Instance.machine inst) in
+  (match Fast_engine.run e with
+  | Machine.Halted -> ()
+  | _ -> failwith (Printf.sprintf "opt-backend: %s did not halt" name));
+  { instrs = Fast_engine.instrs e; cycles = Fast_engine.cycles e; rax = Instance.result_rax inst }
+
+type row = {
+  strategy : string;
+  instrs_off : int;
+  instrs_on : int;
+  cycles_off : float;
+  cycles_on : float;
+}
+
+let measure ?(quick = false) ?jobs () =
+  let names = kernels ~quick in
+  (* One strategy per pool item: rows come back in [strategies] order
+     (Pool.map preserves input order), so jobs=1 ≡ jobs=N. *)
+  Hfi_util.Pool.map ?jobs
+    (fun s ->
+      let acc_io = ref 0 and acc_in = ref 0 in
+      let acc_co = ref 0.0 and acc_cn = ref 0.0 in
+      List.iter
+        (fun name ->
+          let off = run_one ~strategy:s ~optimize:false name in
+          let on = run_one ~strategy:s ~optimize:true name in
+          let expected = Sightglass.expected_result name in
+          (match expected with
+          | Some v when off.rax <> v ->
+            failwith (Printf.sprintf "opt-backend: %s reference result %d <> %d" name off.rax v)
+          | _ -> ());
+          if on.rax <> off.rax then
+            failwith
+              (Printf.sprintf "opt-backend: %s result diverged: opt %d, reference %d" name
+                 on.rax off.rax);
+          acc_io := !acc_io + off.instrs;
+          acc_in := !acc_in + on.instrs;
+          acc_co := !acc_co +. off.cycles;
+          acc_cn := !acc_cn +. on.cycles)
+        names;
+      {
+        strategy = Hfi_sfi.Strategy.to_string s;
+        instrs_off = !acc_io;
+        instrs_on = !acc_in;
+        cycles_off = !acc_co;
+        cycles_on = !acc_cn;
+      })
+    strategies
+
+let reduction_pct off on = (1.0 -. (float_of_int on /. float_of_int off)) *. 100.0
+
+let run ?(quick = false) () =
+  let rows = measure ~quick () in
+  let table =
+    Hfi_util.Table.render
+      ~header:
+        [ "strategy"; "instrs (ref)"; "instrs (opt)"; "reduction"; "cycles (ref)"; "cycles (opt)" ]
+      (List.map
+         (fun r ->
+           [
+             r.strategy;
+             string_of_int r.instrs_off;
+             string_of_int r.instrs_on;
+             Printf.sprintf "%.1f%%" (reduction_pct r.instrs_off r.instrs_on);
+             Printf.sprintf "%.0f" r.cycles_off;
+             Printf.sprintf "%.0f" r.cycles_on;
+           ])
+         rows)
+  in
+  let pct_of name =
+    match List.find_opt (fun r -> r.strategy = name) rows with
+    | Some r -> reduction_pct r.instrs_off r.instrs_on
+    | None -> 0.0
+  in
+  {
+    Report.id = "opt-backend";
+    title = "optimizing middle-end: dynamic instructions and cycles, opt vs reference";
+    paper_claim =
+      "check-heavy SFI schemes leave the most on the table: loop-aware check elision should \
+       recover a double-digit share of bounds-check/masking instructions";
+    table;
+    verdict =
+      Printf.sprintf
+        "dynamic-instruction reduction: bounds-checks %.1f%%, masking %.1f%%, guard-pages \
+         %.1f%%, hfi %.1f%%"
+        (pct_of "bounds-checks") (pct_of "masking") (pct_of "guard-pages") (pct_of "hfi");
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Static pass accounting.                                             *)
+
+let pass_table ?(quick = false) ?jobs () =
+  let names = kernels ~quick in
+  let pass_names = [ "elide"; "reuse"; "hoist"; "rewrite"; "dce" ] in
+  let per_strategy =
+    Hfi_util.Pool.map ?jobs
+      (fun s ->
+        let totals = List.map (fun p -> (p, ref 0)) pass_names in
+        List.iter
+          (fun name ->
+            let w = Sightglass.find name in
+            let heap_size = Instance.round_to_wasm_page w.Instance.heap_bytes in
+            let prog = Instance.build_program ~strategy:s ~optimize:false w in
+            let conv = Instance.opt_conv ~strategy:s ~heap_size in
+            List.iter
+              (fun (r : Driver.pass_result) ->
+                match List.assoc_opt r.Driver.pass totals with
+                | Some cell -> cell := !cell + r.Driver.changed
+                | None -> ())
+              (Driver.passes conv prog))
+          names;
+        (Hfi_sfi.Strategy.to_string s, List.map (fun (p, c) -> (p, !c)) totals))
+      strategies
+  in
+  (pass_names, per_strategy)
+
+let run_passes ?(quick = false) () =
+  let pass_names, per_strategy = pass_table ~quick () in
+  let table =
+    Hfi_util.Table.render
+      ~header:("strategy" :: pass_names)
+      (List.map
+         (fun (s, totals) -> s :: List.map (fun (_, c) -> string_of_int c) totals)
+         per_strategy)
+  in
+  let total =
+    List.fold_left
+      (fun acc (_, totals) -> List.fold_left (fun a (_, c) -> a + c) acc totals)
+      0 per_strategy
+  in
+  {
+    Report.id = "opt-passes";
+    title = "optimizing middle-end: static rewrites per pass and strategy";
+    paper_claim =
+      "the strategy-aware passes only fire where a software check exists: bounds-checks and \
+       masking see elision/reuse/hoisting, guard-pages and HFI only generic rewriting";
+    table;
+    verdict = Printf.sprintf "%d static rewrites across %d strategies" total (List.length per_strategy);
+  }

@@ -26,6 +26,8 @@ let all : entry list =
     { id = "ablate-transitions"; description = "ablation: springboard vs zero-cost transitions (SS3.3.1)"; run = Ablations.run_transitions };
     { id = "multi-memory"; description = "multi-memory instance footprint (SS2)"; run = Ablations.run_multi_memory };
     { id = "chaining"; description = "function chaining in-process vs IPC (SS2)"; run = Ablations.run_chaining };
+    { id = "opt-backend"; description = "optimizing middle-end: opt vs reference instrs/cycles"; run = Opt_backend.run };
+    { id = "opt-passes"; description = "optimizing middle-end: static rewrites per pass"; run = Opt_backend.run_passes };
     { id = "fuzz"; description = "differential fuzzing + fault-injection campaign"; run = Fuzz.run };
     { id = "serve_steady"; description = "multi-tenant FaaS serving, steady load (robustness)"; run = Serving.run_steady };
     { id = "serve_burst"; description = "multi-tenant FaaS serving, bursty load + shedding"; run = Serving.run_burst };

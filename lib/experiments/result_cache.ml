@@ -38,8 +38,10 @@ let code_version =
    are never looked up again) and is checked against the
    [schema_version] field on read, so an entry written under a different
    layout is a miss even if it somehow shares a key. v2 added
-   [schema_version] itself. *)
-let schema_version = 2
+   [schema_version] itself; v3 folded the runtime configuration knobs
+   (the HFI_WASM_OPT middle-end switch and the HFI_REGPRESSURE_MODEL
+   selector) into the key — reports are a function of those too. *)
+let schema_version = 3
 
 let key ~id ~quick =
   Digest.to_hex
@@ -49,6 +51,10 @@ let key ~id ~quick =
             Printf.sprintf "hfi-result-v%d" schema_version;
             id;
             (if quick then "quick" else "full");
+            (if !Hfi_opt.Driver.enabled then "opt-on" else "opt-off");
+            (match Register_pressure.model () with
+            | Register_pressure.Allocator -> "regpressure-allocator"
+            | Register_pressure.Reserve -> "regpressure-reserve");
             Lazy.force code_version;
           ]))
 

@@ -1,0 +1,42 @@
+(* Dead-code elimination over the liveness solution: delete pure
+   register writes whose destination is dead. Only [Mov], [Lea] and
+   non-trapping [Alu] qualify — everything with a memory, stack, flag,
+   timing or HFI side effect stays, and [Cmp] stays because a later
+   branch reads its snapshot. The main customers are the address-feeding
+   [movi]s the constant-index folding in [Rewrite] strands. *)
+
+let deletable (u : Uop.t) =
+  match u.Uop.op with
+  | Uop.Omov _ | Uop.Olea _ -> true
+  | Uop.Oalu { op = Instr.Div; sreg; simm; _ } -> sreg < 0 && simm <> 0
+  | Uop.Oalu _ -> true
+  | _ -> false
+
+let run ~code_base prog =
+  let uops = Uop.decode prog ~code_base in
+  let cfg = Cfg.build uops in
+  let live = Liveness.compute uops cfg in
+  let edit = Edit.create (Program.instrs prog) in
+  let count = ref 0 in
+  Array.iteri
+    (fun i (u : Uop.t) ->
+      if deletable u && Array.length u.Uop.writes = 1 then begin
+        let d = u.Uop.writes.(0) in
+        if not (Liveness.is_live live.Liveness.live_out.(i) d) then begin
+          Edit.delete edit i;
+          incr count
+        end
+      end)
+    uops;
+  if Edit.changed edit then (Edit.rebuild edit, !count) else (prog, 0)
+
+(* Iterate: deleting a use can kill its feeder (movi chains). *)
+let run_fix ~code_base prog =
+  let rec go prog total round =
+    if round >= 8 then (prog, total)
+    else begin
+      let prog', n = run ~code_base prog in
+      if n = 0 then (prog, total) else go prog' (total + n) (round + 1)
+    end
+  in
+  go prog 0 0

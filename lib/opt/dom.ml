@@ -1,0 +1,132 @@
+(* Dominator tree and natural-loop discovery over the basic-block CFG.
+
+   Cooper/Harvey/Kennedy's iterative algorithm over a reverse postorder:
+   simple, and on the small CFGs the Wasm frontend produces it converges
+   in two or three sweeps. Unreachable blocks keep [idom = -1] and never
+   participate in loops. *)
+
+type t = {
+  idom : int array;  (* immediate dominator per block; entry and unreachable = -1 *)
+  rpo_index : int array;  (* reverse-postorder number per block; -1 if unreachable *)
+  preds : int list array;
+}
+
+type loop = {
+  header : int;
+  back_edges : (int * int) list;  (* (latch block, header) *)
+  body : int list;  (* block ids, header included, ascending *)
+}
+
+let preds_of (cfg : Cfg.t) =
+  let nb = Array.length cfg.Cfg.blocks in
+  let preds = Array.make nb [] in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      List.iter (fun s -> if s >= 0 && s < nb then preds.(s) <- b.Cfg.id :: preds.(s)) b.Cfg.succs)
+    cfg.Cfg.blocks;
+  preds
+
+let rpo (cfg : Cfg.t) =
+  let nb = Array.length cfg.Cfg.blocks in
+  let seen = Array.make nb false in
+  let order = ref [] in
+  let rec dfs b =
+    if b >= 0 && b < nb && not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter dfs cfg.Cfg.blocks.(b).Cfg.succs;
+      order := b :: !order
+    end
+  in
+  if nb > 0 then dfs 0;
+  Array.of_list !order
+
+let compute (cfg : Cfg.t) =
+  let nb = Array.length cfg.Cfg.blocks in
+  let preds = preds_of cfg in
+  let order = rpo cfg in
+  let rpo_index = Array.make nb (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) order;
+  let idom = Array.make nb (-1) in
+  if nb > 0 then begin
+    idom.(0) <- 0;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while rpo_index.(!a) > rpo_index.(!b) do
+          a := idom.(!a)
+        done;
+        while rpo_index.(!b) > rpo_index.(!a) do
+          b := idom.(!b)
+        done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> 0 then begin
+            let new_idom =
+              List.fold_left
+                (fun acc p ->
+                  if rpo_index.(p) < 0 || idom.(p) < 0 then acc
+                  else match acc with None -> Some p | Some a -> Some (intersect p a))
+                None preds.(b)
+            in
+            match new_idom with
+            | None -> ()
+            | Some d ->
+              if idom.(b) <> d then begin
+                idom.(b) <- d;
+                changed := true
+              end
+          end)
+        order
+    done;
+    (* entry's conventional self-idom becomes -1 in the exported tree *)
+    idom.(0) <- -1
+  end;
+  { idom; rpo_index; preds }
+
+(* [dominates t a b]: does block [a] dominate block [b]? Walks the idom
+   chain from [b]; chains are short on our CFGs. *)
+let dominates t a b =
+  if t.rpo_index.(a) < 0 || t.rpo_index.(b) < 0 then false
+  else begin
+    let rec up b = if b = a then true else if b <= 0 then a = 0 else up t.idom.(b) in
+    up b
+  end
+
+(* Natural loops: one per header, back edges merged. A back edge is an
+   edge latch->header where header dominates latch; the body is every
+   block that reaches a latch without passing through the header. *)
+let loops (cfg : Cfg.t) t =
+  let nb = Array.length cfg.Cfg.blocks in
+  let by_header = Hashtbl.create 8 in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (fun s ->
+          if s >= 0 && s < nb && dominates t s b.Cfg.id then
+            Hashtbl.replace by_header s ((b.Cfg.id, s) :: (try Hashtbl.find by_header s with Not_found -> [])))
+        b.Cfg.succs)
+    cfg.Cfg.blocks;
+  Hashtbl.fold
+    (fun header back_edges acc ->
+      let in_body = Array.make nb false in
+      in_body.(header) <- true;
+      let rec pull b =
+        if not in_body.(b) then begin
+          in_body.(b) <- true;
+          List.iter pull t.preds.(b)
+        end
+      in
+      List.iter (fun (latch, _) -> pull latch) back_edges;
+      let body = ref [] in
+      for b = nb - 1 downto 0 do
+        if in_body.(b) then body := b :: !body
+      done;
+      { header; back_edges = List.sort compare back_edges; body = !body } :: acc)
+    by_header []
+  |> List.sort (fun a b -> compare a.header b.header)

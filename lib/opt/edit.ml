@@ -1,0 +1,89 @@
+(* Program edit buffer: passes record per-instruction replacements and
+   fallthrough-only insertions against ORIGINAL instruction indices;
+   [rebuild] lays the surviving code out and retargets every direct
+   branch in one sweep.
+
+   Conventions:
+   - [replace i l] substitutes the instruction list [l] for instruction
+     [i] ([[]] deletes it).
+   - [insert_before i l] places [l] ahead of instruction [i] on the
+     fallthrough path only: a direct branch targeting [i] lands past the
+     inserted code. This is exactly the loop-preheader shape — back
+     edges skip the hoisted check, the sequential entry runs it.
+   - Branch targets inside replacement/inserted code are ORIGINAL
+     instruction indices (e.g. the trap block head) and are remapped
+     like every other target.
+   - A branch to a deleted instruction lands on the next surviving
+     instruction's body (still skipping that instruction's insertion). *)
+
+type t = {
+  orig : Instr.t array;
+  repl : Instr.t list option array;
+  pre : Instr.t list array;
+  mutable dirty : bool;
+}
+
+let create (orig : Instr.t array) =
+  {
+    orig;
+    repl = Array.make (Array.length orig) None;
+    pre = Array.make (Array.length orig) [];
+    dirty = false;
+  }
+
+let length t = Array.length t.orig
+let original t i = t.orig.(i)
+let is_replaced t i = t.repl.(i) <> None
+
+let replace t i l =
+  t.repl.(i) <- Some l;
+  t.dirty <- true
+
+let delete t i = replace t i []
+
+let insert_before t i l =
+  if l <> [] then begin
+    t.pre.(i) <- t.pre.(i) @ l;
+    t.dirty <- true
+  end
+
+let changed t = t.dirty
+
+let rebuild t =
+  let n = Array.length t.orig in
+  let body i = match t.repl.(i) with Some l -> l | None -> [ t.orig.(i) ] in
+  let out = ref [] in
+  let pos = ref 0 in
+  let body_start = Array.make (n + 1) 0 in
+  let body_len = Array.make n 0 in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun ins ->
+        out := ins :: !out;
+        incr pos)
+      t.pre.(i);
+    body_start.(i) <- !pos;
+    let b = body i in
+    body_len.(i) <- List.length b;
+    List.iter
+      (fun ins ->
+        out := ins :: !out;
+        incr pos)
+      b
+  done;
+  body_start.(n) <- !pos;
+  (* branch to a deleted instruction falls to the next surviving one *)
+  let target_map = Array.make (n + 1) !pos in
+  for i = n - 1 downto 0 do
+    target_map.(i) <- (if body_len.(i) > 0 then body_start.(i) else target_map.(i + 1))
+  done;
+  let map tgt = if tgt >= 0 && tgt <= n then target_map.(tgt) else tgt in
+  let retarget (ins : Instr.t) =
+    match ins with
+    | Instr.Jmp tgt -> Instr.Jmp (map tgt)
+    | Instr.Jcc (c, tgt) -> Instr.Jcc (c, map tgt)
+    | Instr.Call tgt -> Instr.Call (map tgt)
+    | _ -> ins
+  in
+  let arr = Array.of_list (List.rev !out) in
+  Program.of_instrs (Array.map retarget arr)

@@ -1,0 +1,80 @@
+(* Backward register liveness over the µop CFG, as 16-bit register
+   bitmasks (one bit per [Reg.index]). Syscalls, HFI transitions and
+   region instructions are treated as reading every register (the
+   kernel and trusted runtime may inspect any of them); [Halt] exposes
+   the RAX result convention. *)
+
+let all_mask = (1 lsl Reg.count) - 1
+let rax_mask = 1 lsl Reg.index Reg.RAX
+
+let mask_of_arr (a : int array) =
+  let m = ref 0 in
+  Array.iter (fun r -> m := !m lor (1 lsl r)) a;
+  !m
+
+(* Instructions whose register effects extend beyond [Uop.reads]. *)
+let reads_everything (u : Uop.t) =
+  match u.Uop.op with
+  | Uop.Osyscall | Uop.Ohfi_enter _ | Uop.Ohfi_exit | Uop.Ohfi_reenter | Uop.Ohfi_set_region _
+  | Uop.Ohfi_clear_region _ | Uop.Ohfi_clear_all | Uop.Ocpuid ->
+    true
+  | _ -> false
+
+let gen_kill (u : Uop.t) =
+  let gen = if reads_everything u then all_mask else mask_of_arr u.Uop.reads in
+  let kill = mask_of_arr u.Uop.writes in
+  (gen, kill)
+
+type t = { live_in : int array; live_out : int array }
+
+let compute (uops : Uop.t array) (cfg : Cfg.t) =
+  let n = Array.length uops in
+  let nb = Array.length cfg.Cfg.blocks in
+  let blk_in = Array.make nb 0 in
+  let term_live (b : Cfg.block) =
+    match b.Cfg.term with
+    | Cfg.Thalt -> rax_mask
+    (* unresolved control flow: assume anything may be read next *)
+    | Cfg.Tjump_ind | Cfg.Tcall_ind _ | Cfg.Tout _ -> all_mask
+    | Cfg.Tfall None -> all_mask  (* running off the end: conservative *)
+    | _ -> 0
+  in
+  let block_out b =
+    let blk = cfg.Cfg.blocks.(b) in
+    List.fold_left (fun acc s -> acc lor blk_in.(s)) (term_live blk) blk.Cfg.succs
+  in
+  let transfer_block b out =
+    let blk = cfg.Cfg.blocks.(b) in
+    let live = ref out in
+    for i = blk.Cfg.last downto blk.Cfg.first do
+      let gen, kill = gen_kill uops.(i) in
+      live := !live land lnot kill lor gen
+    done;
+    !live
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = nb - 1 downto 0 do
+      let ni = transfer_block b (block_out b) in
+      if ni <> blk_in.(b) then begin
+        blk_in.(b) <- ni;
+        changed := true
+      end
+    done
+  done;
+  let live_in = Array.make n 0 in
+  let live_out = Array.make n 0 in
+  for b = 0 to nb - 1 do
+    let blk = cfg.Cfg.blocks.(b) in
+    let live = ref (block_out b) in
+    for i = blk.Cfg.last downto blk.Cfg.first do
+      live_out.(i) <- !live;
+      let gen, kill = gen_kill uops.(i) in
+      live := !live land lnot kill lor gen;
+      live_in.(i) <- !live
+    done
+  done;
+  { live_in; live_out }
+
+let is_live mask r = mask land (1 lsl r) <> 0

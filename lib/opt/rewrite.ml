@@ -1,0 +1,339 @@
+(* E-graph-style local rewriting: constant folding, strength reduction,
+   copy propagation and CSE over hash-consed value numbers.
+
+   Every SSA-less register is mapped to a value number; syntactically
+   distinct computations producing the same value share a number through
+   the congruence table [expr : (op, vn, vn) -> vn], and the
+   constant table makes folding a lookup. Alongside each register's
+   value number rides its [Domain] interval — the same abstract values
+   the verifier computes — which drives the semantic rules (and-mask
+   identity, nonnegative div-to-shift) that pure syntax cannot justify.
+
+   Value numbers are flow-sensitive per register but globally allocated:
+   the congruence and constant tables are value facts, valid everywhere;
+   register assignments are inherited only along single-predecessor
+   edges (extended blocks), everything else restarts opaque.
+
+   Rewrites are 1-to-1 or deletions, so block structure is preserved
+   while scanning; the program is rebuilt once at the end with branch
+   retargeting. Folding calls [Machine.alu] itself, so folded constants
+   are bit-identical to what the interpreter would commit. *)
+
+type vstate = { reg_vn : int array; av : Domain.t array }
+
+type ctx = {
+  mutable nextvn : int;
+  vn_of_const : (int, int) Hashtbl.t;
+  const_of_vn : (int, int) Hashtbl.t;
+  expr : (Instr.alu_op * int * int, int) Hashtbl.t;
+  holder : (int, int) Hashtbl.t;  (* vn -> register that held it (validate before use) *)
+}
+
+let fresh ctx =
+  let v = ctx.nextvn in
+  ctx.nextvn <- v + 1;
+  v
+
+let vn_const ctx c =
+  match Hashtbl.find_opt ctx.vn_of_const c with
+  | Some v -> v
+  | None ->
+    let v = fresh ctx in
+    Hashtbl.replace ctx.vn_of_const c v;
+    Hashtbl.replace ctx.const_of_vn v c;
+    v
+
+let opaque_state ctx =
+  { reg_vn = Array.init Reg.count (fun _ -> fresh ctx); av = Array.make Reg.count Domain.top }
+
+let entry_state ctx =
+  let st = { reg_vn = Array.make Reg.count (vn_const ctx 0); av = Array.make Reg.count (Domain.const 0) } in
+  st.reg_vn.(Reg.index Reg.RSP) <- fresh ctx;
+  st.av.(Reg.index Reg.RSP) <- Domain.Stackish;
+  st
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let log2 x =
+  let rec go k v = if v <= 1 then k else go (k + 1) (v asr 1) in
+  go 0 x
+
+let commutative = function
+  | Instr.Add | Instr.And | Instr.Or | Instr.Xor | Instr.Mul -> true
+  | Instr.Sub | Instr.Shl | Instr.Shr | Instr.Sar | Instr.Div -> false
+
+let expr_vn ctx op va vb =
+  let va, vb = if commutative op && vb < va then (vb, va) else (va, vb) in
+  match Hashtbl.find_opt ctx.expr (op, va, vb) with
+  | Some e -> e
+  | None ->
+    let e = fresh ctx in
+    Hashtbl.replace ctx.expr (op, va, vb) e;
+    e
+
+(* A register currently holding value [vn], other than [avoid]. *)
+let valid_holder ctx st vn ~avoid =
+  match Hashtbl.find_opt ctx.holder vn with
+  | Some h when h <> avoid && st.reg_vn.(h) = vn -> Some h
+  | _ -> None
+
+let record_holder ctx st vn r =
+  match valid_holder ctx st vn ~avoid:(-1) with
+  | Some _ -> ()
+  | None -> Hashtbl.replace ctx.holder vn r
+
+let run ~code_base prog =
+  let uops = Uop.decode prog ~code_base in
+  let cfg = Cfg.build uops in
+  let nb = Array.length cfg.Cfg.blocks in
+  let preds = Dom.preds_of cfg in
+  let dom = Dom.compute cfg in
+  let order = Dom.rpo cfg in
+  let edit = Edit.create (Program.instrs prog) in
+  let ctx =
+    {
+      nextvn = 0;
+      vn_of_const = Hashtbl.create 64;
+      const_of_vn = Hashtbl.create 64;
+      expr = Hashtbl.create 64;
+      holder = Hashtbl.create 64;
+    }
+  in
+  let count = ref 0 in
+  let out_states = Array.make nb None in
+  let processed = Array.make nb false in
+  let process_block b =
+    let blk = cfg.Cfg.blocks.(b) in
+    let st =
+      if b = 0 then entry_state ctx
+      else begin
+        match List.sort_uniq compare preds.(b) with
+        | [ p ] when processed.(p) && dom.Dom.rpo_index.(p) < dom.Dom.rpo_index.(b) -> (
+          match out_states.(p) with
+          | Some (s : vstate) -> { reg_vn = Array.copy s.reg_vn; av = Array.copy s.av }
+          | None -> opaque_state ctx)
+        | _ -> opaque_state ctx
+      end
+    in
+    let set_reg d vn av =
+      st.reg_vn.(d) <- vn;
+      st.av.(d) <- av;
+      record_holder ctx st vn d
+    in
+    let set_opaque d =
+      st.reg_vn.(d) <- fresh ctx;
+      st.av.(d) <- Domain.top
+    in
+    let src_vn sreg simm = if sreg >= 0 then st.reg_vn.(sreg) else vn_const ctx simm in
+    let src_av sreg simm = if sreg >= 0 then st.av.(sreg) else Domain.const simm in
+    (* constant value of an operand, syntactic or proven *)
+    let known av = Domain.singleton av in
+    let reg r = Reg.of_index r in
+    (* fold a known-constant index register into the displacement; the
+       movi that fed it then dies in DCE *)
+    let fold_mem midx mscale (m : Instr.mem) =
+      if midx >= 0 then begin
+        match known st.av.(midx) with
+        | Some c when m.Instr.index <> None ->
+          Some { m with Instr.index = None; scale = 1; disp = m.Instr.disp + (c * mscale) }
+        | _ -> None
+      end
+      else None
+    in
+    let replace1 i ins =
+      Edit.replace edit i [ ins ];
+      incr count
+    in
+    for i = blk.Cfg.first to blk.Cfg.last do
+      let u = uops.(i) in
+      match u.Uop.op with
+      | Uop.Omov { d; sreg; simm } ->
+        let vn = src_vn sreg simm in
+        if st.reg_vn.(d) = vn then begin
+          Edit.delete edit i;
+          incr count
+        end
+        else set_reg d vn (src_av sreg simm)
+      | Uop.Oalu { op; d; sreg; simm } ->
+        let self_zero = sreg = d && (op = Instr.Xor || op = Instr.Sub) in
+        let a_av = st.av.(d) and b_av = src_av sreg simm in
+        let a_c = known a_av and b_c = known b_av in
+        let result_av =
+          if self_zero then Domain.const 0 else Domain.alu op a_av b_av
+        in
+        let identity =
+          (* dst op src = dst, for this operand *)
+          match (op, b_c) with
+          | (Instr.Add | Instr.Sub | Instr.Or | Instr.Xor), Some 0 -> true
+          | (Instr.Shl | Instr.Shr | Instr.Sar), Some s when s land 63 = 0 -> true
+          | (Instr.Mul | Instr.Div), Some 1 -> true
+          | Instr.And, Some (-1) -> true
+          | Instr.And, Some m when m >= 0 && is_pow2 (m + 1) && Domain.within a_av ~lo:0 ~hi:m ->
+            true
+          | _ -> false
+        in
+        if identity then begin
+          Edit.delete edit i;
+          incr count
+        end
+        else begin
+          let finish_const c =
+            let vn = vn_const ctx c in
+            if st.reg_vn.(d) = vn then begin
+              Edit.delete edit i;
+              incr count
+            end
+            else begin
+              replace1 i (Instr.Mov (reg d, Instr.Imm c));
+              set_reg d vn (Domain.const c)
+            end
+          in
+          if self_zero then finish_const 0
+          else begin
+            match (a_c, b_c) with
+            | Some a, Some b when op <> Instr.Div || b <> 0 ->
+              finish_const (Machine.alu op a b)
+            | _, Some 0 when op = Instr.Mul -> finish_const 0
+            | _ ->
+            let vb = src_vn sreg simm in
+            let e = expr_vn ctx op st.reg_vn.(d) vb in
+            if st.reg_vn.(d) = e then begin
+              (* recomputing the value it already holds *)
+              Edit.delete edit i;
+              incr count
+            end
+            else begin
+              (match valid_holder ctx st e ~avoid:d with
+              | Some h -> replace1 i (Instr.Mov (reg d, Instr.Reg (reg h)))
+              | None -> (
+                (* strength reduction *)
+                match (op, b_c) with
+                | Instr.Mul, Some m when is_pow2 m ->
+                  replace1 i (Instr.Alu (Instr.Shl, reg d, Instr.Imm (log2 m)))
+                | Instr.Div, Some m when is_pow2 m && Domain.within a_av ~lo:0 ~hi:max_int ->
+                  replace1 i (Instr.Alu (Instr.Shr, reg d, Instr.Imm (log2 m)))
+                | _ -> ()));
+              set_reg d e result_av
+            end
+          end
+        end
+      | Uop.Olea { d; mbase; midx; mscale; mdisp } -> (
+        let av =
+          let base = if mbase >= 0 then st.av.(mbase) else Domain.const 0 in
+          Domain.add (Domain.add base (Analysis.ea_value st.av ~midx ~mscale ~mdisp)) (Domain.const 0)
+        in
+        match known av with
+        | Some c ->
+          let vn = vn_const ctx c in
+          if st.reg_vn.(d) = vn then begin
+            Edit.delete edit i;
+            incr count
+          end
+          else begin
+            replace1 i (Instr.Mov (reg d, Instr.Imm c));
+            set_reg d vn (Domain.const c)
+          end
+        | None ->
+          if mbase < 0 && midx >= 0 && mscale = 1 && mdisp = 0 then begin
+            (* lea d, [idx] is a copy *)
+            let vn = st.reg_vn.(midx) in
+            if st.reg_vn.(d) = vn then begin
+              Edit.delete edit i;
+              incr count
+            end
+            else begin
+              replace1 i (Instr.Mov (reg d, Instr.Reg (reg midx)));
+              set_reg d vn st.av.(midx)
+            end
+          end
+          else begin
+            (match Edit.original edit i with
+            | Instr.Lea (r, m) -> (
+              match fold_mem midx mscale m with
+              | Some m' -> replace1 i (Instr.Lea (r, m'))
+              | None -> ())
+            | _ -> ());
+            set_reg d (fresh ctx) av
+          end)
+      | Uop.Oload { bytes; d; midx; mscale; _ } ->
+        (match Edit.original edit i with
+        | Instr.Load (w, r, m) -> (
+          match fold_mem midx mscale m with
+          | Some m' -> replace1 i (Instr.Load (w, r, m'))
+          | None -> ())
+        | _ -> ());
+        set_reg d (fresh ctx) (Domain.load_result ~bytes)
+      | Uop.Ostore { midx; mscale; sreg; _ } -> (
+        match Edit.original edit i with
+        | Instr.Store (w, m, src) ->
+          let m' = match fold_mem midx mscale m with Some m' -> m' | None -> m in
+          let src' =
+            match src with
+            | Instr.Reg _ when sreg >= 0 -> (
+              match known st.av.(sreg) with Some c -> Instr.Imm c | None -> src)
+            | _ -> src
+          in
+          if m' <> m || src' <> src then replace1 i (Instr.Store (w, m', src'))
+        | _ -> ())
+      | Uop.Ohload { bytes; d; midx; mscale; _ } ->
+        (match Edit.original edit i with
+        | Instr.Hload (n, w, r, m) -> (
+          match fold_mem midx mscale m with
+          | Some m' -> replace1 i (Instr.Hload (n, w, r, m'))
+          | None -> ())
+        | _ -> ());
+        set_reg d (fresh ctx) (Domain.load_result ~bytes)
+      | Uop.Ohstore { midx; mscale; sreg; _ } -> (
+        match Edit.original edit i with
+        | Instr.Hstore (n, w, m, src) ->
+          let m' = match fold_mem midx mscale m with Some m' -> m' | None -> m in
+          let src' =
+            match src with
+            | Instr.Reg _ when sreg >= 0 -> (
+              match known st.av.(sreg) with Some c -> Instr.Imm c | None -> src)
+            | _ -> src
+          in
+          if m' <> m || src' <> src then replace1 i (Instr.Hstore (n, w, m', src'))
+        | _ -> ())
+      | Uop.Ocmp { d; sreg; _ } ->
+        if sreg >= 0 then begin
+          match known st.av.(sreg) with
+          | Some c -> replace1 i (Instr.Cmp (reg d, Instr.Imm c))
+          | None -> ()
+        end
+      | Uop.Ocmp_mem { midx; mscale; _ } -> (
+        match Edit.original edit i with
+        | Instr.Cmp_mem (r, m) -> (
+          match fold_mem midx mscale m with
+          | Some m' -> replace1 i (Instr.Cmp_mem (r, m'))
+          | None -> ())
+        | _ -> ())
+      | Uop.Oclflush { midx; mscale; _ } -> (
+        match Edit.original edit i with
+        | Instr.Clflush m -> (
+          match fold_mem midx mscale m with
+          | Some m' -> replace1 i (Instr.Clflush m')
+          | None -> ())
+        | _ -> ())
+      | Uop.Opop d ->
+        set_opaque d;
+        if d = Reg.index Reg.RSP || d = Reg.index Reg.RBP then st.av.(d) <- Domain.Stackish;
+        set_opaque (Reg.index Reg.RSP)
+      | Uop.Opush _ | Uop.Ocall _ | Uop.Ocall_ind _ | Uop.Oret ->
+        set_opaque (Reg.index Reg.RSP)
+      | Uop.Osyscall -> set_opaque (Reg.index Reg.RAX)
+      | Uop.Ocpuid ->
+        List.iter
+          (fun r -> set_reg (Reg.index r) (vn_const ctx 0) (Domain.const 0))
+          [ Reg.RAX; Reg.RBX; Reg.RCX; Reg.RDX ]
+      | Uop.Ordtsc d | Uop.Ordmsr d | Uop.Ohfi_get_region { d; _ } -> set_opaque d
+      | Uop.Ohfi_enter _ | Uop.Ohfi_exit | Uop.Ohfi_reenter | Uop.Ohfi_set_region _
+      | Uop.Ohfi_clear_region _ | Uop.Ohfi_clear_all | Uop.Omfence | Uop.Onop | Uop.Ojmp _
+      | Uop.Ojcc _ | Uop.Ojmp_ind _ | Uop.Ohalt ->
+        ()
+    done;
+    out_states.(b) <- Some st;
+    processed.(b) <- true
+  in
+  Array.iter process_block order;
+  if Edit.changed edit then (Edit.rebuild edit, !count) else (prog, 0)

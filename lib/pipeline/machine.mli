@@ -13,6 +13,12 @@
 
 type t
 
+val alu : Instr.alu_op -> int -> int -> int
+(** The concrete ALU the interpreter commits: native-int wraparound,
+    shift counts masked to 6 bits, signed division. Exposed so the
+    optimizer's constant folder evaluates with bit-identical semantics;
+    division by zero traps at runtime, so callers must guard it. *)
+
 type access = { addr : int; bytes : int; write : bool; via_hmov : bool }
 
 type branch_kind = Cond | Uncond | Indirect | Call_k | Ret_k

@@ -36,10 +36,17 @@ let prologue t ~heap_size =
     emit t (Instr.Store (Instr.W8, Instr.mem ~disp:Layout.heap_bound_cell (), Instr.Reg bound_reg))
   | Hfi_sfi.Strategy.Hfi -> ()
 
-(* The masking scheme needs a power-of-two window; round up. *)
+(* The masking scheme needs a power-of-two window; round up from the
+   64 KiB Wasm page. Doubling must not wrap: once the window exceeds
+   [max_int / 2] the next double would overflow to negative and loop
+   forever, so the mask saturates at [max_int] — every bit of a
+   nonnegative int set, which still covers any representable size. *)
 let mask_of_size size =
-  let rec go m = if m >= size then m else go (m * 2) in
-  go 65536 - 1
+  if size <= 0 then invalid_arg "Codegen.mask_of_size: size must be positive";
+  let rec go m =
+    if m >= size then m - 1 else if m > max_int / 2 then max_int else go (m * 2)
+  in
+  go 65536
 
 let heap_op t w ~addr ~scale ~offset op =
   if offset < 0 then invalid_arg "Codegen: negative heap offset";

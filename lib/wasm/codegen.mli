@@ -48,6 +48,22 @@ val load_heap_scaled :
 (** Scaled variant ([heap\[addr*scale + offset\]]) exercising the full
     x86 addressing mode through each scheme. *)
 
+val base_reg : Reg.t
+(** R14: pinned heap base of the software schemes. *)
+
+val bound_reg : Reg.t
+(** R13: heap bound staging register of the bounds-check scheme. *)
+
+val scratch : Reg.t
+(** R15: effective-address scratch of the checked schemes. *)
+
+val mask_of_size : int -> int
+(** Heap mask of the masking scheme: the size rounded up to a
+    power-of-two window (min 64 KiB), minus one. Saturates at [max_int]
+    (all bits of a nonnegative int) instead of overflowing for sizes
+    above [2^61]; raises [Invalid_argument] for non-positive sizes. The
+    returned window always covers [0, size-1]. *)
+
 val trap_label : string
 (** Label of the out-of-line trap block appended by [finalize]. *)
 

@@ -32,23 +32,46 @@ let emit_runtime_setup cg ~heap_size ~serialized w =
 
 let round_to_wasm_page v = (v + 65535) / 65536 * 65536
 
-let compile ~strategy ~serialized w =
+(* The lowering conventions the optimizer pattern-matches: where codegen
+   pins the heap base, which scratch carries checked addresses, where
+   the grow-only bound lives. One definition keeps [lib/opt] honest —
+   tests build their [conv] through here too. *)
+let opt_conv ~strategy ~heap_size =
+  {
+    Hfi_opt.Sfi_opt.strategy;
+    code_base = Layout.code_base;
+    heap_base = Layout.heap_base;
+    heap_size;
+    heap_limit = Layout.heap_max;
+    bound_cell = Layout.heap_bound_cell;
+    mask = Codegen.mask_of_size heap_size;
+    base_reg = Reg.index Codegen.base_reg;
+    scratch = Reg.index Codegen.scratch;
+  }
+
+let compile ~strategy ~serialized ?optimize ?transform w =
   let cg = Codegen.create ~strategy in
   let heap_size = round_to_wasm_page w.heap_bytes in
   emit_runtime_setup cg ~heap_size ~serialized w;
   w.build cg;
   if not w.self_transitions then Codegen.emit_sandbox_exit cg;
   Codegen.emit cg Instr.Halt;
-  Codegen.finalize cg
+  let prog = Codegen.finalize cg in
+  let use_opt = match optimize with Some b -> b | None -> !Hfi_opt.Driver.enabled in
+  let prog =
+    if use_opt then Hfi_opt.Driver.optimize (opt_conv ~strategy ~heap_size) prog else prog
+  in
+  match transform with None -> prog | Some f -> f prog
 
-let build_program ~strategy ?(serialized = true) w = compile ~strategy ~serialized w
+let build_program ~strategy ?(serialized = true) ?optimize w =
+  compile ~strategy ~serialized ?optimize w
 
 let instantiate ~strategy ?(serialized = true) ?(multithreaded = false)
-    ?(heap_max = Layout.heap_max) w =
+    ?(heap_max = Layout.heap_max) ?optimize ?transform w =
   let mem = Addr_space.create () in
   let kernel = Kernel.create ~multithreaded mem in
   let hfi = Hfi.create () in
-  let program = compile ~strategy ~serialized w in
+  let program = compile ~strategy ~serialized ?optimize ?transform w in
   if Program.byte_size program > Layout.code_region_size then
     invalid_arg "Instance: program exceeds the code region";
   (* Map code, stack, and globals. *)

@@ -36,14 +36,35 @@ val instantiate :
   ?serialized:bool ->
   ?multithreaded:bool ->
   ?heap_max:int ->
+  ?optimize:bool ->
+  ?transform:(Program.t -> Program.t) ->
   workload ->
   t
 (** Fresh address space, kernel, HFI state, compiled program, and
     machine. [serialized] controls the Spectre flag on HFI entries
-    (default true). [heap_max] defaults to {!Layout.heap_max}. *)
+    (default true). [heap_max] defaults to {!Layout.heap_max}.
+    [optimize] overrides the [HFI_WASM_OPT] switch (omit it to defer to
+    the environment); experiments that model the reference wasm2c
+    lowering (Fig. 3) pass [~optimize:false]. [transform] rewrites the
+    final program (after optimization) — the register-pressure
+    experiment re-allocates through it. *)
 
-val build_program : strategy:Hfi_sfi.Strategy.t -> ?serialized:bool -> workload -> Program.t
-(** Just the compiled program (for code-size reporting). *)
+val build_program :
+  strategy:Hfi_sfi.Strategy.t -> ?serialized:bool -> ?optimize:bool -> workload -> Program.t
+(** Just the compiled program (for code-size reporting and the static
+    verifier). [optimize] overrides the global [HFI_WASM_OPT] switch:
+    [Some true] forces the {!Hfi_opt.Driver} middle-end, [Some false]
+    forces the reference lowering, and omitting it defers to the
+    environment (on by default). *)
+
+val round_to_wasm_page : int -> int
+(** Round a byte count up to the 64 KiB Wasm page granule — the heap
+    size [compile] actually provisions for a workload's [heap_bytes]. *)
+
+val opt_conv : strategy:Hfi_sfi.Strategy.t -> heap_size:int -> Hfi_opt.Sfi_opt.conv
+(** The lowering conventions of {!Codegen} under this layout, in the
+    form {!Hfi_opt} consumes (heap base register, check scratch, bound
+    cell, mask). [heap_size] must already be Wasm-page rounded. *)
 
 val machine : t -> Machine.t
 val memory : t -> Linear_memory.t

@@ -209,8 +209,8 @@ let classify ~results ~rax status =
 
 let start_results (m : Wasm_ir.module_) = m.Wasm_ir.funcs.(m.Wasm_ir.start).Wasm_ir.results
 
-let run ~strategy (m : Wasm_ir.module_) =
-  let inst = Instance.instantiate ~strategy (workload m) in
+let run ~strategy ?optimize (m : Wasm_ir.module_) =
+  let inst = Instance.instantiate ~strategy ?optimize (workload m) in
   let cycles, status = Instance.run_fast ~fuel:30_000_000 inst in
   let outcome = classify ~results:(start_results m) ~rax:(Instance.result_rax inst) status in
   (outcome, cycles)

@@ -41,7 +41,11 @@ val classify : results:int -> rax:int -> Machine.status -> Wasm_interp.outcome
 val start_results : Wasm_ir.module_ -> int
 (** Result arity of the start function ([classify]'s [results]). *)
 
-val run : strategy:Hfi_sfi.Strategy.t -> Wasm_ir.module_ -> Wasm_interp.outcome * float
+val run :
+  strategy:Hfi_sfi.Strategy.t -> ?optimize:bool -> Wasm_ir.module_ -> Wasm_interp.outcome * float
 (** Compile, instantiate, execute on the fast engine, and classify the
     result in {!Wasm_interp.outcome} terms (machine faults map to the
-    corresponding traps). Also returns modeled cycles. *)
+    corresponding traps). Also returns modeled cycles. [optimize]
+    overrides the [HFI_WASM_OPT] switch as in {!Instance.instantiate};
+    the fuzz harness pins it on both sides of its opt-vs-reference
+    differential. *)

@@ -31,6 +31,12 @@ val profiles : profile list
 
 val find : string -> profile
 
+val pool_for : Hfi_sfi.Strategy.t -> Reg.t list
+(** The value-register pool the generator allocates from under a
+    strategy: the base pool plus whatever R13/R14 the strategy does not
+    reserve. The re-allocation model of the §6.1 experiment treats
+    exactly this list as allocatable. *)
+
 val workload : ?live_override:int -> ?pool_shrink:int -> profile -> Hfi_wasm.Instance.workload
 (** [live_override] forces the register-pressure demand; [pool_shrink]
     removes allocatable registers as if the compiler reserved them —

@@ -12,8 +12,8 @@ let test_registry_complete () =
   let expected =
     [ "fig2"; "fig3"; "heap-growth"; "reg-pressure"; "font"; "fig4"; "teardown"; "scaling";
       "syscalls"; "fig5"; "table1"; "fig7"; "ablate-soe"; "ablate-parallel"; "ablate-comparator";
-      "ablate-transitions"; "multi-memory"; "chaining"; "fuzz"; "serve_steady";
-      "serve_burst"; "serve_chaos" ]
+      "ablate-transitions"; "multi-memory"; "chaining"; "opt-backend"; "opt-passes"; "fuzz";
+      "serve_steady"; "serve_burst"; "serve_chaos" ]
   in
   List.iter
     (fun id -> check_bool (id ^ " registered") true (Registry.find id <> None))
@@ -124,6 +124,18 @@ let test_fig3_parallel_deterministic () =
       check_bool (a.bench ^ " identical row") true (a = b))
     seq par
 
+let test_opt_backend_parallel_deterministic () =
+  let seq = Opt_backend.measure ~quick:true ~jobs:1 () in
+  let par = Opt_backend.measure ~quick:true ~jobs:4 () in
+  check_int "row count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Opt_backend.row) (b : Opt_backend.row) ->
+      check_bool (a.strategy ^ " identical row") true (a = b))
+    seq par;
+  let seq_p = Opt_backend.pass_table ~quick:true ~jobs:1 () in
+  let par_p = Opt_backend.pass_table ~quick:true ~jobs:4 () in
+  check_bool "pass table identical" true (seq_p = par_p)
+
 (* The fuzz campaign shards its iteration space over the pool with one
    splitmix64 seed per shard, so the merged stats — counters, and the
    violation list with its global iteration indices — must be identical
@@ -131,10 +143,10 @@ let test_fig3_parallel_deterministic () =
 let test_fuzz_campaign_jobs_deterministic () =
   let iters = 120 (* three shards: exercises the merge across shard boundaries *) in
   let render (s : Fuzz.stats) =
-    Printf.sprintf "%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d|%s" s.Fuzz.iterations s.Fuzz.checked
-      s.Fuzz.skipped s.Fuzz.trap_agreements s.Fuzz.value_agreements s.Fuzz.benign_injections
-      s.Fuzz.adversarial_injections s.Fuzz.verified s.Fuzz.plants s.Fuzz.plants_detected
-      s.Fuzz.static_plants s.Fuzz.static_plants_detected
+    Printf.sprintf "%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d|%s" s.Fuzz.iterations s.Fuzz.checked
+      s.Fuzz.skipped s.Fuzz.trap_agreements s.Fuzz.value_agreements s.Fuzz.opt_agreements
+      s.Fuzz.benign_injections s.Fuzz.adversarial_injections s.Fuzz.verified s.Fuzz.plants
+      s.Fuzz.plants_detected s.Fuzz.static_plants s.Fuzz.static_plants_detected
       (String.concat "; " (List.map Hfi_util.Fault.to_string s.Fuzz.violations))
   in
   let seq = Fuzz.campaign ~plant:true ~jobs:1 ~seed:0xFEED5EED ~iters () in
@@ -160,6 +172,8 @@ let suite =
     Alcotest.test_case "registry complete" `Quick test_registry_complete;
     Alcotest.test_case "fig2 parallel == sequential" `Quick test_fig2_parallel_deterministic;
     Alcotest.test_case "fig3 parallel == sequential" `Quick test_fig3_parallel_deterministic;
+    Alcotest.test_case "opt-backend parallel == sequential" `Slow
+      test_opt_backend_parallel_deterministic;
     Alcotest.test_case "run_many parallel == sequential" `Quick test_run_many_matches_sequential;
     Alcotest.test_case "fuzz campaign: jobs=1 == jobs=4" `Slow test_fuzz_campaign_jobs_deterministic;
     Alcotest.test_case "all experiments run (quick)" `Slow test_all_run_quick;

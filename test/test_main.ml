@@ -8,6 +8,7 @@ let () =
       ("hfi-core", Test_hfi_core.suite);
       ("pipeline", Test_pipeline.suite);
       ("uop", Test_uop.suite);
+      ("opt", Test_opt.suite);
       ("verify", Test_verify.suite);
       ("golden", Test_golden.suite);
       ("obs", Test_obs.suite);

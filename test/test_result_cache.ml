@@ -79,6 +79,27 @@ let test_corrupt_entry_is_a_miss () =
       close_out oc;
       check_bool "incomplete entry misses" true (RC.find ~id:"fig3" ~quick:false = None))
 
+(* v3 keys carry the runtime configuration: flipping the optimizer
+   switch or the reg-pressure model must land on a different entry, so a
+   report measured under one configuration is never served under
+   another. *)
+let test_key_tracks_configuration () =
+  let base = RC.key ~id:"fig3" ~quick:true in
+  let flipped =
+    Hfi_opt.Driver.with_enabled
+      (not !Hfi_opt.Driver.enabled)
+      (fun () -> RC.key ~id:"fig3" ~quick:true)
+  in
+  check_bool "opt flag separates keys" true (base <> flipped);
+  let saved = try Sys.getenv "HFI_REGPRESSURE_MODEL" with Not_found -> "" in
+  Unix.putenv "HFI_REGPRESSURE_MODEL" "reserve";
+  let reserve =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "HFI_REGPRESSURE_MODEL" saved)
+      (fun () -> RC.key ~id:"fig3" ~quick:true)
+  in
+  check_bool "reg-pressure model separates keys" true (base <> reserve)
+
 let test_registry_uses_cache () =
   let dir = fresh_dir () in
   with_cache_env dir (fun () ->
@@ -110,5 +131,7 @@ let suite =
     Alcotest.test_case "store/find round trip" `Quick test_round_trip;
     Alcotest.test_case "keys separate id and mode" `Quick test_quick_and_full_are_distinct;
     Alcotest.test_case "corrupt entries are misses" `Quick test_corrupt_entry_is_a_miss;
+    Alcotest.test_case "keys track opt/reg-pressure configuration" `Quick
+      test_key_tracks_configuration;
     Alcotest.test_case "registry consults the cache" `Quick test_registry_uses_cache;
   ]

@@ -5,8 +5,8 @@
    must not move a single modeled cycle. *)
 
 open Hfi_isa
-module Domain = Hfi_verify.Domain
-module Cfg = Hfi_verify.Cfg
+module Domain = Hfi_opt.Domain
+module Cfg = Hfi_pipeline.Cfg
 module Checks = Hfi_verify.Checks
 module Vreport = Hfi_verify.Report
 module Uop = Hfi_pipeline.Uop

@@ -105,7 +105,12 @@ let test_hfi_instance_enters_sandbox () =
   check_bool "hfi disabled at end" false (Hfi.enabled (Instance.hfi inst))
 
 let test_code_size_ordering () =
-  let size s = Program.byte_size (Instance.build_program ~strategy:s (sum_workload 10)) in
+  (* Static shape of the reference lowering: the optimizer would elide
+     the provably-in-bounds checks of this tiny loop and erase exactly
+     the size difference being asserted. *)
+  let size s =
+    Program.byte_size (Instance.build_program ~strategy:s ~optimize:false (sum_workload 10))
+  in
   check_bool "bounds biggest" true (size Hfi_sfi.Strategy.Bounds_checks > size Hfi_sfi.Strategy.Guard_pages);
   check_bool "masking bigger than guard" true (size Hfi_sfi.Strategy.Masking > size Hfi_sfi.Strategy.Guard_pages)
 

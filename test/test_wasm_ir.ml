@@ -134,6 +134,133 @@ let store_module =
         ];
     |]
 
+(* Nested loops: sum of triangular numbers T_1..T_6 = 56. The inner
+   loop's trip count is carried in a local the outer loop mutates. *)
+let nested_loops_module =
+  module_ ~start:0
+    [|
+      func ~name:"main" ~locals:3 ~results:1
+        [
+          Const 0;
+          Local_set 0;
+          (* i *)
+          Const 0;
+          Local_set 2;
+          (* acc *)
+          Block
+            [
+              Loop
+                [
+                  Local_get 0;
+                  Const 6;
+                  Relop Ge_s;
+                  Br_if 1;
+                  Local_get 0;
+                  Const 1;
+                  Binop Add;
+                  Local_set 0;
+                  Const 0;
+                  Local_set 1;
+                  (* j *)
+                  Block
+                    [
+                      Loop
+                        [
+                          Local_get 1;
+                          Local_get 0;
+                          Relop Ge_s;
+                          Br_if 1;
+                          Local_get 1;
+                          Const 1;
+                          Binop Add;
+                          Local_set 1;
+                          Local_get 2;
+                          Local_get 1;
+                          Binop Add;
+                          Local_set 2;
+                          Br 0;
+                        ];
+                    ];
+                  Br 0;
+                ];
+            ];
+          Local_get 2;
+        ];
+    |]
+
+(* Loop-carried memory index: pointer chasing, where each iteration's
+   load address is the previous iteration's loaded value — the checked
+   index is genuinely loop-variant and statically unbounded. Chain:
+   mem[0]=24, mem[24]=48, mem[48]=8, mem[8]=0; four hops from 0 visit
+   24, 48, 8, 0 and sum to 80. *)
+let chase_module =
+  let data =
+    String.init 64 (fun p -> Char.chr (match p with 0 -> 24 | 24 -> 48 | 48 -> 8 | _ -> 0))
+  in
+  module_ ~start:0 ~memory_pages:1 ~data:[ (0, data) ]
+    [|
+      func ~name:"main" ~locals:3 ~results:1
+        [
+          Const 4;
+          Local_set 2;
+          (* hops left *)
+          Block
+            [
+              Loop
+                [
+                  Local_get 2;
+                  Eqz;
+                  Br_if 1;
+                  Local_get 0;
+                  Load { bytes = 8; offset = 0 };
+                  Local_set 0;
+                  Local_get 1;
+                  Local_get 0;
+                  Binop Add;
+                  Local_set 1;
+                  Local_get 2;
+                  Const 1;
+                  Binop Sub;
+                  Local_set 2;
+                  Br 0;
+                ];
+            ];
+          Local_get 1;
+        ];
+    |]
+
+(* A conditional break out of the loop from the middle of the body (not
+   the canonical header-test shape): acc += i^2 until acc > 100. *)
+let early_exit_module =
+  module_ ~start:0
+    [|
+      func ~name:"main" ~locals:2 ~results:1
+        [
+          Block
+            [
+              Loop
+                [
+                  Local_get 0;
+                  Const 1;
+                  Binop Add;
+                  Local_set 0;
+                  Local_get 1;
+                  Local_get 0;
+                  Local_get 0;
+                  Binop Mul;
+                  Binop Add;
+                  Local_set 1;
+                  Local_get 1;
+                  Const 100;
+                  Relop Gt_s;
+                  Br_if 1;
+                  Br 0;
+                ];
+            ];
+          Local_get 1;
+        ];
+    |]
+
 let oob_module =
   module_ ~start:0 ~memory_pages:1
     [| func ~name:"main" [ Const 0x7f000000; Const 1; Store { bytes = 8; offset = 0 } ] |]
@@ -157,6 +284,9 @@ let test_validator_accepts_samples () =
       ("fib", fib_module 10);
       ("memsum", memsum_module);
       ("store", store_module);
+      ("nested-loops", nested_loops_module);
+      ("chase", chase_module);
+      ("early-exit", early_exit_module);
       ("oob", oob_module);
       ("div0", div_zero_module);
       ("unreachable", unreachable_module);
@@ -257,6 +387,21 @@ let test_compiled_matches_interp () =
   differential "store" store_module;
   differential "div0" div_zero_module;
   differential "unreachable" unreachable_module
+
+(* Loop-heavy shapes the optimizing middle-end works hardest on: nested
+   loops, a loop-carried (statically unbounded) memory index, and a
+   br_if exit from the middle of a loop body. The compiled side goes
+   through the default pipeline, so this differential doubles as an
+   end-to-end translation-validation check on the loop passes. *)
+let test_loop_heavy_modules () =
+  check_bool "nested loops interp" true
+    (Wasm_interp.run nested_loops_module = Wasm_interp.Value 56);
+  check_bool "chase interp" true (Wasm_interp.run chase_module = Wasm_interp.Value 80);
+  check_bool "early exit interp" true
+    (Wasm_interp.run early_exit_module = Wasm_interp.Value 140);
+  differential "nested-loops" nested_loops_module;
+  differential "chase" chase_module;
+  differential "early-exit" early_exit_module
 
 let test_compiled_oob_containment () =
   (* The compiled OOB store must trap under precise-trap strategies. *)
@@ -416,6 +561,8 @@ let suite =
     Alcotest.test_case "interp select" `Quick test_interp_select;
     Alcotest.test_case "interp call-stack limit" `Quick test_interp_call_stack_limit;
     Alcotest.test_case "compiled matches interp (samples)" `Quick test_compiled_matches_interp;
+    Alcotest.test_case "loop-heavy modules (nested/carried/early-exit)" `Quick
+      test_loop_heavy_modules;
     Alcotest.test_case "compiled OOB containment" `Quick test_compiled_oob_containment;
     Alcotest.test_case "compiler rejects invalid" `Quick test_invalid_module_rejected_by_compiler;
     QCheck_alcotest.to_alcotest prop_differential_random_exprs;
