@@ -13,7 +13,15 @@
    with the default HFI_JOBS=1 the output is byte-identical to the
    historical sequential driver. Set HFI_RESULT_CACHE=1 to serve
    unchanged experiments from the persistent result cache
-   (_build/.hfi-cache/); `--no-cache` bypasses it for one run. *)
+   (_build/.hfi-cache/); `--no-cache` bypasses it for one run.
+
+   `--compare BASELINE.json` diffs the run against a committed bench
+   JSON (wall times within a tolerance factor, deterministic key
+   figures within a tight band, see Hfi_experiments.Regression) and
+   exits 4 on regression; `--tolerance F` widens the timing factor
+   (e.g. CI comparing across machines), and `--inject-slowdown F`
+   artificially multiplies this run's timings so the gate itself can be
+   tested end-to-end. *)
 
 open Bechamel
 open Toolkit
@@ -195,7 +203,7 @@ module Json = struct
   let arr items = "[" ^ String.concat "," items ^ "]"
 end
 
-let write_json ~file ~mode ~jobs ~micro ~tiers ~outcomes ~total_seconds ~cache_on =
+let json_doc ~mode ~jobs ~micro ~tiers ~outcomes ~total_seconds ~cache_on =
   let micro_json =
     Json.arr
       (List.map
@@ -243,6 +251,14 @@ let write_json ~file ~mode ~jobs ~micro ~tiers ~outcomes ~total_seconds ~cache_o
                   ("verdict", Json.str r.Report.verdict);
                   ("table", Json.str r.Report.table);
                 ]
+               (* Machine-readable key figures (e.g. serving tail
+                  latencies) — what the --compare regression gate diffs
+                  besides wall time. Absent when the experiment has
+                  none, keeping older-shaped entries byte-stable. *)
+               @ (match r.Report.data with
+                 | [] -> []
+                 | data ->
+                   [ ("data", Json.obj (List.map (fun (k, v) -> (k, Json.num v)) data)) ])
                @ common)
            | Error f ->
              (* Partial report: the failed entry is named, with its
@@ -288,8 +304,10 @@ let write_json ~file ~mode ~jobs ~micro ~tiers ~outcomes ~total_seconds ~cache_o
       [
         (* Version of this JSON layout; bump alongside
            Result_cache.schema_version when fields change shape. v5
-           added [wasm_opt]. *)
-        ("schema_version", string_of_int 5);
+           added [wasm_opt]; v6 added per-experiment [data] figures and
+           made cached entries report the cache-probe wall time
+           honestly instead of 0. *)
+        ("schema_version", string_of_int 6);
         ("mode", Json.str mode);
         ("jobs", string_of_int jobs);
         (* The optimizing-middle-end configuration these numbers were
@@ -316,10 +334,48 @@ let write_json ~file ~mode ~jobs ~micro ~tiers ~outcomes ~total_seconds ~cache_o
         ("total_seconds", Json.num total_seconds);
       ]
   in
+  doc
+
+let write_json ~file ~doc =
   let oc = open_out file in
   output_string oc doc;
   output_char oc '\n';
   close_out oc
+
+(* --compare BASELINE.json: diff this run against a committed baseline
+   and exit 4 on regression. The comparison reads the same document we
+   would write with --json, parsed back through the library reader, so
+   the gate exercises exactly the committed artifact format. *)
+let run_gate ~baseline_file ~doc ~tolerance ~slowdown =
+  let module Regression = Hfi_experiments.Regression in
+  let module Ujson = Hfi_util.Json in
+  match Ujson.parse_file baseline_file with
+  | Error e ->
+    Printf.eprintf "bench --compare: cannot read baseline %s: %s\n" baseline_file e;
+    exit 4
+  | Ok baseline -> begin
+    match Ujson.parse doc with
+    | Error e ->
+      Printf.eprintf "bench --compare: internal error parsing own output: %s\n" e;
+      exit 4
+    | Ok current -> begin
+      let tol =
+        match tolerance with
+        | None -> Regression.default_tolerance
+        | Some f -> { Regression.default_tolerance with Regression.timing_factor = f }
+      in
+      Printf.printf "\n== regression gate (baseline %s%s) ==\n" baseline_file
+        (if slowdown <> 1.0 then Printf.sprintf ", injected slowdown %.2fx" slowdown
+         else "");
+      match Regression.compare_docs ~tol ~slowdown ~baseline ~current () with
+      | Error e ->
+        Printf.eprintf "bench --compare: %s\n" e;
+        exit 4
+      | Ok checks ->
+        print_string (Regression.render checks);
+        Regression.regressions checks <> []
+    end
+  end
 
 let () =
   let json_file = ref None in
@@ -328,6 +384,9 @@ let () =
   let micro_only = ref false in
   let no_cache = ref false in
   let inject_failure = ref None in
+  let compare_file = ref None in
+  let tolerance = ref None in
+  let inject_slowdown = ref 1.0 in
   let ids = ref [] in
   let rec parse = function
     | [] -> ()
@@ -347,6 +406,22 @@ let () =
       json_file := Some file;
       parse rest
     | [ "--json" ] -> failwith "--json requires a file argument"
+    | "--compare" :: file :: rest ->
+      compare_file := Some file;
+      parse rest
+    | [ "--compare" ] -> failwith "--compare requires a baseline JSON file"
+    | "--tolerance" :: f :: rest ->
+      (match float_of_string_opt f with
+      | Some t when t >= 1.0 -> tolerance := Some t
+      | _ -> failwith "--tolerance requires a factor >= 1.0");
+      parse rest
+    | [ "--tolerance" ] -> failwith "--tolerance requires a factor"
+    | "--inject-slowdown" :: f :: rest ->
+      (match float_of_string_opt f with
+      | Some s when s > 0.0 -> inject_slowdown := s
+      | _ -> failwith "--inject-slowdown requires a positive factor");
+      parse rest
+    | [ "--inject-slowdown" ] -> failwith "--inject-slowdown requires a factor"
     | "--inject-failure" :: id :: rest ->
       inject_failure := Some id;
       parse rest
@@ -381,8 +456,10 @@ let () =
   if !micro_only then begin
     match !json_file with
     | Some file ->
-      write_json ~file ~mode:(if quick then "quick" else "full") ~jobs ~micro ~tiers
-        ~outcomes:[] ~total_seconds:0.0 ~cache_on
+      write_json ~file
+        ~doc:
+          (json_doc ~mode:(if quick then "quick" else "full") ~jobs ~micro ~tiers
+             ~outcomes:[] ~total_seconds:0.0 ~cache_on)
     | None -> ()
   end
   else begin
@@ -467,14 +544,27 @@ let () =
       print_string (Hfi_obs.Metrics.to_text ())
     end;
     let failures = List.filter (fun o -> Result.is_error o.Registry.result) outcomes in
+    let doc =
+      json_doc ~mode:(if quick then "quick" else "full") ~jobs ~micro ~tiers ~outcomes
+        ~total_seconds:total ~cache_on
+    in
     (match !json_file with
-    | Some file ->
-      write_json ~file ~mode:(if quick then "quick" else "full") ~jobs ~micro ~tiers
-        ~outcomes ~total_seconds:total ~cache_on
+    | Some file -> write_json ~file ~doc
     | None -> ());
+    let regressed =
+      match !compare_file with
+      | Some baseline_file ->
+        run_gate ~baseline_file ~doc ~tolerance:!tolerance ~slowdown:!inject_slowdown
+      | None -> false
+    in
     if failures <> [] then begin
       Printf.eprintf "%d experiment(s) failed: %s\n" (List.length failures)
         (String.concat " " (List.map (fun o -> o.Registry.entry.Registry.id) failures));
       exit 3
+    end;
+    if regressed then begin
+      Printf.eprintf "regression gate failed against %s\n"
+        (Option.value ~default:"" !compare_file);
+      exit 4
     end
   end

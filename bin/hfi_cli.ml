@@ -7,6 +7,9 @@
      hw                   print HFI's hardware budget (SS4)
      sightglass <kernel>  run one Sightglass kernel under every strategy
      serve [--scenario]   run a resilient multi-tenant serving campaign
+                          (--trace-chrome/--trace-jsonl export span traces)
+     profile <id>         run one experiment with cycle attribution on
+     metrics <id>         run one experiment with the metrics registry on
      verify <kernel..>    statically verify compiled kernels (exit 0 safe,
                           1 unsafe, 2 usage, 3 unknown-only) *)
 
@@ -405,6 +408,35 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ id $ quick $ json)
 
+let metrics_cmd =
+  let doc =
+    "Run one experiment with the metrics registry on and print every counter, gauge and \
+     histogram it touched (Prometheus-style flat text, or one flat JSON object with \
+     $(b,--json))."
+  in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT") in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced workload sizes.") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the snapshot as JSON instead of text.")
+  in
+  let run id quick json =
+    match Registry.find id with
+    | None ->
+      Printf.eprintf "unknown experiment %S\nvalid ids: %s\n" id
+        (String.concat " " (Registry.ids ()));
+      exit 2
+    | Some e ->
+      Hfi_obs.Obs.set_metrics true;
+      Hfi_obs.Metrics.reset ();
+      Report.print (e.Registry.run ~quick ());
+      if json then print_endline (Hfi_obs.Metrics.to_json ())
+      else begin
+        print_endline "== metrics snapshot ==";
+        print_string (Hfi_obs.Metrics.to_text ())
+      end
+  in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ id $ quick $ json)
+
 let serve_cmd =
   let doc =
     "Run a resilient multi-tenant serving campaign: verified admission, retry/backoff, \
@@ -431,26 +463,78 @@ let serve_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit per-strategy counters as JSON.")
   in
-  let run scenario tenants seed quick json =
+  let trace_chrome =
+    Arg.(value & opt (some string) None
+         & info [ "trace-chrome" ] ~docv:"FILE"
+             ~doc:
+               "Write the per-request span trace of the campaign as a Chrome trace_event \
+                file (one process per strategy, one thread per tenant; loads in \
+                chrome://tracing / Perfetto). Implies span tracing on.")
+  in
+  let trace_jsonl =
+    Arg.(value & opt (some string) None
+         & info [ "trace-jsonl" ] ~docv:"FILE"
+             ~doc:"Write the per-request span trace as JSON lines. Implies span tracing on.")
+  in
+  let slo_opt name what =
+    Arg.(value & opt (some float) None
+         & info [ name ] ~docv:"MS"
+             ~doc:
+               (Printf.sprintf
+                  "Per-tenant SLO target for %s latency, in milliseconds (monitor output \
+                   only; needs metrics on via HFI_OBS)." what))
+  in
+  let slo_p50 = slo_opt "slo-p50" "median" in
+  let slo_p99 = slo_opt "slo-p99" "p99" in
+  let slo_p999 = slo_opt "slo-p999" "p99.9" in
+  let run scenario tenants seed quick json trace_chrome trace_jsonl slo_p50 slo_p99 slo_p999 =
     if seed <> None || tenants <> None then
       Hfi_experiments.Serving.configure ~seed ~tenants;
+    if slo_p50 <> None || slo_p99 <> None || slo_p999 <> None then
+      Hfi_experiments.Serving.configure_slo ~p50_ms:slo_p50 ~p99_ms:slo_p99
+        ~p999_ms:slo_p999;
     let sc =
       match scenario with
       | `Steady -> Hfi_serving.Server.Steady
       | `Burst -> Hfi_serving.Server.Burst
       | `Chaos -> Hfi_serving.Server.Chaos
     in
-    if json then print_endline (Hfi_experiments.Serving.run_json ~quick sc)
-    else Report.print (Hfi_experiments.Serving.run_scenario ~quick sc)
+    let tracing = trace_chrome <> None || trace_jsonl <> None in
+    if tracing then Hfi_obs.Obs.set_trace true;
+    (* One simulation set serves the printed report and the span
+       exports, so the trace always matches the numbers shown. *)
+    let cfg, reports = Hfi_experiments.Serving.simulate_all ~quick sc in
+    if json then
+      print_endline (Hfi_experiments.Serving.reports_json ~cfg ~scenario:sc reports)
+    else Report.print (Hfi_experiments.Serving.scenario_report ~cfg ~scenario:sc reports);
+    if tracing then begin
+      let groups = Hfi_experiments.Serving.span_groups reports in
+      let spans = List.fold_left (fun a (_, s) -> a + List.length s) 0 groups in
+      let report file what =
+        Printf.printf "wrote %s: %s (%d spans, %d strategies)\n" what file spans
+          (List.length groups)
+      in
+      (match trace_chrome with
+      | Some file ->
+        Hfi_obs.Span.write_chrome ~file groups;
+        report file "Chrome span trace"
+      | None -> ());
+      match trace_jsonl with
+      | Some file ->
+        Hfi_obs.Span.write_jsonl ~file groups;
+        report file "JSONL span trace"
+      | None -> ()
+    end
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ scenario $ tenants $ seed $ quick $ json)
+    Term.(const run $ scenario $ tenants $ seed $ quick $ json $ trace_chrome
+          $ trace_jsonl $ slo_p50 $ slo_p99 $ slo_p999)
 
 let () =
   let doc = "Hardware-assisted Fault Isolation (ASPLOS '23) — OCaml reproduction." in
   let info = Cmd.info "hfi" ~version:"1.0.0" ~doc in
   let code =
-    Cmd.eval (Cmd.group info [ list_cmd; run_cmd; serve_cmd; spectre_cmd; hw_cmd; sightglass_cmd; opt_cmd; wasm_cmd; verify_cmd; conformance_cmd; trace_cmd; profile_cmd ])
+    Cmd.eval (Cmd.group info [ list_cmd; run_cmd; serve_cmd; spectre_cmd; hw_cmd; sightglass_cmd; opt_cmd; wasm_cmd; verify_cmd; conformance_cmd; trace_cmd; profile_cmd; metrics_cmd ])
   in
   (* Cmdliner reports unknown flags/subcommands as its own cli_error
      (124); scripts expect the conventional usage-error code 2, matching

@@ -91,6 +91,7 @@ let run_switch_on_exit ?(quick = false) () =
   in
   {
     Report.id = "ablate-soe";
+    data = [];
     title = "switch-on-exit vs serialized transitions";
     paper_claim =
       "serialization costs ~30-60 cycles per enter/exit; switch-on-exit removes it for sandbox \
@@ -127,6 +128,7 @@ let run_parallel_checks ?quick () =
   in
   {
     Report.id = "ablate-parallel";
+    data = [];
     title = "region checks in parallel with the dTLB lookup";
     paper_claim = "memory isolation with HFI imposes no overhead: checks execute in parallel with TLB lookups";
     table;
@@ -156,6 +158,7 @@ let run_comparator ?quick:_ () =
   in
   {
     Report.id = "ablate-comparator";
+    data = [];
     title = "hardware budget: constrained regions vs naive bounds";
     paper_claim =
       "large/small region constraints allow a single 32-bit comparator instead of multiple 64-bit \
@@ -181,6 +184,7 @@ let run_transitions ?(quick = false) () =
   in
   {
     Report.id = "ablate-transitions";
+    data = [];
     title = "software-chosen transition mechanisms (SS3.3.1)";
     paper_claim =
       "HFI leaves context save/restore to software: native code pays springboards (clear \
@@ -216,6 +220,7 @@ let run_multi_memory ?quick:_ () =
   let guard8 = mk Hfi_sfi.Strategy.Guard_pages 8 and hfi8 = mk Hfi_sfi.Strategy.Hfi 8 in
   {
     Report.id = "multi-memory";
+    data = [];
     title = "multi-memory instance footprint (SS2)";
     paper_claim =
       "multiple memories per instance increase the footprint by another 8 GiB per memory under \
@@ -254,6 +259,7 @@ let run_chaining ?(quick = false) () =
   in
   {
     Report.id = "chaining";
+    data = [];
     title = "function chaining: in-process vs IPC (SS2)";
     paper_claim =
       "in a single address space, function-to-function communication is as fast as a function \

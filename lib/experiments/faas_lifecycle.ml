@@ -59,6 +59,7 @@ let run_teardown ?(quick = false) () =
   in
   {
     Report.id = "teardown";
+    data = [];
     title = Printf.sprintf "FaaS sandbox teardown (%d sandboxes)" sandboxes;
     paper_claim = "stock 25.7 us; HFI batched 23.1 us (10.1% better); batching without guard elision 31.1 us (worse than stock)";
     table;
@@ -100,6 +101,7 @@ let run_scaling ?(quick = false) () =
   in
   {
     Report.id = "scaling";
+    data = [];
     title = "concurrent-sandbox capacity of one address space";
     paper_claim =
       "guard pages cap at ~16K instances in 2^47 (8 GiB each); eliding guards, Wasmtime created 256,000 1 GiB sandboxes";

@@ -60,6 +60,7 @@ let run ?quick () =
   in
   {
     Report.id = "fig2";
+    data = [];
     title = "emulation accuracy vs simulated HFI (Sightglass, cycle engine)";
     paper_claim = "emulation within 98%-108% of simulation; geomean difference 1.62%";
     table;

@@ -78,6 +78,7 @@ let run ?quick () =
   let hlo, hhi = Stats.min_max hfi_ratios in
   {
     Report.id = "fig3";
+    data = [];
     title = "SPEC INT 2006 normalized to guard pages (cycle engine)";
     paper_claim =
       "bounds-checking +18.74%..+48.34% (geomean +34.7%); HFI 92.51%..107.45% of guard pages \

@@ -53,6 +53,7 @@ let run ?(quick = false) () =
   let lo, hi = Hfi_util.Stats.min_max speedups in
   {
     Report.id = "fig4";
+    data = [];
     title = "Firefox image rendering, normalized to guard pages (median decode)";
     paper_claim = "HFI speedup over guard pages between 14% and 37%; larger for bigger images";
     table;
@@ -80,6 +81,7 @@ let run_font ?quick:_ () =
     in
     {
       Report.id = "font";
+      data = [];
       title = "Firefox font rendering (libgraphite reflow x10)";
       paper_claim = "guard pages 1823 ms, bounds-checking 2022 ms, HFI 1677 ms (HFI 8.7% faster)";
       table;

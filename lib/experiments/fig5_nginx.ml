@@ -32,6 +32,7 @@ let run ?quick:_ () =
   let mlo, mhi = Hfi_util.Stats.min_max (overheads mpk) in
   {
     Report.id = "fig5";
+    data = [];
     title = "NGINX throughput with sandboxed OpenSSL (relative to unprotected)";
     paper_claim = "HFI overhead 2.9%-6.1%; MPK 1.9%-5.3%; HFI slightly above MPK";
     table;

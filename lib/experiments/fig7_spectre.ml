@@ -41,6 +41,7 @@ let run ?quick:_ () =
   let exit_leaks, exit_blocked, _ = run_kind Attack.Exit_bypass in
   {
     Report.id = "fig7";
+    data = [];
     title = "Spectre-PHT and Spectre-BTB probe latencies";
     paper_claim =
       "without HFI, a clear low-latency signal at the first secret byte ('I'); with HFI, no \

@@ -826,6 +826,7 @@ let run ?(quick = false) () =
             stats.static_plants_detected stats.static_plants));
   {
     Report.id = "fuzz";
+    data = [];
     title = "differential fuzzing + fault injection";
     paper_claim =
       "HFI bounds every sandbox access: no out-of-region access completes untrapped, \

@@ -37,6 +37,7 @@ let run ?(quick = false) () =
   in
   {
     Report.id = "heap-growth";
+    data = [];
     title = Printf.sprintf "heap growth, %d steps of 64 KiB" steps;
     paper_claim = "mprotect 10.92 s vs HFI 370 ms, ~30x";
     table;

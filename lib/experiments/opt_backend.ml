@@ -99,6 +99,7 @@ let run ?(quick = false) () =
   in
   {
     Report.id = "opt-backend";
+    data = [];
     title = "optimizing middle-end: dynamic instructions and cycles, opt vs reference";
     paper_claim =
       "check-heavy SFI schemes leave the most on the table: loop-aware check elision should \
@@ -155,6 +156,7 @@ let run_passes ?(quick = false) () =
   in
   {
     Report.id = "opt-passes";
+    data = [];
     title = "optimizing middle-end: static rewrites per pass and strategy";
     paper_claim =
       "the strategy-aware passes only fire where a software check exists: bounds-checks and \

@@ -119,6 +119,7 @@ let run ?quick () =
     in
     {
       Report.id = "reg-pressure";
+      data = [];
       title = "reserved-register overhead (Spidermonkey-like workload, reservation model)";
       paper_claim = "reserving one register costs 2.25%, two registers 2.40%";
       table;
@@ -152,6 +153,7 @@ let run ?quick () =
     in
     {
       Report.id = "reg-pressure";
+      data = [];
       title = "reserved-register overhead (Spidermonkey-like workload, linear-scan allocator)";
       paper_claim = "reserving one register costs 2.25%, two registers 2.40%";
       table;

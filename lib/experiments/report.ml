@@ -8,6 +8,11 @@ type t = {
   paper_claim : string;  (** the sentence from the paper being reproduced *)
   table : string;  (** rendered result rows *)
   verdict : string;  (** measured summary vs the claim *)
+  data : (string * float) list;
+      (** machine-readable key figures (e.g. serving tail latencies),
+          persisted through the result cache and emitted in the bench
+          JSON so the regression gate can compare them across runs;
+          empty for experiments whose only stable figure is wall time *)
 }
 
 let render r =

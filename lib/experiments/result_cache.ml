@@ -40,8 +40,10 @@ let code_version =
    layout is a miss even if it somehow shares a key. v2 added
    [schema_version] itself; v3 folded the runtime configuration knobs
    (the HFI_WASM_OPT middle-end switch and the HFI_REGPRESSURE_MODEL
-   selector) into the key — reports are a function of those too. *)
-let schema_version = 3
+   selector) into the key — reports are a function of those too; v4
+   added the report's machine-readable key figures, flattened as
+   ["data:<key>"] numeric fields. *)
+let schema_version = 4
 
 let key ~id ~quick =
   Digest.to_hex
@@ -192,6 +194,18 @@ let find ~id ~quick : (Report.t * float) option =
         in
         (try
            if int_of_float (num "schema_version") <> schema_version then raise Malformed;
+           (* The report's key figures come back from the flattened
+              "data:<key>" fields, in stored (= original) order. *)
+           let data =
+             List.filter_map
+               (fun (k, v) ->
+                 if String.length k > 5 && String.sub k 0 5 = "data:" then
+                   match v with
+                   | `Num f -> Some (String.sub k 5 (String.length k - 5), f)
+                   | `Str _ -> raise Malformed
+                 else None)
+               fields
+           in
            let report =
              {
                Report.id = str "id";
@@ -199,6 +213,7 @@ let find ~id ~quick : (Report.t * float) option =
                paper_claim = str "paper_claim";
                table = str "table";
                verdict = str "verdict";
+               data;
              }
            in
            Some (report, num "uncached_seconds")
@@ -219,11 +234,18 @@ let store ~id ~quick ~seconds (r : Report.t) =
       Fun.protect
         ~finally:(fun () -> close_out_noerr oc)
         (fun () ->
+          let data_fields =
+            String.concat ""
+              (List.map
+                 (fun (k, v) -> Printf.sprintf ",\"data:%s\":%.6g" (escape k) v)
+                 r.Report.data)
+          in
           output_string oc
-            (Printf.sprintf "{\"schema_version\":%d,%s,%s,%s,%s,%s,\"uncached_seconds\":%.6g}\n"
+            (Printf.sprintf "{\"schema_version\":%d,%s,%s,%s,%s,%s%s,\"uncached_seconds\":%.6g}\n"
                schema_version (field "id" r.Report.id) (field "title" r.Report.title)
                (field "paper_claim" r.Report.paper_claim)
-               (field "table" r.Report.table) (field "verdict" r.Report.verdict) seconds));
+               (field "table" r.Report.table) (field "verdict" r.Report.verdict)
+               data_fields seconds));
       Sys.rename tmp path
     with Sys_error _ -> ()
     (* a cache store failure must never fail the experiment *)

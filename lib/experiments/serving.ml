@@ -22,6 +22,7 @@
 
 module Server = Hfi_serving.Server
 module Strategy = Hfi_sfi.Strategy
+module Slo = Hfi_obs.Slo
 
 let default_seed = 7
 
@@ -29,6 +30,21 @@ let default_seed = 7
 let config = ref (None : (int option * int option) option)
 
 let configure ~seed ~tenants = config := Some (seed, tenants)
+
+(* CLI-configurable SLO latency targets (hfi_cli serve --slo-p99 …).
+   Only read by the monitor, which is off unless HFI_OBS enables
+   metrics, so overriding targets can never change simulated results. *)
+let slo_target = ref (None : Slo.target option)
+
+let configure_slo ~p50_ms ~p99_ms ~p999_ms =
+  let d = Slo.default_target in
+  slo_target :=
+    Some
+      {
+        Slo.p50_ms = Option.value ~default:d.Slo.p50_ms p50_ms;
+        p99_ms = Option.value ~default:d.Slo.p99_ms p99_ms;
+        p999_ms = Option.value ~default:d.Slo.p999_ms p999_ms;
+      }
 
 (* Both strategies an instance can actually run under in these
    campaigns: the preferred mechanism and the degradation fallback. *)
@@ -53,6 +69,7 @@ let scenario_config ~quick scenario =
     Server.tenants;
     requests = max tenants (tenants * max 1 requests_per_tenant);
     seed = Option.value ~default:default_seed seed_override;
+    slo_target = Option.value ~default:base.Server.slo_target !slo_target;
   }
 
 let fmt_ms = Printf.sprintf "%.2f"
@@ -82,6 +99,53 @@ let header =
     "goodput/s"; "p50ms"; "p99ms"; "p999ms"; "degraded"; "cold/warm";
   ]
 
+(* Compact per-strategy SLO digest appended to the report table when
+   metrics are on: one row per strategy, worst tenant called out. The
+   full per-tenant breakdown lives in the --json output. *)
+let slo_table reports =
+  let rows =
+    List.filter_map
+      (fun (r : Server.report) ->
+        Option.map
+          (fun m ->
+            let summaries = Slo.summary m in
+            let target = Slo.target m in
+            let over_budget =
+              List.length (List.filter (fun s -> s.Slo.burn_rate > 1.0) summaries)
+            in
+            let wt, wb = Slo.worst_burn m in
+            [
+              Strategy.to_string r.Server.strategy;
+              Printf.sprintf "%.0f/%.0f/%.0f" target.Slo.p50_ms target.Slo.p99_ms
+                target.Slo.p999_ms;
+              string_of_int (List.length summaries);
+              string_of_int (Slo.total_violations m);
+              string_of_int over_budget;
+              (if wt < 0 then "-" else Printf.sprintf "t%d@%.2fx" wt wb);
+            ])
+          r.Server.slo)
+      reports
+  in
+  if rows = [] then ""
+  else
+    "SLO (per-tenant sliding windows):\n"
+    ^ Hfi_util.Table.render
+        ~header:
+          [ "strategy"; "target ms"; "tenants"; "window-viol"; "burn>1"; "worst-burn" ]
+        rows
+
+let data_of reports =
+  List.concat_map
+    (fun (r : Server.report) ->
+      let s = Strategy.to_string r.Server.strategy in
+      [
+        (s ^ ".goodput_rps", r.Server.goodput_rps);
+        (s ^ ".p50_ms", r.Server.p50_ms);
+        (s ^ ".p99_ms", r.Server.p99_ms);
+        (s ^ ".p999_ms", r.Server.p999_ms);
+      ])
+    reports
+
 let scenario_blurb = function
   | Server.Steady -> "steady Poisson load, no injected hazards"
   | Server.Burst -> "bursty arrivals (4x rate in bursts), no injected hazards"
@@ -89,11 +153,24 @@ let scenario_blurb = function
     "steady load + injected crashes, kernel faults, stalls, spurious rejects and \
      poison tenants"
 
-let run_scenario ?(quick = false) scenario =
+(* One simulation per strategy under the scenario's config; the CLI
+   reuses this to export spans from the exact runs it reports on. *)
+let simulate_all ?(quick = false) scenario =
   let cfg = scenario_config ~quick scenario in
-  let reports = List.map (fun s -> Server.simulate cfg ~strategy:s) strategies in
+  (cfg, List.map (fun s -> Server.simulate cfg ~strategy:s) strategies)
+
+let span_groups reports =
+  List.map
+    (fun (r : Server.report) -> (Strategy.to_string r.Server.strategy, r.Server.spans))
+    reports
+
+(* Build the experiment report from already-simulated runs, so the CLI
+   can print and export spans from the same simulations. *)
+let scenario_report ~cfg ~scenario reports =
   let id = "serve_" ^ Server.scenario_name scenario in
-  let table = Hfi_util.Table.render ~header (List.map row reports) in
+  let table =
+    Hfi_util.Table.render ~header (List.map row reports) ^ slo_table reports
+  in
   let total_served, total_failed, total_retries, trips, degraded =
     List.fold_left
       (fun (s, f, rt, tr, dg) (r : Server.report) ->
@@ -129,6 +206,7 @@ let run_scenario ?(quick = false) scenario =
   | Server.Steady | Server.Burst -> ());
   {
     Report.id;
+    data = data_of reports;
     title = "multi-tenant FaaS serving, " ^ Server.scenario_name scenario ^ " scenario";
     paper_claim =
       "HFI's cheap instantiation and bounded region registers let a FaaS runtime keep \
@@ -144,6 +222,10 @@ let run_scenario ?(quick = false) scenario =
         cfg.Server.seed cfg.Server.tenants (scenario_blurb scenario) total_served
         total_failed (List.length reports) total_retries trips rejected degraded;
   }
+
+let run_scenario ?(quick = false) scenario =
+  let cfg, reports = simulate_all ~quick scenario in
+  scenario_report ~cfg ~scenario reports
 
 let run_steady ?quick () = run_scenario ?quick Server.Steady
 let run_burst ?quick () = run_scenario ?quick Server.Burst
@@ -190,18 +272,48 @@ let report_to_json (r : Server.report) =
       ("p999_ms", r.Server.p999_ms);
     ]
   in
-  Printf.sprintf "{\"strategy\": \"%s\", %s, %s}"
+  (* The SLO block only exists when metrics were on for the run, so the
+     default (observability off) output is byte-identical to before. *)
+  let slo_json =
+    match r.Server.slo with
+    | None -> ""
+    | Some m ->
+      let target = Slo.target m in
+      let tenants =
+        List.map
+          (fun (s : Slo.tenant_summary) ->
+            Printf.sprintf
+              "{\"tenant\": %d, \"count\": %d, \"p50_ms\": %.6f, \"p99_ms\": %.6f, \
+               \"p999_ms\": %.6f, \"windows\": %d, \"violations\": %d, \
+               \"burn_rate\": %.6f}"
+              s.Slo.tenant s.Slo.count s.Slo.p50_ms s.Slo.p99_ms s.Slo.p999_ms
+              s.Slo.windows s.Slo.violations s.Slo.burn_rate)
+          (Slo.summary m)
+      in
+      let wt, wb = Slo.worst_burn m in
+      Printf.sprintf
+        ", \"slo\": {\"target_ms\": {\"p50\": %.1f, \"p99\": %.1f, \"p999\": %.1f}, \
+         \"window_s\": %.3f, \"total_violations\": %d, \"worst_burn_tenant\": %d, \
+         \"worst_burn_rate\": %.6f, \"tenants\": [%s]}"
+        target.Slo.p50_ms target.Slo.p99_ms target.Slo.p999_ms (Slo.window_s m)
+        (Slo.total_violations m) wt wb
+        (String.concat ", " tenants)
+  in
+  Printf.sprintf "{\"strategy\": \"%s\", %s, %s%s}"
     (Strategy.to_string r.Server.strategy)
     (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) ints))
     (String.concat ", "
        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.6f" k v) floats))
+    slo_json
 
-let run_json ?(quick = false) scenario =
-  let cfg = scenario_config ~quick scenario in
-  let reports = List.map (fun s -> Server.simulate cfg ~strategy:s) strategies in
+let reports_json ~cfg ~scenario reports =
   Printf.sprintf
     "{\"scenario\": \"%s\", \"seed\": %d, \"tenants\": %d, \"requests\": %d, \
      \"strategies\": [%s]}"
     (Server.scenario_name scenario) cfg.Server.seed cfg.Server.tenants
     cfg.Server.requests
     (String.concat ", " (List.map report_to_json reports))
+
+let run_json ?(quick = false) scenario =
+  let cfg, reports = simulate_all ~quick scenario in
+  reports_json ~cfg ~scenario reports

@@ -23,6 +23,7 @@ let run ?(quick = false) () =
   in
   {
     Report.id = "syscalls";
+    data = [];
     title = Printf.sprintf "syscall interposition (open/read/close x %d)" iterations;
     paper_claim = "seccomp-bpf imposes 2.1% overhead over the HFI version";
     table;

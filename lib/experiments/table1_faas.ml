@@ -39,6 +39,7 @@ let run ?(quick = false) () =
   let slo, shi = Hfi_util.Stats.min_max (tail_delta Faas.Swivel_protection) in
   {
     Report.id = "table1";
+    data = [];
     title = "Spectre protection vs FaaS tail latency";
     paper_claim = "Swivel raises tail latency 9%-42%; HFI 0%-2%; Swivel bloats binaries ~17% (code)";
     table;

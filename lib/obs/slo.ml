@@ -1,0 +1,230 @@
+(* Per-tenant SLO monitoring over fixed-bucket latency histograms.
+
+   The serving simulation runs in virtual time, so "sliding window"
+   here means virtual-time windows: each tenant owns a ring of
+   [windows] fixed-bucket histograms, one per [window_s] of virtual
+   time; observations land in the window their timestamp falls in, and
+   advancing past a window closes it — at which point its p99 estimate
+   is compared against the target and a violation is counted if it
+   misses. Quantiles are estimated from the bucket counts by linear
+   interpolation inside the containing bucket (the same estimator
+   Prometheus applies to its histograms), so the monitor never stores
+   raw samples and its footprint is O(tenants * windows * buckets).
+
+   Burn rate follows the SRE convention: with a pN target, the error
+   budget is the (100-N)% of requests allowed to exceed it; the burn
+   rate is the observed share of over-target requests divided by that
+   budget. 1.0 means the budget is being consumed exactly as
+   provisioned; above 1.0 the tenant is burning reserve.
+
+   Everything is deterministic: same observations in the same order
+   produce the same summaries, and tenants are disjoint across serving
+   shards so per-shard monitors merge by union. *)
+
+type target = { p50_ms : float; p99_ms : float; p999_ms : float }
+
+let default_target = { p50_ms = 20.0; p99_ms = 250.0; p999_ms = 1000.0 }
+
+(* Matches the serving-latency histogram the metrics layer exports, so
+   the two views of the same campaign bucket identically. *)
+let default_bounds = [| 1.0; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0 |]
+
+(* ------------------------------------------------------------------ *)
+(* Quantile estimation over a fixed-bucket histogram                    *)
+
+(* [counts] has length [Array.length bounds + 1]: one count per upper
+   bound plus the overflow bucket. The estimate interpolates linearly
+   inside the bucket containing the target rank, taking 0 (resp. the
+   last finite bound) as the lower edge of the first (resp. overflow)
+   bucket; ranks landing in the overflow bucket clamp to the last
+   finite bound — there is no upper edge to interpolate toward, and a
+   clamped-but-finite answer keeps comparisons against targets sane. *)
+let quantile ~bounds ~counts q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Slo.quantile: q outside [0,1]";
+  let nb = Array.length bounds in
+  if Array.length counts <> nb + 1 then invalid_arg "Slo.quantile: counts/bounds mismatch";
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let rank = q *. float_of_int total in
+    let rec walk i cum =
+      if i > nb then bounds.(nb - 1)
+      else begin
+        let cum' = cum +. float_of_int counts.(i) in
+        if cum' >= rank && counts.(i) > 0 then
+          if i = nb then (if nb = 0 then 0.0 else bounds.(nb - 1))
+          else begin
+            let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+            let hi = bounds.(i) in
+            let into = (rank -. cum) /. float_of_int counts.(i) in
+            lo +. (into *. (hi -. lo))
+          end
+        else walk (i + 1) cum'
+      end
+    in
+    walk 0 0.0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sliding-window monitor                                               *)
+
+type tenant_state = {
+  mutable current : int;  (* window index of the ring's newest window *)
+  ring : int array array;  (* windows * (buckets + overflow) *)
+  total : int array;  (* all-time counts, the summary quantile source *)
+  mutable count : int;
+  mutable over_p99 : int;  (* all-time observations above target.p99_ms *)
+  mutable windows_closed : int;
+  mutable violations : int;  (* closed windows whose p99 missed target *)
+}
+
+type t = {
+  window_s : float;
+  windows : int;
+  bounds : float array;
+  target : target;
+  tenants : (int, tenant_state) Hashtbl.t;
+}
+
+let create ?(window_s = 1.0) ?(windows = 8) ?(bounds = default_bounds)
+    ?(target = default_target) () =
+  if window_s <= 0.0 then invalid_arg "Slo.create: window_s";
+  if windows < 1 then invalid_arg "Slo.create: windows";
+  { window_s; windows; bounds; target; tenants = Hashtbl.create 32 }
+
+let tenant_state t tenant =
+  match Hashtbl.find_opt t.tenants tenant with
+  | Some s -> s
+  | None ->
+    let nb = Array.length t.bounds + 1 in
+    let s =
+      {
+        current = 0;
+        ring = Array.init t.windows (fun _ -> Array.make nb 0);
+        total = Array.make nb 0;
+        count = 0;
+        over_p99 = 0;
+        windows_closed = 0;
+        violations = 0;
+      }
+    in
+    Hashtbl.add t.tenants tenant s;
+    s
+
+let bucket_of bounds v =
+  let nb = Array.length bounds in
+  let rec go i = if i >= nb || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let window_slot t s w = s.ring.(w mod t.windows)
+
+(* Close every window between the tenant's newest and [upto]
+   (exclusive): evaluate its p99 against the target, then recycle the
+   slot for the incoming window. Advancing across a long idle gap
+   closes at most [windows] live slots; the skipped-empty ones are
+   evaluated too (an empty window trivially meets the target). *)
+let advance_tenant t s ~upto =
+  while s.current < upto do
+    let slot = window_slot t s s.current in
+    let windowed = Array.fold_left ( + ) 0 slot in
+    if windowed > 0 then begin
+      let p99 = quantile ~bounds:t.bounds ~counts:slot 0.99 in
+      if p99 > t.target.p99_ms then s.violations <- s.violations + 1
+    end;
+    s.windows_closed <- s.windows_closed + 1;
+    Array.fill slot 0 (Array.length slot) 0;
+    s.current <- s.current + 1
+  done
+
+let observe t ~tenant ~now_s latency_ms =
+  if now_s < 0.0 then invalid_arg "Slo.observe: negative time";
+  let s = tenant_state t tenant in
+  let w = int_of_float (now_s /. t.window_s) in
+  (* Late observations (an earlier window than the newest) are folded
+     into the current window rather than dropped: virtual time in the
+     serving simulation only moves forward per tenant, so this is a
+     safety net, not a hot case. *)
+  if w > s.current then advance_tenant t s ~upto:w;
+  let b = bucket_of t.bounds latency_ms in
+  (window_slot t s s.current).(b) <- (window_slot t s s.current).(b) + 1;
+  s.total.(b) <- s.total.(b) + 1;
+  s.count <- s.count + 1;
+  if latency_ms > t.target.p99_ms then s.over_p99 <- s.over_p99 + 1
+
+let flush t ~now_s =
+  let upto = int_of_float (now_s /. t.window_s) in
+  Hashtbl.iter (fun _ s -> if upto > s.current then advance_tenant t s ~upto) t.tenants
+
+(* ------------------------------------------------------------------ *)
+(* Merge and summary                                                    *)
+
+(* Serving shards own disjoint tenant sets, so merging monitors is a
+   union; a tenant appearing in several monitors (not the serving
+   case, but allowed) merges by summing totals and counters — windowed
+   state is not merged, so merge after [flush]. *)
+let merge monitors =
+  match monitors with
+  | [] -> create ()
+  | first :: _ ->
+    let out =
+      create ~window_s:first.window_s ~windows:first.windows ~bounds:first.bounds
+        ~target:first.target ()
+    in
+    List.iter
+      (fun m ->
+        Hashtbl.iter
+          (fun tenant (s : tenant_state) ->
+            let acc = tenant_state out tenant in
+            Array.iteri (fun i c -> acc.total.(i) <- acc.total.(i) + c) s.total;
+            acc.count <- acc.count + s.count;
+            acc.over_p99 <- acc.over_p99 + s.over_p99;
+            acc.windows_closed <- acc.windows_closed + s.windows_closed;
+            acc.violations <- acc.violations + s.violations)
+          m.tenants)
+      monitors;
+    out
+
+type tenant_summary = {
+  tenant : int;
+  count : int;
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  windows : int;  (** virtual-time windows closed for this tenant *)
+  violations : int;  (** closed windows whose estimated p99 missed target *)
+  burn_rate : float;  (** over-target p99 share / (1 - 0.99) error budget *)
+}
+
+let tenant_summary t tenant (s : tenant_state) =
+  {
+    tenant;
+    count = s.count;
+    p50_ms = quantile ~bounds:t.bounds ~counts:s.total 0.50;
+    p99_ms = quantile ~bounds:t.bounds ~counts:s.total 0.99;
+    p999_ms = quantile ~bounds:t.bounds ~counts:s.total 0.999;
+    windows = s.windows_closed;
+    violations = s.violations;
+    burn_rate =
+      (if s.count = 0 then 0.0
+       else float_of_int s.over_p99 /. float_of_int s.count /. 0.01);
+  }
+
+let summary t =
+  Hashtbl.fold (fun tenant s acc -> tenant_summary t tenant s :: acc) t.tenants []
+  |> List.sort (fun a b -> compare a.tenant b.tenant)
+
+let target t = t.target
+
+let window_s t = t.window_s
+
+let total_violations t =
+  Hashtbl.fold (fun _ (s : tenant_state) acc -> acc + s.violations) t.tenants 0
+
+let worst_burn t =
+  Hashtbl.fold
+    (fun tenant (s : tenant_state) (wt, wb) ->
+      let b =
+        if s.count = 0 then 0.0 else float_of_int s.over_p99 /. float_of_int s.count /. 0.01
+      in
+      if b > wb then (tenant, b) else (wt, wb))
+    t.tenants (-1, 0.0)

@@ -1,0 +1,73 @@
+(** Per-tenant SLO monitoring: sliding-window latency quantile
+    estimation over fixed-bucket histograms, configurable targets, and
+    violation / burn-rate accounting.
+
+    Built for the serving simulation, which runs in deterministic
+    virtual time: windows are [window_s] of virtual time per tenant,
+    advancing as observations arrive. The monitor stores bucket counts
+    only (no raw samples); quantiles are estimated by linear
+    interpolation inside the containing bucket, exactly as for the
+    metrics layer's histograms. Deterministic throughout: identical
+    observation sequences produce identical summaries, and per-shard
+    monitors over disjoint tenants {!merge} into the same summary
+    regardless of shard count. *)
+
+type target = { p50_ms : float; p99_ms : float; p999_ms : float }
+
+val default_target : target
+(** 20 / 250 / 1000 ms — calibrated to the serving campaigns' default
+    deadline of 2 s. *)
+
+val default_bounds : float array
+(** Upper bounds (ms) matching the [hfi_serving_latency_ms] metric. *)
+
+val quantile : bounds:float array -> counts:int array -> float -> float
+(** [quantile ~bounds ~counts q] estimates the [q]-quantile (0..1) of a
+    fixed-bucket histogram. [counts] must have length
+    [Array.length bounds + 1] (overflow bucket last). Linear
+    interpolation inside the containing bucket; ranks in the overflow
+    bucket clamp to the last finite bound; 0 when empty. *)
+
+type t
+
+val create :
+  ?window_s:float -> ?windows:int -> ?bounds:float array -> ?target:target -> unit -> t
+(** Defaults: 1 s virtual-time windows, ring of 8, {!default_bounds},
+    {!default_target}. *)
+
+val observe : t -> tenant:int -> now_s:float -> float -> unit
+(** [observe t ~tenant ~now_s latency_ms] records one served request.
+    Advancing [now_s] past the tenant's current window closes
+    intervening windows (evaluating each against the target). *)
+
+val flush : t -> now_s:float -> unit
+(** Close every window ending before [now_s] for all tenants — call at
+    end of campaign so the final partial windows are evaluated. *)
+
+val merge : t list -> t
+(** Union of per-shard monitors (disjoint tenants); totals and counters
+    sum if a tenant appears twice. Merge after {!flush} — in-flight
+    window contents do not transfer. *)
+
+type tenant_summary = {
+  tenant : int;
+  count : int;
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  windows : int;  (** virtual-time windows closed for this tenant *)
+  violations : int;  (** closed windows whose estimated p99 missed target *)
+  burn_rate : float;
+      (** share of requests over the p99 target divided by the 1% error
+          budget; 1.0 = burning exactly the provisioned budget *)
+}
+
+val summary : t -> tenant_summary list
+(** One row per tenant, sorted by tenant id. *)
+
+val target : t -> target
+val window_s : t -> float
+val total_violations : t -> int
+
+val worst_burn : t -> int * float
+(** [(tenant, burn_rate)] of the hottest tenant; [(-1, 0.)] when empty. *)

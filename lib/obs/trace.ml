@@ -65,6 +65,20 @@ let the_ring () =
 
 let on () = !Obs.trace_enabled
 
+(* Warn exactly once per ring lifetime when the buffer first wraps:
+   dropped events silently skew any analysis of the export, so the wrap
+   must be loud — but a warning per overwritten event would be noise.
+   Reset by [clear] / [set_capacity] along with the ring itself. *)
+let wrap_warned = ref false
+
+let warn_wrap r =
+  if not !wrap_warned then begin
+    wrap_warned := true;
+    Printf.eprintf
+      "hfi-obs: trace ring wrapped at %d events; oldest events are being dropped (raise HFI_OBS_TRACE_CAP to keep more)\n%!"
+      r.cap
+  end
+
 let emit ?(dur = 0.0) ?(a = -1) ?(b = -1) kind ~ts =
   if !Obs.trace_enabled then begin
     let r = the_ring () in
@@ -75,7 +89,8 @@ let emit ?(dur = 0.0) ?(a = -1) ?(b = -1) kind ~ts =
     r.aas.(i) <- a;
     r.bbs.(i) <- b;
     r.head <- (if i + 1 = r.cap then 0 else i + 1);
-    r.count <- r.count + 1
+    r.count <- r.count + 1;
+    if r.count = r.cap + 1 then warn_wrap r
   end
 
 let length () =
@@ -85,6 +100,7 @@ let dropped () =
   match !ring with None -> 0 | Some r -> if r.count > r.cap then r.count - r.cap else 0
 
 let clear () =
+  wrap_warned := false;
   match !ring with
   | None -> ()
   | Some r ->
@@ -93,6 +109,7 @@ let clear () =
 
 let set_capacity n =
   if n <= 0 then invalid_arg "Trace.set_capacity";
+  wrap_warned := false;
   capacity := n;
   ring := Some (make_ring n)
 
@@ -158,28 +175,31 @@ let to_chrome_string () =
       if i > 0 then Buffer.add_char buf ',';
       chrome_event buf e)
     (events ());
-  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"modeled cycles (1 cycle = 1 trace us)\"}}";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"modeled cycles (1 cycle = 1 trace us)\",\"dropped_events\":%d}}"
+       (dropped ()));
   Buffer.contents buf
 
-let write_file file s =
+let write_string ~file s =
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc s;
-      output_char oc '\n')
+    (fun () -> output_string oc s)
 
-let write_chrome ~file = write_file file (to_chrome_string ())
+let write_chrome ~file = write_string ~file (to_chrome_string () ^ "\n")
 
 let write_jsonl ~file =
   let buf = Buffer.create 4096 in
+  (* Meta line first so consumers see the retained/dropped split before
+     any event, mirroring the Chrome export's otherData. *)
+  Buffer.add_string buf
+    (Printf.sprintf "{\"meta\":\"hfi-trace\",\"events\":%d,\"dropped_events\":%d}\n"
+       (length ()) (dropped ()));
   List.iter
     (fun e ->
       Buffer.add_string buf
         (Printf.sprintf "{\"kind\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,\"a\":%d,\"b\":%d}\n"
            (kind_name e.kind) e.ts e.dur e.a e.b))
     (events ());
-  let oc = open_out file in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> Buffer.output_buffer oc buf)
+  write_string ~file (Buffer.contents buf)

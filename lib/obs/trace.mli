@@ -36,7 +36,9 @@ val length : unit -> int
 (** Events currently retained (≤ capacity). *)
 
 val dropped : unit -> int
-(** Events emitted but overwritten by ring wrap-around. *)
+(** Events emitted but overwritten by ring wrap-around. Surfaced as
+    [dropped_events] in both exports; the first wrap also prints a
+    one-time warning to stderr. *)
 
 val events : unit -> event list
 (** Retained events, oldest first. *)
@@ -50,4 +52,10 @@ val to_chrome_string : unit -> string
 (** The retained events as a Chrome [trace_event] JSON document. *)
 
 val write_chrome : file:string -> unit
+
 val write_jsonl : file:string -> unit
+(** One event per line, preceded by a meta line carrying the
+    retained/dropped counts. *)
+
+val write_string : file:string -> string -> unit
+(** Write a prepared document to [file] (shared by the span exports). *)

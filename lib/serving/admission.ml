@@ -38,24 +38,34 @@ let decision_of_report (r : Vreport.t) =
    module or the compiler changes the key. Compilation itself is pure
    and cheap relative to verification; the abstract-interpretation
    fixpoint is what the cache elides. *)
-let check t ~strategy (w : Instance.workload) =
+let check ?ctx ?(at = 0.0) t ~strategy (w : Instance.workload) =
   let program = Instance.build_program ~strategy w in
   let fingerprint = Program.fingerprint program in
   let key = fingerprint ^ "/" ^ Strategy.to_string strategy in
-  match Hashtbl.find_opt t.cache key with
-  | Some e ->
-    t.hits <- t.hits + 1;
-    e.decision
-  | None ->
-    t.misses <- t.misses + 1;
-    let report =
-      Checks.verify ~name:w.Instance.name
-        { Checks.strategy; code_base = Hfi_wasm.Layout.code_base }
-        program
-    in
-    let decision = decision_of_report report in
-    Hashtbl.replace t.cache key { decision; fingerprint };
-    decision
+  let decision, cached =
+    match Hashtbl.find_opt t.cache key with
+    | Some e ->
+      t.hits <- t.hits + 1;
+      (e.decision, true)
+    | None ->
+      t.misses <- t.misses + 1;
+      let report =
+        Checks.verify ~name:w.Instance.name
+          { Checks.strategy; code_base = Hfi_wasm.Layout.code_base }
+          program
+      in
+      let decision = decision_of_report report in
+      Hashtbl.replace t.cache key { decision; fingerprint };
+      (decision, false)
+  in
+  let outcome =
+    match decision with
+    | Admitted -> if cached then "admitted-cached" else "admitted"
+    | Rejected { verdict; _ } ->
+      (if cached then "rejected-cached-" else "rejected-") ^ verdict
+  in
+  Hfi_obs.Span.emit ctx Hfi_obs.Span.Admission ~start_s:at ~dur_s:0.0 ~outcome;
+  decision
 
 let hits t = t.hits
 let misses t = t.misses

@@ -23,9 +23,17 @@ type decision =
       (** [verdict] is ["unsafe"] or ["unknown"]; [detail] names the
           first violation or undischarged obligation *)
 
-val check : t -> strategy:Hfi_sfi.Strategy.t -> Hfi_wasm.Instance.workload -> decision
+val check :
+  ?ctx:Hfi_obs.Span.ctx ->
+  ?at:float ->
+  t ->
+  strategy:Hfi_sfi.Strategy.t ->
+  Hfi_wasm.Instance.workload ->
+  decision
 (** Compile, look up the fingerprint, verify on a miss. Never
-    instantiates or executes the module. *)
+    instantiates or executes the module. With [ctx], records the
+    verdict (and whether it came from the cache) as an instant
+    admission span at virtual time [at] (default 0). *)
 
 val hits : t -> int
 val misses : t -> int

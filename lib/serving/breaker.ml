@@ -28,30 +28,40 @@ let state_name t =
 
 type decision = Allow | Allow_probe | Reject
 
-let decide t ~now =
-  match t.state with
-  | Closed _ -> Allow
-  | Open { until } ->
-    if now >= until then begin
-      (* Cooldown elapsed: move to half-open and admit one probe. *)
-      t.state <- Half_open { successes = 0; probe_in_flight = true };
-      Allow_probe
-    end
-    else begin
-      t.rejected <- t.rejected + 1;
-      Reject
-    end
-  | Half_open { successes; probe_in_flight } ->
-    if probe_in_flight then begin
-      (* One probe at a time: everything else fast-fails until the
-         in-flight probe reports back. *)
-      t.rejected <- t.rejected + 1;
-      Reject
-    end
-    else begin
-      t.state <- Half_open { successes; probe_in_flight = true };
-      Allow_probe
-    end
+let decision_name = function
+  | Allow -> "allow"
+  | Allow_probe -> "allow-probe"
+  | Reject -> "reject"
+
+let decide ?ctx t ~now =
+  let d =
+    match t.state with
+    | Closed _ -> Allow
+    | Open { until } ->
+      if now >= until then begin
+        (* Cooldown elapsed: move to half-open and admit one probe. *)
+        t.state <- Half_open { successes = 0; probe_in_flight = true };
+        Allow_probe
+      end
+      else begin
+        t.rejected <- t.rejected + 1;
+        Reject
+      end
+    | Half_open { successes; probe_in_flight } ->
+      if probe_in_flight then begin
+        (* One probe at a time: everything else fast-fails until the
+           in-flight probe reports back. *)
+        t.rejected <- t.rejected + 1;
+        Reject
+      end
+      else begin
+        t.state <- Half_open { successes; probe_in_flight = true };
+        Allow_probe
+      end
+  in
+  Hfi_obs.Span.emit ctx Hfi_obs.Span.Breaker_gate ~start_s:now ~dur_s:0.0
+    ~outcome:(decision_name d);
+  d
 
 let trip t ~now =
   t.trips <- t.trips + 1;

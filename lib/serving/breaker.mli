@@ -27,8 +27,11 @@ type decision =
   | Allow_probe  (** half-open: proceed, but this is the one probe *)
   | Reject  (** open (or probe already in flight): fast-fail *)
 
-val decide : t -> now:float -> decision
-(** May transition open → half-open when the cooldown has elapsed. *)
+val decision_name : decision -> string
+
+val decide : ?ctx:Hfi_obs.Span.ctx -> t -> now:float -> decision
+(** May transition open → half-open when the cooldown has elapsed. With
+    [ctx], records the decision as an instant gate span at [now]. *)
 
 val record_success : t -> now:float -> unit
 val record_failure : t -> now:float -> unit

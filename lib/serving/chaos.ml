@@ -39,11 +39,19 @@ let attempt_fault_name = function
 (* One uniform draw decides both hazards, so the draw count per executed
    attempt is constant — deterministic replay does not depend on which
    fault (if any) fired last time. *)
-let draw_attempt rates rng =
+let draw_attempt ?ctx ?(at = 0.0) rates rng =
   let u = Prng.float rng 1.0 in
-  if u < rates.sandbox_crash then Some Sandbox_crash
-  else if u < rates.sandbox_crash +. rates.kernel_fault then Some Kernel_fault
-  else None
+  let fault =
+    if u < rates.sandbox_crash then Some Sandbox_crash
+    else if u < rates.sandbox_crash +. rates.kernel_fault then Some Kernel_fault
+    else None
+  in
+  (match fault with
+  | Some kind ->
+    Hfi_obs.Span.emit ctx Hfi_obs.Span.Chaos_inject ~start_s:at ~dur_s:0.0
+      ~outcome:(attempt_fault_name kind)
+  | None -> ());
+  fault
 
 let draw_cold_stall rates rng =
   let u = Prng.float rng 1.0 in

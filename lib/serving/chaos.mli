@@ -30,8 +30,11 @@ type attempt_fault = Sandbox_crash | Kernel_fault
 
 val attempt_fault_name : attempt_fault -> string
 
-val draw_attempt : rates -> Hfi_util.Prng.t -> attempt_fault option
-(** Exactly one uniform draw per call, whatever the outcome. *)
+val draw_attempt :
+  ?ctx:Hfi_obs.Span.ctx -> ?at:float -> rates -> Hfi_util.Prng.t -> attempt_fault option
+(** Exactly one uniform draw per call, whatever the outcome. With
+    [ctx], a fired hazard is recorded as an instant chaos-inject span at
+    virtual time [at] (default 0). *)
 
 val draw_cold_stall : rates -> Hfi_util.Prng.t -> float
 (** [stall_factor] with probability [cold_stall], else [1.0]. *)

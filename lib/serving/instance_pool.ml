@@ -36,25 +36,33 @@ let hfi_resident t ~now =
 
 type acquired = { strategy : Strategy.t; warm : bool; degraded : bool }
 
-let acquire t ~now ~tenant ~preferred =
-  match Hashtbl.find_opt t.slots tenant with
-  | Some s when s.warm_until >= now ->
-    t.warm_hits <- t.warm_hits + 1;
-    { strategy = s.strategy; warm = true; degraded = s.strategy <> preferred }
-  | _ ->
-    t.cold_starts <- t.cold_starts + 1;
-    let strategy, degraded =
-      (* Graceful degradation: a cold HFI instance past the platform's
-         resident-context budget falls back to software bounds checks
-         instead of failing the request — slower, still isolated. *)
-      if preferred = Strategy.Hfi && hfi_resident t ~now >= t.policy.hfi_budget then begin
-        t.degraded <- t.degraded + 1;
-        (Strategy.Bounds_checks, true)
-      end
-      else (preferred, false)
-    in
-    Hashtbl.replace t.slots tenant { strategy; warm_until = now };
-    { strategy; warm = false; degraded }
+let acquire ?ctx t ~now ~tenant ~preferred =
+  let acq =
+    match Hashtbl.find_opt t.slots tenant with
+    | Some s when s.warm_until >= now ->
+      t.warm_hits <- t.warm_hits + 1;
+      { strategy = s.strategy; warm = true; degraded = s.strategy <> preferred }
+    | _ ->
+      t.cold_starts <- t.cold_starts + 1;
+      let strategy, degraded =
+        (* Graceful degradation: a cold HFI instance past the platform's
+           resident-context budget falls back to software bounds checks
+           instead of failing the request — slower, still isolated. *)
+        if preferred = Strategy.Hfi && hfi_resident t ~now >= t.policy.hfi_budget then begin
+          t.degraded <- t.degraded + 1;
+          (Strategy.Bounds_checks, true)
+        end
+        else (preferred, false)
+      in
+      Hashtbl.replace t.slots tenant { strategy; warm_until = now };
+      { strategy; warm = false; degraded }
+  in
+  Hfi_obs.Span.emit ctx Hfi_obs.Span.Pool ~start_s:now ~dur_s:0.0
+    ~outcome:
+      (if acq.warm then "pool-warm"
+       else if acq.degraded then "pool-cold-degraded"
+       else "pool-cold");
+  acq
 
 let release t ~now ~tenant =
   match Hashtbl.find_opt t.slots tenant with

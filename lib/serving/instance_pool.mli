@@ -29,7 +29,16 @@ type acquired = {
   degraded : bool;  (** [strategy] differs from the preferred one *)
 }
 
-val acquire : t -> now:float -> tenant:int -> preferred:Hfi_sfi.Strategy.t -> acquired
+val acquire :
+  ?ctx:Hfi_obs.Span.ctx ->
+  t ->
+  now:float ->
+  tenant:int ->
+  preferred:Hfi_sfi.Strategy.t ->
+  acquired
+(** With [ctx], records the acquire (warm hit, cold start, or degraded
+    cold start) as an instant pool span at [now]. *)
+
 val release : t -> now:float -> tenant:int -> unit
 (** Return the instance to the pool, warm until [now + keep_alive_s]. *)
 

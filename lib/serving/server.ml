@@ -7,6 +7,8 @@ module Strategy = Hfi_sfi.Strategy
 module Instance = Hfi_wasm.Instance
 module Scheduler = Hfi_runtime.Scheduler
 module Fw = Hfi_workloads.Faas_workloads
+module Span = Hfi_obs.Span
+module Slo = Hfi_obs.Slo
 
 type scenario = Steady | Burst | Chaos
 
@@ -32,6 +34,7 @@ type config = {
   service_scale : float;
   service_sigma : float;
   rates : Chaos.rates;
+  slo_target : Slo.target;
 }
 
 let default scenario =
@@ -52,6 +55,7 @@ let default scenario =
     service_scale = 100.0;
     service_sigma = 0.25;
     rates = (match scenario with Chaos -> Chaos.default | Steady | Burst -> Chaos.none);
+    slo_target = Slo.default_target;
   }
 
 (* Fixed shard width: the tenant -> shard mapping (and with it every
@@ -168,6 +172,8 @@ type report = {
   p99_ms : float;
   p999_ms : float;
   mean_service_ms : float;
+  spans : Span.t list;
+  slo : Slo.t option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -247,13 +253,29 @@ type tenant = {
   mutable arrivals : float list;
 }
 
-type shard_result = { counters : counters; latencies_s : float list; horizon_s : float }
+type shard_result = {
+  sh_counters : counters;
+  latencies_s : float list;
+  sh_horizon_s : float;
+  sh_spans : Span.t list;
+  sh_slo : Slo.t option;
+}
 
 let combo_key wkey strategy = wkey ^ "/" ^ Strategy.to_string strategy
 
 let run_shard (config : config) ~strategy ~shard_seed ~first_tenant ~count ~shard_requests
     =
   let rng = Prng.create ~seed:shard_seed in
+  (* Observability state is shard-local and write-only with respect to
+     the simulation: spans/SLO observations never influence a draw or a
+     timestamp, so enabling them cannot change any modeled outcome.
+     When the subsystems are off neither structure exists at all. *)
+  let sink = if Hfi_obs.Obs.trace_on () then Some (Span.create_sink ()) else None in
+  let slo =
+    if Hfi_obs.Obs.metrics_on () then Some (Slo.create ~target:config.slo_target ())
+    else None
+  in
+  let shard_index = first_tenant / shard_tenants in
   let catalog = Array.of_list Fw.all in
   let tenants =
     Array.init count (fun i ->
@@ -375,19 +397,36 @@ let run_shard (config : config) ~strategy ~shard_seed ~first_tenant ~count ~shar
       | Failed -> { cc with failed = cc.failed + 1 })
   in
   let bump f = c := f !c in
+  (* Deterministic request ids, unique across shards: shard index in the
+     millions digit, per-shard arrival sequence below. Ids depend only
+     on the shard plan and arrival order, never on the worker count. *)
+  let seq = ref 0 in
   let process_request (arrival, t) =
-    match Breaker.decide t.breaker ~now:arrival with
-    | Breaker.Reject -> terminal Breaker_open
+    let req = (shard_index * 1_000_000) + !seq in
+    incr seq;
+    let ctx = Option.map (fun s -> Span.ctx s ~req ~tenant:t.id) sink in
+    (* Terminal bookkeeping: the root request span covers arrival to the
+       terminal decision, tagged with the outcome. *)
+    let finish outcome ~t_end =
+      Span.emit ctx Span.Request ~start_s:arrival
+        ~dur_s:(Float.max 0.0 (t_end -. arrival))
+        ~outcome:(outcome_name outcome);
+      terminal outcome
+    in
+    match Breaker.decide ?ctx t.breaker ~now:arrival with
+    | Breaker.Reject -> finish Breaker_open ~t_end:arrival
     | (Breaker.Allow | Breaker.Allow_probe) as gate ->
       let admitted =
         if config.rates.Chaos.verifier_reject > 0.0
            && Chaos.draw_spurious_reject config.rates rng
         then begin
           bump (fun cc -> { cc with spurious_rejects = cc.spurious_rejects + 1 });
+          Span.emit ctx Span.Admission ~start_s:arrival ~dur_s:0.0
+            ~outcome:"injected-reject";
           false
         end
         else
-          match Admission.check admission ~strategy t.workload with
+          match Admission.check ?ctx ~at:arrival admission ~strategy t.workload with
           | Admission.Admitted -> true
           | Admission.Rejected _ -> false
       in
@@ -397,7 +436,7 @@ let run_shard (config : config) ~strategy ~shard_seed ~first_tenant ~count ~shar
            a tenant failure so persistently poisoned tenants trip their
            breaker and stop paying even the verification cache lookup. *)
         Breaker.record_failure t.breaker ~now:arrival;
-        terminal Rejected_unverified
+        finish Rejected_unverified ~t_end:arrival
       end
       else begin
         (* Pick the worker that frees up first (lowest index on ties). *)
@@ -405,17 +444,21 @@ let run_shard (config : config) ~strategy ~shard_seed ~first_tenant ~count ~shar
         Array.iteri (fun i f -> if f < free_at.(!wi) then wi := i) free_at;
         let wi = !wi in
         let start = Float.max arrival free_at.(wi) in
+        if start > arrival then
+          Span.emit ctx Span.Queue ~start_s:arrival ~dur_s:(start -. arrival)
+            ~outcome:(if start -. arrival > config.shed_wait_s then "shed" else "dequeued");
         if start -. arrival > config.shed_wait_s then begin
           (* Load shedding: refuse rather than queue past the bound. A
              half-open probe that gets shed re-opens the breaker — the
              probe slot must not leak. *)
           if gate = Breaker.Allow_probe then Breaker.record_failure t.breaker ~now:start;
-          terminal Shed
+          finish Shed ~t_end:start
         end
         else begin
           let rec attempt k t_start =
             let acq =
-              Instance_pool.acquire pool ~now:t_start ~tenant:t.id ~preferred:strategy
+              Instance_pool.acquire ?ctx pool ~now:t_start ~tenant:t.id
+                ~preferred:strategy
             in
             let cold_s =
               if acq.Instance_pool.warm then 0.0
@@ -423,22 +466,27 @@ let run_shard (config : config) ~strategy ~shard_seed ~first_tenant ~count ~shar
                 let stall = Chaos.draw_cold_stall config.rates rng in
                 if stall > 1.0 then
                   bump (fun cc -> { cc with injected_stalls = cc.injected_stalls + 1 });
-                config.cold_start_s *. stall
+                let cold_s = config.cold_start_s *. stall in
+                Span.emit ctx Span.Cold_start ~start_s:t_start ~dur_s:cold_s
+                  ~outcome:(if stall > 1.0 then "stalled" else "cold");
+                cold_s
               end
             in
             let fail t_fail =
               free_at.(wi) <- t_fail;
               Breaker.record_failure t.breaker ~now:t_fail;
-              if k >= config.max_attempts then terminal Failed
+              if k >= config.max_attempts then finish Failed ~t_end:t_fail
               else begin
                 let delay = Backoff.delay config.backoff ~rng ~attempt:k in
                 let t_next = t_fail +. delay in
                 if t_next -. arrival > config.deadline_s then begin
                   bump (fun cc -> { cc with timed_out = cc.timed_out + 1 });
-                  terminal Failed
+                  finish Failed ~t_end:t_fail
                 end
                 else begin
                   bump (fun cc -> { cc with retries = cc.retries + 1 });
+                  Span.emit ctx Span.Backoff_wait ~start_s:t_fail ~dur_s:delay
+                    ~outcome:(Printf.sprintf "retry-%d" (k + 1));
                   attempt (k + 1) t_next
                 end
               end
@@ -447,6 +495,8 @@ let run_shard (config : config) ~strategy ~shard_seed ~first_tenant ~count ~shar
             | Error _fault ->
               (* The kernel itself faults under this strategy: the
                  instance is useless, evict it and fail the attempt. *)
+              Span.emit ctx Span.Execute ~start_s:(t_start +. cold_s) ~dur_s:0.0
+                ~outcome:"service-fault";
               Instance_pool.evict pool ~tenant:t.id;
               fail (t_start +. cold_s)
             | Ok base_service_s -> (
@@ -454,9 +504,12 @@ let run_shard (config : config) ~strategy ~shard_seed ~first_tenant ~count ~shar
                 Float.exp (Prng.gaussian rng ~mean:0.0 ~stddev:config.service_sigma)
               in
               let service_s = base_service_s *. jitter in
-              match Chaos.draw_attempt config.rates rng with
+              match Chaos.draw_attempt ?ctx ~at:(t_start +. cold_s) config.rates rng with
               | Some kind ->
                 bump (fun cc -> { cc with injected_faults = cc.injected_faults + 1 });
+                Span.emit ctx Span.Execute ~start_s:(t_start +. cold_s)
+                  ~dur_s:(0.5 *. service_s)
+                  ~outcome:(Chaos.attempt_fault_name kind);
                 (* A crash loses the instance; a transient kernel fault
                    leaves it warm for the retry. *)
                 if kind = Chaos.Sandbox_crash then Instance_pool.evict pool ~tenant:t.id
@@ -464,17 +517,22 @@ let run_shard (config : config) ~strategy ~shard_seed ~first_tenant ~count ~shar
                 fail (t_start +. cold_s +. (0.5 *. service_s))
               | None ->
                 let t_end = t_start +. cold_s +. service_s in
+                Span.emit ctx Span.Execute ~start_s:(t_start +. cold_s) ~dur_s:service_s
+                  ~outcome:"ok";
                 free_at.(wi) <- t_end;
                 Instance_pool.release pool ~now:t_end ~tenant:t.id;
                 Breaker.record_success t.breaker ~now:t_end;
                 let latency = t_end -. arrival in
                 if latency > config.deadline_s then begin
                   bump (fun cc -> { cc with timed_out = cc.timed_out + 1 });
-                  terminal Failed
+                  finish Failed ~t_end
                 end
                 else begin
                   latencies := latency :: !latencies;
-                  terminal (if k = 1 then Ok_first else Ok_retried)
+                  Option.iter
+                    (fun m -> Slo.observe m ~tenant:t.id ~now_s:t_end (latency *. 1000.0))
+                    slo;
+                  finish (if k = 1 then Ok_first else Ok_retried) ~t_end
                 end)
           in
           attempt 1 start
@@ -503,7 +561,16 @@ let run_shard (config : config) ~strategy ~shard_seed ~first_tenant ~count ~shar
       sched_budget_faults;
     }
   in
-  { counters; latencies_s = List.rev !latencies; horizon_s }
+  (* Close the window containing the horizon so the final partial
+     windows are evaluated before the shard's monitor is merged. *)
+  Option.iter (fun m -> Slo.flush m ~now_s:(horizon_s +. Slo.window_s m)) slo;
+  {
+    sh_counters = counters;
+    latencies_s = List.rev !latencies;
+    sh_horizon_s = horizon_s;
+    sh_spans = (match sink with None -> [] | Some s -> Span.spans s);
+    sh_slo = slo;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Sharding, merge, reporting                                          *)
@@ -567,12 +634,22 @@ let simulate ?jobs (config : config) ~strategy =
           ~shard_requests:requests)
       shards
   in
-  let counters = List.fold_left (fun acc r -> add_counters acc r.counters) zero_counters results in
+  let counters =
+    List.fold_left (fun acc r -> add_counters acc r.sh_counters) zero_counters results
+  in
   check_total counters;
   let latencies =
     List.concat_map (fun r -> r.latencies_s) results |> List.sort compare
   in
-  let horizon_s = List.fold_left (fun m r -> Float.max m r.horizon_s) 0.0 results in
+  let horizon_s = List.fold_left (fun m r -> Float.max m r.sh_horizon_s) 0.0 results in
+  (* Shard results arrive in plan order whatever the worker count, so
+     both merges below are deterministic under HFI_JOBS. *)
+  let spans = List.concat_map (fun r -> r.sh_spans) results in
+  let slo =
+    match List.filter_map (fun r -> r.sh_slo) results with
+    | [] -> None
+    | monitors -> Some (Slo.merge monitors)
+  in
   let pct p = match latencies with [] -> 0.0 | ls -> Stats.percentile p ls *. 1000.0 in
   let served = counters.ok + counters.retried_ok in
   let mean_service_ms =
@@ -592,4 +669,6 @@ let simulate ?jobs (config : config) ~strategy =
     p99_ms = pct 99.0;
     p999_ms = pct 99.9;
     mean_service_ms;
+    spans;
+    slo;
   }

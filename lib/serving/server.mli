@@ -37,6 +37,9 @@ type config = {
       (** full-request work as a multiple of the measured scaled kernel *)
   service_sigma : float;  (** lognormal per-request service jitter *)
   rates : Chaos.rates;
+  slo_target : Hfi_obs.Slo.target;
+      (** per-tenant latency objectives the SLO monitor evaluates when
+          metrics are on; never affects the simulation itself *)
 }
 
 val default : scenario -> config
@@ -98,12 +101,19 @@ type report = {
   p99_ms : float;
   p999_ms : float;  (** latency percentiles over served requests *)
   mean_service_ms : float;  (** mean end-to-end latency of served requests *)
+  spans : Hfi_obs.Span.t list;
+      (** per-request spans in shard-plan order; empty unless
+          {!Hfi_obs.Obs.trace_on} when the campaign ran *)
+  slo : Hfi_obs.Slo.t option;
+      (** merged per-tenant SLO monitor; [None] unless
+          {!Hfi_obs.Obs.metrics_on} when the campaign ran *)
 }
 
 val simulate : ?jobs:int -> config -> strategy:Hfi_sfi.Strategy.t -> report
 (** Run the campaign with [strategy] as every tenant's preferred
-    isolation mechanism. [jobs] defaults to [HFI_JOBS]; the report is
-    byte-identical for any [jobs >= 1] at a fixed config. *)
+    isolation mechanism. [jobs] defaults to [HFI_JOBS]; the report —
+    including the span list and merged SLO monitor when observability
+    is on — is byte-identical for any [jobs >= 1] at a fixed config. *)
 
 val check_total : counters -> unit
 (** Raise [Hfi_util.Fault.Simulator_bug] unless the six terminal outcome

@@ -241,7 +241,7 @@ let test_fuzz_benign_rewrite_invisible () =
 let fake_entry ~id run = { Registry.id; description = "test entry"; run }
 
 let ok_report id =
-  { Report.id; title = "t"; paper_claim = "p"; table = "r\n"; verdict = "v" }
+  { Report.id; title = "t"; paper_claim = "p"; table = "r\n"; verdict = "v"; data = [] }
 
 let test_run_many_contains_crash () =
   (* One experiment raising must not take down the batch: the others

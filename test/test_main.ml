@@ -12,6 +12,7 @@ let () =
       ("verify", Test_verify.suite);
       ("golden", Test_golden.suite);
       ("obs", Test_obs.suite);
+      ("slo", Test_slo.suite);
       ("sfi", Test_sfi.suite);
       ("wasm", Test_wasm.suite);
       ("wasm-ir", Test_wasm_ir.suite);

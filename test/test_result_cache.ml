@@ -30,6 +30,7 @@ let sample_report =
     paper_claim = "line one\nline two \\ backslash";
     table = "col\tcol\nrow\x01ctrl";
     verdict = "ok";
+    data = [ ("p99_ms", 12.5) ];
   }
 
 let test_disabled_by_default () =
