@@ -11,7 +11,10 @@
      profile <id>         run one experiment with cycle attribution on
      metrics <id>         run one experiment with the metrics registry on
      verify <kernel..>    statically verify compiled kernels (exit 0 safe,
-                          1 unsafe, 2 usage, 3 unknown-only) *)
+                          1 unsafe, 2 usage, 3 unknown-only); --all for the
+                          corpus verdict table, --jobs N to shard over cores,
+                          --emit-proof DIR for proof artifacts
+     proofcheck <f..>     independently revalidate proof artifacts *)
 
 open Cmdliner
 module Registry = Hfi_experiments.Registry
@@ -257,9 +260,12 @@ let wasm_cmd =
 let verify_cmd =
   let doc =
     "Statically verify sandbox safety of compiled Sightglass kernels: SFI discipline, HFI \
-     region invariants, and CFI, via abstract interpretation over the decoded program. Exit \
-     status: 0 when everything is $(b,safe), 1 when anything is $(b,unsafe), 3 when nothing \
-     is unsafe but some verdict is $(b,unknown)."
+     region invariants, and CFI, via abstract interpretation over the decoded program. \
+     Verification shards over cores ($(b,--jobs) / $(b,HFI_JOBS)) and consults the \
+     persistent verdict cache when $(b,HFI_VERIFY_CACHE) is set; the output is \
+     byte-identical whatever the job count. Exit status: 0 when everything is $(b,safe), 1 \
+     when anything is $(b,unsafe), 3 when nothing is unsafe but some verdict is \
+     $(b,unknown)."
   in
   let kernels = Arg.(value & pos_all string [ "all" ] & info [] ~docv:"KERNEL") in
   let strategy =
@@ -267,8 +273,29 @@ let verify_cmd =
          & info [ "strategy" ] ~docv:"STRATEGY"
              ~doc:"Verify under one isolation strategy only (default: all four).")
   in
-  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print the reports as a JSON array.") in
-  let run kernels strategy json =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print the sweep as one JSON object.") in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Verify up to N (kernel, strategy) cells in parallel (default: \
+                   $(b,HFI_JOBS), else 1).")
+  in
+  let all_table =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Corpus-sweep mode: print a kernel x strategy verdict table (a $(b,*) \
+                   marks a persistent-cache hit) and one summary line instead of \
+                   per-report lines.")
+  in
+  let emit_proof =
+    Arg.(value & opt (some string) None
+         & info [ "emit-proof" ] ~docv:"DIR"
+             ~doc:"Write a proof artifact (per-block entry invariants, JSON) for every \
+                   $(b,safe) verdict to $(i,DIR)/<kernel>-<strategy>.proof.json, for \
+                   independent revalidation by $(b,hfi proofcheck). Bypasses \
+                   verdict-cache reads so every artifact certifies a fresh analysis run.")
+  in
+  let run kernels strategy json jobs all_table emit_proof =
     let names =
       if List.mem "all" kernels then List.map fst Hfi_workloads.Sightglass.all else kernels
     in
@@ -285,24 +312,80 @@ let verify_cmd =
     let strategies =
       match strategy with Some s -> [ s ] | None -> Hfi_sfi.Strategy.all
     in
-    let reports =
-      List.concat_map
-        (fun k ->
-          let w = List.assoc k Hfi_workloads.Sightglass.all in
-          List.map (fun s -> Hfi_verify.Checks.verify_workload ~strategy:s w) strategies)
-        names
+    let pairs = List.map (fun k -> (k, List.assoc k Hfi_workloads.Sightglass.all)) names in
+    let t0 = Unix.gettimeofday () in
+    let sweep =
+      Hfi_verify.Sweep.run ?jobs ~with_proofs:(emit_proof <> None) ~strategies pairs
     in
-    if json then
-      Printf.printf "[%s]\n" (String.concat ",\n " (List.map Hfi_verify.Report.to_json reports))
-    else List.iter (fun r -> print_endline (Hfi_verify.Report.to_string r)) reports;
-    let has name =
-      List.exists
-        (fun r -> Hfi_verify.Report.verdict_name r.Hfi_verify.Report.verdict = name)
-        reports
-    in
-    if has "unsafe" then exit 1 else if has "unknown" then exit 3
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (* Timing goes to stderr: stdout stays byte-identical across job
+       counts and cache states, so CI can diff it directly. *)
+    Printf.eprintf "verified %d cells in %.3fs\n%!" (List.length sweep.Hfi_verify.Sweep.cells)
+      wall_s;
+    (match emit_proof with
+    | Some dir ->
+      let n = Hfi_verify.Sweep.emit_proofs ~dir sweep in
+      Printf.eprintf "wrote %d proof artifacts to %s\n%!" n dir
+    | None -> ());
+    if json then print_string (Hfi_verify.Sweep.to_json sweep)
+    else if all_table then begin
+      print_string (Hfi_verify.Sweep.table sweep);
+      print_endline (Hfi_verify.Sweep.summary sweep)
+    end
+    else
+      List.iter
+        (fun (c : Hfi_verify.Sweep.cell) ->
+          print_endline (Hfi_verify.Report.to_string c.Hfi_verify.Sweep.report))
+        sweep.Hfi_verify.Sweep.cells;
+    match Hfi_verify.Sweep.exit_code sweep with 0 -> () | n -> exit n
   in
-  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ kernels $ strategy $ json)
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ kernels $ strategy $ json $ jobs $ all_table $ emit_proof)
+
+let proofcheck_cmd =
+  let doc =
+    "Independently revalidate proof artifacts emitted by $(b,hfi verify --emit-proof): \
+     re-derive each target kernel's compiled program, check the artifact names exactly that \
+     program (fingerprint, strategy, code base, verifier version), and re-run the one-pass \
+     inductive-invariant check — no fixpoint, no widening. Exit 0 when every artifact is \
+     accepted, 1 when any is rejected, 2 on unreadable input."
+  in
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"PROOF.json") in
+  let run files =
+    let strategy_of_name n =
+      List.find_opt (fun s -> Hfi_sfi.Strategy.to_string s = n) Hfi_sfi.Strategy.all
+    in
+    let rejected = ref false in
+    let reject file errs =
+      rejected := true;
+      Printf.printf "%s: REJECTED\n" file;
+      List.iter (fun e -> Printf.printf "  - %s\n" e) errs
+    in
+    List.iter
+      (fun file ->
+        let contents = In_channel.with_open_bin file In_channel.input_all in
+        match Hfi_verify.Proof.of_json_string contents with
+        | Error e -> reject file [ e ]
+        | Ok p -> (
+          let target = p.Hfi_verify.Proof.target in
+          match
+            ( List.assoc_opt target Hfi_workloads.Sightglass.all,
+              strategy_of_name p.Hfi_verify.Proof.strategy )
+          with
+          | None, _ -> reject file [ Printf.sprintf "unknown target kernel %S" target ]
+          | _, None ->
+            reject file [ Printf.sprintf "unknown strategy %S" p.Hfi_verify.Proof.strategy ]
+          | Some w, Some strategy -> (
+            match Hfi_verify.Proofcheck.check_workload ~strategy w p with
+            | Hfi_verify.Proofcheck.Accepted ->
+              Printf.printf "%s: accepted (%s/%s, %d block invariants)\n" file target
+                p.Hfi_verify.Proof.strategy
+                (List.length p.Hfi_verify.Proof.invariants)
+            | Hfi_verify.Proofcheck.Rejected errs -> reject file errs)))
+      files;
+    if !rejected then exit 1
+  in
+  Cmd.v (Cmd.info "proofcheck" ~doc) Term.(const run $ files)
 
 let conformance_cmd =
   let doc = "Run the appendix-A.1 interface conformance checks (SS5.3)." in
@@ -534,7 +617,7 @@ let () =
   let doc = "Hardware-assisted Fault Isolation (ASPLOS '23) — OCaml reproduction." in
   let info = Cmd.info "hfi" ~version:"1.0.0" ~doc in
   let code =
-    Cmd.eval (Cmd.group info [ list_cmd; run_cmd; serve_cmd; spectre_cmd; hw_cmd; sightglass_cmd; opt_cmd; wasm_cmd; verify_cmd; conformance_cmd; trace_cmd; profile_cmd; metrics_cmd ])
+    Cmd.eval (Cmd.group info [ list_cmd; run_cmd; serve_cmd; spectre_cmd; hw_cmd; sightglass_cmd; opt_cmd; wasm_cmd; verify_cmd; proofcheck_cmd; conformance_cmd; trace_cmd; profile_cmd; metrics_cmd ])
   in
   (* Cmdliner reports unknown flags/subcommands as its own cli_error
      (124); scripts expect the conventional usage-error code 2, matching

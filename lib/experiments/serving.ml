@@ -259,6 +259,7 @@ let report_to_json (r : Server.report) =
       ("poisoned_tenants", c.Server.poisoned_tenants);
       ("verify_hits", c.Server.verify_hits);
       ("verify_misses", c.Server.verify_misses);
+      ("verify_persisted", c.Server.verify_persisted);
       ("sched_budget_faults", c.Server.sched_budget_faults);
     ]
   in
@@ -299,12 +300,21 @@ let report_to_json (r : Server.report) =
         (Slo.total_violations m) wt wb
         (String.concat ", " tenants)
   in
-  Printf.sprintf "{\"strategy\": \"%s\", %s, %s%s}"
+  (* The admission sub-object restates the verdict-cache split in one
+     place (in-memory hits, fixpoint runs, persistent-cache loads) so a
+     serving dashboard needs no counter arithmetic; unlike the SLO
+     block it does not depend on observability being on. *)
+  let admission_json =
+    Printf.sprintf
+      ", \"admission\": {\"hits\": %d, \"misses\": %d, \"persisted\": %d}"
+      c.Server.verify_hits c.Server.verify_misses c.Server.verify_persisted
+  in
+  Printf.sprintf "{\"strategy\": \"%s\", %s, %s%s%s}"
     (Strategy.to_string r.Server.strategy)
     (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) ints))
     (String.concat ", "
        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.6f" k v) floats))
-    slo_json
+    admission_json slo_json
 
 let reports_json ~cfg ~scenario reports =
   Printf.sprintf

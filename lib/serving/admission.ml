@@ -2,6 +2,7 @@ module Strategy = Hfi_sfi.Strategy
 module Instance = Hfi_wasm.Instance
 module Checks = Hfi_verify.Checks
 module Vreport = Hfi_verify.Report
+module Vcache = Hfi_verify.Verdict_cache
 
 type decision =
   | Admitted
@@ -13,9 +14,21 @@ type t = {
   cache : (string, entry) Hashtbl.t;  (* fingerprint/strategy -> verdict *)
   mutable hits : int;
   mutable misses : int;
+  mutable persisted : int;
 }
 
-let create () = { cache = Hashtbl.create 64; hits = 0; misses = 0 }
+let create () = { cache = Hashtbl.create 64; hits = 0; misses = 0; persisted = 0 }
+
+(* One counter per cache event kind, labeled so a metrics snapshot
+   shows the in-memory hit / fresh-verify / persistent-load split at a
+   glance. *)
+let cache_event =
+  let make event =
+    Hfi_obs.Metrics.counter ~labels:[ ("event", event) ] "hfi_verify_cache_events_total"
+  in
+  let hit = make "hit" and miss = make "miss" and persisted = make "persisted" in
+  fun kind ->
+    Hfi_obs.Metrics.inc (match kind with `Hit -> hit | `Miss -> miss | `Persisted -> persisted)
 
 let decision_of_report (r : Vreport.t) =
   match r.Vreport.verdict with
@@ -37,38 +50,58 @@ let decision_of_report (r : Vreport.t) =
    sharing a module image share one verification, and any change to the
    module or the compiler changes the key. Compilation itself is pure
    and cheap relative to verification; the abstract-interpretation
-   fixpoint is what the cache elides. *)
+   fixpoint is what the cache elides.
+
+   Behind the in-process table sits the opt-in persistent
+   {!Hfi_verify.Verdict_cache} ([HFI_VERIFY_CACHE]): a first-seen
+   fingerprint is looked up there before the fixpoint runs, and a
+   fresh verdict is stored back, so verification survives process
+   restarts — the report round-trips through JSON, and the decision is
+   recomputed from the report, never stored. *)
 let check ?ctx ?(at = 0.0) t ~strategy (w : Instance.workload) =
   let program = Instance.build_program ~strategy w in
   let fingerprint = Program.fingerprint program in
   let key = fingerprint ^ "/" ^ Strategy.to_string strategy in
-  let decision, cached =
+  let code_base = Hfi_wasm.Layout.code_base in
+  let decision, source =
     match Hashtbl.find_opt t.cache key with
     | Some e ->
       t.hits <- t.hits + 1;
-      (e.decision, true)
-    | None ->
-      t.misses <- t.misses + 1;
-      let report =
-        Checks.verify ~name:w.Instance.name
-          { Checks.strategy; code_base = Hfi_wasm.Layout.code_base }
-          program
-      in
-      let decision = decision_of_report report in
-      Hashtbl.replace t.cache key { decision; fingerprint };
-      (decision, false)
+      cache_event `Hit;
+      (e.decision, `Memory)
+    | None -> (
+      match Vcache.find ~fingerprint ~strategy ~code_base with
+      | Some report ->
+        t.persisted <- t.persisted + 1;
+        cache_event `Persisted;
+        let decision = decision_of_report report in
+        Hashtbl.replace t.cache key { decision; fingerprint };
+        (decision, `Persisted)
+      | None ->
+        t.misses <- t.misses + 1;
+        cache_event `Miss;
+        let report =
+          Checks.verify ~name:w.Instance.name { Checks.strategy; code_base } program
+        in
+        Vcache.store ~fingerprint ~strategy ~code_base report;
+        let decision = decision_of_report report in
+        Hashtbl.replace t.cache key { decision; fingerprint };
+        (decision, `Fresh))
   in
   let outcome =
+    let qualifier =
+      match source with `Memory -> "-cached" | `Persisted -> "-persisted" | `Fresh -> ""
+    in
     match decision with
-    | Admitted -> if cached then "admitted-cached" else "admitted"
-    | Rejected { verdict; _ } ->
-      (if cached then "rejected-cached-" else "rejected-") ^ verdict
+    | Admitted -> "admitted" ^ qualifier
+    | Rejected { verdict; _ } -> Printf.sprintf "rejected%s-%s" qualifier verdict
   in
   Hfi_obs.Span.emit ctx Hfi_obs.Span.Admission ~start_s:at ~dur_s:0.0 ~outcome;
   decision
 
 let hits t = t.hits
 let misses t = t.misses
+let persisted t = t.persisted
 
 (* A deliberately unverifiable module: from inside the sandbox it
    repoints the heap region register at memory it does not own, stores

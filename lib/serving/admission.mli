@@ -10,7 +10,12 @@
     program's {!Program.fingerprint} plus the strategy, so identical
     module images verify once per process however many tenants share
     them, and any compiler or module change invalidates by
-    construction. *)
+    construction. With [HFI_VERIFY_CACHE] set, first-seen fingerprints
+    also consult (and feed) the persistent
+    {!Hfi_verify.Verdict_cache}, so verification survives process
+    restarts; every lookup is counted both here ({!hits} / {!misses} /
+    {!persisted}) and as the labeled
+    [hfi_verify_cache_events_total{event=...}] observability counter. *)
 
 type t
 (** The verdict cache. *)
@@ -30,13 +35,20 @@ val check :
   strategy:Hfi_sfi.Strategy.t ->
   Hfi_wasm.Instance.workload ->
   decision
-(** Compile, look up the fingerprint, verify on a miss. Never
-    instantiates or executes the module. With [ctx], records the
-    verdict (and whether it came from the cache) as an instant
-    admission span at virtual time [at] (default 0). *)
+(** Compile, look up the fingerprint (in-memory first, then the
+    persistent cache if enabled), verify on a miss and store the fresh
+    verdict back. Never instantiates or executes the module. With
+    [ctx], records the verdict and its source as an instant admission
+    span at virtual time [at] (default 0): outcomes are
+    [admitted]/[rejected-*] for a fresh verification, with a [-cached]
+    or [-persisted] qualifier for the two cache tiers. *)
 
 val hits : t -> int
 val misses : t -> int
+
+val persisted : t -> int
+(** Verdicts loaded from the persistent cache (a subset of neither
+    {!hits} nor {!misses}: a persistent load is its own event). *)
 
 val poison_workload : Hfi_wasm.Instance.workload
 (** A region-escape module (writes a region register from inside the

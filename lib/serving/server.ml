@@ -97,6 +97,7 @@ type counters = {
   poisoned_tenants : int;
   verify_hits : int;
   verify_misses : int;
+  verify_persisted : int;
   sched_budget_faults : int;
 }
 
@@ -123,6 +124,7 @@ let zero_counters =
     poisoned_tenants = 0;
     verify_hits = 0;
     verify_misses = 0;
+    verify_persisted = 0;
     sched_budget_faults = 0;
   }
 
@@ -149,6 +151,7 @@ let add_counters a b =
     poisoned_tenants = a.poisoned_tenants + b.poisoned_tenants;
     verify_hits = a.verify_hits + b.verify_hits;
     verify_misses = a.verify_misses + b.verify_misses;
+    verify_persisted = a.verify_persisted + b.verify_persisted;
     sched_budget_faults = a.sched_budget_faults + b.sched_budget_faults;
   }
 
@@ -558,6 +561,7 @@ let run_shard (config : config) ~strategy ~shard_seed ~first_tenant ~count ~shar
         Array.fold_left (fun n t -> if t.poisoned then n + 1 else n) 0 tenants;
       verify_hits = Admission.hits admission;
       verify_misses = Admission.misses admission;
+      verify_persisted = Admission.persisted admission;
       sched_budget_faults;
     }
   in

@@ -84,6 +84,7 @@ type counters = {
   poisoned_tenants : int;
   verify_hits : int;  (** admission verdict-cache hits *)
   verify_misses : int;  (** actual verifier runs *)
+  verify_persisted : int;  (** verdicts loaded from the persistent cache *)
   sched_budget_faults : int;
       (** measurement runs that exhausted the scheduler switch budget and
           fell back to direct execution *)

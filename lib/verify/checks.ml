@@ -1,426 +1,63 @@
-type spec = { strategy : Hfi_sfi.Strategy.t; code_base : int }
+type spec = Transfer.spec = { strategy : Hfi_sfi.Strategy.t; code_base : int }
 
-(* ------------------------------------------------------------------ *)
-(* Abstract machine state.                                             *)
+(* Bump whenever the analysis itself changes meaning: persistent
+   verdict-cache entries and proof artifacts are keyed/checked against
+   it, so a stale result can never be replayed against a newer
+   verifier. v2 = relational domain (affine facts, threshold widening,
+   fact-directed branch refinement). *)
+let verifier_version = 2
 
-type sandbox = Sout | Sin | Smaybe
+let widen_threshold = 3
 
-type rstate = Runset | Rknown of Hfi_iface.region | Runknown
-
-type st = {
-  regs : Domain.t array;  (* Reg.count entries *)
-  cmp_reg : int;  (* register a pending Cmp constrains; -1 = invalid *)
-  cmp_rhs : Domain.t;  (* snapshot of the comparison right-hand side *)
-  sandbox : sandbox;
-  regions : rstate array;  (* active-bank region registers *)
-}
-
-let join_sandbox a b = if a = b then a else Smaybe
-
-let join_rstate a b =
-  match (a, b) with
-  | Runset, Runset -> Runset
-  | Rknown r1, Rknown r2 when r1 = r2 -> a
-  | _ -> Runknown
-
-let join_cmp a b =
-  if a.cmp_reg >= 0 && a.cmp_reg = b.cmp_reg then (a.cmp_reg, Domain.join a.cmp_rhs b.cmp_rhs)
-  else (-1, Domain.top)
-
-let join_st a b =
-  let cmp_reg, cmp_rhs = join_cmp a b in
-  {
-    regs = Array.init (Array.length a.regs) (fun i -> Domain.join a.regs.(i) b.regs.(i));
-    cmp_reg;
-    cmp_rhs;
-    sandbox = join_sandbox a.sandbox b.sandbox;
-    regions = Array.init (Array.length a.regions) (fun i -> join_rstate a.regions.(i) b.regions.(i));
-  }
-
-let widen_st old next =
-  let cmp_reg, cmp_rhs = join_cmp old next in
-  {
-    regs = Array.init (Array.length old.regs) (fun i -> Domain.widen old.regs.(i) next.regs.(i));
-    cmp_reg;
-    cmp_rhs;
-    sandbox = join_sandbox old.sandbox next.sandbox;
-    regions =
-      Array.init (Array.length old.regions) (fun i -> join_rstate old.regions.(i) next.regions.(i));
-  }
-
-let initial_state () =
-  let regs = Array.make Reg.count (Domain.const 0) in
-  regs.(Reg.index Reg.RSP) <- Domain.Stackish;
-  {
-    regs;
-    cmp_reg = -1;
-    cmp_rhs = Domain.top;
-    sandbox = Sout;
-    regions = Array.make Hfi_iface.region_count Runset;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Per-strategy plain-access windows.                                  *)
-
-type window = { wlo : int; whi : int }  (* inclusive *)
-
-let windows strategy =
-  let module L = Hfi_wasm.Layout in
-  let stack = { wlo = L.stack_region_base; whi = L.stack_region_base + L.stack_region_size - 1 } in
-  let globals = { wlo = L.globals_base; whi = L.globals_base + L.globals_size - 1 } in
-  (* Heap slack beyond [heap_max]: guard pages contain any access that
-     lands in the reservation's guard; bounds/masking confine the first
-     byte, so only the access width can spill past the window. *)
-  let slack =
-    match (strategy : Hfi_sfi.Strategy.t) with
-    | Guard_pages -> Hfi_sfi.Strategy.guard_region_bytes Guard_pages
-    | Bounds_checks | Masking -> 8
-    | Hfi -> 0
+(* Widening thresholds harvested from the program under verification:
+   the immediates it compares against (the loop bounds that matter),
+   the heap-bound invariant, and the window edges. An interval bound
+   that grows during the ascending phase parks at the nearest threshold
+   instead of infinity, so a later refine against the same immediate
+   still has an exact operand (keeping e.g. a doubling multiply exact
+   instead of overflow-degrading to top). *)
+let collect_thresholds (uops : Uop.t array) wins =
+  let acc = ref [ 0 ] in
+  let push v = acc := v :: !acc in
+  let push3 v =
+    if v > min_int then push (v - 1);
+    push v;
+    if v < max_int then push (v + 1)
   in
-  let heap = { wlo = L.heap_base; whi = L.heap_base + L.heap_max + slack - 1 } in
-  [ stack; globals; heap ]
-
-(* ------------------------------------------------------------------ *)
-(* Verification context.                                               *)
-
-type ctx = {
-  spec : spec;
-  uops : Uop.t array;
-  cfg : Cfg.t;
-  byte_size : int;
-  addr_index : (int, int) Hashtbl.t;  (* fetch byte address -> instruction index *)
-  wins : window list;
-  dyn_edges : (int * int, unit) Hashtbl.t;  (* resolved indirect edges *)
-  mutable viols : Report.violation list;
-  mutable reasons : Report.reason list;
-  mutable checked_mem : int;
-  mutable checked_branches : int;
-}
-
-let viol ctx ~record property i detail =
-  if record then
-    ctx.viols <-
-      {
-        Report.property;
-        index = i;
-        addr = ctx.uops.(i).Uop.fetch_addr;
-        instr = Instr.to_string ctx.uops.(i).Uop.instr;
-        detail;
-      }
-      :: ctx.viols
-
-let reason ctx ~record i what =
-  if record then ctx.reasons <- { Report.r_index = Some i; what } :: ctx.reasons
-
-let count_mem ctx ~record = if record then ctx.checked_mem <- ctx.checked_mem + 1
-let count_branch ctx ~record = if record then ctx.checked_branches <- ctx.checked_branches + 1
-
-(* A plain (non-hmov) data access at instruction [i] with abstract
-   effective address [ea]. *)
-let check_plain ctx ~record ~sandbox i ea ~bytes =
-  match (ea : Domain.t) with
-  | Stackish -> count_mem ctx ~record  (* protected-stack assumption *)
-  | _ ->
-    if ctx.spec.strategy = Hfi_sfi.Strategy.Hfi && sandbox = Sin then
-      (* inside the sandbox the implicit data regions confine every
-         plain access dynamically: a miss traps before touching memory *)
-      count_mem ctx ~record
-    else begin
-      let fits w = Domain.within ea ~lo:w.wlo ~hi:(w.whi - (bytes - 1)) in
-      if List.exists fits ctx.wins then count_mem ctx ~record
-      else if ctx.spec.strategy = Hfi_sfi.Strategy.Hfi then
-        (* out-of-sandbox = trusted context; an access we cannot place
-           is suspicious but not a sandbox escape *)
-        reason ctx ~record i
-          (Printf.sprintf "trusted-context access %s not within a known window"
-             (Domain.to_string ea))
-      else if List.for_all (fun w -> Domain.disjoint ea ~lo:w.wlo ~hi:w.whi) ctx.wins then
-        viol ctx ~record Report.Sfi_discipline i
-          (Printf.sprintf "effective address %s escapes every sandbox window"
-             (Domain.to_string ea))
-      else
-        reason ctx ~record i
-          (Printf.sprintf "confinement of effective address %s unproven" (Domain.to_string ea))
-    end
-
-let check_hmov ctx ~record st_regions i ~region ~write =
-  if region < 0 || region > 3 then
-    viol ctx ~record Report.Hfi_invariant i
-      (Printf.sprintf "hmov region number %d has no explicit-region slot" region)
-  else begin
-    match st_regions.(region + 6) with
-    | Rknown (Hfi_iface.Explicit_data r) ->
-      if if write then r.permission_write else r.permission_read then count_mem ctx ~record
-      else
-        viol ctx ~record Report.Hfi_invariant i
-          (Printf.sprintf "hmov %s denied by the declared region's permissions"
-             (if write then "store" else "load"))
-    | Rknown _ ->
-      (* slot kinds make this unreachable through set_region, but the
-         state join can only produce it from such states anyway *)
-      viol ctx ~record Report.Hfi_invariant i "explicit slot holds a non-explicit region"
-    | Runset ->
-      viol ctx ~record Report.Hfi_invariant i
-        (Printf.sprintf "hmov region %d is never declared" region)
-    | Runknown -> reason ctx ~record i "hmov region state unknown (possibly tampered)"
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Block transfer: simulate one basic block from an in-state, returning
-   per-edge contributions. With [~record] it also logs every discharged
-   or failed obligation (the final reporting pass).                     *)
-
-let rsp_i = Reg.index Reg.RSP
-let rbp_i = Reg.index Reg.RBP
-
-let simulate ctx ~record st0 (b : Cfg.block) =
-  let regs = Array.copy st0.regs in
-  let regions = Array.copy st0.regions in
-  let cmp_reg = ref st0.cmp_reg in
-  let cmp_rhs = ref st0.cmp_rhs in
-  let sandbox = ref st0.sandbox in
-  let set_reg d v =
-    regs.(d) <- v;
-    if !cmp_reg = d then begin
-      cmp_reg := -1;
-      cmp_rhs := Domain.top
-    end
-  in
-  let src_val sreg simm = if sreg >= 0 then regs.(sreg) else Domain.const simm in
-  let eval_mem ~mbase ~midx ~mscale ~mdisp =
-    let base = if mbase >= 0 then regs.(mbase) else Domain.const 0 in
-    let idx =
-      if midx >= 0 then Domain.alu Instr.Mul regs.(midx) (Domain.const mscale)
-      else Domain.const 0
-    in
-    Domain.add (Domain.add base idx) (Domain.const mdisp)
-  in
-  (* push/pop/call/ret traffic goes through RSP: exempt while RSP is
-     stack-derived, an ordinary checked access once the program has
-     repointed it *)
-  let stack_access i = check_plain ctx ~record ~sandbox:!sandbox i regs.(rsp_i) ~bytes:8 in
-  let bump_rsp delta = set_reg rsp_i (Domain.add regs.(rsp_i) (Domain.const delta)) in
-  let region_write_gate i =
-    match !sandbox with
-    | Sout -> `Trusted
-    | Sin ->
-      viol ctx ~record Report.Hfi_invariant i "region register written inside the sandbox";
-      `Untrusted
-    | Smaybe ->
-      reason ctx ~record i "region register write with unknown sandbox state";
-      `Untrusted
-  in
-  for i = b.first to b.last do
-    let u = ctx.uops.(i) in
-    match u.Uop.op with
-    | Uop.Omov { d; sreg; simm } -> set_reg d (src_val sreg simm)
-    | Uop.Oload { bytes; d; mbase; midx; mscale; mdisp } ->
-      check_plain ctx ~record ~sandbox:!sandbox i (eval_mem ~mbase ~midx ~mscale ~mdisp) ~bytes;
-      set_reg d (Domain.load_result ~bytes)
-    | Uop.Ostore { bytes; mbase; midx; mscale; mdisp; _ } ->
-      check_plain ctx ~record ~sandbox:!sandbox i (eval_mem ~mbase ~midx ~mscale ~mdisp) ~bytes
-    | Uop.Ohload { region; bytes; d; _ } ->
-      check_hmov ctx ~record regions i ~region ~write:false;
-      set_reg d (Domain.load_result ~bytes)
-    | Uop.Ohstore { region; _ } -> check_hmov ctx ~record regions i ~region ~write:true
-    | Uop.Olea { d; mbase; midx; mscale; mdisp } ->
-      set_reg d (eval_mem ~mbase ~midx ~mscale ~mdisp)
-    | Uop.Oalu { op; d; sreg; simm } ->
-      let v =
-        if sreg = d && (op = Instr.Xor || op = Instr.Sub) then Domain.const 0
-        else Domain.alu op regs.(d) (src_val sreg simm)
-      in
-      set_reg d v
-    | Uop.Ocmp { d; sreg; simm } ->
-      cmp_reg := d;
-      cmp_rhs := src_val sreg simm
-    | Uop.Ocmp_mem { d; mbase; midx; mscale; mdisp } ->
-      check_plain ctx ~record ~sandbox:!sandbox i (eval_mem ~mbase ~midx ~mscale ~mdisp) ~bytes:8;
-      cmp_reg := d;
-      (* The heap bound cell is written by the trusted prologue and
-         memory.grow only, and never exceeds the 4 GiB Wasm limit: the
-         exact invariant wasm2c-style bounds checks rely on. *)
-      cmp_rhs :=
-        (if mbase < 0 && midx < 0 && mdisp = Hfi_wasm.Layout.heap_bound_cell then
-           Domain.itv 0 Hfi_wasm.Layout.heap_max
-         else Domain.top)
-    | Uop.Opush _ ->
-      stack_access i;
-      bump_rsp (-8)
-    | Uop.Opop d ->
-      stack_access i;
-      bump_rsp 8;
-      (* frame discipline: values popped into the stack/frame pointer
-         are saved stack pointers (push rbp ... pop rbp) *)
-      set_reg d (if d = rsp_i || d = rbp_i then Domain.Stackish else Domain.top)
-    | Uop.Ocall _ | Uop.Ocall_ind _ ->
-      stack_access i;
-      bump_rsp (-8)
-    | Uop.Oret ->
-      stack_access i;
-      bump_rsp 8
-    | Uop.Osyscall -> set_reg (Reg.index Reg.RAX) Domain.top
-    | Uop.Ohfi_enter spec ->
-      if record && ctx.spec.strategy = Hfi_sfi.Strategy.Hfi then begin
-        let covers slot =
-          match regions.(slot) with
-          | Rknown (Hfi_iface.Implicit_code r) ->
-            r.permission_exec
-            && ctx.spec.code_base land lnot r.lsb_mask = r.base_prefix
-            && (ctx.byte_size = 0
-               || (ctx.spec.code_base + ctx.byte_size - 1) land lnot r.lsb_mask = r.base_prefix)
-          | _ -> false
-        in
-        if not (List.exists covers Hfi_iface.code_region_slots) then
-          reason ctx ~record i "entering the sandbox without a code region covering the program"
-      end;
-      if spec.Hfi_iface.switch_on_exit || spec.Hfi_iface.exit_handler <> None then
-        reason ctx ~record i "exit-handler redirection / bank switching not modeled";
-      sandbox := Sin
-    | Uop.Ohfi_exit -> sandbox := Sout
-    | Uop.Ohfi_reenter -> sandbox := Sin
-    | Uop.Ohfi_set_region { slot; region } -> begin
-      let gate = region_write_gate i in
-      if slot >= 0 && slot < Hfi_iface.region_count then begin
-        match Hfi_core.Region.validate ~slot region with
-        | Error e ->
-          reason ctx ~record i
-            ("invalid region descriptor (traps at runtime): "
-            ^ Hfi_core.Region.error_to_string e);
-          regions.(slot) <- Runknown
-        | Ok () -> regions.(slot) <- (if gate = `Trusted then Rknown region else Runknown)
-      end
-      else if slot >= Hfi_iface.region_count && slot < 2 * Hfi_iface.region_count then
-        (* inactive bank; harmless while bank switching stays unmodeled
-           (any switch_on_exit enter already degrades to Unknown) *)
-        ()
-      else reason ctx ~record i "region slot out of range (traps at runtime)"
-    end
-    | Uop.Ohfi_clear_region slot -> begin
-      let gate = region_write_gate i in
-      if slot >= 0 && slot < Hfi_iface.region_count then
-        regions.(slot) <- (if gate = `Trusted then Runset else Runknown)
-    end
-    | Uop.Ohfi_clear_all -> begin
-      let gate = region_write_gate i in
-      Array.fill regions 0 Hfi_iface.region_count (if gate = `Trusted then Runset else Runknown)
-    end
-    | Uop.Ohfi_get_region { d; _ } -> set_reg d Domain.top
-    | Uop.Ocpuid ->
-      List.iter
-        (fun r -> set_reg (Reg.index r) (Domain.const 0))
-        [ Reg.RAX; Reg.RBX; Reg.RCX; Reg.RDX ]
-    | Uop.Ordtsc d | Uop.Ordmsr d -> set_reg d Domain.top
-    | Uop.Oclflush _ (* cache maintenance, not a data access *)
-    | Uop.Omfence | Uop.Onop | Uop.Ojmp _ | Uop.Ojcc _ | Uop.Ojmp_ind _ | Uop.Ohalt ->
-      ()
-  done;
-  let out = { regs; cmp_reg = !cmp_reg; cmp_rhs = !cmp_rhs; sandbox = !sandbox; regions } in
-  match b.term with
-  | Cfg.Tfall None | Cfg.Thalt -> []
-  | Cfg.Tfall (Some next) -> [ (next, out) ]
-  | Cfg.Tjump t ->
-    count_branch ctx ~record;
-    [ (t, out) ]
-  | Cfg.Tcall { target; _ } ->
-    count_branch ctx ~record;
-    [ (target, out) ]
-  | Cfg.Tcond { taken; fall } ->
-    count_branch ctx ~record;
-    let cond =
-      match ctx.uops.(b.last).Uop.op with Uop.Ojcc { cond; _ } -> cond | _ -> assert false
-    in
-    let refined c =
-      if !cmp_reg < 0 then Some out
-      else begin
-        let r = Domain.refine c regs.(!cmp_reg) ~rhs:!cmp_rhs in
-        if Domain.is_bot r then None
-        else begin
-          let regs' = Array.copy regs in
-          regs'.(!cmp_reg) <- r;
-          Some { out with regs = regs' }
-        end
-      end
-    in
-    let taken_edge =
-      match refined cond with Some s -> [ (taken, s) ] | None -> []
-    in
-    let fall_edge =
-      match fall with
-      | None -> []
-      | Some f -> (
-        match refined (Instr.negate_cond cond) with Some s -> [ (f, s) ] | None -> [])
-    in
-    taken_edge @ fall_edge
-  | Cfg.Tjump_ind | Cfg.Tcall_ind _ -> begin
-    let r =
-      match ctx.uops.(b.last).Uop.op with
-      | Uop.Ojmp_ind r | Uop.Ocall_ind r -> r
-      | _ -> assert false
-    in
-    match Domain.singleton regs.(r) with
-    | None ->
-      reason ctx ~record b.last "unresolved indirect branch target";
-      []
-    | Some addr -> (
-      match Hashtbl.find_opt ctx.addr_index addr with
-      | None ->
-        viol ctx ~record Report.Cfi b.last
-          (Printf.sprintf "indirect target 0x%x is not an instruction boundary" addr)
-        ;
-        []
-      | Some t ->
-        if Uop.is_block_head ctx.uops t then begin
-          count_branch ctx ~record;
-          let tb = ctx.cfg.Cfg.block_of_instr.(t) in
-          Hashtbl.replace ctx.dyn_edges (b.id, tb) ();
-          [ (tb, out) ]
-        end
-        else begin
-          reason ctx ~record b.last "indirect target lands mid-block (not analyzed)";
-          []
-        end)
-  end
-  | Cfg.Tret -> List.map (fun rp -> (rp, out)) ctx.cfg.Cfg.ret_points
-  | Cfg.Tout t ->
-    viol ctx ~record Report.Cfi b.last
-      (Printf.sprintf "direct branch target %d outside the program (%d instructions)" t
-         (Array.length ctx.uops));
-    []
+  Array.iter
+    (fun (u : Uop.t) ->
+      match u.Uop.op with
+      | Uop.Ocmp { sreg; simm; _ } when sreg < 0 -> push3 simm
+      | Uop.Ocmp_mem _ -> push3 Hfi_wasm.Layout.heap_max
+      | _ -> ())
+    uops;
+  List.iter
+    (fun { Transfer.wlo; whi } ->
+      push3 wlo;
+      push3 whi)
+    wins;
+  Array.of_list (List.sort_uniq compare !acc)
 
 (* ------------------------------------------------------------------ *)
 (* Fixpoint driver.                                                    *)
 
-let widen_threshold = 3
-
-let verify ?(name = "program") spec prog =
-  let uops = Uop.decode prog ~code_base:spec.code_base in
+(* Outcome of the fixpoint: the report's raw material plus — when the
+   analysis converged — the per-block entry invariants a proof artifact
+   records. *)
+let verify_internal ?(name = "program") spec prog =
+  let ctx = Transfer.make_ctx spec prog in
+  let uops = ctx.Transfer.uops in
+  let cfg = ctx.Transfer.cfg in
   let n = Array.length uops in
-  let cfg = Cfg.build uops in
-  let addr_index = Hashtbl.create (max 16 n) in
-  Array.iteri (fun i (u : Uop.t) -> Hashtbl.replace addr_index u.fetch_addr i) uops;
-  let ctx =
-    {
-      spec;
-      uops;
-      cfg;
-      byte_size = Program.byte_size prog;
-      addr_index;
-      wins = windows spec.strategy;
-      dyn_edges = Hashtbl.create 8;
-      viols = [];
-      reasons = [];
-      checked_mem = 0;
-      checked_branches = 0;
-    }
-  in
+  let thresholds = collect_thresholds uops ctx.Transfer.wins in
   let nb = Array.length cfg.Cfg.blocks in
   let iterations = ref 0 in
+  let in_states = Array.make (max nb 1) None in
+  let stable = ref (nb = 0) in
   if nb > 0 then begin
-    let init = initial_state () in
-    let in_states = Array.make nb None in
+    let init = Vstate.initial () in
     let visits = Array.make nb 0 in
-    let edge_st : (int * int, st) Hashtbl.t = Hashtbl.create 64 in
+    let edge_st : (int * int, Vstate.t) Hashtbl.t = Hashtbl.create 64 in
     let queue = Queue.create () in
     let on_queue = Array.make nb false in
     let enqueue b =
@@ -430,13 +67,19 @@ let verify ?(name = "program") spec prog =
       end
     in
     let narrowing = ref false in
+    (* Fold the incoming edges in sorted order: fact inference at joins
+       makes the join only associative-commutative up to which fact is
+       born first, so a fixed edge order keeps reports byte-identical
+       run to run (and across --jobs shardings). *)
     let joined_in b =
-      let acc = ref (if b = 0 then Some init else None) in
-      Hashtbl.iter
-        (fun (_, t) s ->
-          if t = b then acc := Some (match !acc with None -> s | Some a -> join_st a s))
-        edge_st;
-      !acc
+      let edges =
+        Hashtbl.fold (fun (s, t) st acc -> if t = b then (s, st) :: acc else acc) edge_st []
+        |> List.sort (fun (s1, _) (s2, _) -> compare (s1 : int) s2)
+      in
+      let acc = if b = 0 then Some init else None in
+      List.fold_left
+        (fun acc (_, s) -> Some (match acc with None -> s | Some a -> Vstate.join a s))
+        acc edges
     in
     let recompute b =
       match joined_in b with
@@ -456,10 +99,11 @@ let verify ?(name = "program") spec prog =
             end
           end
           else begin
-            let u = join_st cur j in
+            let u = Vstate.join cur j in
             if u <> cur then begin
               visits.(b) <- visits.(b) + 1;
-              in_states.(b) <- Some (if visits.(b) > widen_threshold then widen_st cur u else u);
+              in_states.(b) <-
+                Some (if visits.(b) > widen_threshold then Vstate.widen ~thresholds cur u else u);
               enqueue b
             end
           end)
@@ -477,7 +121,7 @@ let verify ?(name = "program") spec prog =
             | _ ->
               Hashtbl.replace edge_st (b, t) contrib;
               recompute t)
-          (simulate ctx ~record:false s cfg.Cfg.blocks.(b))
+          (Transfer.simulate ctx ~record:false s cfg.Cfg.blocks.(b))
     in
     let drain budget =
       let left = ref budget in
@@ -492,7 +136,8 @@ let verify ?(name = "program") spec prog =
     let converged = drain ((200 * nb) + 1000) in
     if not converged then
       (* states below the fixpoint are not a safe basis for reporting *)
-      ctx.reasons <- { Report.r_index = None; what = "fixpoint budget exhausted" } :: ctx.reasons
+      ctx.Transfer.reasons <-
+        { Report.r_index = None; what = "fixpoint budget exhausted" } :: ctx.Transfer.reasons
     else begin
       narrowing := true;
       Queue.clear queue;
@@ -512,47 +157,91 @@ let verify ?(name = "program") spec prog =
       for b = 0 to nb - 1 do
         if in_states.(b) <> None then enqueue b
       done;
-      ignore (drain (8 * nb));
+      (* At quiescence (ascending or descending), every recorded edge
+         contribution equals the transfer of its source's in-state and
+         every in-state covers the join of its incoming contributions —
+         exactly the inclusion property the independent proof checker
+         revalidates. A narrowing pass cut short by the budget can break
+         the mutual consistency, so only a fully drained queue yields
+         proof-quality states. *)
+      stable := drain (32 * nb);
       Queue.clear queue;
       (* reporting pass over the stable states *)
       for b = 0 to nb - 1 do
         match in_states.(b) with
         | None -> ()
-        | Some s -> ignore (simulate ctx ~record:true s cfg.Cfg.blocks.(b))
+        | Some s -> ignore (Transfer.simulate ctx ~record:true s cfg.Cfg.blocks.(b))
       done;
       (* returns reachable with an empty call stack *)
-      let extra = Hashtbl.fold (fun e () acc -> e :: acc) ctx.dyn_edges [] in
+      let extra = Hashtbl.fold (fun e () acc -> e :: acc) ctx.Transfer.dyn_edges [] in
       let d0 = Cfg.depth0_reachable ~extra_edges:extra cfg in
       Array.iter
         (fun (blk : Cfg.block) ->
           if blk.term = Cfg.Tret && in_states.(blk.id) <> None then
             if d0.(blk.id) then
-              reason ctx ~record:true blk.last "ret reachable with an empty call stack"
-            else count_branch ctx ~record:true)
+              Transfer.reason ctx ~record:true blk.last "ret reachable with an empty call stack"
+            else Transfer.count_branch ctx ~record:true)
         cfg.Cfg.blocks
     end
   end;
   let verdict =
-    if ctx.viols <> [] then
-      Report.Unsafe
-        (List.sort_uniq compare ctx.viols
-        |> List.sort (fun (a : Report.violation) b -> compare a.index b.index))
-    else if ctx.reasons <> [] then Report.Unknown (List.sort_uniq compare ctx.reasons)
+    if ctx.Transfer.viols <> [] then
+      Report.Unsafe (List.sort_uniq Report.compare_violation ctx.Transfer.viols)
+    else if ctx.Transfer.reasons <> [] then
+      Report.Unknown (List.sort_uniq Report.compare_reason ctx.Transfer.reasons)
     else Report.Safe
   in
-  {
-    Report.target = name;
-    strategy = Hfi_sfi.Strategy.to_string spec.strategy;
-    verdict;
-    blocks = nb;
-    instrs = n;
-    checked_mem = ctx.checked_mem;
-    checked_branches = ctx.checked_branches;
-    iterations = !iterations;
-  }
+  let report =
+    {
+      Report.target = name;
+      strategy = Hfi_sfi.Strategy.to_string spec.strategy;
+      verdict;
+      blocks = nb;
+      instrs = n;
+      checked_mem = ctx.Transfer.checked_mem;
+      checked_branches = ctx.Transfer.checked_branches;
+      iterations = !iterations;
+    }
+  in
+  (report, if !stable then Some in_states else None)
+
+let verify ?name spec prog = fst (verify_internal ?name spec prog)
+
+let verify_with_proof ?name spec prog =
+  let report, states = verify_internal ?name spec prog in
+  let proof =
+    match (report.Report.verdict, states) with
+    | Report.Safe, Some in_states ->
+      let invariants = ref [] in
+      for b = Array.length in_states - 1 downto 0 do
+        match in_states.(b) with
+        | Some st -> invariants := (b, st) :: !invariants
+        | None -> ()
+      done;
+      Some
+        {
+          Proof.proof_version = Proof.current_version;
+          verifier_version;
+          target = report.Report.target;
+          strategy = report.Report.strategy;
+          fingerprint = Program.fingerprint prog;
+          code_base = spec.code_base;
+          blocks = report.Report.blocks;
+          instrs = report.Report.instrs;
+          invariants = !invariants;
+        }
+    | _ -> None
+  in
+  (report, proof)
 
 let verify_workload ~strategy (w : Hfi_wasm.Instance.workload) =
   let prog = Hfi_wasm.Instance.build_program ~strategy w in
   verify ~name:w.Hfi_wasm.Instance.name
+    { strategy; code_base = Hfi_wasm.Layout.code_base }
+    prog
+
+let verify_workload_with_proof ~strategy (w : Hfi_wasm.Instance.workload) =
+  let prog = Hfi_wasm.Instance.build_program ~strategy w in
+  verify_with_proof ~name:w.Hfi_wasm.Instance.name
     { strategy; code_base = Hfi_wasm.Layout.code_base }
     prog

@@ -1,12 +1,13 @@
 (** The verifier proper: fixpoint abstract interpretation over the
-    {!Cfg} with the {!Domain} value lattice, discharging three
-    properties per program:
+    {!Cfg} with the {!Domain} value lattice extended by {!Rel} affine
+    facts, discharging three properties per program:
 
     {ol
     {- {b SFI discipline} — every plain memory operand of a
        software-sandboxed program is confined to the sandbox data
        windows (stack, globals, heap plus the strategy's guard slack)
-       by a dominating mask/bounds sequence, or is stack-disciplined
+       by a dominating mask/bounds sequence, a relational bound
+       inherited from a compared loop counter, or is stack-disciplined
        ([Domain.Stackish]).}
     {- {b HFI invariants} — region-configuration registers are written
        only outside the sandbox (the trusted enter/exit sequences),
@@ -18,6 +19,13 @@
        basic-block head; unresolved indirects and returns reachable
        with an empty call stack degrade the verdict to [Unknown].}}
 
+    The ascending phase widens with program-derived thresholds (compare
+    immediates, the heap bound, window edges) so bounds the program
+    itself tests against survive widening; affine facts
+    ([r = k*base + \[lo,hi\]]) relate derived pointers and indices to
+    their loop counters, transferring a counter's compare bound to
+    every pointer advanced in lockstep with it (see {!Rel}).
+
     Trusted assumptions, deliberately mirroring the software rewriter
     and the modeled runtime: stack traffic through a stack-derived
     pointer is exempt (protected-stack / frame-discipline assumption);
@@ -26,19 +34,33 @@
     through unresolved control flow is not analyzed — but any
     unresolved control flow already forces [Unknown]. *)
 
-type spec = {
+type spec = Transfer.spec = {
   strategy : Hfi_sfi.Strategy.t;
   code_base : int;  (** where the program's instruction 0 is fetched *)
 }
 
+val verifier_version : int
+(** Bumped whenever the analysis changes meaning; persistent
+    verdict-cache keys and proof artifacts carry it, so results from a
+    different verifier are never replayed. *)
+
 val verify : ?name:string -> spec -> Program.t -> Report.t
-(** Decode, build the CFG, run the fixpoint (with widening after
+(** Decode, build the CFG, run the fixpoint (threshold widening after
     repeated visits and a bounded narrowing phase to recover loop
     bounds), then re-walk every reachable block recording each
     discharged or failed obligation. Pure: never touches machine,
     memory or HFI device state. *)
 
+val verify_with_proof : ?name:string -> spec -> Program.t -> Report.t * Proof.t option
+(** {!verify}, additionally returning a proof artifact when the verdict
+    is [Safe] and the fixpoint reached full mutual consistency (always,
+    in practice): the per-block entry invariants, packaged for
+    {!Proofcheck}. *)
+
 val verify_workload :
   strategy:Hfi_sfi.Strategy.t -> Hfi_wasm.Instance.workload -> Report.t
 (** Compile the workload exactly as {!Hfi_wasm.Instance.build_program}
     does and verify the result under the standard {!Hfi_wasm.Layout}. *)
+
+val verify_workload_with_proof :
+  strategy:Hfi_sfi.Strategy.t -> Hfi_wasm.Instance.workload -> Report.t * Proof.t option

@@ -1,0 +1,31 @@
+(** Per-module proof artifacts: the fixpoint's per-block entry
+    invariants, serialized to JSON for revalidation by the independent
+    one-pass checker ({!Proofcheck}). An artifact is bound to the exact
+    program it certifies (its {!Program.fingerprint}), the strategy,
+    the code base and the emitting verifier's version; any mismatch is
+    a rejection, never a silent re-use. *)
+
+val current_version : int
+(** Artifact format version this library writes and reads. *)
+
+type t = {
+  proof_version : int;
+  verifier_version : int;  (** {!Checks.verifier_version} at emission *)
+  target : string;
+  strategy : string;  (** [Hfi_sfi.Strategy.to_string] *)
+  fingerprint : string;
+  code_base : int;
+  blocks : int;
+  instrs : int;
+  invariants : (int * Vstate.t) list;
+      (** block id -> entry invariant, ascending ids; unreachable blocks
+          are absent *)
+}
+
+val to_json : t -> string
+(** One JSON object, newline-terminated; integers inside invariants are
+    decimal strings so the full 63-bit range round-trips exactly. *)
+
+val of_json_string : string -> (t, string) result
+(** Parse and structurally validate; truncated, tampered or
+    wrong-format input is an [Error] with a one-line explanation. *)

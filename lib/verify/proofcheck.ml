@@ -1,0 +1,97 @@
+(* The independent proof validator: no worklist, no widening, no
+   narrowing. Given a program and a proof artifact, it re-runs the
+   shared single-block transfer once per recorded block and checks pure
+   inclusions — each block's body, started from its recorded entry
+   invariant, discharges every obligation and flows into its
+   successors' recorded invariants; block 0's invariant covers the
+   initial state. If that holds, the recorded invariants are a genuine
+   inductive invariant of the program and the Safe verdict stands,
+   whatever the fixpoint engine did to find them. *)
+
+type outcome = Accepted | Rejected of string list
+
+let check ~strategy ~code_base prog (p : Proof.t) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  if p.Proof.proof_version <> Proof.current_version then
+    err "proof format version %d (this checker reads %d)" p.Proof.proof_version
+      Proof.current_version;
+  if p.Proof.verifier_version <> Checks.verifier_version then
+    err "proof was emitted by verifier version %d (this checker is version %d)"
+      p.Proof.verifier_version Checks.verifier_version;
+  let strategy_name = Hfi_sfi.Strategy.to_string strategy in
+  if p.Proof.strategy <> strategy_name then
+    err "proof strategy %S does not match %S" p.Proof.strategy strategy_name;
+  let fp = Program.fingerprint prog in
+  if p.Proof.fingerprint <> fp then
+    err "program fingerprint %s does not match the proof's %s" fp p.Proof.fingerprint;
+  if p.Proof.code_base <> code_base then
+    err "code base 0x%x does not match the proof's 0x%x" code_base p.Proof.code_base;
+  if !errs <> [] then Rejected (List.rev !errs)
+  else begin
+    let ctx = Transfer.make_ctx { Transfer.strategy; code_base } prog in
+    let cfg = ctx.Transfer.cfg in
+    let nb = Array.length cfg.Cfg.blocks in
+    if p.Proof.blocks <> nb then err "proof records %d blocks, program has %d" p.Proof.blocks nb;
+    if p.Proof.instrs <> Array.length ctx.Transfer.uops then
+      err "proof records %d instructions, program has %d" p.Proof.instrs
+        (Array.length ctx.Transfer.uops);
+    let inv = Array.make (max nb 1) None in
+    List.iter
+      (fun (b, st) ->
+        if b < 0 || b >= nb then err "invariant names block %d outside the CFG" b
+        else begin
+          if inv.(b) <> None then err "duplicate invariant for block %d" b;
+          inv.(b) <- Some st
+        end)
+      p.Proof.invariants;
+    if !errs <> [] then Rejected (List.rev !errs)
+    else if nb = 0 then Accepted
+    else begin
+      (* the entry block's invariant must cover the machine's initial state *)
+      (match inv.(0) with
+      | None -> err "no invariant for the entry block"
+      | Some st0 ->
+        if not (Vstate.leq (Vstate.initial ()) st0) then
+          err "entry invariant does not cover the initial state");
+      (* one pass: every recorded block discharges its obligations and
+         flows into recorded successor invariants *)
+      for b = 0 to nb - 1 do
+        match inv.(b) with
+        | None -> ()
+        | Some st ->
+          List.iter
+            (fun (t, contrib) ->
+              match inv.(t) with
+              | None -> err "block %d flows into block %d, which has no invariant" b t
+              | Some target_inv ->
+                if not (Vstate.leq contrib target_inv) then
+                  err "flow %d -> %d leaves the recorded invariant" b t)
+            (Transfer.simulate ctx ~record:true st cfg.Cfg.blocks.(b))
+      done;
+      (* the transfer's own obligations: a proof only certifies Safe *)
+      List.iter
+        (fun (v : Report.violation) -> err "violation at #%d: %s" v.Report.index v.Report.detail)
+        (List.sort_uniq Report.compare_violation ctx.Transfer.viols);
+      List.iter
+        (fun (r : Report.reason) ->
+          err "undischarged obligation%s: %s"
+            (match r.Report.r_index with Some i -> Printf.sprintf " at #%d" i | None -> "")
+            r.Report.what)
+        (List.sort_uniq Report.compare_reason ctx.Transfer.reasons);
+      (* returns reachable with an empty call stack, over the resolved
+         indirect edges collected during the pass *)
+      let extra = Hashtbl.fold (fun e () acc -> e :: acc) ctx.Transfer.dyn_edges [] in
+      let d0 = Cfg.depth0_reachable ~extra_edges:extra cfg in
+      Array.iter
+        (fun (blk : Cfg.block) ->
+          if blk.term = Cfg.Tret && inv.(blk.id) <> None && d0.(blk.id) then
+            err "block %d: ret reachable with an empty call stack" blk.id)
+        cfg.Cfg.blocks;
+      if !errs = [] then Accepted else Rejected (List.rev !errs)
+    end
+  end
+
+let check_workload ~strategy (w : Hfi_wasm.Instance.workload) p =
+  let prog = Hfi_wasm.Instance.build_program ~strategy w in
+  check ~strategy ~code_base:Hfi_wasm.Layout.code_base prog p

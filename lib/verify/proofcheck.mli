@@ -1,0 +1,29 @@
+(** Independent revalidation of proof artifacts.
+
+    A deliberately small trusted core: no worklist, no widening, no
+    narrowing, no state joins beyond inclusion tests. The checker
+    re-runs the shared per-block transfer ({!Transfer.simulate}) once
+    per recorded block and accepts iff
+
+    - the artifact names this exact program (fingerprint), strategy,
+      code base, and the current proof/verifier versions;
+    - the entry block's recorded invariant covers the initial machine
+      state;
+    - every recorded block, simulated from its recorded invariant,
+      discharges all of its safety obligations and every out-edge's
+      contribution is included in the successor's recorded invariant
+      ({!Vstate.leq});
+    - no return is reachable with an empty call stack.
+
+    Together these make the recorded states an inductive invariant, so
+    a Safe verdict holds independently of the engine that found them. *)
+
+type outcome = Accepted | Rejected of string list
+(** Rejection carries every independent failure, in deterministic
+    order. *)
+
+val check : strategy:Hfi_sfi.Strategy.t -> code_base:int -> Program.t -> Proof.t -> outcome
+
+val check_workload : strategy:Hfi_sfi.Strategy.t -> Hfi_wasm.Instance.workload -> Proof.t -> outcome
+(** {!check} against the workload's compiled form under the standard
+    layout, mirroring {!Checks.verify_workload}. *)

@@ -1,0 +1,264 @@
+(* Relational extension of the per-register {!Domain}: affine offset
+   facts of the form [r = k*base + [lo,hi]] plus interval widening with
+   program-derived thresholds. Both exist for the two idioms the plain
+   interval/mask domain cannot bound:
+
+   - a pointer advanced by a constant stride inside a counted loop
+     (base64's output cursor) has no dominating compare, so its
+     interval widens without bound — but it stays an exact affine
+     function of the loop counter, which *is* compared;
+   - a derived index tested against a limit ([cmp 2*i, n]) bounds the
+     underlying counter only through the affine relation, and a counter
+     widened straight to [+inf] turns a later exact multiply into top
+     (sieve). Threshold widening parks the counter at the program's own
+     compare immediates instead of infinity, keeping the multiply
+     exact; backward refinement through a fact recovers the counter
+     bound from the derived compare. *)
+
+type fact = { base : int; k : int; lo : int; hi : int }
+
+let max_k = 64
+
+(* Offset hulls wider than this are useless for window checks and risk
+   churn in the fixpoint: refuse to create them. *)
+let max_offset_width = 1 lsl 20
+
+(* ---- overflow-checked arithmetic (63-bit native ints) ---- *)
+
+let add_chk a b =
+  let s = a + b in
+  if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then None else Some s
+
+let mul_chk k x =
+  if k = 0 || x = 0 then Some 0
+  else if k = min_int || x = min_int then None
+  else
+    let r = k * x in
+    if r / k = x then Some r else None
+
+(* floor / ceiling division, exact for any sign of the operands *)
+let fdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r lxor b < 0 then q - 1 else q
+
+let cdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && r lxor b >= 0 then q + 1 else q
+
+(* ---- fact algebra ---- *)
+
+(* The offset interval [r - k*base] of one abstract state, when both
+   sides have finite bounds and nothing overflows. *)
+let offset_itv rd based ~k =
+  match (Domain.bounds rd, Domain.bounds based) with
+  | Some (rl, rh), Some (bl, bh) when k <> 0 -> (
+    let a = mul_chk k bl and b = mul_chk k bh in
+    match (a, b) with
+    | Some a, Some b -> (
+      let kl = min a b and kh = max a b in
+      match (add_chk rl (-kh), add_chk rh (-kl)) with
+      | Some lo, Some hi when hi - lo >= 0 && hi - lo <= max_offset_width -> Some (lo, hi)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* Does [st = (facts, regs)] entail [r = k*base + [?,?]]? Returns the
+   tightest offset interval it can justify. *)
+let justify_offsets facts regs r (f : fact) =
+  match facts.(r) with
+  | Some (g : fact) when g.base = f.base && g.k = f.k -> Some (g.lo, g.hi)
+  | _ -> offset_itv regs.(r) regs.(f.base) ~k:f.k
+
+(* Infer a brand-new fact for [r] from two states in which both [r] and
+   some base register are singletons that moved in lockstep: the join
+   point of a loop head on the first back edge. Scans candidate bases
+   in register-index order — deterministic. *)
+let infer r a_regs b_regs =
+  match (Domain.singleton a_regs.(r), Domain.singleton b_regs.(r)) with
+  | Some v1, Some v2 when v1 <> v2 ->
+    let n = Array.length a_regs in
+    let rec scan b =
+      if b >= n then None
+      else if b = r then scan (b + 1)
+      else
+        match (Domain.singleton a_regs.(b), Domain.singleton b_regs.(b)) with
+        | Some w1, Some w2 when w1 <> w2 ->
+          let dv = v2 - v1 and dw = w2 - w1 in
+          if dw <> 0 && dv mod dw = 0 then begin
+            let k = dv / dw in
+            if k <> 0 && abs k <= max_k then begin
+              match mul_chk k w1 with
+              | Some kw1 -> (
+                match add_chk v1 (-kw1) with
+                | Some o -> (
+                  (* cross-check on the second pair guards mul overflow *)
+                  match mul_chk k w2 with
+                  | Some kw2 when v2 - kw2 = o -> Some { base = b; k; lo = o; hi = o }
+                  | _ -> scan (b + 1))
+                | None -> scan (b + 1))
+              | None -> scan (b + 1)
+            end
+            else scan (b + 1)
+          end
+          else scan (b + 1)
+        | _ -> scan (b + 1)
+    in
+    scan 0
+  | _ -> None
+
+(* Join of the optional facts about [r]: keep a fact only if *both*
+   joined states entail it (hulling the offsets), otherwise try to give
+   birth to one from singleton pairs. *)
+let join_facts r a_facts a_regs b_facts b_regs =
+  let keep (f : fact) other_facts other_regs =
+    match justify_offsets other_facts other_regs r f with
+    | Some (lo2, hi2) ->
+      let lo = min f.lo lo2 and hi = max f.hi hi2 in
+      if hi - lo >= 0 && hi - lo <= max_offset_width then Some { f with lo; hi } else None
+    | None -> None
+  in
+  match (a_facts.(r), b_facts.(r)) with
+  | Some f, _ -> (
+    match keep f b_facts b_regs with
+    | Some _ as r -> r
+    | None -> (
+      match b_facts.(r) with Some g -> keep g a_facts a_regs | None -> None))
+  | None, Some g -> keep g a_facts a_regs
+  | None, None -> infer r a_regs b_regs
+
+(* Widening on facts: keep only facts that have stopped moving (the
+   incoming side entails the old offsets). Anything still growing is
+   dropped — a finite fact set per register keeps the ascending chain
+   finite. *)
+let widen_facts r old_facts _old_regs next_facts next_regs =
+  match old_facts.(r) with
+  | Some (f : fact) -> (
+    match justify_offsets next_facts next_regs r f with
+    | Some (lo, hi) when lo >= f.lo && hi <= f.hi -> Some f
+    | _ -> None)
+  | None -> None
+
+(* Tighten the interval of [r] with its fact: meet with
+   [k*base + [lo,hi]] evaluated over the base's current bounds. *)
+let tighten facts regs r =
+  let d = regs.(r) in
+  match facts.(r) with
+  | None -> d
+  | Some { base; k; lo; hi } -> (
+    match Domain.bounds regs.(base) with
+    | None -> d
+    | Some (bl, bh) -> (
+      match (mul_chk k bl, mul_chk k bh) with
+      | Some a, Some b -> (
+        let kl = min a b and kh = max a b in
+        match (add_chk kl lo, add_chk kh hi) with
+        | Some mlo, Some mhi -> Domain.meet_itv d ~lo:mlo ~hi:mhi
+        | _ -> d)
+      | _ -> d))
+
+(* Refine the *base* of a fact from a refined view of the subject:
+   [r = k*base + [lo,hi]] and [r in [rl,rh]] bound
+   [base in [(rl-hi)/k, (rh-lo)/k]] (signs permuting for k < 0).
+   Saturated subject bounds propagate as "no constraint". *)
+let refine_base (f : fact) ~refined base_dom =
+  match Domain.bounds refined with
+  | None -> base_dom
+  | Some (rl, rh) ->
+    let lo_num = if rl = min_int then None else add_chk rl (-f.hi) in
+    let hi_num = if rh = max_int then None else add_chk rh (-f.lo) in
+    let blo, bhi =
+      if f.k > 0 then
+        ( (match lo_num with Some v -> cdiv v f.k | None -> min_int),
+          match hi_num with Some v -> fdiv v f.k | None -> max_int )
+      else
+        ( (match hi_num with Some v -> cdiv v f.k | None -> min_int),
+          match lo_num with Some v -> fdiv v f.k | None -> max_int )
+    in
+    Domain.meet_itv base_dom ~lo:blo ~hi:bhi
+
+(* ---- in-place fact transfer (arrays local to one block simulation) ---- *)
+
+(* [d] takes an arbitrary new value: its own fact and every fact built
+   on it die. *)
+let kill facts d =
+  facts.(d) <- None;
+  Array.iteri
+    (fun r f -> match f with Some { base; _ } when base = d -> facts.(r) <- None | _ -> ())
+    facts
+
+(* d := s (register copy) *)
+let assign_copy facts d s =
+  if d <> s then begin
+    kill facts d;
+    facts.(d) <- Some { base = s; k = 1; lo = 0; hi = 0 }
+  end
+
+(* d := k*base + off (lea) *)
+let assign_affine facts d ~base ~k ~off =
+  kill facts d;
+  if base <> d && k <> 0 && abs k <= max_k then facts.(d) <- Some { base; k; lo = off; hi = off }
+
+(* d := d + imm: the subject's offsets shift with it; facts built *on*
+   [d] compensate the other way ([r = k*d_old + o = k*d_new + o - k*imm]). *)
+let add_imm facts d imm =
+  (match facts.(d) with
+  | Some f -> (
+    match (add_chk f.lo imm, add_chk f.hi imm) with
+    | Some lo, Some hi -> facts.(d) <- Some { f with lo; hi }
+    | _ -> facts.(d) <- None)
+  | None -> ());
+  Array.iteri
+    (fun r f ->
+      match f with
+      | Some ({ base; k; lo; hi } as f) when base = d && r <> d -> (
+        match mul_chk k imm with
+        | Some ki -> (
+          match (add_chk lo (-ki), add_chk hi (-ki)) with
+          | Some lo, Some hi -> facts.(r) <- Some { f with lo; hi }
+          | _ -> facts.(r) <- None)
+        | None -> facts.(r) <- None)
+      | _ -> ())
+    facts
+
+(* d := d + s: expressible only when d is already an affine function of
+   s ([d = k*s + o] becomes [d = (k+1)*s + o]); otherwise d dies. Facts
+   built on d die either way (d moved by a non-constant). *)
+let add_reg facts d s =
+  let own =
+    match facts.(d) with
+    | Some f when f.base = s && f.k + 1 <> 0 && abs (f.k + 1) <= max_k ->
+      Some { f with k = f.k + 1 }
+    | _ -> None
+  in
+  kill facts d;
+  facts.(d) <- own
+
+(* ---- interval widening with thresholds ---- *)
+
+(* [thresholds] must be sorted ascending. A growing bound jumps to the
+   nearest enclosing threshold instead of straight to infinity; each
+   register can climb the (finite) ladder at most once per rung, so
+   termination is preserved. *)
+let widen_dom ~thresholds old next =
+  match ((old : Domain.t), (next : Domain.t)) with
+  | Itv a, Itv b ->
+    let lo =
+      if b.lo >= a.lo then a.lo
+      else begin
+        let best = ref min_int in
+        Array.iter (fun t -> if t <= b.lo && t > !best then best := t) thresholds;
+        !best
+      end
+    in
+    let hi =
+      if b.hi <= a.hi then a.hi
+      else begin
+        let best = ref max_int in
+        Array.iter (fun t -> if t >= b.hi && t < !best then best := t) thresholds;
+        !best
+      end
+    in
+    Domain.Itv { lo; hi }
+  | _ -> Domain.widen old next
+
+let leq_dom a b = Domain.equal (Domain.join a b) b

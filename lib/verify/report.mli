@@ -54,6 +54,15 @@ type t = {
 val verdict_name : verdict -> string
 (** ["safe"], ["unsafe"] or ["unknown"]. *)
 
+val compare_violation : violation -> violation -> int
+(** Total order by instruction index, then property kind, then detail
+    text — the stable order the verifier sorts [Unsafe] details into so
+    JSON output is byte-identical run to run. *)
+
+val compare_reason : reason -> reason -> int
+(** Total order: program-wide reasons (no instruction) first, then by
+    instruction index, then text. *)
+
 val pp_violation : Format.formatter -> violation -> unit
 val violation_to_string : violation -> string
 
@@ -65,3 +74,11 @@ val to_json : t -> string
 (** Stable JSON object with fields [target], [strategy], [verdict],
     [blocks], [instrs], [checked_mem], [checked_branches],
     [iterations], and a [violations]/[reasons] array. *)
+
+val escape : string -> string
+(** The minimal JSON string escaping every writer in the verifier tree
+    shares. *)
+
+val of_json : Hfi_util.Json.t -> t option
+(** Inverse of {!to_json} (via {!Hfi_util.Json}); [None] on any
+    structural mismatch — a corrupt cache entry must read as a miss. *)

@@ -513,6 +513,171 @@ let prop_load_after_remap_sees_new_mapping =
           Addr_space.load mem ~addr ~bytes:8 = 0
       end)
 
+(* --- Relational verifier domain: soundness of join and widening --- *)
+
+module VDomain = Hfi_opt.Domain
+module VRel = Hfi_verify.Rel
+module VReg = Hfi_isa.Reg
+
+(* Interval join soundness: any concrete point of either side is
+   denoted by the join. Points are sampled from the operand bounds. *)
+let prop_domain_join_sound =
+  let open QCheck.Gen in
+  let gen_itv =
+    map2
+      (fun a b -> VDomain.itv (Stdlib.min a b) (Stdlib.max a b))
+      (int_range (-10_000) 10_000)
+      (int_range (-10_000) 10_000)
+  in
+  QCheck.Test.make ~name:"verifier join denotes both operands" ~count:300
+    (QCheck.make (pair gen_itv gen_itv))
+    (fun (a, b) ->
+      let j = VDomain.join a b in
+      let covers d =
+        match (VDomain.bounds d, VDomain.bounds j) with
+        | Some (lo, hi), Some (jlo, jhi) -> jlo <= lo && hi <= jhi
+        | _, None -> true (* top covers everything *)
+        | None, _ -> false
+      in
+      covers a && covers b)
+
+(* Fact-join soundness, the relational analogue: feed the join two
+   concrete states (every register a singleton). If it births a fact
+   [r = k*base + [lo,hi]], both concrete states must satisfy it. *)
+let prop_fact_join_sound =
+  let open QCheck.Gen in
+  let gen_state = pair (int_range (-1000) 1000) (int_range (-1000) 1000) in
+  QCheck.Test.make ~name:"inferred affine facts hold in both join inputs" ~count:300
+    (QCheck.make (pair gen_state gen_state))
+    (fun (((w1, v1), (w2, v2))) ->
+      let base = VReg.index VReg.RCX and r = VReg.index VReg.RDI in
+      let mk w v =
+        Array.init VReg.count (fun i ->
+            if i = base then VDomain.const w
+            else if i = r then VDomain.const v
+            else VDomain.const 0)
+      in
+      let no_facts () = Array.make VReg.count None in
+      match VRel.join_facts r (no_facts ()) (mk w1 v1) (no_facts ()) (mk w2 v2) with
+      | None -> true
+      | Some f ->
+        f.VRel.base = base
+        && f.VRel.k <> 0
+        && abs f.VRel.k <= VRel.max_k
+        && v1 - (f.VRel.k * w1) >= f.VRel.lo
+        && v1 - (f.VRel.k * w1) <= f.VRel.hi
+        && v2 - (f.VRel.k * w2) >= f.VRel.lo
+        && v2 - (f.VRel.k * w2) <= f.VRel.hi)
+
+(* Threshold widening terminates: an adversarial strictly-growing chain
+   of intervals reaches a fixpoint within |thresholds| + 2 steps (each
+   bound can climb each rung once, then jumps to infinity), and every
+   step covers its input (widening is an upper bound). *)
+let prop_threshold_widening_terminates =
+  let open QCheck.Gen in
+  let gen_thresholds =
+    map
+      (fun l -> Array.of_list (List.sort_uniq compare l))
+      (list_size (int_range 0 8) (int_range (-5000) 5000))
+  in
+  QCheck.Test.make ~name:"threshold widening chains terminate and cover" ~count:200
+    (QCheck.make (pair gen_thresholds (list_size (int_range 1 40) (int_range 1 500))))
+    (fun (thresholds, grows) ->
+      let state = ref (VDomain.itv 0 0) in
+      let steps = ref 0 in
+      let budget = Array.length thresholds + 2 in
+      let ok = ref true in
+      List.iter
+        (fun g ->
+          let next =
+            match VDomain.bounds !state with
+            | Some (lo, hi) -> VDomain.itv (lo - g) (hi + g)
+            | None -> VDomain.top
+          in
+          let w = VRel.widen_dom ~thresholds !state next in
+          (* upper bound: the widened value covers both arguments *)
+          if not (VRel.leq_dom !state w && VRel.leq_dom next w) then ok := false;
+          if not (VDomain.equal w !state) then begin
+            incr steps;
+            state := w
+          end)
+        grows;
+      (* two rungs per bound direction cannot exceed the ladder budget *)
+      !ok && !steps <= (2 * budget))
+
+(* --- Proof artifacts: negative controls --- *)
+
+module VChecks = Hfi_verify.Checks
+module VProof = Hfi_verify.Proof
+module VProofcheck = Hfi_verify.Proofcheck
+module VVstate = Hfi_verify.Vstate
+
+let proofcheck_rejects name p w =
+  match VProofcheck.check_workload ~strategy:Hfi_sfi.Strategy.Guard_pages w p with
+  | VProofcheck.Rejected _ -> ()
+  | VProofcheck.Accepted -> Alcotest.failf "%s accepted" name
+
+(* A proof whose invariants were tampered with — here the loop head's
+   entry invariant shrunk below what the entry edge contributes — must
+   be rejected by the independent checker. *)
+let test_proof_tampered_invariant () =
+  let w = Hfi_workloads.Sightglass.find "sieve" in
+  let _, p = VChecks.verify_workload_with_proof ~strategy:Hfi_sfi.Strategy.Guard_pages w in
+  let p = Option.get p in
+  (* shrink every recorded non-singleton register interval by one from
+     below; at least one such bound is attained by a real flow, so the
+     inductive-invariant check must fail somewhere *)
+  let shrink (st : VVstate.t) =
+    {
+      st with
+      VVstate.regs =
+        Array.map
+          (fun d ->
+            match Hfi_opt.Domain.bounds d with
+            | Some (lo, hi) when lo < hi && lo > min_int -> Hfi_opt.Domain.itv (lo + 1) hi
+            | _ -> d)
+          st.VVstate.regs;
+    }
+  in
+  let tampered =
+    {
+      p with
+      VProof.invariants =
+        List.map (fun (b, st) -> (b, if b > 0 then shrink st else st)) p.VProof.invariants;
+    }
+  in
+  proofcheck_rejects "tampered invariant" tampered w;
+  (* and the tampering also fails via the JSON round-trip path *)
+  match VProof.of_json_string (VProof.to_json tampered) with
+  | Error e -> Alcotest.failf "tampered artifact should still parse: %s" e
+  | Ok p' -> proofcheck_rejects "tampered invariant (via json)" p' w
+
+let test_proof_truncated_artifact () =
+  let w = Hfi_workloads.Sightglass.find "base64" in
+  let _, p = VChecks.verify_workload_with_proof ~strategy:Hfi_sfi.Strategy.Guard_pages w in
+  let s = VProof.to_json (Option.get p) in
+  (* every strict prefix must fail to parse — truncation is never a
+     silently-smaller proof *)
+  List.iter
+    (fun frac ->
+      let n = String.length s * frac / 100 in
+      match VProof.of_json_string (String.sub s 0 n) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "truncated artifact (%d%%) parsed" frac)
+    [ 10; 50; 90; 99 ]
+
+let test_proof_version_mismatch () =
+  let w = Hfi_workloads.Sightglass.find "fib2" in
+  let _, p = VChecks.verify_workload_with_proof ~strategy:Hfi_sfi.Strategy.Guard_pages w in
+  let p = Option.get p in
+  proofcheck_rejects "verifier-version mismatch"
+    { p with VProof.verifier_version = VChecks.verifier_version + 1 }
+    w;
+  proofcheck_rejects "proof-format-version mismatch"
+    { p with VProof.proof_version = VProof.current_version + 1 }
+    w;
+  proofcheck_rejects "fingerprint mismatch" { p with VProof.fingerprint = "deadbeef" } w
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_addr_space_matches_reference;
@@ -526,5 +691,14 @@ let suite =
     QCheck_alcotest.to_alcotest prop_program_offsets_consistent;
     QCheck_alcotest.to_alcotest prop_hfi_state_invariants;
     QCheck_alcotest.to_alcotest prop_xsave_restores_observables;
+    QCheck_alcotest.to_alcotest prop_domain_join_sound;
+    QCheck_alcotest.to_alcotest prop_fact_join_sound;
+    QCheck_alcotest.to_alcotest prop_threshold_widening_terminates;
+    Alcotest.test_case "proofcheck rejects a tampered invariant" `Quick
+      test_proof_tampered_invariant;
+    Alcotest.test_case "proofcheck rejects a truncated artifact" `Quick
+      test_proof_truncated_artifact;
+    Alcotest.test_case "proofcheck rejects version/fingerprint mismatches" `Quick
+      test_proof_version_mismatch;
   ]
 

@@ -223,12 +223,12 @@ let test_cfg_branch_out () =
 (* Corpus verdicts and the SFI discipline                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Every Sightglass kernel under every strategy. Two guard-pages cases
-   are honest Unknowns of the non-relational domain (EXPERIMENTS.md):
-   base64's output cursor has no in-loop check at all, and sieve's
-   scaled index goes through a potentially-overflowing multiply that a
-   signed compare cannot re-bound. *)
-let expected_unknown = [ ("base64", Strategy.Guard_pages); ("sieve", Strategy.Guard_pages) ]
+(* Every Sightglass kernel under every strategy. The two guard-pages
+   Unknowns of the old non-relational domain (base64's uncompared
+   output cursor, sieve's widened multiply input) are discharged by the
+   v2 relational domain — affine facts and threshold widening — so the
+   corpus is all-Safe (EXPERIMENTS.md). *)
+let expected_unknown : (string * Strategy.t) list = []
 
 let test_corpus_verdicts () =
   List.iter
@@ -322,6 +322,219 @@ let test_report_format () =
   check_bool "json target" true (contains {|"target":"fib2"|} j)
 
 (* ------------------------------------------------------------------ *)
+(* Relational domain (v2): facts, thresholds, and the two discharges    *)
+(* ------------------------------------------------------------------ *)
+
+module Rel = Hfi_verify.Rel
+module Vstate = Hfi_verify.Vstate
+module Proof = Hfi_verify.Proof
+module Proofcheck = Hfi_verify.Proofcheck
+module Vcache = Hfi_verify.Verdict_cache
+
+let ircx = Reg.index Reg.RCX
+let irdi = Reg.index Reg.RDI
+let no_facts () = Array.make Reg.count None
+let const_regs l =
+  Array.init Reg.count (fun i ->
+      match List.assoc_opt i l with Some v -> Domain.const v | None -> Domain.const 0)
+
+(* The base64 shape: between loop entry (RCX=0, RDI=16384) and the
+   first back edge (RCX=1, RDI=16388) the output cursor moved 4 per
+   iteration — the join must birth RDI = 4*RCX + 16384. *)
+let test_rel_inference () =
+  let a = const_regs [ (ircx, 0); (irdi, 16384) ] in
+  let b = const_regs [ (ircx, 1); (irdi, 16388) ] in
+  match Rel.join_facts irdi (no_facts ()) a (no_facts ()) b with
+  | Some f ->
+    check_int "base" ircx f.Rel.base;
+    check_int "stride" 4 f.Rel.k;
+    check_int "offset lo" 16384 f.Rel.lo;
+    check_int "offset hi" 16384 f.Rel.hi
+  | None -> Alcotest.fail "no fact inferred from the lockstep pair"
+
+(* Constant increments maintain the fact by offset compensation: the
+   subject's own +1 shifts the offset up, the base's +1 shifts every
+   dependent fact down by its stride. *)
+let test_rel_compensation () =
+  let facts = no_facts () in
+  facts.(irdi) <- Some { Rel.base = ircx; k = 4; lo = 16384; hi = 16384 };
+  Rel.add_imm facts irdi 1;
+  (match facts.(irdi) with
+  | Some f -> check_int "own add shifts offset" 16385 f.Rel.lo
+  | None -> Alcotest.fail "fact lost on own increment");
+  Rel.add_imm facts ircx 1;
+  (match facts.(irdi) with
+  | Some f -> check_int "base add compensates -k" (16385 - 4) f.Rel.lo
+  | None -> Alcotest.fail "fact lost on base increment");
+  (* a non-affine write to the base kills dependents *)
+  Rel.kill facts ircx;
+  check_bool "dependent fact killed" true (facts.(irdi) = None)
+
+(* tighten concretizes the fact at a use site: RDI itself may have
+   widened to top, but 4*[0,1023] + 16384 pins the store address. *)
+let test_rel_tighten_and_refine () =
+  let facts = no_facts () in
+  facts.(irdi) <- Some { Rel.base = ircx; k = 4; lo = 16384; hi = 16384 };
+  let regs = Array.make Reg.count (Domain.const 0) in
+  regs.(ircx) <- Domain.itv 0 1023;
+  regs.(irdi) <- Domain.top;
+  Alcotest.check dom "tighten pins the cursor"
+    (Domain.itv 16384 (16384 + (4 * 1023)))
+    (Rel.tighten facts regs irdi);
+  (* the sieve shape backwards: cmp on RDX = 2*RCX bounds RCX too *)
+  let f = { Rel.base = ircx; k = 2; lo = 0; hi = 0 } in
+  Alcotest.check dom "branch refinement flows to the base"
+    (Domain.itv 2 4095)
+    (Rel.refine_base f ~refined:(Domain.itv 4 8191) (Domain.itv 2 10_000))
+
+let test_rel_threshold_widening () =
+  let thresholds = [| 0; 1024; 8192 |] in
+  (* a growing bound parks at the nearest enclosing threshold... *)
+  Alcotest.check dom "hi parks at the compare immediate"
+    (Domain.itv 0 1024)
+    (Rel.widen_dom ~thresholds (Domain.itv 0 10) (Domain.itv 0 20));
+  Alcotest.check dom "next escalation takes the next rung"
+    (Domain.itv 0 8192)
+    (Rel.widen_dom ~thresholds (Domain.itv 0 1024) (Domain.itv 0 1025));
+  (* ...and past the last rung, at infinity — termination is preserved *)
+  Alcotest.check dom "past the ladder lies infinity"
+    (Domain.itv 0 max_int)
+    (Rel.widen_dom ~thresholds (Domain.itv 0 8192) (Domain.itv 0 9000));
+  Alcotest.check dom "stable bounds do not move"
+    (Domain.itv 0 10)
+    (Rel.widen_dom ~thresholds (Domain.itv 0 10) (Domain.itv 2 8))
+
+(* The two guard-pages Unknowns the relational domain discharges, under
+   both lowerings: these are the tentpole regression pins. *)
+let test_discharged_unknowns () =
+  List.iter
+    (fun opt ->
+      Hfi_opt.Driver.with_enabled opt (fun () ->
+          List.iter
+            (fun name ->
+              let r =
+                Checks.verify_workload ~strategy:Strategy.Guard_pages (Sightglass.find name)
+              in
+              check_str
+                (Printf.sprintf "%s/guard-pages (opt %b)" name opt)
+                "safe"
+                (Vreport.verdict_name r.Vreport.verdict))
+            [ "base64"; "sieve" ]))
+    [ true; false ]
+
+(* ------------------------------------------------------------------ *)
+(* Proof artifacts: emission, exact JSON round-trip, revalidation       *)
+(* ------------------------------------------------------------------ *)
+
+let test_proof_roundtrip () =
+  List.iter
+    (fun name ->
+      let w = Sightglass.find name in
+      let r, p =
+        Checks.verify_workload_with_proof ~strategy:Strategy.Guard_pages w
+      in
+      check_str (name ^ " verdict") "safe" (Vreport.verdict_name r.Vreport.verdict);
+      match p with
+      | None -> Alcotest.failf "%s: safe verdict without a proof" name
+      | Some p ->
+        (match Proofcheck.check_workload ~strategy:Strategy.Guard_pages w p with
+        | Proofcheck.Accepted -> ()
+        | Proofcheck.Rejected es ->
+          Alcotest.failf "%s: fresh proof rejected: %s" name (String.concat "; " es));
+        let s = Proof.to_json p in
+        (match Proof.of_json_string s with
+        | Error e -> Alcotest.failf "%s: round-trip parse failed: %s" name e
+        | Ok p' ->
+          (* byte-exact round-trip: serializing the parse reproduces the
+             artifact, so nothing (63-bit bounds included) was lossy *)
+          check_str (name ^ " json round-trip") s (Proof.to_json p');
+          (match Proofcheck.check_workload ~strategy:Strategy.Guard_pages w p' with
+          | Proofcheck.Accepted -> ()
+          | Proofcheck.Rejected es ->
+            Alcotest.failf "%s: round-tripped proof rejected: %s" name
+              (String.concat "; " es))))
+    [ "sieve"; "base64"; "ackermann" ]
+
+(* A proof emitted under one strategy must not certify another, and a
+   checker from a different verifier version must refuse it. *)
+let test_proof_binding () =
+  let w = Sightglass.find "fib2" in
+  let _, p = Checks.verify_workload_with_proof ~strategy:Strategy.Hfi w in
+  let p = Option.get p in
+  (match Proofcheck.check_workload ~strategy:Strategy.Guard_pages w p with
+  | Proofcheck.Rejected _ -> ()
+  | Proofcheck.Accepted -> Alcotest.fail "strategy mismatch accepted");
+  let stale = { p with Proof.verifier_version = Checks.verifier_version + 1 } in
+  match Proofcheck.check_workload ~strategy:Strategy.Hfi w stale with
+  | Proofcheck.Rejected _ -> ()
+  | Proofcheck.Accepted -> Alcotest.fail "verifier-version mismatch accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Persistent verdict cache: round-trip under an explicit directory     *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hfi-vcache-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_verdict_cache_roundtrip () =
+  with_temp_dir (fun dir ->
+      let strategy = Strategy.Guard_pages in
+      let code_base = Layout.code_base in
+      let w = Sightglass.find "sieve" in
+      let prog = Instance.build_program ~strategy w in
+      let fingerprint = Program.fingerprint prog in
+      check_bool "empty cache misses" true
+        (Vcache.find_in ~dir ~fingerprint ~strategy ~code_base = None);
+      let r = Checks.verify ~name:"sieve" { Checks.strategy; code_base } prog in
+      Vcache.store_in ~dir ~fingerprint ~strategy ~code_base r;
+      (match Vcache.find_in ~dir ~fingerprint ~strategy ~code_base with
+      | None -> Alcotest.fail "stored entry not found"
+      | Some r' -> check_str "report round-trips" (Vreport.to_json r) (Vreport.to_json r'));
+      (* an unsafe report round-trips its violations, in order *)
+      let ru = Checks.verify_workload ~strategy:Strategy.Hfi escape_workload in
+      Vcache.store_in ~dir ~fingerprint:"escape-fp" ~strategy ~code_base ru;
+      (match Vcache.find_in ~dir ~fingerprint:"escape-fp" ~strategy ~code_base with
+      | None -> Alcotest.fail "unsafe entry not found"
+      | Some r' -> check_str "unsafe round-trips" (Vreport.to_json ru) (Vreport.to_json r'));
+      (* key separation: a different strategy never sees the entry *)
+      check_bool "strategy separates keys" true
+        (Vcache.find_in ~dir ~fingerprint ~strategy:Strategy.Hfi ~code_base = None);
+      (* a corrupt entry is a miss, not an error *)
+      let k = Vcache.key ~fingerprint ~strategy ~code_base in
+      let oc = open_out_bin (Filename.concat dir (k ^ ".json")) in
+      output_string oc "{ corrupt";
+      close_out oc;
+      check_bool "corrupt entry is a miss" true
+        (Vcache.find_in ~dir ~fingerprint ~strategy ~code_base = None))
+
+(* ------------------------------------------------------------------ *)
+(* Sweep determinism: jobs=1 and jobs=4 produce identical artifacts     *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_jobs_deterministic () =
+  let kernels =
+    List.filter (fun (n, _) -> List.mem n [ "base64"; "sieve"; "fib2"; "keccak" ])
+      Sightglass.all
+  in
+  let strategies = [ Strategy.Guard_pages; Strategy.Hfi ] in
+  let s1 = Hfi_verify.Sweep.run ~jobs:1 ~strategies kernels in
+  let s4 = Hfi_verify.Sweep.run ~jobs:4 ~strategies kernels in
+  check_str "json identical" (Hfi_verify.Sweep.to_json s1) (Hfi_verify.Sweep.to_json s4);
+  check_str "table identical" (Hfi_verify.Sweep.table s1) (Hfi_verify.Sweep.table s4);
+  check_str "summary identical" (Hfi_verify.Sweep.summary s1) (Hfi_verify.Sweep.summary s4);
+  check_int "all safe" 0 (Hfi_verify.Sweep.exit_code s1)
+
+(* ------------------------------------------------------------------ *)
 (* Golden guard: verification is pure                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -371,6 +584,19 @@ let suite =
       test_cfg_indirect_resolved;
     Alcotest.test_case "cfg: direct branch out of program" `Quick test_cfg_branch_out;
     Alcotest.test_case "corpus: verdicts across strategies" `Quick test_corpus_verdicts;
+    Alcotest.test_case "rel: fact inference at a lockstep join" `Quick test_rel_inference;
+    Alcotest.test_case "rel: offset compensation and kills" `Quick test_rel_compensation;
+    Alcotest.test_case "rel: tighten at use, refine backwards" `Quick
+      test_rel_tighten_and_refine;
+    Alcotest.test_case "rel: threshold widening ladder" `Quick test_rel_threshold_widening;
+    Alcotest.test_case "v2 discharges the two guard-pages unknowns" `Quick
+      test_discharged_unknowns;
+    Alcotest.test_case "proof: emit, round-trip, revalidate" `Quick test_proof_roundtrip;
+    Alcotest.test_case "proof: bound to strategy and verifier version" `Quick
+      test_proof_binding;
+    Alcotest.test_case "verdict cache: round-trip, separation, corruption" `Quick
+      test_verdict_cache_roundtrip;
+    Alcotest.test_case "sweep: jobs=1 == jobs=4" `Quick test_sweep_jobs_deterministic;
     Alcotest.test_case "sfi: raw out-of-window store is unsafe" `Quick test_sfi_escape_unsafe;
     Alcotest.test_case "negative control: in-sandbox region write" `Quick test_negative_control;
     Alcotest.test_case "report: stable strings and json" `Quick test_report_format;
